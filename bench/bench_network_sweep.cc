@@ -1,0 +1,60 @@
+// Ablation (the experiment the paper defers to [6], §V-D: "additional
+// experimental analysis of SHAROES with varying network characteristics"):
+// Create-And-List across link profiles from home DSL to LAN. As the
+// network gets faster, crypto costs surface: SHAROES' symmetric-key
+// overhead stays small while PUB-OPT's private-key ops come to dominate.
+
+#include <cstdio>
+
+#include "workload/create_list.h"
+#include "workload/report.h"
+
+namespace sharoes::workload {
+namespace {
+
+struct LinkProfile {
+  const char* name;
+  net::NetworkModel model;
+};
+
+void Run() {
+  Heading("Network sweep ablation: Create-And-List LIST phase (s)");
+  const LinkProfile profiles[] = {
+      {"DSL (paper)", net::NetworkModel::PaperDsl()},
+      {"cable 5M/1M, 25ms", {25.0, 1'000'000, 5'000'000, 4.0}},
+      {"T1 1.5M sym, 10ms", {10.0, 1'500'000, 1'500'000, 2.0}},
+      {"metro 100M, 2ms", {2.0, 100'000'000, 100'000'000, 0.5}},
+      {"LAN", net::NetworkModel::Lan()},
+  };
+  Table table({"link", "NO-ENC-MD-D", "SHAROES", "PUB-OPT",
+               "SHAROES vs base", "PUB-OPT vs base"});
+  for (const LinkProfile& p : profiles) {
+    std::vector<double> list_secs;
+    for (SystemVariant v : {SystemVariant::kNoEncMdD, SystemVariant::kSharoes,
+                            SystemVariant::kPubOpt}) {
+      BenchWorldOptions opts;
+      opts.variant = v;
+      opts.network = p.model;
+      BenchWorld world(opts);
+      CreateListParams params;
+      CreateListResult r = RunCreateList(world, params);
+      list_secs.push_back(r.list.total_s());
+    }
+    table.AddRow({p.name, Seconds(list_secs[0]), Seconds(list_secs[1]),
+                  Seconds(list_secs[2]), Percent(list_secs[1], list_secs[0]),
+                  Percent(list_secs[2], list_secs[0])});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the faster the link, the larger PUB-OPT's"
+      " relative penalty (fixed 270 ms private-key op per stat), while"
+      " SHAROES' symmetric overhead stays modest.\n");
+}
+
+}  // namespace
+}  // namespace sharoes::workload
+
+int main() {
+  sharoes::workload::Run();
+  return 0;
+}

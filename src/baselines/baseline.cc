@@ -1,0 +1,772 @@
+#include "baselines/baseline.h"
+
+#include "crypto/ctr.h"
+#include "fs/path.h"
+#include "fs/superblock.h"
+
+namespace sharoes::baselines {
+
+namespace {
+/// Pseudo-user slot holding the shared plaintext superblock.
+constexpr uint32_t kSuperblockSlot = 0;
+}  // namespace
+
+std::string SecurityModeName(SecurityMode mode) {
+  switch (mode) {
+    case SecurityMode::kNoEncMdD:
+      return "NO-ENC-MD-D";
+    case SecurityMode::kNoEncMd:
+      return "NO-ENC-MD";
+    case SecurityMode::kPublic:
+      return "PUBLIC";
+    case SecurityMode::kPubOpt:
+      return "PUB-OPT";
+  }
+  return "?";
+}
+
+Bytes BaselineRecord::Serialize() const {
+  BinaryWriter w;
+  attrs.AppendTo(&w);
+  w.PutBytes(dek);
+  w.PutBytes(signing_material);
+  return w.Take();
+}
+
+Result<BaselineRecord> BaselineRecord::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  BaselineRecord rec;
+  SHAROES_ASSIGN_OR_RETURN(rec.attrs, fs::InodeAttrs::ReadFrom(&r));
+  rec.dek = r.GetBytes();
+  rec.signing_material = r.GetBytes();
+  SHAROES_RETURN_IF_ERROR(r.Finish("baseline record"));
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Provisioner
+// ---------------------------------------------------------------------------
+
+BaselineProvisioner::BaselineProvisioner(
+    const core::IdentityDirectory* identity, ssp::SspServer* server,
+    crypto::CryptoEngine* engine, const BaselineOptions& options)
+    : identity_(identity),
+      server_(server),
+      engine_(engine),
+      options_(options) {}
+
+Status BaselineProvisioner::StoreRecord(const BaselineRecord& record) {
+  Bytes plain = record.Serialize();
+  fs::InodeNum inode = record.attrs.inode;
+  switch (options_.mode) {
+    case SecurityMode::kNoEncMdD:
+    case SecurityMode::kNoEncMd:
+      server_->store().PutMetadata(inode, 0, std::move(plain));
+      return Status::OK();
+    case SecurityMode::kPubOpt: {
+      crypto::SymmetricKey k = engine_->NewSymmetricKey();
+      server_->store().PutMetadata(inode, 0, engine_->SymEncrypt(k, plain));
+      for (fs::UserId uid : identity_->AllUsers()) {
+        SHAROES_ASSIGN_OR_RETURN(core::UserInfo user,
+                                 identity_->GetUser(uid));
+        SHAROES_ASSIGN_OR_RETURN(Bytes wrapped,
+                                 engine_->PkEncrypt(user.public_key, k.key));
+        server_->store().PutUserMetadata(inode, uid, std::move(wrapped));
+      }
+      return Status::OK();
+    }
+    case SecurityMode::kPublic: {
+      for (fs::UserId uid : identity_->AllUsers()) {
+        SHAROES_ASSIGN_OR_RETURN(core::UserInfo user,
+                                 identity_->GetUser(uid));
+        SHAROES_ASSIGN_OR_RETURN(Bytes enc,
+                                 engine_->PkEncrypt(user.public_key, plain));
+        server_->store().PutUserMetadata(inode, uid, std::move(enc));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad mode");
+}
+
+Status BaselineProvisioner::StoreTable(fs::InodeNum inode,
+                                       const fs::DirTable& table,
+                                       const Bytes& dek) {
+  Bytes plain = table.Serialize();
+  if (options_.mode == SecurityMode::kNoEncMdD) {
+    server_->store().PutData(inode, 0, std::move(plain));
+  } else {
+    server_->store().PutData(
+        inode, 0, engine_->SymEncrypt(crypto::SymmetricKey{dek}, plain));
+  }
+  return Status::OK();
+}
+
+Status BaselineProvisioner::MigrateNode(const core::LocalNode& spec,
+                                        fs::InodeNum inode) {
+  BaselineRecord rec;
+  rec.attrs.inode = inode;
+  rec.attrs.type = spec.type;
+  rec.attrs.owner = spec.owner;
+  rec.attrs.group = spec.group;
+  rec.attrs.mode = spec.mode;
+  rec.attrs.acl = spec.acl;
+  rec.attrs.size = spec.content.size();
+  if (options_.mode != SecurityMode::kNoEncMdD) {
+    rec.dek = engine_->NewSymmetricKey().key;
+  }
+  if (options_.mode == SecurityMode::kPublic ||
+      options_.mode == SecurityMode::kPubOpt) {
+    rec.signing_material = Bytes(options_.metadata_pad, 0x5A);
+  }
+  if (spec.type == fs::FileType::kDirectory) {
+    fs::DirTable table;
+    for (const core::LocalNode& child : spec.children) {
+      fs::InodeNum child_inode = ++next_inode_;
+      SHAROES_RETURN_IF_ERROR(table.Add(child.name, child_inode));
+      SHAROES_RETURN_IF_ERROR(MigrateNode(child, child_inode));
+    }
+    SHAROES_RETURN_IF_ERROR(StoreTable(inode, table, rec.dek));
+  } else {
+    // File content, chunked with a descriptor prefix in block 0.
+    const Bytes& content = spec.content;
+    size_t bs = options_.block_size;
+    core::DataDescriptor desc;
+    desc.size = content.size();
+    size_t chunk0 = std::min(content.size(), bs);
+    desc.block_count =
+        1 + static_cast<uint32_t>((content.size() - chunk0 + bs - 1) / bs);
+    BinaryWriter w0;
+    desc.AppendTo(&w0);
+    w0.PutRaw(content.data(), chunk0);
+    Bytes b0 = w0.Take();
+    if (options_.mode != SecurityMode::kNoEncMdD) {
+      b0 = engine_->SymEncrypt(crypto::SymmetricKey{rec.dek}, b0);
+    }
+    server_->store().PutData(inode, 1, std::move(b0));
+    uint32_t idx = 2;
+    for (size_t pos = chunk0; pos < content.size(); pos += bs, ++idx) {
+      size_t n = std::min(bs, content.size() - pos);
+      Bytes chunk(content.begin() + pos, content.begin() + pos + n);
+      if (options_.mode != SecurityMode::kNoEncMdD) {
+        chunk = engine_->SymEncrypt(crypto::SymmetricKey{rec.dek}, chunk);
+      }
+      server_->store().PutData(inode, idx, std::move(chunk));
+    }
+  }
+  return StoreRecord(rec);
+}
+
+Status BaselineProvisioner::Migrate(const core::LocalNode& root) {
+  if (root.type != fs::FileType::kDirectory) {
+    return Status::InvalidArgument("root must be a directory");
+  }
+  next_inode_ = fs::kRootInode;
+  SHAROES_RETURN_IF_ERROR(MigrateNode(root, fs::kRootInode));
+  fs::Superblock sb;
+  sb.root_inode = fs::kRootInode;
+  server_->store().PutSuperblock(kSuperblockSlot, sb.Serialize());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+BaselineClient::BaselineClient(fs::UserId uid,
+                               crypto::RsaPrivateKey user_private_key,
+                               const core::IdentityDirectory* identity,
+                               ssp::SspChannel* conn,
+                               crypto::CryptoEngine* engine,
+                               const BaselineOptions& options)
+    : uid_(uid),
+      principal_(identity->PrincipalOf(uid)),
+      user_priv_(std::move(user_private_key)),
+      identity_(identity),
+      conn_(conn),
+      engine_(engine),
+      options_(options),
+      cache_(options.cache_bytes),
+      inode_counter_(engine->rng().NextU64() & 0xFFFFFFFFULL) {}
+
+void BaselineClient::ChargeClientOverhead() {
+  if (engine_->clock() != nullptr) {
+    engine_->clock()->AdvanceMs(options_.client_overhead_ms,
+                                CostCategory::kOther);
+  }
+}
+
+fs::InodeNum BaselineClient::AllocateInode() {
+  return (static_cast<uint64_t>(uid_) + 2) << 40 |
+         (inode_counter_++ & 0xFFFFFFFFFFull);
+}
+
+void BaselineClient::InvalidateInode(fs::InodeNum inode) {
+  std::string id = std::to_string(inode);
+  cache_.ErasePrefix("m|" + id);
+  cache_.ErasePrefix("t|" + id);
+  cache_.ErasePrefix("d|" + id);
+}
+
+Status BaselineClient::EvictPath(const std::string& path) {
+  BaselineRecord rec;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(path, &rec).status());
+  InvalidateInode(rec.attrs.inode);
+  return Status::OK();
+}
+
+Status BaselineClient::Mount() {
+  principal_ = identity_->PrincipalOf(uid_);
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(
+      ssp::Response resp,
+      conn_->Call(ssp::Request::GetSuperblock(kSuperblockSlot)));
+  if (!resp.ok()) return Status::NotFound("no superblock");
+  SHAROES_ASSIGN_OR_RETURN(fs::Superblock sb,
+                           fs::Superblock::Deserialize(resp.payload));
+  (void)sb;
+  mounted_ = true;
+  return Status::OK();
+}
+
+Result<BaselineRecord> BaselineClient::FetchRecord(fs::InodeNum inode) {
+  std::string key = "m|" + std::to_string(inode);
+  if (auto cached = cache_.Get<BaselineRecord>(key)) return *cached;
+  switch (options_.mode) {
+    case SecurityMode::kNoEncMdD:
+    case SecurityMode::kNoEncMd: {
+      SHAROES_ASSIGN_OR_RETURN(
+          ssp::Response resp,
+          conn_->Call(ssp::Request::GetMetadata(inode, 0)));
+      if (!resp.ok()) return Status::NotFound("metadata not at SSP");
+      SHAROES_ASSIGN_OR_RETURN(BaselineRecord rec,
+                               BaselineRecord::Deserialize(resp.payload));
+      cache_.Put(key, rec, resp.payload.size());
+      return rec;
+    }
+    case SecurityMode::kPubOpt: {
+      // One round trip fetches the sealed record and our wrapped key.
+      std::vector<ssp::Request> reqs;
+      reqs.push_back(ssp::Request::GetMetadata(inode, 0));
+      reqs.push_back(ssp::Request::GetUserMetadata(inode, uid_));
+      SHAROES_ASSIGN_OR_RETURN(
+          ssp::Response resp,
+          conn_->Call(ssp::Request::Batch(std::move(reqs))));
+      if (resp.batch.size() != 2 || !resp.batch[0].ok() ||
+          !resp.batch[1].ok()) {
+        return Status::NotFound("metadata or key block not at SSP");
+      }
+      SHAROES_ASSIGN_OR_RETURN(
+          Bytes k, engine_->PkDecrypt(user_priv_, resp.batch[1].payload));
+      SHAROES_ASSIGN_OR_RETURN(crypto::SymmetricKey key_obj,
+                               crypto::SymmetricKey::Deserialize(k));
+      SHAROES_ASSIGN_OR_RETURN(
+          Bytes plain, engine_->SymDecrypt(key_obj, resp.batch[0].payload));
+      SHAROES_ASSIGN_OR_RETURN(BaselineRecord rec,
+                               BaselineRecord::Deserialize(plain));
+      cache_.Put(key, rec,
+                 resp.batch[0].payload.size() + resp.batch[1].payload.size());
+      return rec;
+    }
+    case SecurityMode::kPublic: {
+      SHAROES_ASSIGN_OR_RETURN(
+          ssp::Response resp,
+          conn_->Call(ssp::Request::GetUserMetadata(inode, uid_)));
+      if (!resp.ok()) return Status::NotFound("metadata copy not at SSP");
+      SHAROES_ASSIGN_OR_RETURN(Bytes plain,
+                               engine_->PkDecrypt(user_priv_, resp.payload));
+      SHAROES_ASSIGN_OR_RETURN(BaselineRecord rec,
+                               BaselineRecord::Deserialize(plain));
+      cache_.Put(key, rec, resp.payload.size());
+      return rec;
+    }
+  }
+  return Status::Internal("bad mode");
+}
+
+Result<fs::DirTable> BaselineClient::FetchTable(const BaselineRecord& dir) {
+  std::string key = "t|" + std::to_string(dir.attrs.inode);
+  if (auto cached = cache_.Get<fs::DirTable>(key)) return *cached;
+  SHAROES_ASSIGN_OR_RETURN(
+      ssp::Response resp,
+      conn_->Call(ssp::Request::GetData(dir.attrs.inode, 0)));
+  if (!resp.ok()) return Status::NotFound("dir table not at SSP");
+  Bytes plain = resp.payload;
+  if (options_.mode != SecurityMode::kNoEncMdD) {
+    SHAROES_ASSIGN_OR_RETURN(crypto::SymmetricKey dek,
+                             crypto::SymmetricKey::Deserialize(dir.dek));
+    SHAROES_ASSIGN_OR_RETURN(plain, engine_->SymDecrypt(dek, resp.payload));
+  }
+  SHAROES_ASSIGN_OR_RETURN(fs::DirTable table,
+                           fs::DirTable::Deserialize(plain));
+  cache_.Put(key, table, resp.payload.size());
+  return table;
+}
+
+Result<fs::InodeNum> BaselineClient::ResolveInode(const std::string& path,
+                                                  BaselineRecord* out_record) {
+  if (!mounted_) return Status::FailedPrecondition("not mounted");
+  SHAROES_ASSIGN_OR_RETURN(std::vector<std::string> comps,
+                           fs::SplitPath(path));
+  fs::InodeNum inode = fs::kRootInode;
+  SHAROES_ASSIGN_OR_RETURN(BaselineRecord rec, FetchRecord(inode));
+  for (const std::string& comp : comps) {
+    if (!rec.attrs.is_dir()) {
+      return Status::InvalidArgument("'" + comp +
+                                     "' parent is not a directory");
+    }
+    SHAROES_ASSIGN_OR_RETURN(fs::DirTable table, FetchTable(rec));
+    auto child = table.Lookup(comp);
+    if (!child.has_value()) {
+      return Status::NotFound("no entry named '" + comp + "'");
+    }
+    inode = *child;
+    SHAROES_ASSIGN_OR_RETURN(rec, FetchRecord(inode));
+  }
+  if (out_record != nullptr) *out_record = std::move(rec);
+  return inode;
+}
+
+Result<fs::InodeAttrs> BaselineClient::Getattr(const std::string& path) {
+  ChargeClientOverhead();
+  BaselineRecord rec;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(path, &rec).status());
+  return rec.attrs;
+}
+
+Result<std::vector<std::string>> BaselineClient::Readdir(
+    const std::string& path) {
+  ChargeClientOverhead();
+  BaselineRecord rec;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(path, &rec).status());
+  if (!rec.attrs.is_dir()) return Status::InvalidArgument("not a directory");
+  SHAROES_ASSIGN_OR_RETURN(fs::DirTable table, FetchTable(rec));
+  std::vector<std::string> names;
+  names.reserve(table.size());
+  for (const fs::DirEntry& e : table.entries()) names.push_back(e.name);
+  return names;
+}
+
+Status BaselineClient::EncodeRecordPuts(const BaselineRecord& record,
+                                        std::vector<ssp::Request>* out) {
+  Bytes plain = record.Serialize();
+  fs::InodeNum inode = record.attrs.inode;
+  switch (options_.mode) {
+    case SecurityMode::kNoEncMdD:
+    case SecurityMode::kNoEncMd:
+      out->push_back(ssp::Request::PutMetadata(inode, 0, std::move(plain)));
+      return Status::OK();
+    case SecurityMode::kPubOpt: {
+      crypto::SymmetricKey k = engine_->NewSymmetricKey();
+      out->push_back(ssp::Request::PutMetadata(
+          inode, 0, engine_->SymEncrypt(k, plain)));
+      for (fs::UserId uid : identity_->AllUsers()) {
+        SHAROES_ASSIGN_OR_RETURN(core::UserInfo user,
+                                 identity_->GetUser(uid));
+        SHAROES_ASSIGN_OR_RETURN(Bytes wrapped,
+                                 engine_->PkEncrypt(user.public_key, k.key));
+        out->push_back(
+            ssp::Request::PutUserMetadata(inode, uid, std::move(wrapped)));
+      }
+      return Status::OK();
+    }
+    case SecurityMode::kPublic: {
+      for (fs::UserId uid : identity_->AllUsers()) {
+        SHAROES_ASSIGN_OR_RETURN(core::UserInfo user,
+                                 identity_->GetUser(uid));
+        SHAROES_ASSIGN_OR_RETURN(Bytes enc,
+                                 engine_->PkEncrypt(user.public_key, plain));
+        out->push_back(
+            ssp::Request::PutUserMetadata(inode, uid, std::move(enc)));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad mode");
+}
+
+Bytes BaselineClient::EncodeTable(const BaselineRecord& dir,
+                                  const fs::DirTable& table) {
+  Bytes plain = table.Serialize();
+  if (options_.mode == SecurityMode::kNoEncMdD) return plain;
+  auto dek = crypto::SymmetricKey::Deserialize(dir.dek);
+  return engine_->SymEncrypt(*dek, plain);
+}
+
+Status BaselineClient::ExecuteBatch(std::vector<ssp::Request> requests) {
+  if (requests.empty()) return Status::OK();
+  SHAROES_ASSIGN_OR_RETURN(
+      ssp::Response resp,
+      conn_->Call(ssp::Request::Batch(std::move(requests))));
+  if (!resp.ok()) return Status::IoError("SSP rejected batch");
+  return Status::OK();
+}
+
+Status BaselineClient::CreateObject(const std::string& path,
+                                    fs::FileType type,
+                                    const core::CreateOptions& opts) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(fs::SplitParent sp, fs::SplitParentName(path));
+  BaselineRecord parent;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(sp.parent, &parent).status());
+  if (!parent.attrs.is_dir()) {
+    return Status::InvalidArgument("parent is not a directory");
+  }
+  // Baselines implement the related work's file-level model: directory
+  // writes are allowed to any user with write on the directory record.
+  if (!fs::Allows(parent.attrs, principal_, fs::Access::kWrite)) {
+    return Status::PermissionDenied("no write permission on directory");
+  }
+  SHAROES_ASSIGN_OR_RETURN(fs::DirTable table, FetchTable(parent));
+  if (table.Contains(sp.name)) {
+    return Status::AlreadyExists("'" + path + "' already exists");
+  }
+
+  BaselineRecord rec;
+  rec.attrs.inode = AllocateInode();
+  rec.attrs.type = type;
+  rec.attrs.owner = uid_;
+  rec.attrs.group = parent.attrs.group;
+  rec.attrs.mode = opts.mode;
+  rec.attrs.acl = opts.acl;
+  if (options_.mode != SecurityMode::kNoEncMdD) {
+    rec.dek = engine_->NewSymmetricKey().key;
+  }
+  if (options_.mode == SecurityMode::kPublic ||
+      options_.mode == SecurityMode::kPubOpt) {
+    rec.signing_material = Bytes(options_.metadata_pad, 0x5A);
+  }
+
+  // Batch 1: the new object's metadata (+ empty table for directories).
+  std::vector<ssp::Request> batch1;
+  SHAROES_RETURN_IF_ERROR(EncodeRecordPuts(rec, &batch1));
+  if (type == fs::FileType::kDirectory) {
+    fs::DirTable empty;
+    batch1.push_back(ssp::Request::PutData(rec.attrs.inode, 0,
+                                           EncodeTable(rec, empty)));
+  }
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch1)));
+
+  // Batch 2: the parent's updated table.
+  SHAROES_RETURN_IF_ERROR(table.Add(sp.name, rec.attrs.inode));
+  std::vector<ssp::Request> batch2;
+  Bytes table_wire = EncodeTable(parent, table);
+  size_t table_size = table_wire.size();
+  batch2.push_back(ssp::Request::PutData(parent.attrs.inode, 0,
+                                         std::move(table_wire)));
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch2)));
+  // Keep what we just wrote in cache (the client has it all in memory).
+  cache_.Put("t|" + std::to_string(parent.attrs.inode), table, table_size);
+  cache_.Put("m|" + std::to_string(rec.attrs.inode), rec,
+             rec.Serialize().size());
+  return Status::OK();
+}
+
+Status BaselineClient::Mkdir(const std::string& path,
+                             const core::CreateOptions& opts) {
+  return CreateObject(path, fs::FileType::kDirectory, opts);
+}
+
+Status BaselineClient::Create(const std::string& path,
+                              const core::CreateOptions& opts) {
+  return CreateObject(path, fs::FileType::kFile, opts);
+}
+
+Result<Bytes> BaselineClient::FetchFileContent(const BaselineRecord& record) {
+  fs::InodeNum inode = record.attrs.inode;
+  crypto::SymmetricKey dek;
+  if (options_.mode != SecurityMode::kNoEncMdD) {
+    SHAROES_ASSIGN_OR_RETURN(dek,
+                             crypto::SymmetricKey::Deserialize(record.dek));
+  }
+  auto decode = [&](const Bytes& wire) -> Result<Bytes> {
+    if (options_.mode == SecurityMode::kNoEncMdD) return wire;
+    return engine_->SymDecrypt(dek, wire);
+  };
+
+  Bytes plain0;
+  std::string key0 = "d|" + std::to_string(inode) + "|1";
+  if (auto cached = cache_.Get<Bytes>(key0)) {
+    plain0 = *cached;
+  } else {
+    SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
+                             conn_->Call(ssp::Request::GetData(inode, 1)));
+    if (!resp.ok()) return Bytes{};  // Never written.
+    SHAROES_ASSIGN_OR_RETURN(plain0, decode(resp.payload));
+    cache_.Put(key0, plain0, resp.payload.size());
+  }
+  BinaryReader r0(plain0);
+  SHAROES_ASSIGN_OR_RETURN(core::DataDescriptor desc,
+                           core::DataDescriptor::ReadFrom(&r0));
+  Bytes content = r0.GetRaw(r0.remaining());
+  if (desc.block_count > 1) {
+    std::vector<ssp::Request> gets;
+    std::vector<uint32_t> missing;
+    std::map<uint32_t, Bytes> chunks;
+    for (uint32_t i = 1; i < desc.block_count; ++i) {
+      std::string key = "d|" + std::to_string(inode) + "|" +
+                        std::to_string(i + 1);
+      if (auto cached = cache_.Get<Bytes>(key)) {
+        chunks[i] = *cached;
+        continue;
+      }
+      missing.push_back(i);
+      gets.push_back(ssp::Request::GetData(inode, i + 1));
+    }
+    if (!gets.empty()) {
+      SHAROES_ASSIGN_OR_RETURN(
+          ssp::Response resp,
+          conn_->Call(ssp::Request::Batch(std::move(gets))));
+      if (resp.batch.size() != missing.size()) {
+        return Status::IoError("short batch response");
+      }
+      for (size_t i = 0; i < missing.size(); ++i) {
+        if (!resp.batch[i].ok()) return Status::IoError("missing block");
+        SHAROES_ASSIGN_OR_RETURN(Bytes plain, decode(resp.batch[i].payload));
+        cache_.Put("d|" + std::to_string(inode) + "|" +
+                       std::to_string(missing[i] + 1),
+                   plain, resp.batch[i].payload.size());
+        chunks[missing[i]] = std::move(plain);
+      }
+    }
+    for (uint32_t i = 1; i < desc.block_count; ++i) {
+      content.insert(content.end(), chunks[i].begin(), chunks[i].end());
+    }
+  }
+  if (content.size() != desc.size) {
+    return Status::Corruption("file size mismatch after reassembly");
+  }
+  return content;
+}
+
+Result<Bytes> BaselineClient::Read(const std::string& path) {
+  ChargeClientOverhead();
+  auto buf_it = write_buffers_.find(path);
+  if (buf_it != write_buffers_.end()) return buf_it->second.content;
+  BaselineRecord rec;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(path, &rec).status());
+  if (rec.attrs.is_dir()) {
+    return Status::InvalidArgument("cannot Read a directory");
+  }
+  if (!fs::Allows(rec.attrs, principal_, fs::Access::kRead)) {
+    return Status::PermissionDenied("no read permission");
+  }
+  return FetchFileContent(rec);
+}
+
+Status BaselineClient::Write(const std::string& path, const Bytes& content) {
+  auto it = write_buffers_.find(path);
+  if (it != write_buffers_.end()) {
+    it->second.content = content;
+    it->second.dirty = true;
+    return Status::OK();
+  }
+  BaselineRecord rec;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(path, &rec).status());
+  if (rec.attrs.is_dir()) {
+    return Status::InvalidArgument("cannot Write a directory");
+  }
+  if (!fs::Allows(rec.attrs, principal_, fs::Access::kWrite)) {
+    return Status::PermissionDenied("no write permission");
+  }
+  write_buffers_[path] = WriteBuffer{rec.attrs.inode, content, true};
+  return Status::OK();
+}
+
+Status BaselineClient::FlushBuffer(WriteBuffer* buf,
+                                   const BaselineRecord& record) {
+  crypto::SymmetricKey dek;
+  if (options_.mode != SecurityMode::kNoEncMdD) {
+    SHAROES_ASSIGN_OR_RETURN(dek,
+                             crypto::SymmetricKey::Deserialize(record.dek));
+  }
+  const Bytes& content = buf->content;
+  size_t bs = options_.block_size;
+  core::DataDescriptor desc;
+  desc.size = content.size();
+  size_t chunk0 = std::min(content.size(), bs);
+  desc.block_count =
+      1 + static_cast<uint32_t>((content.size() - chunk0 + bs - 1) / bs);
+
+  std::vector<ssp::Request> puts;
+  // Block 0 holds the directory table for dirs; files start at block 1.
+  BinaryWriter w0;
+  desc.AppendTo(&w0);
+  w0.PutRaw(content.data(), chunk0);
+  Bytes plain0 = w0.Take();
+  Bytes wire0 = options_.mode == SecurityMode::kNoEncMdD
+                    ? plain0
+                    : engine_->SymEncrypt(dek, plain0);
+  cache_.Put("d|" + std::to_string(buf->inode) + "|1", plain0, wire0.size());
+  puts.push_back(ssp::Request::PutData(buf->inode, 1, std::move(wire0)));
+  uint32_t idx = 2;
+  for (size_t pos = chunk0; pos < content.size(); pos += bs, ++idx) {
+    size_t n = std::min(bs, content.size() - pos);
+    Bytes chunk(content.begin() + pos, content.begin() + pos + n);
+    Bytes wire = options_.mode == SecurityMode::kNoEncMdD
+                     ? chunk
+                     : engine_->SymEncrypt(dek, chunk);
+    cache_.Put("d|" + std::to_string(buf->inode) + "|" + std::to_string(idx),
+               chunk, wire.size());
+    puts.push_back(ssp::Request::PutData(buf->inode, idx, std::move(wire)));
+  }
+  return ExecuteBatch(std::move(puts));
+}
+
+Status BaselineClient::Close(const std::string& path) {
+  ChargeClientOverhead();
+  auto it = write_buffers_.find(path);
+  if (it == write_buffers_.end()) return Status::OK();
+  Status s = Status::OK();
+  if (it->second.dirty) {
+    BaselineRecord rec;
+    auto r = ResolveInode(path, &rec);
+    if (!r.ok()) {
+      s = r.status();
+    } else {
+      s = FlushBuffer(&it->second, rec);
+    }
+  }
+  write_buffers_.erase(it);
+  return s;
+}
+
+Status BaselineClient::Chmod(const std::string& path, fs::Mode mode) {
+  ChargeClientOverhead();
+  BaselineRecord rec;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(path, &rec).status());
+  if (uid_ != rec.attrs.owner) {
+    return Status::PermissionDenied("only the owner may chmod");
+  }
+  rec.attrs.mode = mode;
+  std::vector<ssp::Request> batch;
+  SHAROES_RETURN_IF_ERROR(EncodeRecordPuts(rec, &batch));
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
+  InvalidateInode(rec.attrs.inode);
+  return Status::OK();
+}
+
+Status BaselineClient::RemoveObject(const std::string& path,
+                                    fs::FileType type) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(fs::SplitParent sp, fs::SplitParentName(path));
+  BaselineRecord parent;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(sp.parent, &parent).status());
+  if (!fs::Allows(parent.attrs, principal_, fs::Access::kWrite)) {
+    return Status::PermissionDenied("no write permission on directory");
+  }
+  SHAROES_ASSIGN_OR_RETURN(fs::DirTable table, FetchTable(parent));
+  auto child = table.Lookup(sp.name);
+  if (!child.has_value()) return Status::NotFound("'" + path + "' not found");
+  BaselineRecord child_rec;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(path, &child_rec).status());
+  if (child_rec.attrs.type != type) {
+    return Status::InvalidArgument("type mismatch for remove");
+  }
+  if (type == fs::FileType::kDirectory) {
+    SHAROES_ASSIGN_OR_RETURN(fs::DirTable child_table,
+                             FetchTable(child_rec));
+    if (!child_table.empty()) {
+      return Status::FailedPrecondition("directory not empty");
+    }
+  }
+  SHAROES_RETURN_IF_ERROR(table.Remove(sp.name));
+  std::vector<ssp::Request> batch;
+  Bytes table_wire = EncodeTable(parent, table);
+  size_t table_size = table_wire.size();
+  batch.push_back(ssp::Request::PutData(parent.attrs.inode, 0,
+                                        std::move(table_wire)));
+  batch.push_back(ssp::Request::DeleteInodeMetadata(*child));
+  batch.push_back(ssp::Request::DeleteInodeData(*child));
+  for (fs::UserId uid : identity_->AllUsers()) {
+    ssp::Request del;
+    del.op = ssp::OpCode::kDeleteUserMetadata;
+    del.inode = *child;
+    del.user = uid;
+    batch.push_back(del);
+  }
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
+  cache_.Put("t|" + std::to_string(parent.attrs.inode), table, table_size);
+  InvalidateInode(*child);
+  write_buffers_.erase(path);
+  return Status::OK();
+}
+
+Status BaselineClient::Rename(const std::string& from,
+                              const std::string& to) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(fs::SplitParent src, fs::SplitParentName(from));
+  SHAROES_ASSIGN_OR_RETURN(fs::SplitParent dst, fs::SplitParentName(to));
+  if (to.size() > from.size() && to.compare(0, from.size(), from) == 0 &&
+      to[from.size()] == '/') {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  if (from == to) return Status::OK();
+  BaselineRecord src_parent;
+  SHAROES_RETURN_IF_ERROR(ResolveInode(src.parent, &src_parent).status());
+  if (!fs::Allows(src_parent.attrs, principal_, fs::Access::kWrite)) {
+    return Status::PermissionDenied("no write permission on directory");
+  }
+  SHAROES_ASSIGN_OR_RETURN(fs::DirTable src_table, FetchTable(src_parent));
+  auto child = src_table.Lookup(src.name);
+  if (!child.has_value()) return Status::NotFound("'" + from + "' not found");
+
+  std::vector<ssp::Request> batch;
+  if (src.parent == dst.parent) {
+    if (src_table.Contains(dst.name)) {
+      return Status::AlreadyExists("'" + to + "' already exists");
+    }
+    SHAROES_RETURN_IF_ERROR(src_table.Remove(src.name));
+    SHAROES_RETURN_IF_ERROR(src_table.Add(dst.name, *child));
+    Bytes wire = EncodeTable(src_parent, src_table);
+    size_t size = wire.size();
+    batch.push_back(
+        ssp::Request::PutData(src_parent.attrs.inode, 0, std::move(wire)));
+    SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
+    cache_.Put("t|" + std::to_string(src_parent.attrs.inode), src_table,
+               size);
+  } else {
+    BaselineRecord dst_parent;
+    SHAROES_RETURN_IF_ERROR(ResolveInode(dst.parent, &dst_parent).status());
+    if (!fs::Allows(dst_parent.attrs, principal_, fs::Access::kWrite)) {
+      return Status::PermissionDenied("no write permission on directory");
+    }
+    if (dst_parent.attrs.inode == *child) {
+      return Status::InvalidArgument("cannot move a directory into itself");
+    }
+    SHAROES_ASSIGN_OR_RETURN(fs::DirTable dst_table, FetchTable(dst_parent));
+    if (dst_table.Contains(dst.name)) {
+      return Status::AlreadyExists("'" + to + "' already exists");
+    }
+    SHAROES_RETURN_IF_ERROR(src_table.Remove(src.name));
+    SHAROES_RETURN_IF_ERROR(dst_table.Add(dst.name, *child));
+    Bytes src_wire = EncodeTable(src_parent, src_table);
+    Bytes dst_wire = EncodeTable(dst_parent, dst_table);
+    size_t src_size = src_wire.size(), dst_size = dst_wire.size();
+    batch.push_back(ssp::Request::PutData(src_parent.attrs.inode, 0,
+                                          std::move(src_wire)));
+    batch.push_back(ssp::Request::PutData(dst_parent.attrs.inode, 0,
+                                          std::move(dst_wire)));
+    SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
+    cache_.Put("t|" + std::to_string(src_parent.attrs.inode), src_table,
+               src_size);
+    cache_.Put("t|" + std::to_string(dst_parent.attrs.inode), dst_table,
+               dst_size);
+  }
+  auto buf_it = write_buffers_.find(from);
+  if (buf_it != write_buffers_.end()) {
+    write_buffers_[to] = std::move(buf_it->second);
+    write_buffers_.erase(buf_it);
+  }
+  return Status::OK();
+}
+
+Status BaselineClient::Unlink(const std::string& path) {
+  return RemoveObject(path, fs::FileType::kFile);
+}
+
+Status BaselineClient::Rmdir(const std::string& path) {
+  return RemoveObject(path, fs::FileType::kDirectory);
+}
+
+}  // namespace sharoes::baselines

@@ -1,0 +1,69 @@
+#include "core/cache.h"
+
+#include <vector>
+
+namespace sharoes::core {
+
+void LruCache::PutErased(const std::string& key,
+                         std::shared_ptr<const void> value, size_t size) {
+  if (capacity_ == 0) return;
+  Erase(key);
+  lru_.push_front(Entry{key, std::move(value), size});
+  map_[key] = lru_.begin();
+  size_ += size;
+  EvictToFit();
+}
+
+std::shared_ptr<const void> LruCache::GetErased(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void LruCache::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  size_ -= it->second->size;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruCache::ErasePrefix(const std::string& prefix) {
+  std::vector<std::string> doomed;
+  for (const auto& [key, it] : map_) {
+    (void)it;
+    if (key.compare(0, prefix.size(), prefix) == 0) doomed.push_back(key);
+  }
+  for (const std::string& key : doomed) Erase(key);
+}
+
+void LruCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  size_ = 0;
+}
+
+void LruCache::set_capacity(size_t capacity_bytes) {
+  capacity_ = capacity_bytes;
+  if (capacity_ == 0) {
+    Clear();
+  } else {
+    EvictToFit();
+  }
+}
+
+void LruCache::EvictToFit() {
+  while (size_ > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    size_ -= victim.size;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace sharoes::core

@@ -1,0 +1,80 @@
+// The client-side cache: a bytes-bounded LRU over decrypted objects
+// (metadata views, table copies, data blocks, split refs).
+//
+// Cache size directly controls how often the client pays network +
+// decryption costs, which is exactly the variable the paper's Postmark
+// experiment sweeps (Figure 10).
+
+#ifndef SHAROES_CORE_CACHE_H_
+#define SHAROES_CORE_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace sharoes::core {
+
+/// Byte-capacity LRU cache from string keys to type-erased immutable
+/// values. Callers use a key discipline ("m|<inode>|<sel>", "t|...",
+/// "d|...") and must read values back with the type they stored.
+class LruCache {
+ public:
+  /// capacity_bytes == 0 disables caching entirely.
+  explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Inserts (replacing any existing entry) and evicts LRU overflow.
+  /// `size` is the entry's accounted size in bytes.
+  template <typename T>
+  void Put(const std::string& key, T value, size_t size) {
+    PutErased(key, std::make_shared<T>(std::move(value)), size);
+  }
+
+  /// Inserts an already-shared value (avoids a copy).
+  template <typename T>
+  void PutPtr(const std::string& key, std::shared_ptr<const T> value,
+              size_t size) {
+    PutErased(key, std::move(value), size);
+  }
+
+  /// Returns the cached value or nullptr. Refreshes recency.
+  template <typename T>
+  std::shared_ptr<const T> Get(const std::string& key) {
+    std::shared_ptr<const void> p = GetErased(key);
+    return std::static_pointer_cast<const T>(p);
+  }
+
+  void Erase(const std::string& key);
+  /// Drops every key with the given prefix (e.g. all copies of an inode).
+  void ErasePrefix(const std::string& prefix);
+  void Clear();
+
+  size_t size_bytes() const { return size_; }
+  size_t entry_count() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void set_capacity(size_t capacity_bytes);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const void> value;
+    size_t size;
+  };
+
+  void PutErased(const std::string& key, std::shared_ptr<const void> value,
+                 size_t size);
+  std::shared_ptr<const void> GetErased(const std::string& key);
+  void EvictToFit();
+
+  size_t capacity_;
+  size_t size_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<Entry> lru_;  // Front = most recent.
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+};
+
+}  // namespace sharoes::core
+
+#endif  // SHAROES_CORE_CACHE_H_

@@ -1,0 +1,133 @@
+#include "core/cap_class.h"
+
+#include <set>
+
+namespace sharoes::core {
+
+namespace {
+
+fs::PermTriple EffectiveFor(fs::FileType type, fs::PermTriple raw) {
+  return type == fs::FileType::kDirectory ? EffectiveDirPerms(raw)
+                                          : EffectiveFilePerms(raw);
+}
+
+}  // namespace
+
+Selector SelectorFor(const OwnershipInfo& info, const fs::Principal& who,
+                     Scheme scheme) {
+  if (scheme == Scheme::kScheme1) return UserSelector(who.uid);
+  fs::InodeAttrs skel = info.ToAttrsSkeleton();
+  fs::ResolvedPerms r = fs::Resolve(skel, who);
+  switch (r.cls) {
+    case fs::PermClass::kOwner:
+      return kOwnerSelector;
+    case fs::PermClass::kGroup:
+      return kGroupSelector;
+    case fs::PermClass::kOther:
+      return kOtherSelector;
+    case fs::PermClass::kAclUser:
+    case fs::PermClass::kAclGroup:
+      return AclSelector(EffectiveFor(info.type, r.perms));
+  }
+  return kOtherSelector;
+}
+
+ReplicaSpec SpecFor(const OwnershipInfo& info, const fs::Principal& who,
+                    Scheme scheme) {
+  fs::InodeAttrs skel = info.ToAttrsSkeleton();
+  fs::ResolvedPerms r = fs::Resolve(skel, who);
+  ReplicaSpec spec;
+  spec.selector = SelectorFor(info, who, scheme);
+  spec.effective = EffectiveFor(info.type, r.perms);
+  spec.owner = (who.uid == info.owner);
+  return spec;
+}
+
+std::vector<ReplicaSpec> ReplicasFor(const OwnershipInfo& info, Scheme scheme,
+                                     const IdentityDirectory& dir) {
+  std::vector<ReplicaSpec> out;
+  if (scheme == Scheme::kScheme1) {
+    for (fs::UserId uid : dir.AllUsers()) {
+      out.push_back(SpecFor(info, dir.PrincipalOf(uid), scheme));
+    }
+    return out;
+  }
+  // Scheme-2: the three *nix classes. The owner replica always exists
+  // (it is the management CAP); class replicas nobody currently resolves
+  // to are skipped — re-rendering when the user registry changes is the
+  // provisioner's responsibility.
+  out.push_back(ReplicaSpec{kOwnerSelector,
+                            EffectiveFor(info.type, info.mode.ClassBits(0)),
+                            /*owner=*/true});
+  if (!UniverseOf(info, kGroupSelector, scheme, dir).empty()) {
+    out.push_back(ReplicaSpec{kGroupSelector,
+                              EffectiveFor(info.type, info.mode.ClassBits(1)),
+                              /*owner=*/false});
+  }
+  if (!UniverseOf(info, kOtherSelector, scheme, dir).empty()) {
+    out.push_back(ReplicaSpec{kOtherSelector,
+                              EffectiveFor(info.type, info.mode.ClassBits(2)),
+                              /*owner=*/false});
+  }
+  // ...plus one replica per distinct resolved ACL triple actually held by
+  // some registered user.
+  std::set<Selector> acl_sels;
+  if (!info.acl.empty()) {
+    fs::InodeAttrs skel = info.ToAttrsSkeleton();
+    for (fs::UserId uid : dir.AllUsers()) {
+      fs::Principal p = dir.PrincipalOf(uid);
+      fs::ResolvedPerms r = fs::Resolve(skel, p);
+      if (r.cls == fs::PermClass::kAclUser ||
+          r.cls == fs::PermClass::kAclGroup) {
+        fs::PermTriple eff = EffectiveFor(info.type, r.perms);
+        Selector s = AclSelector(eff);
+        if (acl_sels.insert(s).second) {
+          out.push_back(ReplicaSpec{s, eff, /*owner=*/false});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<fs::UserId> UniverseOf(const OwnershipInfo& info,
+                                   Selector selector, Scheme scheme,
+                                   const IdentityDirectory& dir) {
+  std::vector<fs::UserId> out;
+  for (fs::UserId uid : dir.AllUsers()) {
+    fs::Principal p = dir.PrincipalOf(uid);
+    if (SelectorFor(info, p, scheme) == selector) out.push_back(uid);
+  }
+  return out;
+}
+
+RowPlan PlanRow(const OwnershipInfo& child,
+                const std::vector<fs::UserId>& universe, Scheme scheme,
+                const IdentityDirectory& dir) {
+  RowPlan plan;
+  if (universe.empty()) {
+    // Nobody reads this copy; render a uniform row for the child's
+    // "other" class (harmless, consistent sizes).
+    plan.uniform = true;
+    plan.selector = scheme == Scheme::kScheme1 ? kOtherSelector
+                                               : kOtherSelector;
+    return plan;
+  }
+  std::map<fs::UserId, Selector> per_user;
+  std::set<Selector> distinct;
+  for (fs::UserId uid : universe) {
+    Selector s = SelectorFor(child, dir.PrincipalOf(uid), scheme);
+    per_user[uid] = s;
+    distinct.insert(s);
+  }
+  if (distinct.size() == 1) {
+    plan.uniform = true;
+    plan.selector = *distinct.begin();
+  } else {
+    plan.uniform = false;
+    plan.per_user = std::move(per_user);
+  }
+  return plan;
+}
+
+}  // namespace sharoes::core

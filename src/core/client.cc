@@ -1,0 +1,1050 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+#include "fs/path.h"
+
+namespace sharoes::core {
+
+namespace {
+
+/// Builds the partial bundle a directory writer holds (table keys + data
+/// signing pair); owners use MetadataView::ToBundle for the full bundle.
+Result<ObjectKeyBundle> BundleForWriter(const MetadataView& view) {
+  if (!view.dsk.has_value() || !view.dvk.has_value() ||
+      view.table_keys.empty()) {
+    return Status::PermissionDenied("no writer CAP on directory");
+  }
+  ObjectKeyBundle b;
+  b.data = crypto::SigningKeyPair{*view.dsk, *view.dvk};
+  b.table_keys = view.table_keys;
+  if (view.msk.has_value() && view.mvk.has_value()) {
+    b.meta = crypto::SigningKeyPair{*view.msk, *view.mvk};
+    b.meks = view.meks;
+  }
+  if (view.dek.has_value()) b.dek = *view.dek;
+  return b;
+}
+
+}  // namespace
+
+SharoesClient::SharoesClient(fs::UserId uid,
+                             crypto::RsaPrivateKey user_private_key,
+                             const IdentityDirectory* identity,
+                             ssp::SspChannel* conn,
+                             crypto::CryptoEngine* engine,
+                             const ClientOptions& options)
+    : uid_(uid),
+      principal_(identity->PrincipalOf(uid)),
+      user_priv_(std::move(user_private_key)),
+      identity_(identity),
+      conn_(conn),
+      engine_(engine),
+      codec_(engine, identity, options.scheme),
+      options_(options),
+      cache_(options.cache_bytes),
+      inode_counter_(engine->rng().NextU64() & 0xFFFFFFFFULL) {}
+
+void SharoesClient::ChargeClientOverhead() {
+  if (engine_->clock() != nullptr) {
+    engine_->clock()->AdvanceMs(options_.client_overhead_ms,
+                                CostCategory::kOther);
+  }
+}
+
+std::string SharoesClient::ViewCacheKey(fs::InodeNum inode,
+                                        Selector sel) const {
+  return "m|" + std::to_string(inode) + "|" + std::to_string(sel);
+}
+
+void SharoesClient::InvalidateInode(fs::InodeNum inode) {
+  std::string id = std::to_string(inode);
+  cache_.ErasePrefix("m|" + id + "|");
+  cache_.ErasePrefix("t|" + id + "|");
+  cache_.ErasePrefix("d|" + id + "|");
+  cache_.ErasePrefix("u|" + id + "|");
+  cache_.ErasePrefix("g|" + id + "|");
+}
+
+void SharoesClient::DropCaches() {
+  cache_.Clear();
+  group_secrets_.clear();
+}
+
+Status SharoesClient::EvictPath(const std::string& path) {
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  InvalidateInode(node.ref.inode);
+  return Status::OK();
+}
+
+fs::InodeNum SharoesClient::AllocateInode() {
+  // Partitioned allocation: the high bits carry the creator's uid, so
+  // clients never contend on a shared counter (the SSP performs no
+  // computation and cannot allocate).
+  return (static_cast<uint64_t>(uid_) + 2) << 40 |
+         (inode_counter_++ & 0xFFFFFFFFFFull);
+}
+
+Status SharoesClient::Mount() {
+  principal_ = identity_->PrincipalOf(uid_);
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
+                           conn_->Call(ssp::Request::GetSuperblock(uid_)));
+  if (!resp.ok()) {
+    return Status::NotFound("no superblock for user " + std::to_string(uid_));
+  }
+  SHAROES_ASSIGN_OR_RETURN(superblock_,
+                           codec_.DecodeSuperblock(user_priv_, resp.payload));
+  mounted_ = true;
+  return Status::OK();
+}
+
+Result<MetadataView> SharoesClient::FetchView(const PlainRef& ref) {
+  std::string key = ViewCacheKey(ref.inode, ref.selector);
+  if (auto cached = cache_.Get<MetadataView>(key)) return *cached;
+  SHAROES_ASSIGN_OR_RETURN(
+      ssp::Response resp,
+      conn_->Call(ssp::Request::GetMetadata(ref.inode, ref.selector)));
+  if (!resp.ok()) {
+    return Status::NotFound("metadata " + std::to_string(ref.inode) +
+                            " replica " + std::to_string(ref.selector) +
+                            " not at SSP");
+  }
+  SHAROES_ASSIGN_OR_RETURN(
+      MetadataView view,
+      codec_.DecodeMetadataReplica(ref.inode, ref.selector, resp.payload,
+                                   ref.mek, ref.mvk));
+  cache_.Put(key, view, resp.payload.size());
+  return view;
+}
+
+Result<SharoesClient::Node> SharoesClient::FetchNode(const PlainRef& ref) {
+  SHAROES_ASSIGN_OR_RETURN(MetadataView view, FetchView(ref));
+  return Node{ref, std::move(view)};
+}
+
+Result<std::shared_ptr<const DecodedTable>> SharoesClient::FetchTable(
+    const Node& dir) {
+  if (!dir.view.attrs.is_dir()) {
+    return Status::InvalidArgument("not a directory");
+  }
+  if (!dir.view.dek.has_value() || !dir.view.dvk.has_value()) {
+    return Status::PermissionDenied("no table access on directory");
+  }
+  std::string key = "t|" + std::to_string(dir.ref.inode) + "|" +
+                    std::to_string(dir.ref.selector);
+  if (auto cached = cache_.Get<DecodedTable>(key)) return cached;
+  SHAROES_ASSIGN_OR_RETURN(
+      ssp::Response resp,
+      conn_->Call(ssp::Request::GetMetadata(
+          dir.ref.inode, TableSelector(dir.ref.selector))));
+  if (!resp.ok()) return Status::NotFound("table copy not at SSP");
+  SHAROES_ASSIGN_OR_RETURN(
+      DecodedTable table,
+      codec_.DecodeTableCopy(dir.ref.inode, dir.ref.selector, resp.payload,
+                             *dir.view.dek, *dir.view.dvk));
+  auto sp = std::make_shared<const DecodedTable>(std::move(table));
+  cache_.PutPtr(key, sp, resp.payload.size());
+  return sp;
+}
+
+Result<GroupSecret> SharoesClient::FetchGroupSecret(fs::GroupId gid) {
+  auto it = group_secrets_.find(gid);
+  if (it != group_secrets_.end()) return it->second;
+  SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
+                           conn_->Call(ssp::Request::GetGroupKey(gid, uid_)));
+  if (!resp.ok()) {
+    return Status::PermissionDenied("no group key block for group " +
+                                    std::to_string(gid) + " user " +
+                                    std::to_string(uid_));
+  }
+  SHAROES_ASSIGN_OR_RETURN(
+      GroupSecret secret, codec_.DecodeGroupKeyBlock(user_priv_,
+                                                     resp.payload));
+  group_secrets_[gid] = secret;
+  return secret;
+}
+
+Result<PlainRef> SharoesClient::ResolveRowRef(const RowRef& row) {
+  if (row.kind == RowRef::Kind::kPlain) return row.plain;
+  // Split point. A per-user block takes precedence (it exists exactly for
+  // readers whose class diverges from the shared group block — e.g. the
+  // child's owner, who may also be a group member); group members without
+  // one fall back to the shared group block.
+  std::string ukey =
+      "u|" + std::to_string(row.inode) + "|" + std::to_string(uid_);
+  if (auto cached = cache_.Get<PlainRef>(ukey)) return *cached;
+  std::string gkey =
+      "g|" + std::to_string(row.inode) + "|" + std::to_string(row.gid);
+  if (row.has_group_block && principal_.MemberOf(row.gid)) {
+    if (auto cached = cache_.Get<PlainRef>(gkey)) return *cached;
+  }
+  SHAROES_ASSIGN_OR_RETURN(
+      ssp::Response resp,
+      conn_->Call(ssp::Request::GetUserMetadata(row.inode, uid_)));
+  if (resp.ok()) {
+    SHAROES_ASSIGN_OR_RETURN(
+        PlainRef ref, codec_.DecodeUserRefBlock(user_priv_, resp.payload));
+    cache_.Put(ukey, ref, resp.payload.size());
+    return ref;
+  }
+  if (row.has_group_block && principal_.MemberOf(row.gid)) {
+    SHAROES_ASSIGN_OR_RETURN(
+        ssp::Response gresp,
+        conn_->Call(ssp::Request::GetUserMetadata(row.inode,
+                                                  GroupBlockKey(row.gid))));
+    if (!gresp.ok()) return Status::NotFound("group split block missing");
+    SHAROES_ASSIGN_OR_RETURN(GroupSecret secret, FetchGroupSecret(row.gid));
+    SHAROES_ASSIGN_OR_RETURN(
+        PlainRef ref,
+        codec_.DecodeGroupRefBlock(secret.private_key, gresp.payload));
+    cache_.Put(gkey, ref, gresp.payload.size());
+    return ref;
+  }
+  return Status::PermissionDenied("no split block for this user");
+}
+
+Result<SharoesClient::Node> SharoesClient::ResolvePath(
+    const std::string& path) {
+  if (!mounted_) return Status::FailedPrecondition("not mounted");
+  SHAROES_ASSIGN_OR_RETURN(std::vector<std::string> comps,
+                           fs::SplitPath(path));
+  SHAROES_ASSIGN_OR_RETURN(Node node, FetchNode(superblock_.root_ref));
+  for (const std::string& comp : comps) {
+    if (!node.view.attrs.is_dir()) {
+      return Status::InvalidArgument("'" + comp +
+                                     "' parent is not a directory");
+    }
+    // Traversal needs exec on the directory (*nix semantics; also
+    // cryptographically required to obtain the child's keys).
+    if (!fs::Allows(node.view.attrs, principal_, fs::Access::kExec)) {
+      return Status::PermissionDenied("no exec permission on directory");
+    }
+    SHAROES_ASSIGN_OR_RETURN(auto table, FetchTable(node));
+    RowRef row;
+    switch (table->view) {
+      case TableView::kFull: {
+        auto it = table->refs.find(comp);
+        if (it == table->refs.end()) {
+          return Status::NotFound("no entry named '" + comp + "'");
+        }
+        row = it->second;
+        break;
+      }
+      case TableView::kExecOnly: {
+        SHAROES_ASSIGN_OR_RETURN(
+            row, codec_.ExecOnlyLookup(*table, *node.view.dek, comp));
+        break;
+      }
+      case TableView::kNamesOnly:
+      case TableView::kNone:
+        return Status::PermissionDenied(
+            "directory CAP does not permit traversal");
+    }
+    SHAROES_ASSIGN_OR_RETURN(PlainRef ref, ResolveRowRef(row));
+    SHAROES_ASSIGN_OR_RETURN(node, FetchNode(ref));
+  }
+  return node;
+}
+
+Result<fs::InodeAttrs> SharoesClient::Getattr(const std::string& path) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  fs::InodeAttrs attrs = node.view.attrs;
+  // File sizes live in the signed data descriptor, not in metadata (plain
+  // writers hold no MSK — see DESIGN.md §5). Report the freshest size
+  // this client can know without extra round trips: a dirty write buffer
+  // or the locally cached descriptor.
+  if (!attrs.is_dir()) {
+    auto buf_it = write_buffers_.find(path);
+    if (buf_it != write_buffers_.end()) {
+      attrs.size = buf_it->second.content.size();
+    } else if (auto cached0 = cache_.Get<Bytes>(
+                   "d|" + std::to_string(node.ref.inode) + "|0")) {
+      BinaryReader r(*cached0);
+      auto desc = DataDescriptor::ReadFrom(&r);
+      if (desc.ok()) attrs.size = desc->size;
+    }
+  }
+  return attrs;
+}
+
+Result<std::vector<std::string>> SharoesClient::Readdir(
+    const std::string& path) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  if (!node.view.attrs.is_dir()) {
+    return Status::InvalidArgument("not a directory");
+  }
+  if (!fs::Allows(node.view.attrs, principal_, fs::Access::kRead)) {
+    return Status::PermissionDenied("no read permission on directory");
+  }
+  SHAROES_ASSIGN_OR_RETURN(auto table, FetchTable(node));
+  if (table->view == TableView::kExecOnly ||
+      table->view == TableView::kNone) {
+    return Status::PermissionDenied("directory CAP does not permit listing");
+  }
+  return table->names;
+}
+
+ObjectKeyBundle SharoesClient::GenerateBundle(
+    const OwnershipInfo& info, const std::vector<ReplicaSpec>& specs) {
+  ObjectKeyBundle b;
+  b.data = engine_->NewSigningKeyPair();
+  b.meta = engine_->NewSigningKeyPair();
+  for (const ReplicaSpec& spec : specs) {
+    b.meks[spec.selector] = engine_->NewSymmetricKey();
+  }
+  if (info.type == fs::FileType::kFile) {
+    b.dek = engine_->NewSymmetricKey();
+  } else {
+    for (const ReplicaSpec& spec : specs) {
+      b.table_keys[spec.selector] = engine_->NewSymmetricKey();
+    }
+    b.table_keys[kMasterSelector] = engine_->NewSymmetricKey();
+  }
+  return b;
+}
+
+Status SharoesClient::ExecuteBatch(std::vector<ssp::Request> requests) {
+  if (requests.empty()) return Status::OK();
+  SHAROES_ASSIGN_OR_RETURN(
+      ssp::Response resp,
+      conn_->Call(ssp::Request::Batch(std::move(requests))));
+  if (!resp.ok()) return Status::IoError("SSP rejected batch");
+  for (const ssp::Response& sub : resp.batch) {
+    if (sub.status == ssp::RespStatus::kBadRequest) {
+      return Status::IoError("SSP rejected batched request");
+    }
+  }
+  return Status::OK();
+}
+
+Result<MasterTable> SharoesClient::FetchMaster(const Node& dir,
+                                               const ObjectKeyBundle& bundle) {
+  auto it = bundle.table_keys.find(kMasterSelector);
+  if (it == bundle.table_keys.end()) {
+    return Status::PermissionDenied("no master table key");
+  }
+  std::string key = "M|" + std::to_string(dir.ref.inode);
+  if (auto cached = cache_.Get<MasterTable>(key)) return *cached;
+  SHAROES_ASSIGN_OR_RETURN(
+      ssp::Response resp,
+      conn_->Call(ssp::Request::GetMetadata(dir.ref.inode,
+                                            TableSelector(kMasterSelector))));
+  if (!resp.ok()) return Status::NotFound("master table not at SSP");
+  SHAROES_ASSIGN_OR_RETURN(
+      MasterTable master,
+      codec_.DecodeMasterTable(dir.ref.inode, resp.payload, it->second,
+                               bundle.data.verify));
+  cache_.Put(key, master, resp.payload.size());
+  return master;
+}
+
+Result<SharoesClient::WriterDirContext> SharoesClient::LoadDirForWrite(
+    const std::string& dir_path) {
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(dir_path));
+  if (!node.view.attrs.is_dir()) {
+    return Status::InvalidArgument("'" + dir_path + "' is not a directory");
+  }
+  if (!fs::Allows(node.view.attrs, principal_, fs::Access::kWrite) ||
+      !fs::Allows(node.view.attrs, principal_, fs::Access::kExec)) {
+    return Status::PermissionDenied("no write permission on directory");
+  }
+  SHAROES_ASSIGN_OR_RETURN(ObjectKeyBundle bundle, BundleForWriter(node.view));
+  SHAROES_ASSIGN_OR_RETURN(MasterTable master, FetchMaster(node, bundle));
+  WriterDirContext ctx;
+  ctx.ownership = OwnershipInfo::FromAttrs(node.view.attrs);
+  ctx.node = std::move(node);
+  ctx.master = std::move(master);
+  ctx.bundle = std::move(bundle);
+  return ctx;
+}
+
+Status SharoesClient::RenderDirTables(const WriterDirContext& ctx,
+                                      std::vector<ssp::Request>* out) {
+  std::vector<ReplicaSpec> specs =
+      ReplicasFor(ctx.ownership, options_.scheme, *identity_);
+  std::vector<PendingSplitBlock> blocks;
+  size_t my_copy_size = 0;
+  std::vector<fs::UserId> my_universe;
+  bool my_copy_full = false;
+  for (const ReplicaSpec& spec : specs) {
+    std::vector<fs::UserId> universe =
+        UniverseOf(ctx.ownership, spec.selector, options_.scheme, *identity_);
+    TableView view = spec.Fields(fs::FileType::kDirectory).table_view;
+    SHAROES_ASSIGN_OR_RETURN(
+        Bytes wire,
+        codec_.EncodeTableCopy(ctx.node.ref.inode, spec.selector, view,
+                               ctx.master, universe, ctx.bundle, &blocks));
+    if (spec.selector == ctx.node.ref.selector) {
+      my_copy_size = wire.size();
+      my_universe = universe;
+      my_copy_full = view == TableView::kFull;
+    }
+    out->push_back(ssp::Request::PutMetadata(
+        ctx.node.ref.inode, TableSelector(spec.selector), std::move(wire)));
+  }
+  out->push_back(ssp::Request::PutMetadata(
+      ctx.node.ref.inode, TableSelector(kMasterSelector),
+      codec_.EncodeMasterTable(ctx.node.ref.inode, ctx.master, ctx.bundle)));
+  for (PendingSplitBlock& b : blocks) {
+    out->push_back(
+        ssp::Request::PutUserMetadata(b.child_inode, b.id, std::move(b.wire)));
+  }
+  // Refresh our cached view of this directory: stale copies out, the
+  // updated master and our own freshly rendered copy in (the paper's
+  // client keeps the table it just modified in memory).
+  std::string id = std::to_string(ctx.node.ref.inode);
+  cache_.ErasePrefix("t|" + id + "|");
+  cache_.Put("M|" + id, ctx.master, ctx.master.Serialize().size());
+  if (my_copy_full) {
+    auto decoded = codec_.RenderFullTableView(ctx.master, my_universe);
+    if (decoded.ok()) {
+      cache_.Put("t|" + id + "|" + std::to_string(ctx.node.ref.selector),
+                 std::move(*decoded), my_copy_size);
+    }
+  }
+  return Status::OK();
+}
+
+Status SharoesClient::CreateObject(const std::string& path, fs::FileType type,
+                                   const CreateOptions& opts) {
+  ChargeClientOverhead();
+  if (!ModeSupported(type, opts.mode)) {
+    return Status::Unsupported("mode " + opts.mode.ToString() +
+                               " is not representable for a " +
+                               fs::FileTypeName(type) +
+                               " in the outsourced model");
+  }
+  SHAROES_ASSIGN_OR_RETURN(fs::SplitParent sp, fs::SplitParentName(path));
+  SHAROES_ASSIGN_OR_RETURN(WriterDirContext ctx, LoadDirForWrite(sp.parent));
+  if (ctx.master.Find(sp.name) != nullptr) {
+    return Status::AlreadyExists("'" + path + "' already exists");
+  }
+
+  // Build the child object.
+  fs::InodeAttrs attrs;
+  attrs.inode = AllocateInode();
+  attrs.type = type;
+  attrs.owner = uid_;
+  attrs.group = options_.default_group;
+  attrs.mode = opts.mode;
+  attrs.acl = opts.acl;
+  attrs.mtime = engine_->clock() != nullptr ? engine_->clock()->now_ns() : 0;
+  OwnershipInfo info = OwnershipInfo::FromAttrs(attrs);
+  std::vector<ReplicaSpec> specs =
+      ReplicasFor(info, options_.scheme, *identity_);
+  ObjectKeyBundle bundle = GenerateBundle(info, specs);
+
+  // Batch 1: the child's metadata replicas (and, for directories, its
+  // empty table copies) — the paper's "metadata send".
+  std::vector<ssp::Request> batch1;
+  for (const ReplicaSpec& spec : specs) {
+    batch1.push_back(ssp::Request::PutMetadata(
+        attrs.inode, spec.selector,
+        codec_.EncodeMetadataReplica(spec, attrs, bundle)));
+  }
+  if (type == fs::FileType::kDirectory) {
+    MasterTable empty;
+    std::vector<PendingSplitBlock> blocks;
+    for (const ReplicaSpec& spec : specs) {
+      std::vector<fs::UserId> universe =
+          UniverseOf(info, spec.selector, options_.scheme, *identity_);
+      SHAROES_ASSIGN_OR_RETURN(
+          Bytes wire, codec_.EncodeTableCopy(
+                          attrs.inode, spec.selector,
+                          spec.Fields(type).table_view, empty, universe,
+                          bundle, &blocks));
+      batch1.push_back(ssp::Request::PutMetadata(
+          attrs.inode, TableSelector(spec.selector), std::move(wire)));
+    }
+    batch1.push_back(ssp::Request::PutMetadata(
+        attrs.inode, TableSelector(kMasterSelector),
+        codec_.EncodeMasterTable(attrs.inode, empty, bundle)));
+  }
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch1)));
+
+  // Batch 2: the parent's updated tables — the paper's "parent-dir send".
+  MasterEntry entry;
+  entry.name = sp.name;
+  entry.inode = attrs.inode;
+  entry.child = info;
+  entry.mvk = bundle.meta.verify.Serialize();
+  for (const auto& [sel, mek] : bundle.meks) {
+    entry.meks[sel] = mek.Serialize();
+  }
+  SHAROES_RETURN_IF_ERROR(ctx.master.Add(std::move(entry)));
+  std::vector<ssp::Request> batch2;
+  SHAROES_RETURN_IF_ERROR(RenderDirTables(ctx, &batch2));
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch2)));
+  // The creator keeps its own view of the new object in memory, and
+  // knows the file has never been written (write generation 0).
+  freshness_[attrs.inode] = 0;
+  ReplicaSpec my_spec = SpecFor(info, principal_, options_.scheme);
+  MetadataView my_view = ObjectCodec::BuildView(my_spec, attrs, bundle);
+  cache_.Put(ViewCacheKey(attrs.inode, my_spec.selector), my_view,
+             my_view.Serialize().size());
+  return Status::OK();
+}
+
+Status SharoesClient::Mkdir(const std::string& path,
+                            const CreateOptions& opts) {
+  return CreateObject(path, fs::FileType::kDirectory, opts);
+}
+
+Status SharoesClient::Create(const std::string& path,
+                             const CreateOptions& opts) {
+  return CreateObject(path, fs::FileType::kFile, opts);
+}
+
+Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
+  if (!node.view.CanReadData()) {
+    return Status::PermissionDenied("CAP does not expose DEK/DVK");
+  }
+  fs::InodeNum inode = node.ref.inode;
+
+  // Fetch one block's wire bytes (not cached; plaintext is cached below).
+  auto fetch_wire = [&](uint32_t idx) -> Result<Bytes> {
+    SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
+                             conn_->Call(ssp::Request::GetData(inode, idx)));
+    if (!resp.ok()) return Status::NotFound("data block missing");
+    return resp.payload;
+  };
+  // Select the data key for a block's recorded generation.
+  auto key_for = [&](uint32_t key_gen) -> Result<crypto::SymmetricKey> {
+    if (key_gen == node.view.dek_gen) return *node.view.dek;
+    if (key_gen == node.view.dek_gen + 1 && node.view.dek_next.has_value()) {
+      return *node.view.dek_next;  // Lazy-revocation rotation happened.
+    }
+    return Status::PermissionDenied(
+        "data re-encrypted under a rotated key (access revoked)");
+  };
+
+  Bytes content;
+  DataDescriptor desc;
+  std::string key0 = "d|" + std::to_string(inode) + "|0";
+  if (auto cached = cache_.Get<Bytes>(key0)) {
+    BinaryReader r(*cached);
+    SHAROES_ASSIGN_OR_RETURN(desc, DataDescriptor::ReadFrom(&r));
+    content = r.GetRaw(r.remaining());
+  } else {
+    auto wire0 = fetch_wire(0);
+    if (!wire0.ok()) return Bytes{};  // Never written: empty file.
+    SHAROES_ASSIGN_OR_RETURN(ObjectCodec::DataBlockHeader h0,
+                             ObjectCodec::PeekDataHeader(*wire0));
+    SHAROES_ASSIGN_OR_RETURN(crypto::SymmetricKey dek, key_for(h0.key_gen));
+    SHAROES_ASSIGN_OR_RETURN(
+        Bytes plain0,
+        codec_.DecodeDataBlock(inode, 0, *wire0, dek, *node.view.dvk));
+    cache_.Put(key0, plain0, wire0->size());
+    BinaryReader r(plain0);
+    SHAROES_ASSIGN_OR_RETURN(desc, DataDescriptor::ReadFrom(&r));
+    content = r.GetRaw(r.remaining());
+  }
+  // Freshness (SUNDR-style rollback detection, paper §VIII): the write
+  // generation this client has observed for an inode must never move
+  // backwards. An SSP serving a stale-but-validly-signed version is
+  // caught here.
+  if (options_.track_freshness) {
+    auto it = freshness_.find(inode);
+    if (it != freshness_.end() && desc.write_gen < it->second) {
+      return Status::IntegrityError(
+          "rollback detected: write generation regressed");
+    }
+    freshness_[inode] = desc.write_gen;
+  }
+
+  if (desc.block_count > 1) {
+    // Fetch every missing block in one round trip.
+    std::vector<ssp::Request> gets;
+    std::vector<uint32_t> missing;
+    std::map<uint32_t, Bytes> chunks;
+    for (uint32_t i = 1; i < desc.block_count; ++i) {
+      std::string key = "d|" + std::to_string(inode) + "|" + std::to_string(i);
+      if (auto cached = cache_.Get<Bytes>(key)) {
+        chunks[i] = *cached;
+        continue;
+      }
+      missing.push_back(i);
+      gets.push_back(ssp::Request::GetData(inode, i));
+    }
+    if (!gets.empty()) {
+      SHAROES_ASSIGN_OR_RETURN(
+          ssp::Response resp,
+          conn_->Call(ssp::Request::Batch(std::move(gets))));
+      if (resp.batch.size() != missing.size()) {
+        return Status::IoError("short batch response");
+      }
+      for (size_t i = 0; i < missing.size(); ++i) {
+        if (!resp.batch[i].ok()) {
+          return Status::IoError("data block missing at SSP");
+        }
+        const Bytes& wire = resp.batch[i].payload;
+        SHAROES_ASSIGN_OR_RETURN(ObjectCodec::DataBlockHeader h,
+                                 ObjectCodec::PeekDataHeader(wire));
+        if (h.write_gen != desc.GenOfBlock(missing[i])) {
+          return Status::IntegrityError(
+              "data block generation does not match the descriptor");
+        }
+        SHAROES_ASSIGN_OR_RETURN(crypto::SymmetricKey dek,
+                                 key_for(h.key_gen));
+        SHAROES_ASSIGN_OR_RETURN(
+            Bytes plain, codec_.DecodeDataBlock(inode, missing[i], wire, dek,
+                                                *node.view.dvk));
+        cache_.Put("d|" + std::to_string(inode) + "|" +
+                       std::to_string(missing[i]),
+                   plain, wire.size());
+        chunks[missing[i]] = std::move(plain);
+      }
+    }
+    for (uint32_t i = 1; i < desc.block_count; ++i) {
+      ::sharoes::Append(content, chunks[i]);
+    }
+  }
+  if (content.size() != desc.size) {
+    return Status::IntegrityError("file size mismatch after reassembly");
+  }
+  return content;
+}
+
+Result<Bytes> SharoesClient::Read(const std::string& path) {
+  ChargeClientOverhead();
+  auto buf_it = write_buffers_.find(path);
+  if (buf_it != write_buffers_.end()) return buf_it->second.content;
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  if (node.view.attrs.is_dir()) {
+    return Status::InvalidArgument("cannot Read a directory");
+  }
+  if (!fs::Allows(node.view.attrs, principal_, fs::Access::kRead)) {
+    return Status::PermissionDenied("no read permission");
+  }
+  return FetchFileContent(node);
+}
+
+Status SharoesClient::Write(const std::string& path, const Bytes& content) {
+  auto it = write_buffers_.find(path);
+  if (it != write_buffers_.end()) {
+    it->second.content = content;
+    it->second.dirty = true;
+    return Status::OK();
+  }
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  if (node.view.attrs.is_dir()) {
+    return Status::InvalidArgument("cannot Write a directory");
+  }
+  if (!fs::Allows(node.view.attrs, principal_, fs::Access::kWrite)) {
+    return Status::PermissionDenied("no write permission");
+  }
+  if (!node.view.CanWriteData()) {
+    return Status::PermissionDenied("CAP does not expose DEK/DSK");
+  }
+  write_buffers_[path] = WriteBuffer{node.ref.inode, content, true};
+  return Status::OK();
+}
+
+Status SharoesClient::FlushBuffer(const std::string& path, WriteBuffer* buf) {
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  if (!node.view.CanWriteData()) {
+    return Status::PermissionDenied("CAP does not expose DEK/DSK");
+  }
+  // Lazy revocation: a pending key means this writer performs the
+  // rotation — new data goes out under dek_next (and every block must be
+  // re-encrypted, so block-level diffing is disabled for that flush).
+  crypto::SymmetricKey dek = *node.view.dek;
+  uint32_t key_gen = node.view.dek_gen;
+  bool key_rotated = false;
+  if (node.view.dek_next.has_value()) {
+    dek = *node.view.dek_next;
+    key_gen = node.view.dek_gen + 1;
+    key_rotated = true;
+  }
+  const Bytes& content = buf->content;
+  size_t block_size = options_.block_size;
+  fs::InodeNum inode = buf->inode;
+  DataDescriptor desc;
+  desc.size = content.size();
+  size_t chunk0 = std::min(content.size(), block_size);
+  size_t rest = content.size() - chunk0;
+  desc.block_count =
+      1 + static_cast<uint32_t>((rest + block_size - 1) / block_size);
+  SHAROES_ASSIGN_OR_RETURN(desc.write_gen, NextWriteGen(inode));
+
+  // The paper divides files into blocks precisely so a write does not
+  // re-encrypt the whole file (§II-B). When the previous version is in
+  // the local cache, only changed blocks are re-encrypted and shipped.
+  DataDescriptor old_desc;
+  bool have_old = false;
+  if (auto cached0 = cache_.Get<Bytes>("d|" + std::to_string(inode) + "|0")) {
+    BinaryReader r(*cached0);
+    auto parsed = DataDescriptor::ReadFrom(&r);
+    if (parsed.ok()) {
+      old_desc = *parsed;
+      have_old = true;
+    }
+  }
+  // Diff only when the file did not shrink and keys did not rotate.
+  bool diff = have_old && !key_rotated &&
+              desc.block_count >= old_desc.block_count;
+
+  auto chunk_of = [&](uint32_t idx) {
+    size_t begin = idx == 0 ? 0 : chunk0 + (idx - 1) * block_size;
+    size_t end = std::min(content.size(),
+                          idx == 0 ? chunk0 : begin + block_size);
+    return Bytes(content.begin() + begin, content.begin() + end);
+  };
+  auto old_chunk_of = [&](uint32_t idx) -> std::optional<Bytes> {
+    auto cached =
+        cache_.Get<Bytes>("d|" + std::to_string(inode) + "|" +
+                          std::to_string(idx));
+    if (cached == nullptr) return std::nullopt;
+    if (idx == 0) {
+      BinaryReader r(*cached);
+      if (!DataDescriptor::ReadFrom(&r).ok()) return std::nullopt;
+      return r.GetRaw(r.remaining());
+    }
+    return *cached;
+  };
+
+  desc.block_gens.assign(desc.block_count, desc.write_gen);
+  std::vector<bool> changed(desc.block_count, true);
+  if (diff) {
+    for (uint32_t i = 1; i < desc.block_count; ++i) {
+      if (i >= old_desc.block_count) continue;  // Appended block: new.
+      auto old_chunk = old_chunk_of(i);
+      if (old_chunk.has_value() && *old_chunk == chunk_of(i)) {
+        changed[i] = false;
+        desc.block_gens[i] = old_desc.GenOfBlock(i);
+      }
+    }
+  }
+
+  std::vector<ssp::Request> puts;
+  if (!diff || desc.block_count != old_desc.block_count) {
+    // Shape changed (or no diff basis): clear stale blocks first when
+    // shrinking; growth needs no delete.
+    if (!diff) puts.push_back(ssp::Request::DeleteInodeData(inode));
+  }
+  // Block 0 always changes: it carries the descriptor.
+  BinaryWriter w0;
+  desc.AppendTo(&w0);
+  w0.PutRaw(content.data(), chunk0);
+  Bytes plain0 = w0.Take();
+  ObjectCodec::DataBlockHeader header0{key_gen, desc.write_gen};
+  Bytes wire0 = codec_.EncodeDataBlock(inode, 0, header0, plain0, dek,
+                                       *node.view.dsk);
+  cache_.Put("d|" + std::to_string(inode) + "|0", plain0, wire0.size());
+  puts.push_back(ssp::Request::PutData(inode, 0, std::move(wire0)));
+  for (uint32_t idx = 1; idx < desc.block_count; ++idx) {
+    Bytes chunk = chunk_of(idx);
+    if (changed[idx]) {
+      ObjectCodec::DataBlockHeader header{key_gen, desc.write_gen};
+      Bytes wire = codec_.EncodeDataBlock(inode, idx, header, chunk, dek,
+                                          *node.view.dsk);
+      cache_.Put("d|" + std::to_string(inode) + "|" + std::to_string(idx),
+                 chunk, wire.size());
+      puts.push_back(ssp::Request::PutData(inode, idx, std::move(wire)));
+    }
+  }
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(puts)));
+  freshness_[inode] = desc.write_gen;
+  return Status::OK();
+}
+
+Result<uint64_t> SharoesClient::NextWriteGen(fs::InodeNum inode) {
+  auto it = freshness_.find(inode);
+  if (it != freshness_.end()) return it->second + 1;
+  // Unknown history (overwrite of a never-read file): peek the stored
+  // header so generations stay monotonic for other clients.
+  SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
+                           conn_->Call(ssp::Request::GetData(inode, 0)));
+  if (!resp.ok()) return 1;  // Never written.
+  SHAROES_ASSIGN_OR_RETURN(ObjectCodec::DataBlockHeader h,
+                           ObjectCodec::PeekDataHeader(resp.payload));
+  return h.write_gen + 1;
+}
+
+Status SharoesClient::Close(const std::string& path) {
+  ChargeClientOverhead();
+  auto it = write_buffers_.find(path);
+  if (it == write_buffers_.end()) return Status::OK();  // Nothing buffered.
+  Status s = Status::OK();
+  if (it->second.dirty) s = FlushBuffer(path, &it->second);
+  write_buffers_.erase(it);
+  return s;
+}
+
+Status SharoesClient::Chmod(const std::string& path, fs::Mode mode) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  fs::InodeAttrs attrs = node.view.attrs;
+  if (uid_ != attrs.owner) {
+    return Status::PermissionDenied("only the owner may chmod");
+  }
+  if (!ModeSupported(attrs.type, mode)) {
+    return Status::Unsupported("mode " + mode.ToString() +
+                               " is not representable for a " +
+                               fs::FileTypeName(attrs.type));
+  }
+  SHAROES_ASSIGN_OR_RETURN(ObjectKeyBundle bundle, node.view.ToBundle());
+
+  // Which non-owner CAPs lose access? Their holders may have cached the
+  // keys, so revocation requires rotation (paper §IV-A.1).
+  OwnershipInfo old_info = OwnershipInfo::FromAttrs(attrs);
+  fs::InodeAttrs new_attrs = attrs;
+  new_attrs.mode = mode;
+  OwnershipInfo new_info = OwnershipInfo::FromAttrs(new_attrs);
+  std::vector<ReplicaSpec> old_specs =
+      ReplicasFor(old_info, options_.scheme, *identity_);
+  std::vector<ReplicaSpec> new_specs =
+      ReplicasFor(new_info, options_.scheme, *identity_);
+  bool lost_read = false, lost_write = false, dir_weakened = false;
+  for (const ReplicaSpec& old_spec : old_specs) {
+    if (old_spec.owner) continue;
+    CapFields old_fields = old_spec.Fields(attrs.type);
+    CapFields new_fields;
+    for (const ReplicaSpec& ns : new_specs) {
+      if (ns.selector == old_spec.selector) {
+        new_fields = ns.Fields(attrs.type);
+        break;
+      }
+    }
+    if (old_fields.can_read_data() && !new_fields.can_read_data()) {
+      lost_read = true;
+    }
+    if (old_fields.can_write_data() && !new_fields.can_write_data()) {
+      lost_write = true;
+    }
+    if (static_cast<int>(new_fields.table_view) <
+        static_cast<int>(old_fields.table_view)) {
+      // Coarse "weaker view" check: kNone < kNamesOnly < kFull; exec-only
+      // transitions are handled by the read/write checks above.
+      dir_weakened = true;
+    }
+  }
+
+  // For directories, fetch the master with the *old* keys before any
+  // rotation.
+  MasterTable master;
+  if (attrs.type == fs::FileType::kDirectory) {
+    SHAROES_ASSIGN_OR_RETURN(master, FetchMaster(node, bundle));
+  }
+
+  std::vector<ssp::Request> batch;
+  std::optional<crypto::SymmetricKey> dek_next = node.view.dek_next;
+  uint32_t dek_gen = node.view.dek_gen;
+  bool revoke = lost_read || lost_write;
+  if (revoke && attrs.type == fs::FileType::kFile) {
+    if (options_.revocation == RevocationMode::kImmediate) {
+      // Re-encrypt the file under fresh keys right now.
+      SHAROES_ASSIGN_OR_RETURN(Bytes content, FetchFileContent(node));
+      bundle.dek = engine_->NewSymmetricKey();
+      if (lost_write) bundle.data = engine_->NewSigningKeyPair();
+      dek_gen += 1;
+      dek_next.reset();
+      DataDescriptor desc;
+      desc.size = content.size();
+      size_t bs = options_.block_size;
+      size_t chunk0 = std::min(content.size(), bs);
+      desc.block_count = 1 + static_cast<uint32_t>(
+                                 (content.size() - chunk0 + bs - 1) / bs);
+      SHAROES_ASSIGN_OR_RETURN(desc.write_gen, NextWriteGen(attrs.inode));
+      desc.block_gens.assign(desc.block_count, desc.write_gen);
+      ObjectCodec::DataBlockHeader header{dek_gen, desc.write_gen};
+      freshness_[attrs.inode] = desc.write_gen;
+      batch.push_back(ssp::Request::DeleteInodeData(attrs.inode));
+      BinaryWriter w0;
+      desc.AppendTo(&w0);
+      w0.PutRaw(content.data(), chunk0);
+      batch.push_back(ssp::Request::PutData(
+          attrs.inode, 0,
+          codec_.EncodeDataBlock(attrs.inode, 0, header, w0.Take(),
+                                 bundle.dek, bundle.data.sign)));
+      uint32_t idx = 1;
+      for (size_t pos = chunk0; pos < content.size(); pos += bs, ++idx) {
+        size_t n = std::min(bs, content.size() - pos);
+        Bytes chunk(content.begin() + pos, content.begin() + pos + n);
+        batch.push_back(ssp::Request::PutData(
+            attrs.inode, idx,
+            codec_.EncodeDataBlock(attrs.inode, idx, header, chunk,
+                                   bundle.dek, bundle.data.sign)));
+      }
+    } else if (!dek_next.has_value()) {
+      // Lazy: record the next key; the next writer rotates.
+      dek_next = engine_->NewSymmetricKey();
+    }
+  }
+  if ((revoke || dir_weakened) && attrs.type == fs::FileType::kDirectory) {
+    // Rotate every table key; copies are rebuilt below under new keys
+    // (this also rotates the exec-only per-name derivations).
+    for (auto& [sel, key] : bundle.table_keys) {
+      (void)sel;
+      key = engine_->NewSymmetricKey();
+    }
+  }
+
+  // Rebuild every metadata replica with the new mode (selectors and MEKs
+  // are class-stable, so parent rows and superblocks stay valid).
+  for (const ReplicaSpec& spec : new_specs) {
+    batch.push_back(ssp::Request::PutMetadata(
+        attrs.inode, spec.selector,
+        codec_.EncodeMetadataReplica(spec, new_attrs, bundle, dek_gen,
+                                     dek_next)));
+  }
+  // Directories: re-render the tables (view kinds / keys may have changed).
+  if (attrs.type == fs::FileType::kDirectory) {
+    WriterDirContext ctx;
+    ctx.node = node;
+    ctx.node.view.attrs = new_attrs;
+    ctx.bundle = bundle;
+    ctx.ownership = new_info;
+    ctx.master = std::move(master);
+    SHAROES_RETURN_IF_ERROR(RenderDirTables(ctx, &batch));
+  }
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
+  InvalidateInode(attrs.inode);
+  return Status::OK();
+}
+
+Status SharoesClient::RemoveObject(const std::string& path,
+                                   fs::FileType type) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(fs::SplitParent sp, fs::SplitParentName(path));
+  SHAROES_ASSIGN_OR_RETURN(WriterDirContext ctx, LoadDirForWrite(sp.parent));
+  const MasterEntry* entry = ctx.master.Find(sp.name);
+  if (entry == nullptr) return Status::NotFound("'" + path + "' not found");
+  if (entry->child.type != type) {
+    return type == fs::FileType::kDirectory
+               ? Status::InvalidArgument("'" + path + "' is not a directory")
+               : Status::InvalidArgument("'" + path + "' is a directory");
+  }
+  fs::InodeNum child_inode = entry->inode;
+  if (type == fs::FileType::kDirectory) {
+    // rmdir requires the directory to be empty. We verify through our own
+    // CAP on the child; a caller whose CAP hides the table cannot prove
+    // emptiness and is refused (documented deviation, DESIGN.md).
+    SHAROES_ASSIGN_OR_RETURN(Node child, ResolvePath(path));
+    auto table = FetchTable(child);
+    if (!table.ok()) {
+      return Status::PermissionDenied(
+          "cannot verify directory is empty through this CAP");
+    }
+    size_t entries = (*table)->names.size() + (*table)->exec_rows.size();
+    if (entries > 0) {
+      return Status::FailedPrecondition("directory not empty");
+    }
+  }
+  SHAROES_RETURN_IF_ERROR(ctx.master.Remove(sp.name));
+  std::vector<ssp::Request> batch;
+  SHAROES_RETURN_IF_ERROR(RenderDirTables(ctx, &batch));
+  batch.push_back(ssp::Request::DeleteInodeMetadata(child_inode));
+  batch.push_back(ssp::Request::DeleteInodeData(child_inode));
+  // Remove any split blocks of the child.
+  for (fs::UserId uid : identity_->AllUsers()) {
+    ssp::Request del;
+    del.op = ssp::OpCode::kDeleteUserMetadata;
+    del.inode = child_inode;
+    del.user = uid;
+    batch.push_back(del);
+  }
+  for (fs::GroupId gid : identity_->AllGroups()) {
+    ssp::Request del;
+    del.op = ssp::OpCode::kDeleteUserMetadata;
+    del.inode = child_inode;
+    del.user = GroupBlockKey(gid);
+    batch.push_back(del);
+  }
+  SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
+  InvalidateInode(child_inode);
+  write_buffers_.erase(path);
+  return Status::OK();
+}
+
+Status SharoesClient::Rename(const std::string& from,
+                             const std::string& to) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(fs::SplitParent src, fs::SplitParentName(from));
+  SHAROES_ASSIGN_OR_RETURN(fs::SplitParent dst, fs::SplitParentName(to));
+  // Moving a directory under itself would orphan the subtree.
+  if (to.size() > from.size() && to.compare(0, from.size(), from) == 0 &&
+      to[from.size()] == '/') {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  if (from == to) return Status::OK();
+
+  SHAROES_ASSIGN_OR_RETURN(WriterDirContext src_ctx,
+                           LoadDirForWrite(src.parent));
+  MasterEntry* entry = src_ctx.master.Find(src.name);
+  if (entry == nullptr) return Status::NotFound("'" + from + "' not found");
+
+  if (src.parent == dst.parent) {
+    // Same-directory rename: one master edit, one table render.
+    if (src_ctx.master.Find(dst.name) != nullptr) {
+      return Status::AlreadyExists("'" + to + "' already exists");
+    }
+    entry->name = dst.name;
+    std::vector<ssp::Request> batch;
+    SHAROES_RETURN_IF_ERROR(RenderDirTables(src_ctx, &batch));
+    SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
+  } else {
+    // Cross-directory move. The child's replicas, selectors and MEKs are
+    // all parent-independent, so only the two masters (and their rendered
+    // copies) change.
+    SHAROES_ASSIGN_OR_RETURN(WriterDirContext dst_ctx,
+                             LoadDirForWrite(dst.parent));
+    if (dst_ctx.node.ref.inode == entry->inode) {
+      return Status::InvalidArgument("cannot move a directory into itself");
+    }
+    if (dst_ctx.master.Find(dst.name) != nullptr) {
+      return Status::AlreadyExists("'" + to + "' already exists");
+    }
+    MasterEntry moved = *entry;
+    moved.name = dst.name;
+    SHAROES_RETURN_IF_ERROR(src_ctx.master.Remove(src.name));
+    SHAROES_RETURN_IF_ERROR(dst_ctx.master.Add(std::move(moved)));
+    std::vector<ssp::Request> batch;
+    SHAROES_RETURN_IF_ERROR(RenderDirTables(src_ctx, &batch));
+    SHAROES_RETURN_IF_ERROR(RenderDirTables(dst_ctx, &batch));
+    SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
+  }
+  // Any buffered writes follow the file to its new path.
+  auto buf_it = write_buffers_.find(from);
+  if (buf_it != write_buffers_.end()) {
+    write_buffers_[to] = std::move(buf_it->second);
+    write_buffers_.erase(buf_it);
+  }
+  return Status::OK();
+}
+
+Status SharoesClient::RefreshDir(const std::string& path) {
+  ChargeClientOverhead();
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  if (!node.view.attrs.is_dir()) {
+    return Status::InvalidArgument("'" + path + "' is not a directory");
+  }
+  // Owner bundle preferred (full); plain writers can refresh too.
+  ObjectKeyBundle bundle;
+  if (auto owner_bundle = node.view.ToBundle(); owner_bundle.ok()) {
+    bundle = std::move(*owner_bundle);
+  } else {
+    SHAROES_ASSIGN_OR_RETURN(bundle, BundleForWriter(node.view));
+  }
+  WriterDirContext ctx;
+  ctx.ownership = OwnershipInfo::FromAttrs(node.view.attrs);
+  SHAROES_ASSIGN_OR_RETURN(ctx.master, FetchMaster(node, bundle));
+  ctx.node = std::move(node);
+  ctx.bundle = std::move(bundle);
+  std::vector<ssp::Request> batch;
+  SHAROES_RETURN_IF_ERROR(RenderDirTables(ctx, &batch));
+  return ExecuteBatch(std::move(batch));
+}
+
+Status SharoesClient::Unlink(const std::string& path) {
+  return RemoveObject(path, fs::FileType::kFile);
+}
+
+Status SharoesClient::Rmdir(const std::string& path) {
+  return RemoveObject(path, fs::FileType::kDirectory);
+}
+
+}  // namespace sharoes::core

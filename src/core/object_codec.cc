@@ -1,0 +1,454 @@
+#include "core/object_codec.h"
+
+#include "crypto/kdf.h"
+
+namespace sharoes::core {
+
+namespace {
+
+// Envelope = length-prefixed (sealed, signature).
+Bytes PackEnvelope(const Bytes& sealed, const Bytes& sig) {
+  BinaryWriter w;
+  w.PutBytes(sealed);
+  w.PutBytes(sig);
+  return w.Take();
+}
+
+Status UnpackEnvelope(const Bytes& wire, Bytes* sealed, Bytes* sig,
+                      const std::string& what) {
+  BinaryReader r(wire);
+  *sealed = r.GetBytes();
+  *sig = r.GetBytes();
+  return r.Finish(what + " envelope");
+}
+
+}  // namespace
+
+Bytes SigContext(std::string_view kind, fs::InodeNum inode, uint64_t id) {
+  BinaryWriter w;
+  w.PutString(kind);
+  w.PutU64(inode);
+  w.PutU64(id);
+  return w.Take();
+}
+
+Bytes ObjectCodec::SealAndSign(const Bytes& context, const Bytes& payload,
+                               const crypto::SymmetricKey& key,
+                               const crypto::SigningKey& signer) {
+  Bytes sealed = engine_->SymEncrypt(key, payload);
+  Bytes to_sign = context;
+  Append(to_sign, sealed);
+  Bytes sig = engine_->Sign(signer, to_sign);
+  return PackEnvelope(sealed, sig);
+}
+
+Result<Bytes> ObjectCodec::VerifyAndOpen(const Bytes& context,
+                                         const Bytes& wire,
+                                         const crypto::SymmetricKey& key,
+                                         const crypto::VerifyKey& verifier,
+                                         const std::string& what) {
+  Bytes sealed, sig;
+  SHAROES_RETURN_IF_ERROR(UnpackEnvelope(wire, &sealed, &sig, what));
+  Bytes to_verify = context;
+  Append(to_verify, sealed);
+  if (!engine_->Verify(verifier, to_verify, sig)) {
+    return Status::IntegrityError(what + " signature verification failed");
+  }
+  return engine_->SymDecrypt(key, sealed);
+}
+
+MetadataView ObjectCodec::BuildView(
+    const ReplicaSpec& spec, const fs::InodeAttrs& attrs,
+    const ObjectKeyBundle& bundle, uint32_t dek_gen,
+    const std::optional<crypto::SymmetricKey>& dek_next) {
+  CapFields fields = spec.Fields(attrs.type);
+  MetadataView view;
+  view.attrs = attrs;
+  bool is_dir = attrs.type == fs::FileType::kDirectory;
+  if (fields.dek) {
+    if (is_dir) {
+      auto it = bundle.table_keys.find(spec.selector);
+      if (it != bundle.table_keys.end()) view.dek = it->second;
+    } else {
+      view.dek = bundle.dek;
+    }
+    if (dek_next.has_value()) view.dek_next = dek_next;
+    view.dek_gen = dek_gen;
+  }
+  if (fields.dvk) view.dvk = bundle.data.verify;
+  if (fields.dsk) view.dsk = bundle.data.sign;
+  if (fields.msk) view.msk = bundle.meta.sign;
+  if (spec.owner) {
+    view.mvk = bundle.meta.verify;
+    view.meks = bundle.meks;
+  }
+  // Directory writers must be able to rewrite every table copy.
+  if (is_dir && (fields.dsk || spec.owner)) {
+    view.table_keys = bundle.table_keys;
+  }
+  return view;
+}
+
+Bytes ObjectCodec::EncodeMetadataReplica(
+    const ReplicaSpec& spec, const fs::InodeAttrs& attrs,
+    const ObjectKeyBundle& bundle, uint32_t dek_gen,
+    const std::optional<crypto::SymmetricKey>& dek_next) {
+  MetadataView view = BuildView(spec, attrs, bundle, dek_gen, dek_next);
+  auto mek_it = bundle.meks.find(spec.selector);
+  // The caller must have generated a MEK for every replica it encodes.
+  crypto::SymmetricKey mek =
+      mek_it != bundle.meks.end() ? mek_it->second : crypto::SymmetricKey{};
+  return SealAndSign(SigContext("meta", attrs.inode, spec.selector),
+                     view.Serialize(), mek, bundle.meta.sign);
+}
+
+Result<MetadataView> ObjectCodec::DecodeMetadataReplica(
+    fs::InodeNum inode, Selector selector, const Bytes& wire,
+    const crypto::SymmetricKey& mek, const crypto::VerifyKey& mvk) {
+  SHAROES_ASSIGN_OR_RETURN(
+      Bytes payload, VerifyAndOpen(SigContext("meta", inode, selector), wire,
+                                   mek, mvk, "metadata replica"));
+  SHAROES_ASSIGN_OR_RETURN(MetadataView view,
+                           MetadataView::Deserialize(payload));
+  if (view.attrs.inode != inode) {
+    return Status::IntegrityError("metadata replica inode mismatch");
+  }
+  return view;
+}
+
+// When `blocks` is null, the row is rendered logically but split blocks
+// are not (re)encrypted — used for refreshing the client's own decoded
+// cache without paying for cryptography it already performed.
+Result<RowRef> ObjectCodec::RenderRow(const MasterEntry& entry,
+                                      const std::vector<fs::UserId>& universe,
+                                      std::vector<PendingSplitBlock>* blocks) {
+  RowRef row;
+  row.inode = entry.inode;
+  row.type = entry.child.type;
+  if (universe.empty()) {
+    // Nobody reads this copy; emit a keyless split marker so the row
+    // never has to reference a replica that was not materialized.
+    row.kind = RowRef::Kind::kSplit;
+    return row;
+  }
+  SHAROES_ASSIGN_OR_RETURN(crypto::VerifyKey child_mvk,
+                           crypto::VerifyKey::Deserialize(entry.mvk));
+  RowPlan plan = PlanRow(entry.child, universe, scheme_, *dir_);
+
+  auto ref_for = [&](Selector sel) -> Result<PlainRef> {
+    auto it = entry.meks.find(sel);
+    if (it == entry.meks.end()) {
+      return Status::Internal("master entry missing MEK for selector " +
+                              std::to_string(sel));
+    }
+    SHAROES_ASSIGN_OR_RETURN(crypto::SymmetricKey mek,
+                             crypto::SymmetricKey::Deserialize(it->second));
+    PlainRef ref;
+    ref.inode = entry.inode;
+    ref.type = entry.child.type;
+    ref.selector = sel;
+    ref.mek = std::move(mek);
+    ref.mvk = child_mvk;
+    return ref;
+  };
+
+  if (plan.uniform) {
+    row.kind = RowRef::Kind::kPlain;
+    SHAROES_ASSIGN_OR_RETURN(row.plain, ref_for(plan.selector));
+    return row;
+  }
+
+  // Split point: per-user blocks, with one shared group block covering the
+  // readers that resolve to the child's group class (paper §III-D.2).
+  row.kind = RowRef::Kind::kSplit;
+  bool group_block_written = false;
+  for (const auto& [uid, sel] : plan.per_user) {
+    SHAROES_ASSIGN_OR_RETURN(PlainRef ref, ref_for(sel));
+    if (sel == kGroupSelector && dir_->IsMember(entry.child.group, uid)) {
+      if (!group_block_written) {
+        if (blocks != nullptr) {
+          SHAROES_ASSIGN_OR_RETURN(GroupInfo ginfo,
+                                   dir_->GetGroup(entry.child.group));
+          SHAROES_ASSIGN_OR_RETURN(
+              Bytes wire, EncodeGroupRefBlock(ginfo.public_key, ref));
+          blocks->push_back(PendingSplitBlock{
+              /*is_group=*/true, GroupBlockKey(entry.child.group),
+              entry.inode, std::move(wire)});
+        }
+        group_block_written = true;
+        row.has_group_block = true;
+        row.gid = entry.child.group;
+      }
+      continue;
+    }
+    if (blocks != nullptr) {
+      SHAROES_ASSIGN_OR_RETURN(UserInfo uinfo, dir_->GetUser(uid));
+      SHAROES_ASSIGN_OR_RETURN(Bytes wire,
+                               EncodeUserRefBlock(uinfo.public_key, ref));
+      blocks->push_back(PendingSplitBlock{/*is_group=*/false, uid,
+                                          entry.inode, std::move(wire)});
+    }
+  }
+  return row;
+}
+
+Result<DecodedTable> ObjectCodec::RenderFullTableView(
+    const MasterTable& master, const std::vector<fs::UserId>& universe) {
+  DecodedTable t;
+  t.view = TableView::kFull;
+  for (const MasterEntry& e : master.entries) {
+    SHAROES_ASSIGN_OR_RETURN(RowRef row,
+                             RenderRow(e, universe, /*blocks=*/nullptr));
+    t.names.push_back(e.name);
+    t.refs[e.name] = std::move(row);
+  }
+  return t;
+}
+
+Result<Bytes> ObjectCodec::EncodeTableCopy(
+    fs::InodeNum dir_inode, Selector copy_selector, TableView view,
+    const MasterTable& master, const std::vector<fs::UserId>& universe,
+    const ObjectKeyBundle& bundle, std::vector<PendingSplitBlock>* blocks) {
+  auto key_it = bundle.table_keys.find(copy_selector);
+  if (key_it == bundle.table_keys.end()) {
+    return Status::Internal("missing table key for copy " +
+                            std::to_string(copy_selector));
+  }
+  const crypto::SymmetricKey& table_key = key_it->second;
+
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(view));
+  w.PutU32(static_cast<uint32_t>(master.entries.size()));
+  switch (view) {
+    case TableView::kNone:
+      // Zero-permission copies exist but expose nothing. Entry count is
+      // still written above; overwrite semantics: emit no rows.
+      break;
+    case TableView::kNamesOnly:
+      for (const MasterEntry& e : master.entries) w.PutString(e.name);
+      break;
+    case TableView::kFull:
+      for (const MasterEntry& e : master.entries) {
+        SHAROES_ASSIGN_OR_RETURN(RowRef row, RenderRow(e, universe, blocks));
+        w.PutString(e.name);
+        row.AppendTo(&w);
+      }
+      break;
+    case TableView::kExecOnly:
+      for (const MasterEntry& e : master.entries) {
+        SHAROES_ASSIGN_OR_RETURN(RowRef row, RenderRow(e, universe, blocks));
+        // Row id and row key are both derived from H_{DEK_this}(name); a
+        // reader who knows the name can locate and open exactly that row.
+        crypto::SymmetricKey row_id_key = crypto::kdf::DeriveLabeled(
+            table_key, "sharoes-rowid:" + e.name);
+        crypto::SymmetricKey row_key =
+            engine_->DeriveNameKey(table_key, e.name);
+        BinaryWriter rw;
+        row.AppendTo(&rw);
+        Bytes enc_row = engine_->SymEncrypt(row_key, rw.Take());
+        w.PutBytes(row_id_key.key);
+        w.PutBytes(enc_row);
+      }
+      break;
+  }
+  // A zero-view copy hides even the entry count: re-serialize without it.
+  if (view == TableView::kNone) {
+    BinaryWriter empty;
+    empty.PutU8(static_cast<uint8_t>(view));
+    empty.PutU32(0);
+    return SealAndSign(SigContext("table", dir_inode, copy_selector),
+                       empty.Take(), table_key, bundle.data.sign);
+  }
+  return SealAndSign(SigContext("table", dir_inode, copy_selector), w.Take(),
+                     table_key, bundle.data.sign);
+}
+
+Bytes ObjectCodec::EncodeMasterTable(fs::InodeNum dir_inode,
+                                     const MasterTable& master,
+                                     const ObjectKeyBundle& bundle) {
+  auto it = bundle.table_keys.find(kMasterSelector);
+  crypto::SymmetricKey key =
+      it != bundle.table_keys.end() ? it->second : crypto::SymmetricKey{};
+  return SealAndSign(SigContext("table", dir_inode, kMasterSelector),
+                     master.Serialize(), key, bundle.data.sign);
+}
+
+Result<DecodedTable> ObjectCodec::DecodeTableCopy(
+    fs::InodeNum dir_inode, Selector copy_selector, const Bytes& wire,
+    const crypto::SymmetricKey& table_key, const crypto::VerifyKey& dvk) {
+  SHAROES_ASSIGN_OR_RETURN(
+      Bytes payload,
+      VerifyAndOpen(SigContext("table", dir_inode, copy_selector), wire,
+                    table_key, dvk, "table copy"));
+  BinaryReader r(payload);
+  DecodedTable t;
+  uint8_t view = r.GetU8();
+  if (r.ok() && view > static_cast<uint8_t>(TableView::kExecOnly)) {
+    return Status::Corruption("bad table view kind");
+  }
+  t.view = static_cast<TableView>(view);
+  uint32_t n = r.GetU32();
+  if (!r.ok() || n > r.remaining()) {
+    return Status::Corruption("truncated table copy");
+  }
+  switch (t.view) {
+    case TableView::kNone:
+      break;
+    case TableView::kNamesOnly:
+      for (uint32_t i = 0; i < n; ++i) t.names.push_back(r.GetString());
+      break;
+    case TableView::kFull:
+      for (uint32_t i = 0; i < n; ++i) {
+        std::string name = r.GetString();
+        SHAROES_ASSIGN_OR_RETURN(RowRef row, RowRef::ReadFrom(&r));
+        t.names.push_back(name);
+        t.refs[name] = std::move(row);
+      }
+      break;
+    case TableView::kExecOnly:
+      for (uint32_t i = 0; i < n; ++i) {
+        Bytes row_id = r.GetBytes();
+        Bytes enc_row = r.GetBytes();
+        t.exec_rows.emplace_back(std::move(row_id), std::move(enc_row));
+      }
+      break;
+  }
+  SHAROES_RETURN_IF_ERROR(r.Finish("table copy"));
+  return t;
+}
+
+Result<MasterTable> ObjectCodec::DecodeMasterTable(
+    fs::InodeNum dir_inode, const Bytes& wire,
+    const crypto::SymmetricKey& table_key, const crypto::VerifyKey& dvk) {
+  SHAROES_ASSIGN_OR_RETURN(
+      Bytes payload,
+      VerifyAndOpen(SigContext("table", dir_inode, kMasterSelector), wire,
+                    table_key, dvk, "master table"));
+  return MasterTable::Deserialize(payload);
+}
+
+Result<RowRef> ObjectCodec::ExecOnlyLookup(const DecodedTable& table,
+                                           const crypto::SymmetricKey& table_key,
+                                           const std::string& name) {
+  if (table.view != TableView::kExecOnly) {
+    return Status::Internal("ExecOnlyLookup on non-exec-only table");
+  }
+  crypto::SymmetricKey row_id_key =
+      crypto::kdf::DeriveLabeled(table_key, "sharoes-rowid:" + name);
+  for (const auto& [row_id, enc_row] : table.exec_rows) {
+    if (row_id != row_id_key.key) continue;
+    crypto::SymmetricKey row_key = engine_->DeriveNameKey(table_key, name);
+    SHAROES_ASSIGN_OR_RETURN(Bytes plain,
+                             engine_->SymDecrypt(row_key, enc_row));
+    BinaryReader r(plain);
+    SHAROES_ASSIGN_OR_RETURN(RowRef row, RowRef::ReadFrom(&r));
+    SHAROES_RETURN_IF_ERROR(r.Finish("exec-only row"));
+    return row;
+  }
+  return Status::NotFound("no entry named '" + name + "'");
+}
+
+Bytes ObjectCodec::EncodeDataBlock(fs::InodeNum inode, uint32_t block,
+                                   const DataBlockHeader& header,
+                                   const Bytes& plaintext,
+                                   const crypto::SymmetricKey& dek,
+                                   const crypto::SigningKey& dsk) {
+  // Wire = header || envelope(sealed, sig); the signing context covers
+  // the header so the SSP can neither replay blocks across key rotations
+  // nor mix blocks across write generations.
+  BinaryWriter cw;
+  cw.PutRaw(SigContext("data", inode, block));
+  cw.PutU32(header.key_gen);
+  cw.PutU64(header.write_gen);
+  Bytes envelope_context = cw.Take();
+  Bytes sealed = engine_->SymEncrypt(dek, plaintext);
+  Bytes to_sign = envelope_context;
+  Append(to_sign, sealed);
+  Bytes sig = engine_->Sign(dsk, to_sign);
+  BinaryWriter w;
+  w.PutU32(header.key_gen);
+  w.PutU64(header.write_gen);
+  w.PutBytes(sealed);
+  w.PutBytes(sig);
+  return w.Take();
+}
+
+Result<Bytes> ObjectCodec::DecodeDataBlock(fs::InodeNum inode, uint32_t block,
+                                           const Bytes& wire,
+                                           const crypto::SymmetricKey& dek,
+                                           const crypto::VerifyKey& dvk) {
+  BinaryReader r(wire);
+  DataBlockHeader header;
+  header.key_gen = r.GetU32();
+  header.write_gen = r.GetU64();
+  Bytes sealed = r.GetBytes();
+  Bytes sig = r.GetBytes();
+  SHAROES_RETURN_IF_ERROR(r.Finish("data block envelope"));
+  BinaryWriter cw;
+  cw.PutRaw(SigContext("data", inode, block));
+  cw.PutU32(header.key_gen);
+  cw.PutU64(header.write_gen);
+  Bytes to_verify = cw.Take();
+  Append(to_verify, sealed);
+  if (!engine_->Verify(dvk, to_verify, sig)) {
+    return Status::IntegrityError("data block signature verification failed");
+  }
+  return engine_->SymDecrypt(dek, sealed);
+}
+
+Result<ObjectCodec::DataBlockHeader> ObjectCodec::PeekDataHeader(
+    const Bytes& wire) {
+  BinaryReader r(wire);
+  DataBlockHeader header;
+  header.key_gen = r.GetU32();
+  header.write_gen = r.GetU64();
+  if (!r.ok()) return Status::Corruption("truncated data block");
+  return header;
+}
+
+Result<Bytes> ObjectCodec::EncodeUserRefBlock(
+    const crypto::RsaPublicKey& user_pub, const PlainRef& ref) {
+  return engine_->PkEncrypt(user_pub, ref.Serialize());
+}
+
+Result<PlainRef> ObjectCodec::DecodeUserRefBlock(
+    const crypto::RsaPrivateKey& user_priv, const Bytes& wire) {
+  SHAROES_ASSIGN_OR_RETURN(Bytes plain, engine_->PkDecrypt(user_priv, wire));
+  return PlainRef::Deserialize(plain);
+}
+
+Result<Bytes> ObjectCodec::EncodeGroupRefBlock(
+    const crypto::RsaPublicKey& group_pub, const PlainRef& ref) {
+  return engine_->PkEncrypt(group_pub, ref.Serialize());
+}
+
+Result<PlainRef> ObjectCodec::DecodeGroupRefBlock(
+    const crypto::RsaPrivateKey& group_priv, const Bytes& wire) {
+  SHAROES_ASSIGN_OR_RETURN(Bytes plain, engine_->PkDecrypt(group_priv, wire));
+  return PlainRef::Deserialize(plain);
+}
+
+Result<Bytes> ObjectCodec::EncodeSuperblock(
+    const crypto::RsaPublicKey& user_pub, const SuperblockPayload& payload) {
+  return engine_->PkEncrypt(user_pub, payload.Serialize());
+}
+
+Result<SuperblockPayload> ObjectCodec::DecodeSuperblock(
+    const crypto::RsaPrivateKey& user_priv, const Bytes& wire) {
+  SHAROES_ASSIGN_OR_RETURN(Bytes plain, engine_->PkDecrypt(user_priv, wire));
+  return SuperblockPayload::Deserialize(plain);
+}
+
+Result<Bytes> ObjectCodec::EncodeGroupKeyBlock(
+    const crypto::RsaPublicKey& member_pub, const GroupSecret& secret) {
+  return engine_->PkEncrypt(member_pub, secret.Serialize());
+}
+
+Result<GroupSecret> ObjectCodec::DecodeGroupKeyBlock(
+    const crypto::RsaPrivateKey& member_priv, const Bytes& wire) {
+  SHAROES_ASSIGN_OR_RETURN(Bytes plain,
+                           engine_->PkDecrypt(member_priv, wire));
+  return GroupSecret::Deserialize(plain);
+}
+
+}  // namespace sharoes::core

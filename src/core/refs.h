@@ -1,0 +1,179 @@
+// Core data structures flowing between the client, the codec and the SSP:
+// object key bundles, CAP metadata views, in-band child references,
+// directory master tables and superblock payloads.
+//
+// These are the concrete realizations of the paper's Figures 2 and 3:
+// a metadata object that carries keys alongside attributes, and a
+// directory table whose rows carry the keys of their children.
+
+#ifndef SHAROES_CORE_REFS_H_
+#define SHAROES_CORE_REFS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cap_class.h"
+#include "crypto/keys.h"
+#include "fs/metadata.h"
+#include "util/result.h"
+
+namespace sharoes::core {
+
+/// The complete key material of one filesystem object, known to its
+/// creator and owner. Per-CAP views expose subsets of it.
+struct ObjectKeyBundle {
+  /// File data key (files only; directories key their tables per copy).
+  crypto::SymmetricKey dek;
+  /// Data signing / verification pair (DSK / DVK).
+  crypto::SigningKeyPair data;
+  /// Metadata signing / verification pair (MSK / MVK).
+  crypto::SigningKeyPair meta;
+  /// MEK per metadata replica selector.
+  std::map<Selector, crypto::SymmetricKey> meks;
+  /// Directories: table key per table copy selector (incl. the master).
+  std::map<Selector, crypto::SymmetricKey> table_keys;
+};
+
+/// A fully resolved in-band reference to one replica of an object:
+/// everything needed to fetch, decrypt and verify it.
+struct PlainRef {
+  fs::InodeNum inode = fs::kInvalidInode;
+  fs::FileType type = fs::FileType::kFile;
+  Selector selector = kOtherSelector;
+  crypto::SymmetricKey mek;
+  crypto::VerifyKey mvk;
+
+  Bytes Serialize() const;
+  static Result<PlainRef> Deserialize(const Bytes& data);
+};
+
+/// What a directory-table row hands a reader: either a resolved reference
+/// or split-point guidance ("fetch your per-user block"; group members may
+/// use the shared group block instead, paper §III-D.2).
+struct RowRef {
+  enum class Kind : uint8_t { kPlain = 0, kSplit = 1 };
+  Kind kind = Kind::kPlain;
+  fs::InodeNum inode = fs::kInvalidInode;
+  fs::FileType type = fs::FileType::kFile;
+  PlainRef plain;           // Valid when kind == kPlain.
+  bool has_group_block = false;
+  fs::GroupId gid = fs::kInvalidGroup;
+
+  void AppendTo(BinaryWriter* w) const;
+  static Result<RowRef> ReadFrom(BinaryReader* r);
+};
+
+/// One CAP view of a metadata object (paper Figure 2): the attributes
+/// plus exactly the key fields this CAP exposes. Absent fields are the
+/// implementation of the figure's "inaccessible" shading.
+struct MetadataView {
+  fs::InodeAttrs attrs;
+  std::optional<crypto::SymmetricKey> dek;  // File data / this table copy.
+  std::optional<crypto::SigningKey> dsk;
+  std::optional<crypto::VerifyKey> dvk;
+  std::optional<crypto::SigningKey> msk;
+  std::optional<crypto::VerifyKey> mvk;     // Owner bundle only.
+  /// Pending data key under lazy revocation (next writer rotates to it).
+  std::optional<crypto::SymmetricKey> dek_next;
+  /// Generation of `dek`; data blocks record the generation they were
+  /// written under so readers pick dek vs. dek_next correctly.
+  uint32_t dek_gen = 0;
+  /// Directory writer/owner CAPs: keys of every table copy.
+  std::map<Selector, crypto::SymmetricKey> table_keys;
+  /// Owner CAP: MEKs of every metadata replica (chmod maintenance).
+  std::map<Selector, crypto::SymmetricKey> meks;
+
+  bool CanReadData() const { return dek.has_value() && dvk.has_value(); }
+  bool CanWriteData() const { return dek.has_value() && dsk.has_value(); }
+
+  Bytes Serialize() const;
+  static Result<MetadataView> Deserialize(const Bytes& data);
+
+  /// Reassembles an ObjectKeyBundle from an owner view. Fails if this is
+  /// not a full owner/management view.
+  Result<ObjectKeyBundle> ToBundle() const;
+};
+
+/// One row of the writer-only master table of a directory: the canonical
+/// record from which every per-CAP table copy is rendered.
+struct MasterEntry {
+  std::string name;
+  fs::InodeNum inode = fs::kInvalidInode;
+  OwnershipInfo child;
+  Bytes mvk;  // Serialized VerifyKey of the child.
+  std::map<Selector, Bytes> meks;  // Serialized MEK per child replica.
+
+  void AppendTo(BinaryWriter* w) const;
+  static Result<MasterEntry> ReadFrom(BinaryReader* r);
+};
+
+/// The canonical directory content (writer/owner-visible only).
+struct MasterTable {
+  std::vector<MasterEntry> entries;
+
+  MasterEntry* Find(const std::string& name);
+  const MasterEntry* Find(const std::string& name) const;
+  Status Add(MasterEntry entry);
+  Status Remove(const std::string& name);
+
+  Bytes Serialize() const;
+  static Result<MasterTable> Deserialize(const Bytes& data);
+};
+
+/// The per-user superblock payload (paper §III-C), RSA-encrypted to each
+/// authorized user: the in-band bootstrap of the whole key hierarchy.
+struct SuperblockPayload {
+  fs::InodeNum root_inode = fs::kRootInode;
+  PlainRef root_ref;
+
+  Bytes Serialize() const;
+  static Result<SuperblockPayload> Deserialize(const Bytes& data);
+};
+
+/// The group key block payload (paper §II-A), RSA-encrypted to each
+/// member: the group's private key, fetched at login.
+struct GroupSecret {
+  fs::GroupId gid = fs::kInvalidGroup;
+  crypto::RsaPrivateKey private_key;
+
+  Bytes Serialize() const;
+  static Result<GroupSecret> Deserialize(const Bytes& data);
+};
+
+/// Per-file data descriptor, stored as a prefix of data block 0: the
+/// paper keeps file size out of metadata so plain writers (who hold no
+/// MSK) never need to re-sign metadata.
+///
+/// `write_gen` is the monotonically increasing flush counter used for
+/// freshness/rollback detection (the paper's §VIII future work,
+/// SUNDR-style). `block_gens[i]` records the generation at which block i
+/// was last rewritten: the paper's block division exists so writers
+/// "avoid re-encrypting entire files after a write", and the vector lets
+/// readers verify exactly which mix of block versions is current.
+struct DataDescriptor {
+  uint64_t size = 0;
+  uint32_t block_count = 0;
+  uint64_t write_gen = 0;
+  std::vector<uint64_t> block_gens;
+
+  /// The expected generation of block `idx` (block 0 always carries the
+  /// descriptor itself and therefore the current write_gen).
+  uint64_t GenOfBlock(uint32_t idx) const {
+    if (idx == 0) return write_gen;
+    return idx < block_gens.size() ? block_gens[idx] : write_gen;
+  }
+
+  void AppendTo(BinaryWriter* w) const;
+  static Result<DataDescriptor> ReadFrom(BinaryReader* r);
+};
+
+/// Pseudo-user id namespace for group split blocks in the SSP's per-user
+/// metadata keyspace.
+constexpr uint32_t kGroupBlockFlag = 0x80000000;
+inline uint32_t GroupBlockKey(fs::GroupId gid) { return kGroupBlockFlag | gid; }
+
+}  // namespace sharoes::core
+
+#endif  // SHAROES_CORE_REFS_H_

@@ -1,0 +1,63 @@
+#include "crypto/ctr.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace sharoes::crypto {
+
+namespace {
+// Applies the CTR keystream of (key, iv) to `input`.
+Bytes CtrTransform(const Bytes& key, const Bytes& iv, const Bytes& input) {
+  assert(iv.size() == kCtrIvSize);
+  Aes128 aes(key);
+  Bytes out(input.size());
+  uint8_t counter[kAesBlockSize];
+  std::memcpy(counter, iv.data(), kAesBlockSize);
+  uint8_t keystream[kAesBlockSize];
+  size_t pos = 0;
+  while (pos < input.size()) {
+    aes.EncryptBlock(counter, keystream);
+    size_t n = std::min(input.size() - pos, kAesBlockSize);
+    for (size_t i = 0; i < n; ++i) out[pos + i] = input[pos + i] ^ keystream[i];
+    pos += n;
+    // Increment the big-endian counter in the low 8 bytes.
+    for (int i = kAesBlockSize - 1; i >= 8; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Bytes CtrEncrypt(const Bytes& key, const Bytes& iv, const Bytes& plaintext) {
+  return CtrTransform(key, iv, plaintext);
+}
+
+Bytes CtrDecrypt(const Bytes& key, const Bytes& iv, const Bytes& ciphertext) {
+  return CtrTransform(key, iv, ciphertext);
+}
+
+Bytes FreshIv(Rng& rng) { return rng.NextBytes(kCtrIvSize); }
+
+Bytes CtrSeal(const Bytes& key, const Bytes& plaintext, Rng& rng) {
+  Bytes iv = FreshIv(rng);
+  Bytes ct = CtrEncrypt(key, iv, plaintext);
+  Bytes out;
+  out.reserve(iv.size() + ct.size());
+  Append(out, iv);
+  Append(out, ct);
+  return out;
+}
+
+Bytes CtrOpen(const Bytes& key, const Bytes& sealed, bool* ok) {
+  if (sealed.size() < kCtrIvSize) {
+    if (ok != nullptr) *ok = false;
+    return {};
+  }
+  if (ok != nullptr) *ok = true;
+  Bytes iv(sealed.begin(), sealed.begin() + kCtrIvSize);
+  Bytes ct(sealed.begin() + kCtrIvSize, sealed.end());
+  return CtrDecrypt(key, iv, ct);
+}
+
+}  // namespace sharoes::crypto

@@ -1,0 +1,37 @@
+// AES-128-CTR: the symmetric encryption mode used for data blocks,
+// metadata objects and directory tables.
+//
+// CTR turns AES into a length-preserving stream cipher, so ciphertext
+// sizes equal plaintext sizes (the paper's storage-cost analysis relies
+// on this). Confidentiality comes from CTR; integrity comes from the
+// DSK/MSK signatures layered on top (paper §II-B), not from the mode.
+
+#ifndef SHAROES_CRYPTO_CTR_H_
+#define SHAROES_CRYPTO_CTR_H_
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace sharoes::crypto {
+
+constexpr size_t kCtrIvSize = 16;
+
+/// Encrypts `plaintext` under `key` (16 bytes) with the given 16-byte IV.
+/// The IV must be unique per (key, message); callers use FreshIv().
+Bytes CtrEncrypt(const Bytes& key, const Bytes& iv, const Bytes& plaintext);
+
+/// CTR decryption (identical keystream XOR).
+Bytes CtrDecrypt(const Bytes& key, const Bytes& iv, const Bytes& ciphertext);
+
+/// Convenience envelope: [iv || ciphertext]. Decryption returns empty and
+/// `ok=false` if the envelope is shorter than an IV.
+Bytes CtrSeal(const Bytes& key, const Bytes& plaintext, Rng& rng);
+Bytes CtrOpen(const Bytes& key, const Bytes& sealed, bool* ok);
+
+/// Random 16-byte IV.
+Bytes FreshIv(Rng& rng);
+
+}  // namespace sharoes::crypto
+
+#endif  // SHAROES_CRYPTO_CTR_H_

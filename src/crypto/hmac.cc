@@ -1,0 +1,38 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace sharoes::crypto {
+
+namespace {
+Bytes NormalizeKey(const Bytes& key) {
+  Bytes k = key;
+  if (k.size() > kSha256BlockSize) k = Sha256Digest(k);
+  k.resize(kSha256BlockSize, 0);
+  return k;
+}
+}  // namespace
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  Bytes k = NormalizeKey(key);
+  Bytes ipad(kSha256BlockSize), opad(kSha256BlockSize);
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Bytes HmacSha256(const Bytes& key, std::string_view message) {
+  return HmacSha256(key, ToBytes(message));
+}
+
+}  // namespace sharoes::crypto

@@ -1,0 +1,23 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//
+// The paper derives exec-only directory row keys with "a keyed hash
+// function like MD5 or SHA1"; we use HMAC-SHA-256 for the same role
+// (see crypto/kdf.h).
+
+#ifndef SHAROES_CRYPTO_HMAC_H_
+#define SHAROES_CRYPTO_HMAC_H_
+
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace sharoes::crypto {
+
+/// Computes HMAC-SHA-256(key, message). Keys of any length are accepted
+/// (hashed down if longer than the block size).
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+Bytes HmacSha256(const Bytes& key, std::string_view message);
+
+}  // namespace sharoes::crypto
+
+#endif  // SHAROES_CRYPTO_HMAC_H_

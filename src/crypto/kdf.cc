@@ -1,0 +1,25 @@
+#include "crypto/kdf.h"
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+
+namespace sharoes::crypto::kdf {
+
+namespace {
+SymmetricKey Truncate(Bytes mac) {
+  mac.resize(kAes128KeySize);
+  return SymmetricKey{std::move(mac)};
+}
+}  // namespace
+
+SymmetricKey DeriveNameKey(const SymmetricKey& dek, std::string_view name) {
+  std::string label = "sharoes-name-key:";
+  label += name;
+  return Truncate(HmacSha256(dek.key, label));
+}
+
+SymmetricKey DeriveLabeled(const SymmetricKey& base, std::string_view label) {
+  return Truncate(HmacSha256(base.key, label));
+}
+
+}  // namespace sharoes::crypto::kdf

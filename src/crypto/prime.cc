@@ -1,0 +1,96 @@
+#include "crypto/prime.h"
+
+#include <cassert>
+#include <vector>
+
+namespace sharoes::crypto {
+
+namespace {
+
+// Small primes for trial-division pre-filtering of candidates.
+const std::vector<uint32_t>& SmallPrimes() {
+  static const std::vector<uint32_t>* primes = [] {
+    auto* v = new std::vector<uint32_t>();
+    constexpr uint32_t kLimit = 2000;
+    std::vector<bool> sieve(kLimit, true);
+    for (uint32_t i = 2; i < kLimit; ++i) {
+      if (!sieve[i]) continue;
+      v->push_back(i);
+      for (uint32_t j = 2 * i; j < kLimit; j += i) sieve[j] = false;
+    }
+    return v;
+  }();
+  return *primes;
+}
+
+// n mod d for small d without allocating.
+uint32_t ModSmall(const BigInt& n, uint32_t d) {
+  uint64_t rem = 0;
+  const auto& limbs = n.limbs();
+  for (size_t i = limbs.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs[i]) % d;
+  }
+  return static_cast<uint32_t>(rem);
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds) {
+  if (n.Compare(BigInt(2)) < 0) return false;
+  for (uint32_t p : SmallPrimes()) {
+    if (n.Compare(BigInt(p)) == 0) return true;
+    if (ModSmall(n, p) == 0) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  BigInt n_minus_1 = BigInt::Sub(n, BigInt(1));
+  BigInt d = n_minus_1;
+  size_t r = 0;
+  while (!d.IsOdd()) {
+    d = BigInt::ShiftRight(d, 1);
+    ++r;
+  }
+  BigInt n_minus_3 = BigInt::Sub(n, BigInt(3));
+  for (int round = 0; round < rounds; ++round) {
+    // a uniform in [2, n-2].
+    BigInt a = BigInt::Add(BigInt::RandomBelow(n_minus_3, rng), BigInt(2));
+    BigInt x = BigInt::ModExp(a, d, n);
+    if (x.IsOne() || x.Compare(n_minus_1) == 0) continue;
+    bool witness = true;
+    for (size_t i = 1; i < r; ++i) {
+      x = BigInt::ModMul(x, x, n);
+      if (x.Compare(n_minus_1) == 0) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt GeneratePrime(size_t bits, Rng& rng) {
+  assert(bits >= 16);
+  for (;;) {
+    BigInt candidate = BigInt::RandomWithBits(bits, rng);
+    if (!candidate.IsOdd()) candidate = BigInt::Add(candidate, BigInt(1));
+    // Scan forward in steps of 2 from the random start; bounded so the
+    // distribution stays near-uniform.
+    for (int step = 0; step < 256; ++step) {
+      bool divisible = false;
+      for (uint32_t p : SmallPrimes()) {
+        if (ModSmall(candidate, p) == 0 &&
+            candidate.Compare(BigInt(p)) != 0) {
+          divisible = true;
+          break;
+        }
+      }
+      if (!divisible && candidate.BitLength() == bits &&
+          IsProbablePrime(candidate, rng)) {
+        return candidate;
+      }
+      candidate = BigInt::Add(candidate, BigInt(2));
+    }
+  }
+}
+
+}  // namespace sharoes::crypto

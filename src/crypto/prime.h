@@ -1,0 +1,22 @@
+// Probabilistic prime generation for RSA key generation.
+
+#ifndef SHAROES_CRYPTO_PRIME_H_
+#define SHAROES_CRYPTO_PRIME_H_
+
+#include "crypto/bignum.h"
+#include "util/random.h"
+
+namespace sharoes::crypto {
+
+/// Miller-Rabin primality test with `rounds` random bases.
+/// Error probability <= 4^-rounds for composites.
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds = 24);
+
+/// Generates a random probable prime with exactly `bits` bits. Candidates
+/// are pre-filtered by trial division against small primes before
+/// Miller-Rabin. `bits` must be >= 16.
+BigInt GeneratePrime(size_t bits, Rng& rng);
+
+}  // namespace sharoes::crypto
+
+#endif  // SHAROES_CRYPTO_PRIME_H_

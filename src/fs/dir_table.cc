@@ -1,0 +1,69 @@
+#include "fs/dir_table.h"
+
+#include <algorithm>
+
+namespace sharoes::fs {
+
+bool IsValidName(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  return name.find('/') == std::string::npos &&
+         name.find('\0') == std::string::npos;
+}
+
+Status DirTable::Add(const std::string& name, InodeNum inode) {
+  if (!IsValidName(name)) {
+    return Status::InvalidArgument("invalid entry name '" + name + "'");
+  }
+  if (Contains(name)) {
+    return Status::AlreadyExists("entry '" + name + "' already exists");
+  }
+  entries_.push_back(DirEntry{name, inode});
+  return Status::OK();
+}
+
+Status DirTable::Remove(const std::string& name) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const DirEntry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    return Status::NotFound("entry '" + name + "' not found");
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+std::optional<InodeNum> DirTable::Lookup(const std::string& name) const {
+  for (const DirEntry& e : entries_) {
+    if (e.name == name) return e.inode;
+  }
+  return std::nullopt;
+}
+
+Bytes DirTable::Serialize() const {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const DirEntry& e : entries_) {
+    w.PutString(e.name);
+    w.PutU64(e.inode);
+  }
+  return w.Take();
+}
+
+Result<DirTable> DirTable::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  uint32_t n = r.GetU32();
+  if (!r.ok() || n > r.remaining()) {
+    return Status::Corruption("truncated dir table");
+  }
+  DirTable t;
+  t.entries_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DirEntry e;
+    e.name = r.GetString();
+    e.inode = r.GetU64();
+    t.entries_.push_back(std::move(e));
+  }
+  SHAROES_RETURN_IF_ERROR(r.Finish("dir table"));
+  return t;
+}
+
+}  // namespace sharoes::fs

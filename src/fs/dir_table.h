@@ -1,0 +1,61 @@
+// The logical directory table: the data block of a directory, ext2-style
+// (paper §II-C.2): rows of (inode number, name). The SHAROES on-SSP
+// encoding adds per-row MEK / MVK columns and (for exec-only CAPs)
+// per-row encryption; that transformation lives in core/metadata_codec.
+
+#ifndef SHAROES_FS_DIR_TABLE_H_
+#define SHAROES_FS_DIR_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/types.h"
+#include "util/binary_io.h"
+#include "util/result.h"
+
+namespace sharoes::fs {
+
+struct DirEntry {
+  std::string name;
+  InodeNum inode = kInvalidInode;
+
+  bool operator==(const DirEntry& o) const {
+    return name == o.name && inode == o.inode;
+  }
+};
+
+/// Ordered list of directory entries. Names are unique.
+class DirTable {
+ public:
+  DirTable() = default;
+
+  /// Adds an entry; fails with AlreadyExists on duplicate names.
+  Status Add(const std::string& name, InodeNum inode);
+  /// Removes by name; NotFound if absent.
+  Status Remove(const std::string& name);
+  /// Looks up an inode by name.
+  std::optional<InodeNum> Lookup(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return Lookup(name).has_value();
+  }
+
+  const std::vector<DirEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  Bytes Serialize() const;
+  static Result<DirTable> Deserialize(const Bytes& data);
+
+  bool operator==(const DirTable& o) const { return entries_ == o.entries_; }
+
+ private:
+  std::vector<DirEntry> entries_;
+};
+
+/// Validates a single path component: nonempty, no '/', not "." or "..".
+bool IsValidName(const std::string& name);
+
+}  // namespace sharoes::fs
+
+#endif  // SHAROES_FS_DIR_TABLE_H_

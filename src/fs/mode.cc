@@ -1,0 +1,29 @@
+#include "fs/mode.h"
+
+namespace sharoes::fs {
+
+bool Mode::Parse(const std::string& s, Mode* out) {
+  if (s.size() != 9) return false;
+  uint16_t bits = 0;
+  static const char kLetters[3] = {'r', 'w', 'x'};
+  for (int i = 0; i < 9; ++i) {
+    char expected = kLetters[i % 3];
+    if (s[i] == expected) {
+      bits |= static_cast<uint16_t>(1 << (8 - i));
+    } else if (s[i] != '-') {
+      return false;
+    }
+  }
+  *out = Mode(bits);
+  return true;
+}
+
+std::string Mode::ToString() const {
+  std::string s;
+  for (int cls = 0; cls < 3; ++cls) {
+    s += PermTripleToString(ClassBits(cls));
+  }
+  return s;
+}
+
+}  // namespace sharoes::fs

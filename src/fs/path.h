@@ -1,0 +1,30 @@
+// Absolute-path parsing for the client filesystem.
+
+#ifndef SHAROES_FS_PATH_H_
+#define SHAROES_FS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sharoes::fs {
+
+/// Splits an absolute path ("/a/b/c") into components {"a","b","c"}.
+/// Rejects relative paths, empty components, "." and "..". "/" yields {}.
+Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+/// Joins components into an absolute path.
+std::string JoinPath(const std::vector<std::string>& components);
+
+/// Splits into (parent path, basename). Fails for "/".
+struct SplitParent {
+  std::string parent;
+  std::string name;
+};
+Result<SplitParent> SplitParentName(std::string_view path);
+
+}  // namespace sharoes::fs
+
+#endif  // SHAROES_FS_PATH_H_

@@ -1,0 +1,40 @@
+#include "fs/posix_monitor.h"
+
+namespace sharoes::fs {
+
+ResolvedPerms Resolve(const InodeAttrs& attrs, const Principal& who) {
+  if (who.uid == attrs.owner) {
+    return {PermClass::kOwner, attrs.mode.ClassBits(0)};
+  }
+  for (const AclEntry& e : attrs.acl) {
+    if (e.kind == AclEntry::Kind::kUser && e.id == who.uid) {
+      return {PermClass::kAclUser, e.perms};
+    }
+  }
+  // Owning group, then named-group ACL entries; POSIX takes the union of
+  // all matching group entries' permissions.
+  bool group_matched = false;
+  PermTriple group_perms = 0;
+  if (who.MemberOf(attrs.group)) {
+    group_matched = true;
+    group_perms |= attrs.mode.ClassBits(1);
+  }
+  bool acl_group_matched = false;
+  for (const AclEntry& e : attrs.acl) {
+    if (e.kind == AclEntry::Kind::kGroup && who.MemberOf(e.id)) {
+      acl_group_matched = true;
+      group_perms |= e.perms;
+    }
+  }
+  if (group_matched || acl_group_matched) {
+    return {group_matched ? PermClass::kGroup : PermClass::kAclGroup,
+            group_perms};
+  }
+  return {PermClass::kOther, attrs.mode.ClassBits(2)};
+}
+
+bool Allows(const InodeAttrs& attrs, const Principal& who, Access access) {
+  return Resolve(attrs, who).Has(access);
+}
+
+}  // namespace sharoes::fs

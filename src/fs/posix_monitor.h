@@ -1,0 +1,55 @@
+// The reference POSIX permission monitor: ground truth for what a local
+// *nix filesystem would allow. SHAROES' central correctness property is
+// that CAP-mediated access over the untrusted SSP matches this monitor
+// (up to the paper's two documented exceptions: write-only and write-exec
+// permissions are unsupported, §III-A/B).
+
+#ifndef SHAROES_FS_POSIX_MONITOR_H_
+#define SHAROES_FS_POSIX_MONITOR_H_
+
+#include <set>
+
+#include "fs/metadata.h"
+#include "fs/mode.h"
+#include "fs/types.h"
+
+namespace sharoes::fs {
+
+/// The accessing subject: a user plus their group memberships.
+struct Principal {
+  UserId uid = kInvalidUser;
+  std::set<GroupId> groups;
+
+  bool MemberOf(GroupId g) const { return groups.count(g) > 0; }
+};
+
+/// Which permission class (or ACL entry) applies to `who` for an object
+/// owned by (owner, group)? Mirrors POSIX evaluation order:
+/// owner -> named-user ACL -> owning/named group -> others.
+enum class PermClass : uint8_t {
+  kOwner = 0,
+  kGroup = 1,
+  kOther = 2,
+  kAclUser = 3,   // Matched a named-user ACL entry.
+  kAclGroup = 4,  // Matched a named-group ACL entry.
+};
+
+/// The resolved permission class plus its effective rwx triple.
+struct ResolvedPerms {
+  PermClass cls = PermClass::kOther;
+  PermTriple perms = 0;
+
+  bool Has(Access a) const {
+    return (perms & static_cast<uint8_t>(a)) != 0;
+  }
+};
+
+/// Resolves the class and effective rwx triple of `who` on an object.
+ResolvedPerms Resolve(const InodeAttrs& attrs, const Principal& who);
+
+/// True iff POSIX semantics grant `access` on the object itself.
+bool Allows(const InodeAttrs& attrs, const Principal& who, Access access);
+
+}  // namespace sharoes::fs
+
+#endif  // SHAROES_FS_POSIX_MONITOR_H_

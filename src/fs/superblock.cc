@@ -1,0 +1,27 @@
+#include "fs/superblock.h"
+
+namespace sharoes::fs {
+
+Bytes Superblock::Serialize() const {
+  BinaryWriter w;
+  w.PutU64(root_inode);
+  w.PutU64(total_inodes);
+  w.PutU64(next_inode);
+  w.PutBytes(root_mek);
+  w.PutBytes(root_mvk);
+  return w.Take();
+}
+
+Result<Superblock> Superblock::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  Superblock sb;
+  sb.root_inode = r.GetU64();
+  sb.total_inodes = r.GetU64();
+  sb.next_inode = r.GetU64();
+  sb.root_mek = r.GetBytes();
+  sb.root_mvk = r.GetBytes();
+  SHAROES_RETURN_IF_ERROR(r.Finish("superblock"));
+  return sb;
+}
+
+}  // namespace sharoes::fs

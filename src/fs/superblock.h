@@ -1,0 +1,41 @@
+// The filesystem superblock (paper §III-C): basic filesystem attributes
+// plus the bootstrap material for the namespace root. In SHAROES the
+// superblock additionally carries the root's MEK and MVK; it is stored at
+// the SSP once per authorized user, encrypted with that user's public key,
+// so mounting needs exactly one private-key operation and no out-of-band
+// channel.
+//
+// The key fields are raw bytes here (empty for the non-encrypting
+// baselines); core/ is responsible for their interpretation.
+
+#ifndef SHAROES_FS_SUPERBLOCK_H_
+#define SHAROES_FS_SUPERBLOCK_H_
+
+#include "fs/types.h"
+#include "util/binary_io.h"
+#include "util/result.h"
+
+namespace sharoes::fs {
+
+struct Superblock {
+  InodeNum root_inode = kRootInode;
+  uint64_t total_inodes = 0;
+  uint64_t next_inode = kRootInode + 1;
+  /// Serialized MEK of the root metadata object (empty if unencrypted).
+  Bytes root_mek;
+  /// Serialized MVK of the root metadata object (empty if unsigned).
+  Bytes root_mvk;
+
+  Bytes Serialize() const;
+  static Result<Superblock> Deserialize(const Bytes& data);
+
+  bool operator==(const Superblock& o) const {
+    return root_inode == o.root_inode && total_inodes == o.total_inodes &&
+           next_inode == o.next_inode && root_mek == o.root_mek &&
+           root_mvk == o.root_mvk;
+  }
+};
+
+}  // namespace sharoes::fs
+
+#endif  // SHAROES_FS_SUPERBLOCK_H_

@@ -1,0 +1,34 @@
+// Basic filesystem identifier types shared across layers.
+
+#ifndef SHAROES_FS_TYPES_H_
+#define SHAROES_FS_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sharoes::fs {
+
+/// Inode number (ext2-style; 0 is invalid, 1 is the namespace root "/").
+using InodeNum = uint64_t;
+constexpr InodeNum kInvalidInode = 0;
+constexpr InodeNum kRootInode = 1;
+
+/// Numeric user / group identities (the enterprise's own namespace; the
+/// SSP only ever sees hashes of these).
+using UserId = uint32_t;
+using GroupId = uint32_t;
+constexpr UserId kInvalidUser = 0xFFFFFFFF;
+constexpr GroupId kInvalidGroup = 0xFFFFFFFF;
+
+enum class FileType : uint8_t {
+  kFile = 0,
+  kDirectory = 1,
+};
+
+inline std::string FileTypeName(FileType t) {
+  return t == FileType::kDirectory ? "directory" : "file";
+}
+
+}  // namespace sharoes::fs
+
+#endif  // SHAROES_FS_TYPES_H_

@@ -1,0 +1,27 @@
+#include "net/network_model.h"
+
+namespace sharoes::net {
+
+double NetworkModel::RoundTripMs(size_t request_bytes,
+                                 size_t response_bytes) const {
+  double ms = 2 * latency_ms + per_request_ms;
+  if (uplink_bps > 0) {
+    ms += static_cast<double>(request_bytes) * 8.0 / uplink_bps * 1e3;
+  }
+  if (downlink_bps > 0) {
+    ms += static_cast<double>(response_bytes) * 8.0 / downlink_bps * 1e3;
+  }
+  return ms;
+}
+
+void Transport::ChargeRoundTrip(size_t request_bytes, size_t response_bytes) {
+  ++counters_.round_trips;
+  counters_.bytes_up += request_bytes;
+  counters_.bytes_down += response_bytes;
+  if (clock_ != nullptr) {
+    clock_->AdvanceMs(model_.RoundTripMs(request_bytes, response_bytes),
+                      CostCategory::kNetwork);
+  }
+}
+
+}  // namespace sharoes::net

@@ -1,0 +1,113 @@
+#include "net/tcp_stream.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sharoes::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status SendAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) return Status::IoError("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity cap.
+
+}  // namespace
+
+Result<TcpStream> TcpStream::Connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    CloseNow();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpStream::~TcpStream() { CloseNow(); }
+
+void TcpStream::CloseNow() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpStream::SendFrame(const Bytes& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("stream closed");
+  uint8_t header[4];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  SHAROES_RETURN_IF_ERROR(SendAll(fd_, header, 4));
+  return SendAll(fd_, payload.data(), payload.size());
+}
+
+Result<Bytes> TcpStream::RecvFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("stream closed");
+  uint8_t header[4];
+  SHAROES_RETURN_IF_ERROR(RecvAll(fd_, header, 4));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFrame) return Status::Corruption("oversized frame");
+  Bytes payload(len);
+  if (len > 0) {
+    SHAROES_RETURN_IF_ERROR(RecvAll(fd_, payload.data(), len));
+  }
+  return payload;
+}
+
+}  // namespace sharoes::net

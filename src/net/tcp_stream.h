@@ -1,0 +1,44 @@
+// A minimal blocking TCP stream with length-prefixed message framing
+// (the paper §IV: "we use TCP/IP sockets for the communication with the
+// SSP"). Used by the ssp::TcpSspDaemon / ssp::TcpSspChannel pair.
+
+#ifndef SHAROES_NET_TCP_STREAM_H_
+#define SHAROES_NET_TCP_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace sharoes::net {
+
+/// A connected, blocking TCP stream. Frames are a 4-byte little-endian
+/// length followed by the payload.
+class TcpStream {
+ public:
+  /// Connects to host:port ("127.0.0.1", 7070).
+  static Result<TcpStream> Connect(const std::string& host, uint16_t port);
+  /// Wraps an accepted file descriptor (takes ownership).
+  explicit TcpStream(int fd) : fd_(fd) {}
+  TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+  ~TcpStream();
+
+  /// Sends one framed message.
+  Status SendFrame(const Bytes& payload);
+  /// Receives one framed message (blocking). IoError on EOF/failure.
+  Result<Bytes> RecvFrame();
+
+  bool valid() const { return fd_ >= 0; }
+  void CloseNow();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace sharoes::net
+
+#endif  // SHAROES_NET_TCP_STREAM_H_

@@ -1,0 +1,229 @@
+#include "ssp/message.h"
+
+namespace sharoes::ssp {
+
+namespace {
+constexpr int kMaxBatchDepth = 2;  // A batch may not contain batches.
+}
+
+void Request::AppendTo(BinaryWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(op));
+  w->PutU64(inode);
+  w->PutU64(selector);
+  w->PutU32(user);
+  w->PutU32(group);
+  w->PutU32(block);
+  w->PutBytes(payload);
+  w->PutU32(static_cast<uint32_t>(batch.size()));
+  for (const Request& r : batch) r.AppendTo(w);
+}
+
+Bytes Request::Serialize() const {
+  BinaryWriter w;
+  AppendTo(&w);
+  return w.Take();
+}
+
+Result<Request> Request::ReadFrom(BinaryReader* r, int depth) {
+  if (depth >= kMaxBatchDepth) {
+    return Status::Corruption("nested batch in request");
+  }
+  Request req;
+  uint8_t op = r->GetU8();
+  if (r->ok() && op > static_cast<uint8_t>(OpCode::kBatch)) {
+    return Status::Corruption("unknown opcode");
+  }
+  req.op = static_cast<OpCode>(op);
+  req.inode = r->GetU64();
+  req.selector = r->GetU64();
+  req.user = r->GetU32();
+  req.group = r->GetU32();
+  req.block = r->GetU32();
+  req.payload = r->GetBytes();
+  uint32_t n = r->GetU32();
+  if (!r->ok() || n > r->remaining()) {
+    return Status::Corruption("truncated request");
+  }
+  if (n > 0 && req.op != OpCode::kBatch) {
+    return Status::Corruption("sub-requests on non-batch opcode");
+  }
+  req.batch.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SHAROES_ASSIGN_OR_RETURN(Request sub, ReadFrom(r, depth + 1));
+    req.batch.push_back(std::move(sub));
+  }
+  return req;
+}
+
+Result<Request> Request::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  SHAROES_ASSIGN_OR_RETURN(Request req, ReadFrom(&r, 0));
+  SHAROES_RETURN_IF_ERROR(r.Finish("request"));
+  return req;
+}
+
+Request Request::GetSuperblock(uint32_t user) {
+  Request r;
+  r.op = OpCode::kGetSuperblock;
+  r.user = user;
+  return r;
+}
+
+Request Request::PutSuperblock(uint32_t user, Bytes payload) {
+  Request r;
+  r.op = OpCode::kPutSuperblock;
+  r.user = user;
+  r.payload = std::move(payload);
+  return r;
+}
+
+Request Request::GetMetadata(fs::InodeNum inode, Selector sel) {
+  Request r;
+  r.op = OpCode::kGetMetadata;
+  r.inode = inode;
+  r.selector = sel;
+  return r;
+}
+
+Request Request::PutMetadata(fs::InodeNum inode, Selector sel, Bytes payload) {
+  Request r;
+  r.op = OpCode::kPutMetadata;
+  r.inode = inode;
+  r.selector = sel;
+  r.payload = std::move(payload);
+  return r;
+}
+
+Request Request::DeleteMetadata(fs::InodeNum inode, Selector sel) {
+  Request r;
+  r.op = OpCode::kDeleteMetadata;
+  r.inode = inode;
+  r.selector = sel;
+  return r;
+}
+
+Request Request::DeleteInodeMetadata(fs::InodeNum inode) {
+  Request r;
+  r.op = OpCode::kDeleteInodeMetadata;
+  r.inode = inode;
+  return r;
+}
+
+Request Request::GetUserMetadata(fs::InodeNum inode, uint32_t user) {
+  Request r;
+  r.op = OpCode::kGetUserMetadata;
+  r.inode = inode;
+  r.user = user;
+  return r;
+}
+
+Request Request::PutUserMetadata(fs::InodeNum inode, uint32_t user,
+                                 Bytes payload) {
+  Request r;
+  r.op = OpCode::kPutUserMetadata;
+  r.inode = inode;
+  r.user = user;
+  r.payload = std::move(payload);
+  return r;
+}
+
+Request Request::GetData(fs::InodeNum inode, uint32_t block) {
+  Request r;
+  r.op = OpCode::kGetData;
+  r.inode = inode;
+  r.block = block;
+  return r;
+}
+
+Request Request::PutData(fs::InodeNum inode, uint32_t block, Bytes payload) {
+  Request r;
+  r.op = OpCode::kPutData;
+  r.inode = inode;
+  r.block = block;
+  r.payload = std::move(payload);
+  return r;
+}
+
+Request Request::DeleteInodeData(fs::InodeNum inode) {
+  Request r;
+  r.op = OpCode::kDeleteInodeData;
+  r.inode = inode;
+  return r;
+}
+
+Request Request::GetGroupKey(uint32_t group, uint32_t user) {
+  Request r;
+  r.op = OpCode::kGetGroupKey;
+  r.group = group;
+  r.user = user;
+  return r;
+}
+
+Request Request::PutGroupKey(uint32_t group, uint32_t user, Bytes payload) {
+  Request r;
+  r.op = OpCode::kPutGroupKey;
+  r.group = group;
+  r.user = user;
+  r.payload = std::move(payload);
+  return r;
+}
+
+Request Request::DeleteGroupKey(uint32_t group, uint32_t user) {
+  Request r;
+  r.op = OpCode::kDeleteGroupKey;
+  r.group = group;
+  r.user = user;
+  return r;
+}
+
+Request Request::Batch(std::vector<Request> requests) {
+  Request r;
+  r.op = OpCode::kBatch;
+  r.batch = std::move(requests);
+  return r;
+}
+
+void Response::AppendTo(BinaryWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(status));
+  w->PutBytes(payload);
+  w->PutU32(static_cast<uint32_t>(batch.size()));
+  for (const Response& r : batch) r.AppendTo(w);
+}
+
+Bytes Response::Serialize() const {
+  BinaryWriter w;
+  AppendTo(&w);
+  return w.Take();
+}
+
+Result<Response> Response::ReadFrom(BinaryReader* r, int depth) {
+  if (depth >= kMaxBatchDepth) {
+    return Status::Corruption("nested batch in response");
+  }
+  Response resp;
+  uint8_t status = r->GetU8();
+  if (r->ok() && status > static_cast<uint8_t>(RespStatus::kBadRequest)) {
+    return Status::Corruption("unknown response status");
+  }
+  resp.status = static_cast<RespStatus>(status);
+  resp.payload = r->GetBytes();
+  uint32_t n = r->GetU32();
+  if (!r->ok() || n > r->remaining()) {
+    return Status::Corruption("truncated response");
+  }
+  resp.batch.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SHAROES_ASSIGN_OR_RETURN(Response sub, ReadFrom(r, depth + 1));
+    resp.batch.push_back(std::move(sub));
+  }
+  return resp;
+}
+
+Result<Response> Response::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  SHAROES_ASSIGN_OR_RETURN(Response resp, ReadFrom(&r, 0));
+  SHAROES_RETURN_IF_ERROR(r.Finish("response"));
+  return resp;
+}
+
+}  // namespace sharoes::ssp

@@ -1,0 +1,113 @@
+// The client <-> SSP wire protocol.
+//
+// The SSP performs no computation on data (paper §IV): it is a hashtable
+// of encrypted blobs keyed by inode number plus either a CAP selector
+// (Scheme-2), a user id (Scheme-1 / split points / superblocks), or a
+// block index (data). The protocol therefore has only get/put/delete
+// verbs plus a batch wrapper that lets a client combine the multiple
+// replica writes of one logical operation into one round trip ("metadata
+// send" / "parent-dir send" in the paper's Figure 8).
+
+#ifndef SHAROES_SSP_MESSAGE_H_
+#define SHAROES_SSP_MESSAGE_H_
+
+#include <vector>
+
+#include "fs/types.h"
+#include "util/binary_io.h"
+#include "util/result.h"
+
+namespace sharoes::ssp {
+
+enum class OpCode : uint8_t {
+  kGetSuperblock = 0,
+  kPutSuperblock = 1,
+  kDeleteSuperblock = 2,
+  kGetMetadata = 3,
+  kPutMetadata = 4,
+  kDeleteMetadata = 5,       // One (inode, selector) replica.
+  kDeleteInodeMetadata = 6,  // Every replica of an inode.
+  kGetUserMetadata = 7,      // Split-point per-user blocks (paper §III-D.2).
+  kPutUserMetadata = 8,
+  kDeleteUserMetadata = 9,
+  kGetData = 10,
+  kPutData = 11,
+  kDeleteInodeData = 12,  // Every data block of an inode.
+  kGetGroupKey = 13,
+  kPutGroupKey = 14,
+  kDeleteGroupKey = 15,
+  kBatch = 16,
+};
+
+/// Replica selector: which copy of an inode's metadata. Scheme-2 uses a
+/// CAP id, Scheme-1 a hash of the user id; the baselines use selector 0.
+using Selector = uint64_t;
+
+struct Request {
+  OpCode op = OpCode::kGetMetadata;
+  fs::InodeNum inode = fs::kInvalidInode;
+  Selector selector = 0;
+  uint32_t user = 0;
+  uint32_t group = 0;
+  uint32_t block = 0;
+  Bytes payload;
+  std::vector<Request> batch;  // Only for kBatch.
+
+  Bytes Serialize() const;
+  static Result<Request> Deserialize(const Bytes& data);
+
+  // Convenience constructors for the common shapes.
+  static Request GetSuperblock(uint32_t user);
+  static Request PutSuperblock(uint32_t user, Bytes payload);
+  static Request GetMetadata(fs::InodeNum inode, Selector sel);
+  static Request PutMetadata(fs::InodeNum inode, Selector sel, Bytes payload);
+  static Request DeleteMetadata(fs::InodeNum inode, Selector sel);
+  static Request DeleteInodeMetadata(fs::InodeNum inode);
+  static Request GetUserMetadata(fs::InodeNum inode, uint32_t user);
+  static Request PutUserMetadata(fs::InodeNum inode, uint32_t user,
+                                 Bytes payload);
+  static Request GetData(fs::InodeNum inode, uint32_t block);
+  static Request PutData(fs::InodeNum inode, uint32_t block, Bytes payload);
+  static Request DeleteInodeData(fs::InodeNum inode);
+  static Request GetGroupKey(uint32_t group, uint32_t user);
+  static Request PutGroupKey(uint32_t group, uint32_t user, Bytes payload);
+  static Request DeleteGroupKey(uint32_t group, uint32_t user);
+  static Request Batch(std::vector<Request> requests);
+
+ private:
+  void AppendTo(BinaryWriter* w) const;
+  static Result<Request> ReadFrom(BinaryReader* r, int depth);
+};
+
+enum class RespStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kBadRequest = 2,
+};
+
+struct Response {
+  RespStatus status = RespStatus::kOk;
+  Bytes payload;
+  std::vector<Response> batch;
+
+  bool ok() const { return status == RespStatus::kOk; }
+
+  Bytes Serialize() const;
+  static Result<Response> Deserialize(const Bytes& data);
+
+  static Response Ok(Bytes payload = {}) {
+    return Response{RespStatus::kOk, std::move(payload), {}};
+  }
+  static Response NotFound() { return Response{RespStatus::kNotFound, {}, {}}; }
+  static Response BadRequest() {
+    return Response{RespStatus::kBadRequest, {}, {}};
+  }
+
+ private:
+  void AppendTo(BinaryWriter* w) const;
+  static Result<Response> ReadFrom(BinaryReader* r, int depth);
+};
+
+}  // namespace sharoes::ssp
+
+#endif  // SHAROES_SSP_MESSAGE_H_

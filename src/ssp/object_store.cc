@@ -1,0 +1,236 @@
+#include "ssp/object_store.h"
+
+#include <fstream>
+
+namespace sharoes::ssp {
+
+namespace {
+template <typename Map, typename Key>
+std::optional<Bytes> Find(const Map& m, const Key& k) {
+  auto it = m.find(k);
+  if (it == m.end()) return std::nullopt;
+  return it->second;
+}
+}  // namespace
+
+void ObjectStore::PutSuperblock(uint32_t user, Bytes blob) {
+  superblocks_[user] = std::move(blob);
+}
+
+std::optional<Bytes> ObjectStore::GetSuperblock(uint32_t user) const {
+  return Find(superblocks_, user);
+}
+
+void ObjectStore::DeleteSuperblock(uint32_t user) { superblocks_.erase(user); }
+
+void ObjectStore::PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob) {
+  metadata_[{inode, sel}] = std::move(blob);
+}
+
+std::optional<Bytes> ObjectStore::GetMetadata(fs::InodeNum inode,
+                                              Selector sel) const {
+  return Find(metadata_, std::make_pair(inode, sel));
+}
+
+void ObjectStore::DeleteMetadata(fs::InodeNum inode, Selector sel) {
+  metadata_.erase({inode, sel});
+}
+
+void ObjectStore::DeleteInodeMetadata(fs::InodeNum inode) {
+  auto it = metadata_.lower_bound({inode, 0});
+  while (it != metadata_.end() && it->first.first == inode) {
+    it = metadata_.erase(it);
+  }
+}
+
+size_t ObjectStore::MetadataReplicaCount(fs::InodeNum inode) const {
+  size_t n = 0;
+  for (auto it = metadata_.lower_bound({inode, 0});
+       it != metadata_.end() && it->first.first == inode; ++it) {
+    ++n;
+  }
+  return n;
+}
+
+void ObjectStore::PutUserMetadata(fs::InodeNum inode, uint32_t user,
+                                  Bytes blob) {
+  user_metadata_[{inode, user}] = std::move(blob);
+}
+
+std::optional<Bytes> ObjectStore::GetUserMetadata(fs::InodeNum inode,
+                                                  uint32_t user) const {
+  return Find(user_metadata_, std::make_pair(inode, user));
+}
+
+void ObjectStore::DeleteUserMetadata(fs::InodeNum inode, uint32_t user) {
+  user_metadata_.erase({inode, user});
+}
+
+void ObjectStore::PutData(fs::InodeNum inode, uint32_t block, Bytes blob) {
+  data_[{inode, block}] = std::move(blob);
+}
+
+std::optional<Bytes> ObjectStore::GetData(fs::InodeNum inode,
+                                          uint32_t block) const {
+  return Find(data_, std::make_pair(inode, block));
+}
+
+void ObjectStore::DeleteInodeData(fs::InodeNum inode) {
+  auto it = data_.lower_bound({inode, 0});
+  while (it != data_.end() && it->first.first == inode) {
+    it = data_.erase(it);
+  }
+}
+
+void ObjectStore::PutGroupKey(uint32_t group, uint32_t user, Bytes blob) {
+  group_keys_[{group, user}] = std::move(blob);
+}
+
+std::optional<Bytes> ObjectStore::GetGroupKey(uint32_t group,
+                                              uint32_t user) const {
+  return Find(group_keys_, std::make_pair(group, user));
+}
+
+void ObjectStore::DeleteGroupKey(uint32_t group, uint32_t user) {
+  group_keys_.erase({group, user});
+}
+
+StorageStats ObjectStore::Stats() const {
+  StorageStats s;
+  for (const auto& [k, v] : superblocks_) {
+    (void)k;
+    s.superblock_bytes += v.size();
+    ++s.object_count;
+  }
+  for (const auto& [k, v] : metadata_) {
+    (void)k;
+    s.metadata_bytes += v.size();
+    ++s.object_count;
+  }
+  for (const auto& [k, v] : user_metadata_) {
+    (void)k;
+    s.user_metadata_bytes += v.size();
+    ++s.object_count;
+  }
+  for (const auto& [k, v] : data_) {
+    (void)k;
+    s.data_bytes += v.size();
+    ++s.object_count;
+  }
+  for (const auto& [k, v] : group_keys_) {
+    (void)k;
+    s.group_key_bytes += v.size();
+    ++s.object_count;
+  }
+  return s;
+}
+
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x53535031;  // "SSP1".
+
+template <typename K1, typename K2>
+void PutPairMap(BinaryWriter* w, const std::map<std::pair<K1, K2>, Bytes>& m) {
+  w->PutU32(static_cast<uint32_t>(m.size()));
+  for (const auto& [key, blob] : m) {
+    w->PutU64(static_cast<uint64_t>(key.first));
+    w->PutU64(static_cast<uint64_t>(key.second));
+    w->PutBytes(blob);
+  }
+}
+
+template <typename K1, typename K2>
+Status GetPairMap(BinaryReader* r, std::map<std::pair<K1, K2>, Bytes>* m) {
+  uint32_t n = r->GetU32();
+  if (!r->ok() || n > r->remaining()) {
+    return Status::Corruption("truncated store map");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    K1 k1 = static_cast<K1>(r->GetU64());
+    K2 k2 = static_cast<K2>(r->GetU64());
+    (*m)[{k1, k2}] = r->GetBytes();
+  }
+  return r->ok() ? Status::OK() : Status::Corruption("truncated store map");
+}
+
+}  // namespace
+
+Bytes ObjectStore::Serialize() const {
+  BinaryWriter w;
+  w.PutU32(kStoreMagic);
+  w.PutU32(static_cast<uint32_t>(superblocks_.size()));
+  for (const auto& [user, blob] : superblocks_) {
+    w.PutU32(user);
+    w.PutBytes(blob);
+  }
+  PutPairMap(&w, metadata_);
+  PutPairMap(&w, user_metadata_);
+  PutPairMap(&w, data_);
+  PutPairMap(&w, group_keys_);
+  return w.Take();
+}
+
+Result<ObjectStore> ObjectStore::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  if (r.GetU32() != kStoreMagic) {
+    return Status::Corruption("not an SSP store snapshot");
+  }
+  ObjectStore store;
+  uint32_t n_super = r.GetU32();
+  if (!r.ok() || n_super > r.remaining()) {
+    return Status::Corruption("truncated store snapshot");
+  }
+  for (uint32_t i = 0; i < n_super; ++i) {
+    uint32_t user = r.GetU32();
+    store.superblocks_[user] = r.GetBytes();
+  }
+  SHAROES_RETURN_IF_ERROR(GetPairMap(&r, &store.metadata_));
+  SHAROES_RETURN_IF_ERROR(GetPairMap(&r, &store.user_metadata_));
+  SHAROES_RETURN_IF_ERROR(GetPairMap(&r, &store.data_));
+  SHAROES_RETURN_IF_ERROR(GetPairMap(&r, &store.group_keys_));
+  SHAROES_RETURN_IF_ERROR(r.Finish("store snapshot"));
+  return store;
+}
+
+Status ObjectStore::SaveToFile(const std::string& path) const {
+  Bytes data = Serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good() ? Status::OK()
+                    : Status::IoError("short write to '" + path + "'");
+}
+
+Result<ObjectStore> ObjectStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return Deserialize(data);
+}
+
+bool ObjectStore::CorruptMetadata(fs::InodeNum inode, Selector sel,
+                                  size_t offset, uint8_t mask) {
+  auto it = metadata_.find({inode, sel});
+  if (it == metadata_.end() || it->second.empty()) return false;
+  it->second[offset % it->second.size()] ^= mask;
+  return true;
+}
+
+bool ObjectStore::CorruptData(fs::InodeNum inode, uint32_t block,
+                              size_t offset, uint8_t mask) {
+  auto it = data_.find({inode, block});
+  if (it == data_.end() || it->second.empty()) return false;
+  it->second[offset % it->second.size()] ^= mask;
+  return true;
+}
+
+bool ObjectStore::ReplaceData(fs::InodeNum inode, uint32_t block, Bytes blob) {
+  auto it = data_.find({inode, block});
+  if (it == data_.end()) return false;
+  it->second = std::move(blob);
+  return true;
+}
+
+}  // namespace sharoes::ssp

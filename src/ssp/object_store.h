@@ -1,0 +1,101 @@
+// The SSP's storage: a set of hashtables of opaque encrypted blobs
+// ("it simply maintains a large hashtable for encrypted metadata objects
+// and encrypted data blocks", paper §IV). Includes fault injection used
+// by the integrity tests and storage accounting used by the Scheme-1 /
+// Scheme-2 cost ablation.
+
+#ifndef SHAROES_SSP_OBJECT_STORE_H_
+#define SHAROES_SSP_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "fs/types.h"
+#include "ssp/message.h"
+#include "util/binary_io.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace sharoes::ssp {
+
+/// Storage accounting by object family.
+struct StorageStats {
+  uint64_t superblock_bytes = 0;
+  uint64_t metadata_bytes = 0;
+  uint64_t user_metadata_bytes = 0;
+  uint64_t data_bytes = 0;
+  uint64_t group_key_bytes = 0;
+  uint64_t object_count = 0;
+
+  uint64_t total_bytes() const {
+    return superblock_bytes + metadata_bytes + user_metadata_bytes +
+           data_bytes + group_key_bytes;
+  }
+};
+
+/// Pure key-value storage; no knowledge of plaintext structure.
+class ObjectStore {
+ public:
+  // Superblocks, keyed by user.
+  void PutSuperblock(uint32_t user, Bytes blob);
+  std::optional<Bytes> GetSuperblock(uint32_t user) const;
+  void DeleteSuperblock(uint32_t user);
+
+  // Metadata replicas, keyed by (inode, selector).
+  void PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob);
+  std::optional<Bytes> GetMetadata(fs::InodeNum inode, Selector sel) const;
+  void DeleteMetadata(fs::InodeNum inode, Selector sel);
+  void DeleteInodeMetadata(fs::InodeNum inode);
+  /// Number of replicas currently stored for an inode.
+  size_t MetadataReplicaCount(fs::InodeNum inode) const;
+
+  // Per-user metadata blocks (split points).
+  void PutUserMetadata(fs::InodeNum inode, uint32_t user, Bytes blob);
+  std::optional<Bytes> GetUserMetadata(fs::InodeNum inode,
+                                       uint32_t user) const;
+  void DeleteUserMetadata(fs::InodeNum inode, uint32_t user);
+
+  // Data blocks, keyed by (inode, block index).
+  void PutData(fs::InodeNum inode, uint32_t block, Bytes blob);
+  std::optional<Bytes> GetData(fs::InodeNum inode, uint32_t block) const;
+  void DeleteInodeData(fs::InodeNum inode);
+
+  // Group key blocks, keyed by (group, user).
+  void PutGroupKey(uint32_t group, uint32_t user, Bytes blob);
+  std::optional<Bytes> GetGroupKey(uint32_t group, uint32_t user) const;
+  void DeleteGroupKey(uint32_t group, uint32_t user);
+
+  StorageStats Stats() const;
+
+  /// Whole-store snapshot/restore (the daemon's persistence format). The
+  /// store only ever holds ciphertext, so the snapshot file is as opaque
+  /// to its holder as the live store is to the SSP.
+  Bytes Serialize() const;
+  static Result<ObjectStore> Deserialize(const Bytes& data);
+  /// File-level convenience used by sharoes_sspd --store.
+  Status SaveToFile(const std::string& path) const;
+  static Result<ObjectStore> LoadFromFile(const std::string& path);
+
+  // --- Fault injection (the "malicious SSP" of the threat model) ---
+  /// XORs `mask` into one byte of a stored metadata replica. Returns false
+  /// if absent.
+  bool CorruptMetadata(fs::InodeNum inode, Selector sel, size_t offset,
+                       uint8_t mask = 0xFF);
+  bool CorruptData(fs::InodeNum inode, uint32_t block, size_t offset,
+                   uint8_t mask = 0xFF);
+  /// Replaces a data block wholesale (rollback / substitution attack).
+  bool ReplaceData(fs::InodeNum inode, uint32_t block, Bytes blob);
+
+ private:
+  std::map<uint32_t, Bytes> superblocks_;
+  std::map<std::pair<fs::InodeNum, Selector>, Bytes> metadata_;
+  std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> user_metadata_;
+  std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> data_;
+  std::map<std::pair<uint32_t, uint32_t>, Bytes> group_keys_;
+};
+
+}  // namespace sharoes::ssp
+
+#endif  // SHAROES_SSP_OBJECT_STORE_H_

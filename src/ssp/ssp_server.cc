@@ -1,0 +1,93 @@
+#include "ssp/ssp_server.h"
+
+namespace sharoes::ssp {
+
+namespace {
+Response FromOptional(std::optional<Bytes> blob) {
+  if (!blob.has_value()) return Response::NotFound();
+  return Response::Ok(std::move(*blob));
+}
+}  // namespace
+
+Bytes SspServer::HandleWire(const Bytes& request_bytes) {
+  auto req = Request::Deserialize(request_bytes);
+  if (!req.ok()) return Response::BadRequest().Serialize();
+  return Handle(*req).Serialize();
+}
+
+Response SspServer::Handle(const Request& req) {
+  if (req.op == OpCode::kBatch) {
+    Response resp;
+    resp.status = RespStatus::kOk;
+    resp.batch.reserve(req.batch.size());
+    for (const Request& sub : req.batch) {
+      if (sub.op == OpCode::kBatch) {
+        resp.batch.push_back(Response::BadRequest());
+        continue;
+      }
+      resp.batch.push_back(HandleOne(sub));
+    }
+    return resp;
+  }
+  return HandleOne(req);
+}
+
+Response SspServer::HandleOne(const Request& req) {
+  switch (req.op) {
+    case OpCode::kGetSuperblock:
+      return FromOptional(store_.GetSuperblock(req.user));
+    case OpCode::kPutSuperblock:
+      store_.PutSuperblock(req.user, req.payload);
+      return Response::Ok();
+    case OpCode::kDeleteSuperblock:
+      store_.DeleteSuperblock(req.user);
+      return Response::Ok();
+    case OpCode::kGetMetadata:
+      return FromOptional(store_.GetMetadata(req.inode, req.selector));
+    case OpCode::kPutMetadata:
+      store_.PutMetadata(req.inode, req.selector, req.payload);
+      return Response::Ok();
+    case OpCode::kDeleteMetadata:
+      store_.DeleteMetadata(req.inode, req.selector);
+      return Response::Ok();
+    case OpCode::kDeleteInodeMetadata:
+      store_.DeleteInodeMetadata(req.inode);
+      return Response::Ok();
+    case OpCode::kGetUserMetadata:
+      return FromOptional(store_.GetUserMetadata(req.inode, req.user));
+    case OpCode::kPutUserMetadata:
+      store_.PutUserMetadata(req.inode, req.user, req.payload);
+      return Response::Ok();
+    case OpCode::kDeleteUserMetadata:
+      store_.DeleteUserMetadata(req.inode, req.user);
+      return Response::Ok();
+    case OpCode::kGetData:
+      return FromOptional(store_.GetData(req.inode, req.block));
+    case OpCode::kPutData:
+      store_.PutData(req.inode, req.block, req.payload);
+      return Response::Ok();
+    case OpCode::kDeleteInodeData:
+      store_.DeleteInodeData(req.inode);
+      return Response::Ok();
+    case OpCode::kGetGroupKey:
+      return FromOptional(store_.GetGroupKey(req.group, req.user));
+    case OpCode::kPutGroupKey:
+      store_.PutGroupKey(req.group, req.user, req.payload);
+      return Response::Ok();
+    case OpCode::kDeleteGroupKey:
+      store_.DeleteGroupKey(req.group, req.user);
+      return Response::Ok();
+    case OpCode::kBatch:
+      return Response::BadRequest();  // Handled by Handle().
+  }
+  return Response::BadRequest();
+}
+
+Result<Response> SspConnection::Call(const Request& req) {
+  Bytes wire_request = req.Serialize();
+  Bytes wire_response = server_->HandleWire(wire_request);
+  transport_->ChargeRoundTrip(wire_request.size(), wire_response.size());
+  return Response::Deserialize(wire_response);
+}
+
+}  // namespace sharoes::ssp

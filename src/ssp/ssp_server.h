@@ -1,0 +1,64 @@
+// The SSP data-serving tool (paper §IV) and the client-side connection.
+//
+// SspServer decodes protocol requests and executes them against an
+// ObjectStore — nothing else; it cannot decrypt, verify or authorize.
+// SspConnection is the client's stub: it serializes each request,
+// charges the round trip on the simulated WAN, and decodes the response,
+// exactly as a TCP connection to a remote SSP would behave (minus the
+// wall-clock waiting).
+
+#ifndef SHAROES_SSP_SSP_SERVER_H_
+#define SHAROES_SSP_SSP_SERVER_H_
+
+#include "net/network_model.h"
+#include "ssp/object_store.h"
+
+namespace sharoes::ssp {
+
+/// Server side: request execution against the store.
+class SspServer {
+ public:
+  SspServer() = default;
+
+  /// Handles one serialized request, returning a serialized response.
+  Bytes HandleWire(const Bytes& request_bytes);
+  /// Handles one decoded request.
+  Response Handle(const Request& req);
+
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+
+ private:
+  Response HandleOne(const Request& req);
+
+  ObjectStore store_;
+};
+
+/// Client-side channel to an SSP. Two implementations exist: the
+/// simulated-WAN SspConnection below (benchmarks, tests) and the real
+/// socket-backed net::TcpSspChannel (see net/tcp_channel.h).
+class SspChannel {
+ public:
+  virtual ~SspChannel() = default;
+  /// Full protocol round trip. Corruption statuses are returned (not
+  /// asserted) since a malicious SSP may send garbage.
+  virtual Result<Response> Call(const Request& req) = 0;
+};
+
+/// In-process channel over the simulated WAN: serialize, charge the
+/// network model, execute, deserialize.
+class SspConnection : public SspChannel {
+ public:
+  SspConnection(SspServer* server, net::Transport* transport)
+      : server_(server), transport_(transport) {}
+
+  Result<Response> Call(const Request& req) override;
+
+ private:
+  SspServer* server_;        // Not owned.
+  net::Transport* transport_;  // Not owned.
+};
+
+}  // namespace sharoes::ssp
+
+#endif  // SHAROES_SSP_SSP_SERVER_H_

@@ -1,0 +1,118 @@
+#include "ssp/tcp_service.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sharoes::ssp {
+
+namespace {
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+Result<std::unique_ptr<TcpSspDaemon>> TcpSspDaemon::Start(SspServer* server,
+                                                          uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  return std::unique_ptr<TcpSspDaemon>(
+      new TcpSspDaemon(server, fd, ntohs(addr.sin_port)));
+}
+
+TcpSspDaemon::TcpSspDaemon(SspServer* server, int listen_fd, uint16_t port)
+    : server_(server), listen_fd_(listen_fd), port_(port) {
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+TcpSspDaemon::~TcpSspDaemon() { Shutdown(); }
+
+void TcpSspDaemon::Shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Unblock accept() by closing the listening socket.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+    // Kick worker threads out of their blocking recv() calls.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_fds_.clear();
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpSspDaemon::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // Listener broken; stop serving.
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    conn_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpSspDaemon::ServeConnection(int fd) {
+  net::TcpStream stream(fd);
+  for (;;) {
+    auto request = stream.RecvFrame();
+    if (!request.ok()) return;  // Peer closed or broken.
+    Bytes response;
+    {
+      // The SSP is a simple serialized hashtable (paper §IV).
+      std::lock_guard<std::mutex> lock(serve_mutex_);
+      response = server_->HandleWire(*request);
+    }
+    if (!stream.SendFrame(response).ok()) return;
+  }
+}
+
+Result<std::unique_ptr<TcpSspChannel>> TcpSspChannel::Connect(
+    const std::string& host, uint16_t port) {
+  SHAROES_ASSIGN_OR_RETURN(net::TcpStream stream,
+                           net::TcpStream::Connect(host, port));
+  return std::unique_ptr<TcpSspChannel>(new TcpSspChannel(std::move(stream)));
+}
+
+Result<Response> TcpSspChannel::Call(const Request& req) {
+  SHAROES_RETURN_IF_ERROR(stream_.SendFrame(req.Serialize()));
+  SHAROES_ASSIGN_OR_RETURN(Bytes wire, stream_.RecvFrame());
+  return Response::Deserialize(wire);
+}
+
+}  // namespace sharoes::ssp

@@ -1,0 +1,70 @@
+// The SSP as a real network service: a threaded TCP daemon serving an
+// SspServer, and the client channel that talks to it. The simulated-WAN
+// SspConnection remains the default for benchmarks (deterministic costs);
+// this pair exists so the SSP can run across processes or machines
+// (`tools/sharoes_sspd`), exactly as the paper's data-serving tool does.
+
+#ifndef SHAROES_SSP_TCP_SERVICE_H_
+#define SHAROES_SSP_TCP_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_stream.h"
+#include "ssp/ssp_server.h"
+
+namespace sharoes::ssp {
+
+/// Serves an SspServer over TCP with one thread per connection. Requests
+/// are executed serialized (the paper's SSP is a simple hashtable).
+class TcpSspDaemon {
+ public:
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral) and starts the accept
+  /// loop on a background thread.
+  static Result<std::unique_ptr<TcpSspDaemon>> Start(SspServer* server,
+                                                     uint16_t port);
+  ~TcpSspDaemon();
+
+  uint16_t port() const { return port_; }
+  /// Stops accepting and joins all threads. Idempotent.
+  void Shutdown();
+
+ private:
+  TcpSspDaemon(SspServer* server, int listen_fd, uint16_t port);
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  SspServer* server_;
+  int listen_fd_;
+  uint16_t port_;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex serve_mutex_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  /// Live connection fds; force-shutdown() on daemon Shutdown so worker
+  /// threads blocked in recv() unblock and exit.
+  std::vector<int> conn_fds_;
+};
+
+/// Client-side channel over a real TCP connection.
+class TcpSspChannel : public SspChannel {
+ public:
+  static Result<std::unique_ptr<TcpSspChannel>> Connect(
+      const std::string& host, uint16_t port);
+
+  Result<Response> Call(const Request& req) override;
+
+ private:
+  explicit TcpSspChannel(net::TcpStream stream)
+      : stream_(std::move(stream)) {}
+  net::TcpStream stream_;
+};
+
+}  // namespace sharoes::ssp
+
+#endif  // SHAROES_SSP_TCP_SERVICE_H_

@@ -1,0 +1,100 @@
+#include "util/binary_io.h"
+
+namespace sharoes {
+
+void BinaryWriter::PutU8(uint8_t v) { buf_.push_back(v); }
+
+void BinaryWriter::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutBytes(const Bytes& b) {
+  PutU32(static_cast<uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::PutRaw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void BinaryWriter::PutRaw(const Bytes& b) { PutRaw(b.data(), b.size()); }
+
+bool BinaryReader::Need(size_t n) {
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t BinaryReader::GetU8() {
+  if (!Need(1)) return 0;
+  return data_[pos_++];
+}
+
+uint16_t BinaryReader::GetU16() {
+  if (!Need(2)) return 0;
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+uint32_t BinaryReader::GetU32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t BinaryReader::GetU64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Bytes BinaryReader::GetBytes() {
+  uint32_t len = GetU32();
+  return GetRaw(len);
+}
+
+std::string BinaryReader::GetString() {
+  Bytes b = GetBytes();
+  return std::string(b.begin(), b.end());
+}
+
+Bytes BinaryReader::GetRaw(size_t len) {
+  if (!Need(len)) return {};
+  Bytes out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+Status BinaryReader::Finish(std::string_view what) const {
+  if (!ok()) {
+    return Status::Corruption("truncated " + std::string(what));
+  }
+  if (!AtEnd()) {
+    return Status::Corruption("trailing bytes in " + std::string(what));
+  }
+  return Status::OK();
+}
+
+}  // namespace sharoes

@@ -1,0 +1,81 @@
+// Little-endian binary serialization used by all on-SSP structures
+// (metadata, directory tables, superblocks, key blocks, messages).
+//
+// Readers never trust their input: every accessor checks bounds and the
+// reader latches into a failed state on the first malformed read, which
+// callers surface as Status::Corruption.
+
+#ifndef SHAROES_UTIL_BINARY_IO_H_
+#define SHAROES_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace sharoes {
+
+/// Appends primitive values to a growing byte buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Length-prefixed (u32) byte string.
+  void PutBytes(const Bytes& b);
+  /// Length-prefixed (u32) UTF-8/raw string.
+  void PutString(std::string_view s);
+  /// Raw bytes with no length prefix (fixed-size fields).
+  void PutRaw(const uint8_t* data, size_t len);
+  void PutRaw(const Bytes& b);
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequentially decodes values written by BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  Bytes GetBytes();
+  std::string GetString();
+  /// Reads exactly `len` raw bytes.
+  Bytes GetRaw(size_t len);
+
+  /// True iff every read so far was in-bounds.
+  bool ok() const { return !failed_; }
+  /// True iff ok() and the whole buffer was consumed.
+  bool AtEnd() const { return ok() && pos_ == size_; }
+  size_t remaining() const { return failed_ ? 0 : size_ - pos_; }
+
+  /// Convenience: Corruption status if decoding failed or trailing bytes
+  /// remain, OK otherwise.
+  Status Finish(std::string_view what) const;
+
+ private:
+  bool Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace sharoes
+
+#endif  // SHAROES_UTIL_BINARY_IO_H_

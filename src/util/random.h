@@ -1,0 +1,45 @@
+// Random number generation.
+//
+// SHAROES is a research reproduction running against a simulated SSP, so a
+// fast, seedable generator (xoshiro256**) is used everywhere: tests and
+// benchmarks need determinism. A production deployment would substitute an
+// OS CSPRNG behind the same interface.
+
+#ifndef SHAROES_UTIL_RANDOM_H_
+#define SHAROES_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace sharoes {
+
+/// Seedable xoshiro256** generator.
+///
+/// Thread-compatible (not thread-safe); each thread should own one.
+class Rng {
+ public:
+  /// Deterministic stream from `seed` (SplitMix64-expanded).
+  explicit Rng(uint64_t seed);
+  /// Nondeterministic seed from std::random_device.
+  Rng();
+
+  uint64_t NextU64();
+  /// Uniform in [0, bound); bound must be > 0. Unbiased (rejection).
+  uint64_t NextBelow(uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+  double NextDouble();  // [0, 1)
+  bool NextBool() { return (NextU64() & 1) != 0; }
+
+  /// Fills `n` random bytes.
+  Bytes NextBytes(size_t n);
+  void Fill(uint8_t* out, size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sharoes
+
+#endif  // SHAROES_UTIL_RANDOM_H_

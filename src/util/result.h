@@ -1,0 +1,79 @@
+// Result<T>: a value-or-Status, the return type of fallible producers.
+
+#ifndef SHAROES_UTIL_RESULT_H_
+#define SHAROES_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace sharoes {
+
+/// Holds either a T or a non-OK Status. Construct implicitly from either.
+///
+/// Example:
+///   Result<Metadata> r = codec.Decode(bytes);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;  // OK iff value_ engaged.
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating the error or binding the
+/// value into `lhs`. `lhs` may include a type, e.g.
+///   SHAROES_ASSIGN_OR_RETURN(auto meta, codec.Decode(bytes));
+#define SHAROES_ASSIGN_OR_RETURN(lhs, expr)                   \
+  SHAROES_ASSIGN_OR_RETURN_IMPL(                              \
+      SHAROES_RESULT_CONCAT(_result_tmp_, __LINE__), lhs, expr)
+
+#define SHAROES_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define SHAROES_RESULT_CONCAT_INNER(a, b) a##b
+#define SHAROES_RESULT_CONCAT(a, b) SHAROES_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace sharoes
+
+#endif  // SHAROES_UTIL_RESULT_H_

@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace sharoes {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kPermissionDenied:
+      return "permission-denied";
+    case StatusCode::kIntegrityError:
+      return "integrity-error";
+    case StatusCode::kCryptoError:
+      return "crypto-error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace sharoes

@@ -1,0 +1,129 @@
+// Status: error handling without exceptions (Arrow / RocksDB idiom).
+//
+// Every fallible operation in SHAROES returns a Status (or a Result<T>,
+// see util/result.h). A Status is cheap to copy in the OK case (no
+// allocation) and carries a code plus a human-readable message otherwise.
+
+#ifndef SHAROES_UTIL_STATUS_H_
+#define SHAROES_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sharoes {
+
+/// Error categories used across the SHAROES codebase.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // Caller passed something malformed.
+  kNotFound,          // Object / path / key block does not exist.
+  kAlreadyExists,     // Create of an existing name.
+  kPermissionDenied,  // The CAP (or reference monitor) denies the access.
+  kIntegrityError,    // Signature or hash verification failed (tampering).
+  kCryptoError,       // Padding / size / key failure inside the crypto stack.
+  kCorruption,        // Undecodable bytes (serialization framing broken).
+  kUnsupported,       // Permission combinations the paper cannot support
+                      // (e.g. write-only files) or unimplemented features.
+  kFailedPrecondition,// Operation invalid in the current state.
+  kIoError,           // Simulated transport / store failure.
+  kInternal,          // Invariant violation; indicates a bug.
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "not-found").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status IntegrityError(std::string msg) {
+    return Status(StatusCode::kIntegrityError, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string* empty = new std::string();
+    return rep_ ? rep_->message : *empty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
+  }
+  bool IsIntegrityError() const {
+    return code() == StatusCode::kIntegrityError;
+  }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so copies are cheap; Status values are immutable once built.
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define SHAROES_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::sharoes::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace sharoes
+
+#endif  // SHAROES_UTIL_STATUS_H_

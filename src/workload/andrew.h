@@ -1,0 +1,40 @@
+// The (Modified) Andrew Benchmark (paper §V-C, Figures 11-12): a software
+// development workload in five phases —
+//   1. create the directory skeleton recursively,
+//   2. copy a source tree into it,
+//   3. stat every file without touching data,
+//   4. read every byte of every file,
+//   5. compile and link (CPU-heavy; reads sources, writes objects).
+
+#ifndef SHAROES_WORKLOAD_ANDREW_H_
+#define SHAROES_WORKLOAD_ANDREW_H_
+
+#include "workload/harness.h"
+#include "workload/tree_gen.h"
+
+namespace sharoes::workload {
+
+struct AndrewParams {
+  SourceTreeParams source;
+  /// CPU time to compile one source file (charged to OTHER; calibrated
+  /// to a P4-class gcc at roughly 0.8 s per file).
+  double compile_cpu_ms = 800;
+  double link_cpu_ms = 3000;
+};
+
+struct AndrewResult {
+  CostSnapshot phase[5];
+  CostSnapshot Total() const {
+    CostSnapshot t;
+    for (const CostSnapshot& p : phase) t += p;
+    return t;
+  }
+};
+
+/// Runs all five phases. Caches are dropped between phases (each phase in
+/// the original benchmark revalidates through the filesystem).
+AndrewResult RunAndrew(BenchWorld& world, const AndrewParams& params);
+
+}  // namespace sharoes::workload
+
+#endif  // SHAROES_WORKLOAD_ANDREW_H_

@@ -1,0 +1,34 @@
+// The Create-And-List micro-benchmark (paper §V-A.1, Figure 9):
+// create 500 empty files in 25 directories, then perform a recursive
+// listing ("ls -lR") that stats every file and directory.
+
+#ifndef SHAROES_WORKLOAD_CREATE_LIST_H_
+#define SHAROES_WORKLOAD_CREATE_LIST_H_
+
+#include "workload/harness.h"
+
+namespace sharoes::workload {
+
+struct CreateListParams {
+  int dirs = 25;
+  int files_per_dir = 20;  // 25 * 20 = 500 files, as in the paper.
+  fs::Mode dir_mode = fs::Mode::FromOctal(0755);
+  fs::Mode file_mode = fs::Mode::FromOctal(0644);
+};
+
+struct CreateListResult {
+  CostSnapshot create;
+  CostSnapshot list;
+  int files_created = 0;
+  int objects_stated = 0;
+};
+
+/// Runs both phases against `world` (caches dropped before the list
+/// phase, as a fresh `ls -lR` fetches everything). Aborts the process on
+/// filesystem errors — benchmarks must not silently skip work.
+CreateListResult RunCreateList(BenchWorld& world,
+                               const CreateListParams& params);
+
+}  // namespace sharoes::workload
+
+#endif  // SHAROES_WORKLOAD_CREATE_LIST_H_

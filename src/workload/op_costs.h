@@ -1,0 +1,27 @@
+// Per-operation cost probes (paper §V-D, Figure 13): the NETWORK /
+// CRYPTO / OTHER decomposition of getattr, mkdir under different CAP
+// requirements, and 1 MB data I/O.
+
+#ifndef SHAROES_WORKLOAD_OP_COSTS_H_
+#define SHAROES_WORKLOAD_OP_COSTS_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/harness.h"
+
+namespace sharoes::workload {
+
+struct OpCost {
+  std::string op;
+  CostSnapshot cost;
+};
+
+/// Runs the Figure-13 probes against a SHAROES world:
+///   getattr, mkdir:rwx (mode 770), mkdir:--x (mode 711),
+///   mkdir:both (mode 771), read-1MB, write+close-1MB.
+std::vector<OpCost> RunOpCostProbes(BenchWorld& world);
+
+}  // namespace sharoes::workload
+
+#endif  // SHAROES_WORKLOAD_OP_COSTS_H_

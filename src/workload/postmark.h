@@ -1,0 +1,37 @@
+// The Postmark benchmark (paper §V-B, Figure 10): 500 small files
+// (500 B – 9.77 KB), then 500 transactions of reads, appends, creates and
+// deletes — a metadata-intensive mail/web-server workload. The client
+// cache size (as a percentage of total data size) is the swept variable.
+
+#ifndef SHAROES_WORKLOAD_POSTMARK_H_
+#define SHAROES_WORKLOAD_POSTMARK_H_
+
+#include "workload/harness.h"
+
+namespace sharoes::workload {
+
+struct PostmarkParams {
+  int files = 500;
+  int transactions = 500;
+  size_t min_size = 500;
+  size_t max_size = 10003;  // 9.77 KB, Postmark's default upper bound.
+  int subdirs = 25;
+  uint64_t seed = 99;
+};
+
+struct PostmarkResult {
+  CostSnapshot setup;        // Initial file creation.
+  CostSnapshot transactions; // The measured transaction phase.
+  size_t data_bytes = 0;     // Total size of the initial file set.
+  int reads = 0, appends = 0, creates = 0, deletes = 0;
+};
+
+/// Runs Postmark against `world` with the client cache capped at
+/// `cache_fraction` (0.0 – 1.0) of the initial data size. The paper's
+/// Figure 10 sweeps this fraction.
+PostmarkResult RunPostmark(BenchWorld& world, const PostmarkParams& params,
+                           double cache_fraction);
+
+}  // namespace sharoes::workload
+
+#endif  // SHAROES_WORKLOAD_POSTMARK_H_

@@ -1,0 +1,85 @@
+#include "workload/report.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace sharoes::workload {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << "  " << cells[i]
+         << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  size_t total = 2;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::Print() const { std::cout << ToString() << std::flush; }
+
+std::string Seconds(double s) {
+  char buf[64];
+  if (s >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f", s);
+  } else if (s >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", s);
+  }
+  return buf;
+}
+
+std::string Seconds(const CostSnapshot& snap) { return Seconds(snap.total_s()); }
+
+std::string Percent(double value, double baseline) {
+  if (baseline <= 0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (value / baseline - 1.0) * 100.0);
+  return buf;
+}
+
+std::string Decompose(const CostSnapshot& snap) {
+  double total = static_cast<double>(snap.total_ns);
+  if (total <= 0) return "-";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "net %.0f%% / crypto %.0f%% / other %.0f%%",
+                100.0 * snap.network_ns() / total,
+                100.0 * snap.crypto_ns() / total,
+                100.0 * snap.other_ns() / total);
+  return buf;
+}
+
+std::string Millis(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
+void Heading(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n" << std::flush;
+}
+
+}  // namespace sharoes::workload

@@ -1,0 +1,44 @@
+// Small fixed-width table printer for benchmark output. Each bench binary
+// prints the same rows/series the paper's table or figure reports, plus a
+// paper-reference column where applicable.
+
+#ifndef SHAROES_WORKLOAD_REPORT_H_
+#define SHAROES_WORKLOAD_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace sharoes::workload {
+
+/// Accumulates rows and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders to stdout.
+  void Print() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3" style seconds with sensible precision.
+std::string Seconds(double s);
+std::string Seconds(const CostSnapshot& snap);
+/// "12.3%" relative overhead vs. a baseline (can be negative).
+std::string Percent(double value, double baseline);
+/// "NETWORK 85% / CRYPTO 5% / OTHER 10%" style decomposition.
+std::string Decompose(const CostSnapshot& snap);
+std::string Millis(double ms);
+
+/// Prints a section heading.
+void Heading(const std::string& title);
+
+}  // namespace sharoes::workload
+
+#endif  // SHAROES_WORKLOAD_REPORT_H_

@@ -1,0 +1,87 @@
+#include "workload/tree_gen.h"
+
+namespace sharoes::workload {
+
+namespace {
+
+const char* kWords[] = {"storage", "service", "provider", "encrypt",
+                        "metadata", "directory", "access",  "control",
+                        "symmetric", "key",     "inode",    "block"};
+
+core::LocalNode GenerateDir(const TreeGenParams& p, Rng& rng, int depth,
+                            const std::string& name) {
+  bool exec_only = rng.NextDouble() < p.exec_only_dir_fraction;
+  fs::Mode dir_mode = exec_only ? fs::Mode::FromOctal(0711)
+                                : fs::Mode::FromOctal(0755);
+  core::LocalNode dir = core::LocalNode::Dir(name, p.owner, p.group, dir_mode);
+  for (int f = 0; f < p.files_per_dir; ++f) {
+    size_t size = rng.NextInRange(p.min_file_size, p.max_file_size);
+    bool group_file = rng.NextDouble() < p.group_file_fraction;
+    fs::Mode mode = group_file ? fs::Mode::FromOctal(0640)
+                               : fs::Mode::FromOctal(0644);
+    dir.children.push_back(core::LocalNode::File(
+        "file" + std::to_string(f) + ".dat", p.owner, p.group, mode,
+        GenerateContent(rng, size)));
+  }
+  if (depth < p.depth) {
+    for (int d = 0; d < p.dirs_per_dir; ++d) {
+      dir.children.push_back(
+          GenerateDir(p, rng, depth + 1, "dir" + std::to_string(d)));
+    }
+  }
+  return dir;
+}
+
+}  // namespace
+
+Bytes GenerateContent(Rng& rng, size_t size) {
+  Bytes out;
+  out.reserve(size + 16);
+  while (out.size() < size) {
+    const char* w = kWords[rng.NextBelow(std::size(kWords))];
+    while (*w != '\0' && out.size() < size) out.push_back(*w++);
+    if (out.size() < size) {
+      out.push_back(rng.NextBelow(12) == 0 ? '\n' : ' ');
+    }
+  }
+  return out;
+}
+
+core::LocalNode GenerateTree(const TreeGenParams& params) {
+  Rng rng(params.seed);
+  core::LocalNode root = GenerateDir(params, rng, 0, "");
+  root.mode = fs::Mode::FromOctal(0755);  // Root stays traversable.
+  return root;
+}
+
+SourceTree GenerateSourceTree(const SourceTreeParams& params) {
+  Rng rng(params.seed);
+  SourceTree tree;
+  // A shallow two-level layout: top-level modules with a couple of
+  // subdirectories each, like a small C project.
+  int top = std::max(1, params.dirs / 3);
+  for (int i = 0; i < top && static_cast<int>(tree.dirs.size()) <
+                                params.dirs;
+       ++i) {
+    std::string mod = "mod" + std::to_string(i);
+    tree.dirs.push_back(mod);
+    for (int j = 0; j < 2 && static_cast<int>(tree.dirs.size()) <
+                                 params.dirs;
+         ++j) {
+      tree.dirs.push_back(mod + "/sub" + std::to_string(j));
+    }
+  }
+  for (int f = 0; f < params.files; ++f) {
+    SourceFile file;
+    file.dir = tree.dirs[rng.NextBelow(tree.dirs.size())];
+    const char* ext = (f % 4 == 0) ? ".h" : ".c";
+    file.name = "src" + std::to_string(f) + ext;
+    size_t size = rng.NextInRange(params.min_file_size, params.max_file_size);
+    file.content = GenerateContent(rng, size);
+    tree.total_bytes += file.content.size();
+    tree.files.push_back(std::move(file));
+  }
+  return tree;
+}
+
+}  // namespace sharoes::workload

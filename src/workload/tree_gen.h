@@ -1,0 +1,67 @@
+// Synthetic filesystem tree generators.
+//
+// The paper's motivating study ([13]: >70% of surveyed users protect
+// directories with exec-only permissions) is reflected in the generator's
+// permission profile knobs; its enterprise traces are proprietary, so
+// these generators are the documented substitution (DESIGN.md §2).
+
+#ifndef SHAROES_WORKLOAD_TREE_GEN_H_
+#define SHAROES_WORKLOAD_TREE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/migration.h"
+#include "util/random.h"
+
+namespace sharoes::workload {
+
+struct TreeGenParams {
+  int depth = 2;
+  int dirs_per_dir = 3;
+  int files_per_dir = 5;
+  size_t min_file_size = 256;
+  size_t max_file_size = 8192;
+  fs::UserId owner = 100;
+  fs::GroupId group = 500;
+  /// Probability that a directory is exec-only for group/others
+  /// (rwx--x--x), vs. world-traversable (rwxr-xr-x).
+  double exec_only_dir_fraction = 0.7;
+  /// Probability that a file is group-readable (rw-r-----), vs. world-
+  /// readable (rw-r--r--).
+  double group_file_fraction = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Generates a rooted tree spec for migration.
+core::LocalNode GenerateTree(const TreeGenParams& params);
+
+/// Pseudo-text content of the given size (deterministic per rng state).
+Bytes GenerateContent(Rng& rng, size_t size);
+
+/// A flat file list, as used by the Andrew benchmark's source tree.
+struct SourceFile {
+  std::string dir;   // Relative directory, e.g. "lib/util".
+  std::string name;  // e.g. "alloc.c".
+  Bytes content;
+};
+
+struct SourceTreeParams {
+  int dirs = 20;
+  int files = 70;
+  size_t min_file_size = 1024;
+  size_t max_file_size = 16384;
+  uint64_t seed = 7;
+};
+
+struct SourceTree {
+  std::vector<std::string> dirs;   // Relative paths, parents first.
+  std::vector<SourceFile> files;
+  size_t total_bytes = 0;
+};
+
+SourceTree GenerateSourceTree(const SourceTreeParams& params);
+
+}  // namespace sharoes::workload
+
+#endif  // SHAROES_WORKLOAD_TREE_GEN_H_

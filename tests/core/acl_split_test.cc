@@ -1,0 +1,151 @@
+// POSIX ACL and split-point tests (paper §III-D.2): permissions that
+// diverge from the owner/group/others classes are served through
+// per-user (or per-group) RSA-wrapped blocks.
+
+#include <gtest/gtest.h>
+
+#include "testing/world.h"
+
+namespace sharoes {
+namespace {
+
+using core::LocalNode;
+using testing::kAlice;
+using testing::kBob;
+using testing::kCarol;
+using testing::kEng;
+using testing::kSales;
+using testing::World;
+
+TEST(AclSplitTest, NamedUserAclGrantsAccess) {
+  // carol is neither owner nor in eng, but an ACL entry names her.
+  World world;
+  LocalNode root =
+      LocalNode::Dir("", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+  LocalNode f = LocalNode::File("secret.txt", kAlice, kEng,
+                                World::ParseMode("rw-r-----"),
+                                ToBytes("for carol too"));
+  f.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kUser, kCarol, 4});
+  root.children.push_back(std::move(f));
+  ASSERT_TRUE(world.MigrateAndMountAll(root).ok());
+
+  auto read = world.client(kCarol).Read("/secret.txt");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(ToString(*read), "for carol too");
+}
+
+TEST(AclSplitTest, NamedUserAclCanBeWeakerThanClass) {
+  // bob is in eng (class perms rw-), but an ACL pins him to r--.
+  World world;
+  LocalNode root =
+      LocalNode::Dir("", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+  LocalNode f = LocalNode::File("plan.txt", kAlice, kEng,
+                                World::ParseMode("rw-rw----"),
+                                ToBytes("plan"));
+  f.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kUser, kBob, 4});
+  root.children.push_back(std::move(f));
+  ASSERT_TRUE(world.MigrateAndMountAll(root).ok());
+
+  ASSERT_TRUE(world.client(kBob).Read("/plan.txt").ok());
+  Status w = world.client(kBob).Write("/plan.txt", ToBytes("defaced"));
+  EXPECT_FALSE(w.ok());
+  EXPECT_TRUE(w.IsPermissionDenied()) << w;
+}
+
+TEST(AclSplitTest, NamedGroupAcl) {
+  // The sales group gets read via a group ACL entry.
+  World world;
+  LocalNode root =
+      LocalNode::Dir("", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+  LocalNode f = LocalNode::File("memo.txt", kAlice, kEng,
+                                World::ParseMode("rw-r-----"),
+                                ToBytes("memo"));
+  f.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kGroup, kSales, 4});
+  root.children.push_back(std::move(f));
+  ASSERT_TRUE(world.MigrateAndMountAll(root).ok());
+
+  // carol is in sales.
+  auto read = world.client(kCarol).Read("/memo.txt");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(ToString(*read), "memo");
+}
+
+TEST(AclSplitTest, CrossOwnedHomeDirsSplitAndResolve) {
+  // The canonical split: /home holds alice's and bob's homes. With a
+  // second eng member (dave), the group copy of /home is read by bob and
+  // dave, who diverge on /home/bob (owner vs. group) — a split row.
+  World world;
+  world.AddUser(200, "dave");
+  ASSERT_TRUE(world.provisioner().AddGroupMember(kEng, 200).ok());
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  EXPECT_GT(world.migration_stats().split_blocks, 0u);
+
+  // bob reaches his own private home through the split row.
+  auto own = world.client(kBob).Read("/home/bob/secret.txt");
+  ASSERT_TRUE(own.ok()) << own.status();
+  // and alice still cannot.
+  EXPECT_FALSE(world.client(kAlice).Read("/home/bob/secret.txt").ok());
+}
+
+TEST(AclSplitTest, GroupSplitBlockUsedByMembers) {
+  // A child whose owner differs from the parent-copy readers: group
+  // members resolve through the shared group block (fetched with the
+  // group private key obtained at mount, paper §II-A).
+  World world;
+  LocalNode root =
+      LocalNode::Dir("", kCarol, kSales, World::ParseMode("rwxr-xr-x"));
+  // alice's file inside carol's tree; eng members (alice, bob) read it
+  // via their group class.
+  root.children.push_back(LocalNode::File(
+      "eng-report.txt", kAlice, kEng, World::ParseMode("rw-r-----"),
+      ToBytes("report")));
+  ASSERT_TRUE(world.MigrateAndMountAll(root).ok());
+
+  auto read = world.client(kBob).Read("/eng-report.txt");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(ToString(*read), "report");
+  // carol (owner of the dir, but not in eng) cannot read the file.
+  EXPECT_FALSE(world.client(kCarol).Read("/eng-report.txt").ok());
+}
+
+TEST(AclSplitTest, AclUserCreatedAtRuntime) {
+  // ACLs attached at creation time through the client API.
+  World world;
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  core::CreateOptions opts;
+  opts.mode = World::ParseMode("rw-------");
+  opts.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kUser, kCarol, 4});
+  ASSERT_TRUE(world.client(kAlice).Create("/shared/for-carol", opts).ok());
+  ASSERT_TRUE(world.client(kAlice)
+                  .WriteFile("/shared/for-carol", ToBytes("psst"))
+                  .ok());
+  // carol cannot traverse /shared (rwxrwx---)... the ACL is on the file,
+  // not the directory, so she is still blocked — verify both layers.
+  EXPECT_FALSE(world.client(kCarol).Read("/shared/for-carol").ok());
+  // bob (group member of /shared, but mode rw------- and no ACL) is
+  // blocked by the file itself.
+  auto bob = world.client(kBob).Read("/shared/for-carol");
+  EXPECT_FALSE(bob.ok());
+  EXPECT_TRUE(bob.status().IsPermissionDenied()) << bob.status();
+}
+
+TEST(AclSplitTest, AclFileInTraversableDir) {
+  World world;
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  core::CreateOptions opts;
+  opts.mode = World::ParseMode("rw-------");
+  opts.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kUser, kCarol, 4});
+  // /home is rwxr-xr-x: carol can traverse it.
+  ASSERT_TRUE(world.client(kAlice).Create("/home/for-carol", opts).ok());
+  ASSERT_TRUE(world.client(kAlice)
+                  .WriteFile("/home/for-carol", ToBytes("psst"))
+                  .ok());
+  auto read = world.client(kCarol).Read("/home/for-carol");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(ToString(*read), "psst");
+  // bob has no ACL entry and no class rights.
+  EXPECT_FALSE(world.client(kBob).Read("/home/for-carol").ok());
+}
+
+}  // namespace
+}  // namespace sharoes

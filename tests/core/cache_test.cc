@@ -1,0 +1,100 @@
+#include "core/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sharoes::core {
+namespace {
+
+TEST(LruCacheTest, PutGet) {
+  LruCache cache(1000);
+  cache.Put<int>("a", 7, 10);
+  auto v = cache.Get<int>("a");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+  EXPECT_EQ(cache.Get<int>("missing"), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, ReplaceUpdatesSize) {
+  LruCache cache(1000);
+  cache.Put<int>("a", 1, 100);
+  cache.Put<int>("a", 2, 300);
+  EXPECT_EQ(cache.size_bytes(), 300u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(*cache.Get<int>("a"), 2);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(100);
+  cache.Put<int>("a", 1, 40);
+  cache.Put<int>("b", 2, 40);
+  EXPECT_NE(cache.Get<int>("a"), nullptr);  // a is now most recent.
+  cache.Put<int>("c", 3, 40);               // Evicts b.
+  EXPECT_NE(cache.Get<int>("a"), nullptr);
+  EXPECT_EQ(cache.Get<int>("b"), nullptr);
+  EXPECT_NE(cache.Get<int>("c"), nullptr);
+  EXPECT_LE(cache.size_bytes(), 100u);
+}
+
+TEST(LruCacheTest, OversizedEntryEvictsEverything) {
+  LruCache cache(100);
+  cache.Put<int>("a", 1, 50);
+  cache.Put<int>("big", 2, 500);  // Cannot fit; evicts all, then itself.
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache cache(0);
+  cache.Put<int>("a", 1, 10);
+  EXPECT_EQ(cache.Get<int>("a"), nullptr);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(LruCacheTest, EraseAndErasePrefix) {
+  LruCache cache(1000);
+  cache.Put<int>("m|1|0", 1, 10);
+  cache.Put<int>("m|1|2", 2, 10);
+  cache.Put<int>("m|10|0", 3, 10);
+  cache.Put<int>("t|1|0", 4, 10);
+  cache.ErasePrefix("m|1|");
+  EXPECT_EQ(cache.Get<int>("m|1|0"), nullptr);
+  EXPECT_EQ(cache.Get<int>("m|1|2"), nullptr);
+  EXPECT_NE(cache.Get<int>("m|10|0"), nullptr);  // Different inode.
+  EXPECT_NE(cache.Get<int>("t|1|0"), nullptr);
+  cache.Erase("t|1|0");
+  EXPECT_EQ(cache.Get<int>("t|1|0"), nullptr);
+  cache.Erase("not-there");  // No-op.
+}
+
+TEST(LruCacheTest, ClearResetsSize) {
+  LruCache cache(1000);
+  cache.Put<std::string>("k", "value", 50);
+  cache.Clear();
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  EXPECT_EQ(cache.Get<std::string>("k"), nullptr);
+}
+
+TEST(LruCacheTest, ShrinkCapacityEvicts) {
+  LruCache cache(100);
+  cache.Put<int>("a", 1, 40);
+  cache.Put<int>("b", 2, 40);
+  cache.set_capacity(50);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_LE(cache.size_bytes(), 50u);
+  cache.set_capacity(0);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(LruCacheTest, PutPtrSharesValue) {
+  LruCache cache(1000);
+  auto sp = std::make_shared<const std::string>("shared");
+  cache.PutPtr<std::string>("k", sp, 10);
+  auto got = cache.Get<std::string>("k");
+  EXPECT_EQ(got.get(), sp.get());
+}
+
+}  // namespace
+}  // namespace sharoes::core

@@ -1,0 +1,183 @@
+// Tests of CAP class assignment: selectors, replicas, universes, rows.
+
+#include <gtest/gtest.h>
+
+#include "core/cap_class.h"
+
+namespace sharoes::core {
+namespace {
+
+class CapClassTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Users 1..4; group 10 = {2, 3}.
+    for (fs::UserId uid : {1u, 2u, 3u, 4u}) {
+      UserInfo u;
+      u.id = uid;
+      u.name = "u" + std::to_string(uid);
+      ASSERT_TRUE(dir_.AddUser(u).ok());
+    }
+    GroupInfo g;
+    g.id = 10;
+    g.name = "g";
+    g.members = {2, 3};
+    ASSERT_TRUE(dir_.AddGroup(g).ok());
+  }
+
+  OwnershipInfo Obj(fs::UserId owner, fs::GroupId group, uint16_t octal,
+                    fs::FileType type = fs::FileType::kFile) {
+    OwnershipInfo o;
+    o.owner = owner;
+    o.group = group;
+    o.mode = fs::Mode::FromOctal(octal);
+    o.type = type;
+    return o;
+  }
+
+  IdentityDirectory dir_;
+};
+
+TEST_F(CapClassTest, ClassSelectors) {
+  OwnershipInfo o = Obj(1, 10, 0640);
+  EXPECT_EQ(SelectorFor(o, dir_.PrincipalOf(1), Scheme::kScheme2),
+            kOwnerSelector);
+  EXPECT_EQ(SelectorFor(o, dir_.PrincipalOf(2), Scheme::kScheme2),
+            kGroupSelector);
+  EXPECT_EQ(SelectorFor(o, dir_.PrincipalOf(4), Scheme::kScheme2),
+            kOtherSelector);
+}
+
+TEST_F(CapClassTest, AclSelectors) {
+  OwnershipInfo o = Obj(1, 10, 0640);
+  o.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kUser, 4, 6});  // rw-
+  Selector s = SelectorFor(o, dir_.PrincipalOf(4), Scheme::kScheme2);
+  EXPECT_EQ(s, AclSelector(6));
+  EXPECT_NE(s, kOtherSelector);
+}
+
+TEST_F(CapClassTest, Scheme1UserSelectors) {
+  OwnershipInfo o = Obj(1, 10, 0640);
+  EXPECT_EQ(SelectorFor(o, dir_.PrincipalOf(3), Scheme::kScheme1),
+            UserSelector(3));
+  EXPECT_TRUE(IsUserSelector(UserSelector(3)));
+  EXPECT_FALSE(IsUserSelector(kOwnerSelector));
+  EXPECT_FALSE(IsUserSelector(kMasterSelector));
+  EXPECT_FALSE(IsUserSelector(TableSelector(UserSelector(3))));
+}
+
+TEST_F(CapClassTest, SpecForDegradesPerms) {
+  // Directory with group rw- (degrades to r--).
+  OwnershipInfo o = Obj(1, 10, 0760, fs::FileType::kDirectory);
+  ReplicaSpec spec = SpecFor(o, dir_.PrincipalOf(2), Scheme::kScheme2);
+  EXPECT_EQ(spec.selector, kGroupSelector);
+  EXPECT_EQ(spec.effective, 4);
+  EXPECT_FALSE(spec.owner);
+  ReplicaSpec owner = SpecFor(o, dir_.PrincipalOf(1), Scheme::kScheme2);
+  EXPECT_TRUE(owner.owner);
+}
+
+TEST_F(CapClassTest, ReplicasForScheme2) {
+  OwnershipInfo o = Obj(1, 10, 0640);
+  std::vector<ReplicaSpec> specs =
+      ReplicasFor(o, Scheme::kScheme2, dir_);
+  // Owner + group (users 2,3) + other (user 4).
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].selector, kOwnerSelector);
+  EXPECT_TRUE(specs[0].owner);
+  EXPECT_EQ(specs[1].selector, kGroupSelector);
+  EXPECT_EQ(specs[2].selector, kOtherSelector);
+}
+
+TEST_F(CapClassTest, ReplicasForSkipsEmptyClasses) {
+  // Owner is the only registered user matching: group 999 has no members
+  // registered... use a fresh directory with a single user.
+  IdentityDirectory lone;
+  UserInfo u;
+  u.id = 7;
+  u.name = "lone";
+  ASSERT_TRUE(lone.AddUser(u).ok());
+  OwnershipInfo o = Obj(7, 999, 0640);
+  std::vector<ReplicaSpec> specs = ReplicasFor(o, Scheme::kScheme2, lone);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].selector, kOwnerSelector);
+}
+
+TEST_F(CapClassTest, ReplicasForScheme1IsPerUser) {
+  OwnershipInfo o = Obj(1, 10, 0640);
+  std::vector<ReplicaSpec> specs =
+      ReplicasFor(o, Scheme::kScheme1, dir_);
+  EXPECT_EQ(specs.size(), 4u);  // One per registered user.
+}
+
+TEST_F(CapClassTest, ReplicasForIncludesAclTriples) {
+  OwnershipInfo o = Obj(1, 10, 0640);
+  o.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kUser, 4, 6});
+  std::vector<ReplicaSpec> specs =
+      ReplicasFor(o, Scheme::kScheme2, dir_);
+  bool has_acl = false;
+  for (const ReplicaSpec& s : specs) {
+    if (s.selector == AclSelector(6)) has_acl = true;
+  }
+  EXPECT_TRUE(has_acl);
+}
+
+TEST_F(CapClassTest, UniverseOfPartitionsUsers) {
+  OwnershipInfo o = Obj(1, 10, 0640);
+  auto owner_u = UniverseOf(o, kOwnerSelector, Scheme::kScheme2, dir_);
+  auto group_u = UniverseOf(o, kGroupSelector, Scheme::kScheme2, dir_);
+  auto other_u = UniverseOf(o, kOtherSelector, Scheme::kScheme2, dir_);
+  EXPECT_EQ(owner_u, (std::vector<fs::UserId>{1}));
+  EXPECT_EQ(group_u, (std::vector<fs::UserId>{2, 3}));
+  EXPECT_EQ(other_u, (std::vector<fs::UserId>{4}));
+  // Every user appears exactly once across the partition.
+  EXPECT_EQ(owner_u.size() + group_u.size() + other_u.size(),
+            dir_.user_count());
+}
+
+TEST_F(CapClassTest, PlanRowUniformWhenAligned) {
+  // Child owned like the parent: all "group" readers of the parent map
+  // to the child's group class.
+  OwnershipInfo child = Obj(1, 10, 0640);
+  RowPlan plan = PlanRow(child, {2, 3}, Scheme::kScheme2, dir_);
+  EXPECT_TRUE(plan.uniform);
+  EXPECT_EQ(plan.selector, kGroupSelector);
+}
+
+TEST_F(CapClassTest, PlanRowSplitsOnDivergence) {
+  // User 2 owns the child; user 3 is a group member. A parent copy read
+  // by both must split.
+  OwnershipInfo child = Obj(2, 10, 0640);
+  RowPlan plan = PlanRow(child, {2, 3}, Scheme::kScheme2, dir_);
+  EXPECT_FALSE(plan.uniform);
+  EXPECT_EQ(plan.per_user.at(2), kOwnerSelector);
+  EXPECT_EQ(plan.per_user.at(3), kGroupSelector);
+}
+
+TEST_F(CapClassTest, PlanRowSplitsOnAcl) {
+  OwnershipInfo child = Obj(1, 10, 0644);
+  child.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kUser, 4, 6});
+  // Parent "other" readers: user 4 hits the ACL, a hypothetical user 5
+  // would be "other" — with just user 4 it is uniform at the ACL selector.
+  RowPlan plan = PlanRow(child, {4}, Scheme::kScheme2, dir_);
+  EXPECT_TRUE(plan.uniform);
+  EXPECT_EQ(plan.selector, AclSelector(6));
+}
+
+TEST_F(CapClassTest, PlanRowEmptyUniverse) {
+  OwnershipInfo child = Obj(1, 10, 0640);
+  RowPlan plan = PlanRow(child, {}, Scheme::kScheme2, dir_);
+  EXPECT_TRUE(plan.uniform);
+}
+
+TEST_F(CapClassTest, TableSelectorDisjointFromReplicaSelectors) {
+  for (Selector s : {kOwnerSelector, kGroupSelector, kOtherSelector,
+                     AclSelector(5), UserSelector(77), kMasterSelector}) {
+    if (s != kMasterSelector) {
+      EXPECT_NE(TableSelector(s), s);
+    }
+    EXPECT_NE(TableSelector(s), kOwnerSelector);
+  }
+}
+
+}  // namespace
+}  // namespace sharoes::core

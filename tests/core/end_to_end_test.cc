@@ -1,0 +1,279 @@
+// End-to-end tests of the SHAROES system: migration, mounting, in-band
+// key distribution, *nix sharing semantics over the untrusted SSP.
+
+#include <gtest/gtest.h>
+
+#include "testing/world.h"
+
+namespace sharoes {
+namespace {
+
+using core::CreateOptions;
+using testing::kAlice;
+using testing::kBob;
+using testing::kCarol;
+using testing::kEng;
+using testing::World;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<World>();
+    ASSERT_TRUE(world_->MigrateAndMountAll(World::DefaultTree()).ok());
+  }
+  std::unique_ptr<World> world_;
+};
+
+TEST_F(EndToEndTest, MountSucceedsForAllUsers) {
+  // SetUp mounted everyone; a re-mount also works.
+  EXPECT_TRUE(world_->Mount(kAlice).ok());
+}
+
+TEST_F(EndToEndTest, OwnerReadsOwnFile) {
+  auto content = world_->client(kAlice).Read("/home/alice/notes.txt");
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "alice's notes");
+}
+
+TEST_F(EndToEndTest, GroupMemberReadsGroupReadableFile) {
+  // notes.txt is rw-r----- alice:eng; bob is in eng.
+  auto content = world_->client(kBob).Read("/home/alice/notes.txt");
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "alice's notes");
+}
+
+TEST_F(EndToEndTest, NonMemberCannotReadGroupFile) {
+  // carol is not in eng; notes.txt others class is ---.
+  auto content = world_->client(kCarol).Read("/home/alice/notes.txt");
+  EXPECT_FALSE(content.ok());
+  EXPECT_TRUE(content.status().IsPermissionDenied()) << content.status();
+}
+
+TEST_F(EndToEndTest, OthersReadWorldReadableFile) {
+  auto content = world_->client(kCarol).Read("/home/alice/public.txt");
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "hello world");
+}
+
+TEST_F(EndToEndTest, GetattrReturnsCorrectAttributes) {
+  auto attrs = world_->client(kBob).Getattr("/home/alice/notes.txt");
+  ASSERT_TRUE(attrs.ok()) << attrs.status();
+  EXPECT_EQ(attrs->owner, kAlice);
+  EXPECT_EQ(attrs->group, kEng);
+  EXPECT_EQ(attrs->mode.ToString(), "rw-r-----");
+  EXPECT_EQ(attrs->type, fs::FileType::kFile);
+}
+
+TEST_F(EndToEndTest, PrivateDirectoryBlocksOtherUsers) {
+  // /home/bob is rwx------.
+  auto r = world_->client(kAlice).Read("/home/bob/secret.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsPermissionDenied()) << r.status();
+  auto l = world_->client(kAlice).Readdir("/home/bob");
+  EXPECT_FALSE(l.ok());
+}
+
+TEST_F(EndToEndTest, OwnerPrivateFileReadableByOwnerOnly) {
+  auto own = world_->client(kBob).Read("/home/bob/secret.txt");
+  ASSERT_TRUE(own.ok()) << own.status();
+  EXPECT_EQ(ToString(*own), "bob's secret");
+}
+
+TEST_F(EndToEndTest, CreateWriteReadRoundTrip) {
+  auto& alice = world_->client(kAlice);
+  CreateOptions opts;
+  opts.mode = World::ParseMode("rw-r--r--");
+  ASSERT_TRUE(alice.Create("/home/alice/new.txt", opts).ok());
+  ASSERT_TRUE(alice.WriteFile("/home/alice/new.txt",
+                              ToBytes("fresh content")).ok());
+  auto back = alice.Read("/home/alice/new.txt");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(ToString(*back), "fresh content");
+  // A freshly mounted bob (no caches) sees it too via the group CAP...
+  // public.txt-style others perms: readable by carol as well.
+  auto carol_read = world_->client(kCarol).Read("/home/alice/new.txt");
+  ASSERT_TRUE(carol_read.ok()) << carol_read.status();
+  EXPECT_EQ(ToString(*carol_read), "fresh content");
+}
+
+TEST_F(EndToEndTest, EmptyFileReadsEmpty) {
+  auto& alice = world_->client(kAlice);
+  CreateOptions opts;
+  ASSERT_TRUE(alice.Create("/home/alice/empty", opts).ok());
+  auto back = alice.Read("/home/alice/empty");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(EndToEndTest, MultiBlockFileRoundTrip) {
+  auto& alice = world_->client(kAlice);
+  CreateOptions opts;
+  ASSERT_TRUE(alice.Create("/home/alice/big.bin", opts).ok());
+  // > 3 blocks of 4096.
+  Bytes big;
+  for (int i = 0; i < 14000; ++i) big.push_back(static_cast<uint8_t>(i * 7));
+  ASSERT_TRUE(alice.WriteFile("/home/alice/big.bin", big).ok());
+  alice.DropCaches();
+  auto back = alice.Read("/home/alice/big.bin");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, big);
+}
+
+TEST_F(EndToEndTest, OverwriteShrinkingFile) {
+  auto& alice = world_->client(kAlice);
+  CreateOptions opts;
+  ASSERT_TRUE(alice.Create("/home/alice/shrink", opts).ok());
+  ASSERT_TRUE(alice.WriteFile("/home/alice/shrink", Bytes(9000, 'x')).ok());
+  ASSERT_TRUE(alice.WriteFile("/home/alice/shrink", ToBytes("tiny")).ok());
+  alice.DropCaches();
+  auto back = alice.Read("/home/alice/shrink");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(ToString(*back), "tiny");
+}
+
+TEST_F(EndToEndTest, MkdirAndNestedCreate) {
+  auto& alice = world_->client(kAlice);
+  CreateOptions dopts;
+  dopts.mode = World::ParseMode("rwxr-xr-x");
+  ASSERT_TRUE(alice.Mkdir("/home/alice/projects", dopts).ok());
+  CreateOptions fopts;
+  fopts.mode = World::ParseMode("rw-r--r--");
+  ASSERT_TRUE(alice.Create("/home/alice/projects/readme.md", fopts).ok());
+  ASSERT_TRUE(
+      alice.WriteFile("/home/alice/projects/readme.md", ToBytes("# hi"))
+          .ok());
+  auto back = world_->client(kBob).Read("/home/alice/projects/readme.md");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(ToString(*back), "# hi");
+}
+
+TEST_F(EndToEndTest, ReaddirListsEntries) {
+  auto names = world_->client(kAlice).Readdir("/home");
+  ASSERT_TRUE(names.ok()) << names.status();
+  EXPECT_EQ(names->size(), 2u);
+  EXPECT_NE(std::find(names->begin(), names->end(), "alice"), names->end());
+  EXPECT_NE(std::find(names->begin(), names->end(), "bob"), names->end());
+}
+
+TEST_F(EndToEndTest, GroupWriterCanModifySharedFile) {
+  // /shared/plan.md is rw-rw---- alice:eng; bob has group write.
+  auto& bob = world_->client(kBob);
+  ASSERT_TRUE(bob.WriteFile("/shared/plan.md", ToBytes("Q4 plan")).ok());
+  auto back = world_->client(kAlice).Read("/shared/plan.md");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(ToString(*back), "Q4 plan");
+}
+
+TEST_F(EndToEndTest, ReadOnlyUserCannotWrite) {
+  // bob can read notes.txt (group r) but not write it.
+  auto s = world_->client(kBob).Write("/home/alice/notes.txt",
+                                      ToBytes("defaced"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsPermissionDenied()) << s;
+}
+
+TEST_F(EndToEndTest, NonWriterCannotCreateInDirectory) {
+  // /home/alice is rwxr-x--x; bob (group) has no write.
+  CreateOptions opts;
+  auto s = world_->client(kBob).Create("/home/alice/intruder", opts);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsPermissionDenied()) << s;
+}
+
+TEST_F(EndToEndTest, GroupWriterCreatesInSharedDirectory) {
+  // /shared is rwxrwx--- alice:eng.
+  auto& bob = world_->client(kBob);
+  CreateOptions opts;
+  opts.mode = World::ParseMode("rw-rw----");
+  ASSERT_TRUE(bob.Create("/shared/bobs.txt", opts).ok());
+  ASSERT_TRUE(bob.WriteFile("/shared/bobs.txt", ToBytes("from bob")).ok());
+  auto back = world_->client(kAlice).Read("/shared/bobs.txt");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(ToString(*back), "from bob");
+}
+
+TEST_F(EndToEndTest, OutsiderCannotEvenTraverseSharedDir) {
+  // /shared is rwxrwx---: carol has no exec.
+  auto r = world_->client(kCarol).Getattr("/shared/plan.md");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsPermissionDenied()) << r.status();
+}
+
+TEST_F(EndToEndTest, UnlinkRemovesFile) {
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(alice.Unlink("/home/alice/public.txt").ok());
+  EXPECT_FALSE(alice.Exists("/home/alice/public.txt"));
+  auto r = world_->client(kCarol).Read("/home/alice/public.txt");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EndToEndTest, RmdirRequiresEmpty) {
+  auto& alice = world_->client(kAlice);
+  auto s = alice.Rmdir("/home/alice");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s;
+  // Empty it, then rmdir succeeds.
+  ASSERT_TRUE(alice.Unlink("/home/alice/notes.txt").ok());
+  ASSERT_TRUE(alice.Unlink("/home/alice/public.txt").ok());
+  EXPECT_TRUE(alice.Rmdir("/home/alice").ok());
+  EXPECT_FALSE(alice.Exists("/home/alice"));
+}
+
+TEST_F(EndToEndTest, CreateExistingFails) {
+  CreateOptions opts;
+  auto s = world_->client(kAlice).Create("/home/alice/notes.txt", opts);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
+}
+
+TEST_F(EndToEndTest, UnlinkNonexistentFails) {
+  auto s = world_->client(kAlice).Unlink("/home/alice/ghost");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound()) << s;
+}
+
+TEST_F(EndToEndTest, ReadAfterWriteBeforeCloseSeesBuffer) {
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(
+      alice.Write("/home/alice/notes.txt", ToBytes("draft")).ok());
+  auto r = alice.Read("/home/alice/notes.txt");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(*r), "draft");
+  // Other clients see the old content until Close.
+  auto other = world_->client(kBob).Read("/home/alice/notes.txt");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(ToString(*other), "alice's notes");
+  ASSERT_TRUE(alice.Close("/home/alice/notes.txt").ok());
+  world_->client(kBob).DropCaches();
+  other = world_->client(kBob).Read("/home/alice/notes.txt");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(ToString(*other), "draft");
+}
+
+TEST_F(EndToEndTest, AppendExtendsFile) {
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(alice.Append("/home/alice/notes.txt", ToBytes(" + more")).ok());
+  ASSERT_TRUE(alice.Close("/home/alice/notes.txt").ok());
+  auto r = alice.Read("/home/alice/notes.txt");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(*r), "alice's notes + more");
+}
+
+TEST_F(EndToEndTest, PathErrors) {
+  auto& alice = world_->client(kAlice);
+  EXPECT_FALSE(alice.Getattr("relative/path").ok());
+  EXPECT_FALSE(alice.Getattr("/home/../etc").ok());
+  EXPECT_TRUE(alice.Getattr("/").ok());
+  EXPECT_FALSE(alice.Read("/home").ok());  // Directory.
+  EXPECT_FALSE(alice.Getattr("/home/alice/notes.txt/sub").ok());
+}
+
+TEST_F(EndToEndTest, StatRootWorks) {
+  auto attrs = world_->client(kCarol).Getattr("/");
+  ASSERT_TRUE(attrs.ok()) << attrs.status();
+  EXPECT_TRUE(attrs->is_dir());
+  EXPECT_EQ(attrs->inode, fs::kRootInode);
+}
+
+}  // namespace
+}  // namespace sharoes

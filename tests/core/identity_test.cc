@@ -1,0 +1,133 @@
+// IdentityDirectory tests: the enterprise PKI registry and its
+// serialization (distributed to every client machine).
+
+#include <gtest/gtest.h>
+
+#include "core/identity.h"
+#include "crypto/keys.h"
+#include "util/sim_clock.h"
+
+namespace sharoes::core {
+namespace {
+
+class IdentityTest : public ::testing::Test {
+ protected:
+  IdentityTest() : engine_(&clock_, EngineOptions()) {}
+
+  static crypto::CryptoEngineOptions EngineOptions() {
+    crypto::CryptoEngineOptions o;
+    o.cost_model = crypto::CryptoCostModel::Zero();
+    o.rng_seed = 55;
+    return o;
+  }
+
+  UserInfo MakeUser(fs::UserId id, const std::string& name) {
+    UserInfo u;
+    u.id = id;
+    u.name = name;
+    u.public_key = engine_.NewUserKeyPair(512).pub;
+    return u;
+  }
+
+  SimClock clock_;
+  crypto::CryptoEngine engine_;
+};
+
+TEST_F(IdentityTest, AddAndLookupUsers) {
+  IdentityDirectory dir;
+  ASSERT_TRUE(dir.AddUser(MakeUser(1, "alice")).ok());
+  ASSERT_TRUE(dir.AddUser(MakeUser(2, "bob")).ok());
+  EXPECT_TRUE(dir.HasUser(1));
+  EXPECT_FALSE(dir.HasUser(9));
+  auto alice = dir.GetUser(1);
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(alice->name, "alice");
+  EXPECT_TRUE(dir.GetUser(9).status().IsNotFound());
+  EXPECT_EQ(dir.user_count(), 2u);
+  EXPECT_EQ(dir.AllUsers(), (std::vector<fs::UserId>{1, 2}));
+}
+
+TEST_F(IdentityTest, DuplicateAndInvalidRejected) {
+  IdentityDirectory dir;
+  ASSERT_TRUE(dir.AddUser(MakeUser(1, "alice")).ok());
+  EXPECT_EQ(dir.AddUser(MakeUser(1, "dup")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(dir.AddUser(MakeUser(fs::kInvalidUser, "bad")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IdentityTest, GroupsAndMembership) {
+  IdentityDirectory dir;
+  ASSERT_TRUE(dir.AddUser(MakeUser(1, "alice")).ok());
+  ASSERT_TRUE(dir.AddUser(MakeUser(2, "bob")).ok());
+  GroupInfo g;
+  g.id = 10;
+  g.name = "eng";
+  g.public_key = engine_.NewUserKeyPair(512).pub;
+  g.members = {1};
+  ASSERT_TRUE(dir.AddGroup(g).ok());
+  EXPECT_TRUE(dir.IsMember(10, 1));
+  EXPECT_FALSE(dir.IsMember(10, 2));
+  ASSERT_TRUE(dir.AddMember(10, 2).ok());
+  EXPECT_TRUE(dir.IsMember(10, 2));
+  EXPECT_TRUE(dir.AddMember(10, 99).IsNotFound());  // Unknown user.
+  EXPECT_TRUE(dir.AddMember(99, 1).IsNotFound());   // Unknown group.
+  ASSERT_TRUE(dir.RemoveMember(10, 2).ok());
+  EXPECT_FALSE(dir.IsMember(10, 2));
+  EXPECT_TRUE(dir.RemoveMember(10, 2).IsNotFound());
+
+  fs::Principal p = dir.PrincipalOf(1);
+  EXPECT_EQ(p.uid, 1u);
+  EXPECT_TRUE(p.MemberOf(10));
+  EXPECT_FALSE(dir.PrincipalOf(2).MemberOf(10));
+}
+
+TEST_F(IdentityTest, SerializationRoundTrip) {
+  IdentityDirectory dir;
+  ASSERT_TRUE(dir.AddUser(MakeUser(1, "alice")).ok());
+  ASSERT_TRUE(dir.AddUser(MakeUser(2, "bob")).ok());
+  GroupInfo g;
+  g.id = 10;
+  g.name = "eng";
+  g.public_key = engine_.NewUserKeyPair(512).pub;
+  g.members = {1, 2};
+  ASSERT_TRUE(dir.AddGroup(g).ok());
+
+  auto back = IdentityDirectory::Deserialize(dir.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->user_count(), 2u);
+  auto alice = back->GetUser(1);
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(alice->name, "alice");
+  EXPECT_TRUE(alice->public_key == dir.GetUser(1)->public_key);
+  EXPECT_TRUE(back->IsMember(10, 2));
+  auto eng = back->GetGroup(10);
+  ASSERT_TRUE(eng.ok());
+  EXPECT_EQ(eng->name, "eng");
+}
+
+TEST_F(IdentityTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(IdentityDirectory::Deserialize(ToBytes("nope")).ok());
+  IdentityDirectory dir;
+  ASSERT_TRUE(dir.AddUser(MakeUser(1, "a")).ok());
+  Bytes b = dir.Serialize();
+  b.push_back(0x77);  // Trailing junk.
+  EXPECT_FALSE(IdentityDirectory::Deserialize(b).ok());
+}
+
+TEST_F(IdentityTest, SetGroupKeyRotates) {
+  IdentityDirectory dir;
+  ASSERT_TRUE(dir.AddUser(MakeUser(1, "a")).ok());
+  GroupInfo g;
+  g.id = 10;
+  g.name = "eng";
+  g.public_key = engine_.NewUserKeyPair(512).pub;
+  ASSERT_TRUE(dir.AddGroup(g).ok());
+  crypto::RsaPublicKey fresh = engine_.NewUserKeyPair(512).pub;
+  ASSERT_TRUE(dir.SetGroupKey(10, fresh).ok());
+  EXPECT_TRUE(dir.GetGroup(10)->public_key == fresh);
+  EXPECT_TRUE(dir.SetGroupKey(99, fresh).IsNotFound());
+}
+
+}  // namespace
+}  // namespace sharoes::core

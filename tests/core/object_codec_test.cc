@@ -1,0 +1,462 @@
+// Codec tests: sealing/signing/verification of metadata replicas, table
+// copies, data blocks and RSA-wrapped bootstrap blocks, plus tamper
+// rejection for each.
+
+#include <gtest/gtest.h>
+
+#include "core/object_codec.h"
+
+namespace sharoes::core {
+namespace {
+
+class ObjectCodecTest : public ::testing::Test {
+ protected:
+  ObjectCodecTest()
+      : engine_(&clock_, EngineOptions()),
+        codec_(&engine_, &dir_, Scheme::kScheme2) {}
+
+  static crypto::CryptoEngineOptions EngineOptions() {
+    crypto::CryptoEngineOptions o;
+    o.cost_model = crypto::CryptoCostModel::Zero();
+    o.signing_key_bits = 512;
+    o.rng_seed = 404;
+    return o;
+  }
+
+  void SetUp() override {
+    for (fs::UserId uid : {1u, 2u, 3u}) {
+      UserInfo u;
+      u.id = uid;
+      u.name = "u" + std::to_string(uid);
+      u.public_key = engine_.NewUserKeyPair(512).pub;
+      ASSERT_TRUE(dir_.AddUser(u).ok());
+    }
+    GroupInfo g;
+    g.id = 10;
+    g.name = "g";
+    g.members = {2, 3};
+    crypto::RsaKeyPair gkp = engine_.NewUserKeyPair(512);
+    g.public_key = gkp.pub;
+    group_priv_ = gkp.priv;
+    ASSERT_TRUE(dir_.AddGroup(g).ok());
+  }
+
+  ObjectKeyBundle MakeBundle(const std::vector<ReplicaSpec>& specs,
+                             fs::FileType type) {
+    ObjectKeyBundle b;
+    b.data = engine_.NewSigningKeyPair();
+    b.meta = engine_.NewSigningKeyPair();
+    for (const ReplicaSpec& s : specs) {
+      b.meks[s.selector] = engine_.NewSymmetricKey();
+    }
+    if (type == fs::FileType::kFile) {
+      b.dek = engine_.NewSymmetricKey();
+    } else {
+      for (const ReplicaSpec& s : specs) {
+        b.table_keys[s.selector] = engine_.NewSymmetricKey();
+      }
+      b.table_keys[kMasterSelector] = engine_.NewSymmetricKey();
+    }
+    return b;
+  }
+
+  fs::InodeAttrs FileAttrs(uint16_t octal) {
+    fs::InodeAttrs a;
+    a.inode = 77;
+    a.type = fs::FileType::kFile;
+    a.owner = 1;
+    a.group = 10;
+    a.mode = fs::Mode::FromOctal(octal);
+    return a;
+  }
+
+  SimClock clock_;
+  crypto::CryptoEngine engine_;
+  IdentityDirectory dir_;
+  ObjectCodec codec_;
+  crypto::RsaPrivateKey group_priv_;
+};
+
+TEST_F(ObjectCodecTest, MetadataReplicaRoundTrip) {
+  fs::InodeAttrs attrs = FileAttrs(0640);
+  auto specs = ReplicasFor(OwnershipInfo::FromAttrs(attrs),
+                           Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kFile);
+  for (const ReplicaSpec& spec : specs) {
+    Bytes wire = codec_.EncodeMetadataReplica(spec, attrs, bundle);
+    auto view = codec_.DecodeMetadataReplica(
+        attrs.inode, spec.selector, wire, bundle.meks.at(spec.selector),
+        bundle.meta.verify);
+    ASSERT_TRUE(view.ok()) << view.status();
+    EXPECT_EQ(view->attrs, attrs);
+    CapFields fields = spec.Fields(attrs.type);
+    EXPECT_EQ(view->dek.has_value(), fields.dek);
+    EXPECT_EQ(view->dsk.has_value(), fields.dsk);
+    EXPECT_EQ(view->dvk.has_value(), fields.dvk);
+    EXPECT_EQ(view->msk.has_value(), fields.msk);
+    if (spec.owner) {
+      EXPECT_FALSE(view->meks.empty());
+      auto bundle_back = view->ToBundle();
+      EXPECT_TRUE(bundle_back.ok());
+    } else {
+      EXPECT_TRUE(view->meks.empty());
+      EXPECT_FALSE(view->ToBundle().ok());
+    }
+  }
+}
+
+TEST_F(ObjectCodecTest, GroupReplicaOmitsWriteKeys) {
+  fs::InodeAttrs attrs = FileAttrs(0640);  // Group: r--.
+  auto specs = ReplicasFor(OwnershipInfo::FromAttrs(attrs),
+                           Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kFile);
+  const ReplicaSpec* group_spec = nullptr;
+  for (const auto& s : specs) {
+    if (s.selector == kGroupSelector) group_spec = &s;
+  }
+  ASSERT_NE(group_spec, nullptr);
+  Bytes wire = codec_.EncodeMetadataReplica(*group_spec, attrs, bundle);
+  auto view = codec_.DecodeMetadataReplica(attrs.inode, kGroupSelector, wire,
+                                           bundle.meks.at(kGroupSelector),
+                                           bundle.meta.verify);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->dek.has_value());
+  EXPECT_TRUE(view->dvk.has_value());
+  EXPECT_FALSE(view->dsk.has_value());  // No write.
+  EXPECT_FALSE(view->msk.has_value());
+  EXPECT_TRUE(view->CanReadData());
+  EXPECT_FALSE(view->CanWriteData());
+}
+
+TEST_F(ObjectCodecTest, MetadataTamperDetected) {
+  fs::InodeAttrs attrs = FileAttrs(0600);
+  auto specs = ReplicasFor(OwnershipInfo::FromAttrs(attrs),
+                           Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kFile);
+  Bytes wire = codec_.EncodeMetadataReplica(specs[0], attrs, bundle);
+  for (size_t pos : {size_t{10}, wire.size() / 2, wire.size() - 1}) {
+    Bytes bad = wire;
+    bad[pos] ^= 0x40;
+    auto view = codec_.DecodeMetadataReplica(
+        attrs.inode, specs[0].selector, bad, bundle.meks.at(0),
+        bundle.meta.verify);
+    EXPECT_FALSE(view.ok());
+  }
+}
+
+TEST_F(ObjectCodecTest, MetadataReplicaSwapDetected) {
+  // A malicious SSP returning replica A for a request of replica B must
+  // be caught: the signature binds (inode, selector).
+  fs::InodeAttrs attrs = FileAttrs(0644);
+  auto specs = ReplicasFor(OwnershipInfo::FromAttrs(attrs),
+                           Scheme::kScheme2, dir_);
+  ASSERT_GE(specs.size(), 2u);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kFile);
+  Bytes wire0 = codec_.EncodeMetadataReplica(specs[0], attrs, bundle);
+  auto view = codec_.DecodeMetadataReplica(
+      attrs.inode, specs[1].selector, wire0, bundle.meks.at(specs[0].selector),
+      bundle.meta.verify);
+  EXPECT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsIntegrityError()) << view.status();
+}
+
+TEST_F(ObjectCodecTest, TableCopyRoundTripFullView) {
+  fs::InodeAttrs dir_attrs = FileAttrs(0750);
+  dir_attrs.type = fs::FileType::kDirectory;
+  OwnershipInfo info = OwnershipInfo::FromAttrs(dir_attrs);
+  auto specs = ReplicasFor(info, Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kDirectory);
+
+  // A child entry owned the same way (uniform rows).
+  MasterTable master;
+  MasterEntry e;
+  e.name = "child.txt";
+  e.inode = 99;
+  e.child = info;
+  e.child.type = fs::FileType::kFile;
+  crypto::SigningKeyPair child_meta = engine_.NewSigningKeyPair();
+  e.mvk = child_meta.verify.Serialize();
+  for (const ReplicaSpec& s :
+       ReplicasFor(e.child, Scheme::kScheme2, dir_)) {
+    e.meks[s.selector] = engine_.NewSymmetricKey().Serialize();
+  }
+  ASSERT_TRUE(master.Add(e).ok());
+
+  std::vector<PendingSplitBlock> blocks;
+  auto universe = UniverseOf(info, kOwnerSelector, Scheme::kScheme2, dir_);
+  auto wire = codec_.EncodeTableCopy(dir_attrs.inode, kOwnerSelector,
+                                     TableView::kFull, master, universe,
+                                     bundle, &blocks);
+  ASSERT_TRUE(wire.ok());
+  auto table = codec_.DecodeTableCopy(dir_attrs.inode, kOwnerSelector, *wire,
+                                      bundle.table_keys.at(kOwnerSelector),
+                                      bundle.data.verify);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->view, TableView::kFull);
+  ASSERT_EQ(table->names.size(), 1u);
+  EXPECT_EQ(table->names[0], "child.txt");
+  const RowRef& row = table->refs.at("child.txt");
+  EXPECT_EQ(row.kind, RowRef::Kind::kPlain);
+  EXPECT_EQ(row.inode, 99u);
+  EXPECT_EQ(row.plain.selector, kOwnerSelector);  // Owner universe.
+}
+
+TEST_F(ObjectCodecTest, NamesOnlyViewHidesRefs) {
+  fs::InodeAttrs dir_attrs = FileAttrs(0750);
+  dir_attrs.type = fs::FileType::kDirectory;
+  OwnershipInfo info = OwnershipInfo::FromAttrs(dir_attrs);
+  auto specs = ReplicasFor(info, Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kDirectory);
+  MasterTable master;
+  MasterEntry e;
+  e.name = "visible-name";
+  e.inode = 99;
+  e.child = info;
+  e.mvk = engine_.NewSigningKeyPair().verify.Serialize();
+  e.meks[kOwnerSelector] = engine_.NewSymmetricKey().Serialize();
+  ASSERT_TRUE(master.Add(e).ok());
+
+  std::vector<PendingSplitBlock> blocks;
+  auto wire = codec_.EncodeTableCopy(dir_attrs.inode, kGroupSelector,
+                                     TableView::kNamesOnly, master, {2, 3},
+                                     bundle, &blocks);
+  ASSERT_TRUE(wire.ok());
+  auto table = codec_.DecodeTableCopy(dir_attrs.inode, kGroupSelector, *wire,
+                                      bundle.table_keys.at(kGroupSelector),
+                                      bundle.data.verify);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->view, TableView::kNamesOnly);
+  EXPECT_EQ(table->names, std::vector<std::string>{"visible-name"});
+  EXPECT_TRUE(table->refs.empty());
+  EXPECT_TRUE(table->exec_rows.empty());
+}
+
+TEST_F(ObjectCodecTest, ExecOnlyLookupByName) {
+  fs::InodeAttrs dir_attrs = FileAttrs(0711);
+  dir_attrs.type = fs::FileType::kDirectory;
+  OwnershipInfo info = OwnershipInfo::FromAttrs(dir_attrs);
+  auto specs = ReplicasFor(info, Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kDirectory);
+  MasterTable master;
+  for (int i = 0; i < 5; ++i) {
+    MasterEntry e;
+    e.name = "secret" + std::to_string(i);
+    e.inode = 100 + i;
+    e.child = info;
+    e.child.type = fs::FileType::kFile;
+    e.mvk = engine_.NewSigningKeyPair().verify.Serialize();
+    for (const ReplicaSpec& s :
+         ReplicasFor(e.child, Scheme::kScheme2, dir_)) {
+      e.meks[s.selector] = engine_.NewSymmetricKey().Serialize();
+    }
+    ASSERT_TRUE(master.Add(e).ok());
+  }
+  std::vector<PendingSplitBlock> blocks;
+  // Group class (--x for mode 0711) with members {2, 3}.
+  auto universe = UniverseOf(info, kGroupSelector, Scheme::kScheme2, dir_);
+  ASSERT_FALSE(universe.empty());
+  auto wire = codec_.EncodeTableCopy(dir_attrs.inode, kGroupSelector,
+                                     TableView::kExecOnly, master, universe,
+                                     bundle, &blocks);
+  ASSERT_TRUE(wire.ok()) << wire.status();
+  const crypto::SymmetricKey& tkey = bundle.table_keys.at(kGroupSelector);
+  auto table = codec_.DecodeTableCopy(dir_attrs.inode, kGroupSelector, *wire,
+                                      tkey, bundle.data.verify);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->view, TableView::kExecOnly);
+  EXPECT_TRUE(table->names.empty());  // No listing possible.
+  EXPECT_EQ(table->exec_rows.size(), 5u);
+
+  // Knowing a name finds exactly that row.
+  auto row = codec_.ExecOnlyLookup(*table, tkey, "secret3");
+  ASSERT_TRUE(row.ok()) << row.status();
+  EXPECT_EQ(row->inode, 103u);
+  // An unknown name finds nothing.
+  EXPECT_TRUE(codec_.ExecOnlyLookup(*table, tkey, "nope").status()
+                  .IsNotFound());
+  // A wrong key finds nothing (the rows are keyed by H_DEK(name)).
+  crypto::SymmetricKey wrong = engine_.NewSymmetricKey();
+  EXPECT_FALSE(codec_.ExecOnlyLookup(*table, wrong, "secret3").ok());
+}
+
+TEST_F(ObjectCodecTest, TableTamperDetected) {
+  fs::InodeAttrs dir_attrs = FileAttrs(0700);
+  dir_attrs.type = fs::FileType::kDirectory;
+  OwnershipInfo info = OwnershipInfo::FromAttrs(dir_attrs);
+  auto specs = ReplicasFor(info, Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kDirectory);
+  MasterTable master;
+  std::vector<PendingSplitBlock> blocks;
+  auto wire = codec_.EncodeTableCopy(dir_attrs.inode, kOwnerSelector,
+                                     TableView::kFull, master, {1}, bundle,
+                                     &blocks);
+  ASSERT_TRUE(wire.ok());
+  Bytes bad = *wire;
+  bad[bad.size() / 2] ^= 1;
+  auto table = codec_.DecodeTableCopy(dir_attrs.inode, kOwnerSelector, bad,
+                                      bundle.table_keys.at(kOwnerSelector),
+                                      bundle.data.verify);
+  EXPECT_FALSE(table.ok());
+}
+
+TEST_F(ObjectCodecTest, MasterTableRoundTrip) {
+  fs::InodeAttrs dir_attrs = FileAttrs(0700);
+  dir_attrs.type = fs::FileType::kDirectory;
+  auto specs = ReplicasFor(OwnershipInfo::FromAttrs(dir_attrs),
+                           Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kDirectory);
+  MasterTable master;
+  MasterEntry e;
+  e.name = "x";
+  e.inode = 5;
+  e.child = OwnershipInfo::FromAttrs(dir_attrs);
+  e.mvk = engine_.NewSigningKeyPair().verify.Serialize();
+  e.meks[kOwnerSelector] = engine_.NewSymmetricKey().Serialize();
+  ASSERT_TRUE(master.Add(e).ok());
+  Bytes wire = codec_.EncodeMasterTable(dir_attrs.inode, master, bundle);
+  auto back = codec_.DecodeMasterTable(dir_attrs.inode, wire,
+                                       bundle.table_keys.at(kMasterSelector),
+                                       bundle.data.verify);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->entries.size(), 1u);
+  EXPECT_EQ(back->entries[0].name, "x");
+  EXPECT_EQ(back->entries[0].inode, 5u);
+}
+
+TEST_F(ObjectCodecTest, DataBlockRoundTripAndHeader) {
+  crypto::SymmetricKey dek = engine_.NewSymmetricKey();
+  crypto::SigningKeyPair dsk = engine_.NewSigningKeyPair();
+  Bytes pt = ToBytes("block contents");
+  ObjectCodec::DataBlockHeader header{2, 9};
+  Bytes wire = codec_.EncodeDataBlock(7, 3, header, pt, dek, dsk.sign);
+  auto peeked = ObjectCodec::PeekDataHeader(wire);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(peeked->key_gen, 2u);
+  EXPECT_EQ(peeked->write_gen, 9u);
+  auto back = codec_.DecodeDataBlock(7, 3, wire, dek, dsk.verify);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, pt);
+}
+
+TEST_F(ObjectCodecTest, DataBlockSwapAndTamperDetected) {
+  crypto::SymmetricKey dek = engine_.NewSymmetricKey();
+  crypto::SigningKeyPair dsk = engine_.NewSigningKeyPair();
+  Bytes wire = codec_.EncodeDataBlock(7, 3, {0, 1}, ToBytes("abc"), dek,
+                                      dsk.sign);
+  // Wrong block index.
+  EXPECT_FALSE(codec_.DecodeDataBlock(7, 4, wire, dek, dsk.verify).ok());
+  // Wrong inode.
+  EXPECT_FALSE(codec_.DecodeDataBlock(8, 3, wire, dek, dsk.verify).ok());
+  // Key-generation bit flipped (it is covered by the signature).
+  Bytes bad = wire;
+  bad[0] ^= 1;
+  EXPECT_FALSE(codec_.DecodeDataBlock(7, 3, bad, dek, dsk.verify).ok());
+  // Write-generation bit flipped (also signature-covered).
+  bad = wire;
+  bad[4] ^= 1;
+  EXPECT_FALSE(codec_.DecodeDataBlock(7, 3, bad, dek, dsk.verify).ok());
+  // Payload flipped.
+  bad = wire;
+  bad[16] ^= 1;
+  EXPECT_FALSE(codec_.DecodeDataBlock(7, 3, bad, dek, dsk.verify).ok());
+}
+
+TEST_F(ObjectCodecTest, SuperblockRoundTrip) {
+  crypto::RsaKeyPair user = engine_.NewUserKeyPair(512);
+  SuperblockPayload payload;
+  payload.root_inode = 1;
+  payload.root_ref.inode = 1;
+  payload.root_ref.type = fs::FileType::kDirectory;
+  payload.root_ref.selector = kOwnerSelector;
+  payload.root_ref.mek = engine_.NewSymmetricKey();
+  payload.root_ref.mvk = crypto::VerifyKey{engine_.NewUserKeyPair(512).pub};
+  auto wire = codec_.EncodeSuperblock(user.pub, payload);
+  ASSERT_TRUE(wire.ok());
+  auto back = codec_.DecodeSuperblock(user.priv, *wire);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->root_inode, 1u);
+  EXPECT_EQ(back->root_ref.mek, payload.root_ref.mek);
+  // The wrong private key cannot open it.
+  crypto::RsaKeyPair other = engine_.NewUserKeyPair(512);
+  EXPECT_FALSE(codec_.DecodeSuperblock(other.priv, *wire).ok());
+}
+
+TEST_F(ObjectCodecTest, GroupKeyBlockRoundTrip) {
+  crypto::RsaKeyPair member = engine_.NewUserKeyPair(512);
+  crypto::RsaKeyPair group = engine_.NewUserKeyPair(512);
+  GroupSecret secret{10, group.priv};
+  auto wire = codec_.EncodeGroupKeyBlock(member.pub, secret);
+  ASSERT_TRUE(wire.ok());
+  auto back = codec_.DecodeGroupKeyBlock(member.priv, *wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->gid, 10u);
+  EXPECT_EQ(back->private_key.n, group.priv.n);
+}
+
+TEST_F(ObjectCodecTest, UserRefBlockRoundTrip) {
+  crypto::RsaKeyPair user = engine_.NewUserKeyPair(512);
+  PlainRef ref;
+  ref.inode = 9;
+  ref.type = fs::FileType::kFile;
+  ref.selector = kGroupSelector;
+  ref.mek = engine_.NewSymmetricKey();
+  ref.mvk = crypto::VerifyKey{engine_.NewUserKeyPair(512).pub};
+  auto wire = codec_.EncodeUserRefBlock(user.pub, ref);
+  ASSERT_TRUE(wire.ok());
+  auto back = codec_.DecodeUserRefBlock(user.priv, *wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->inode, 9u);
+  EXPECT_EQ(back->selector, kGroupSelector);
+  EXPECT_EQ(back->mek, ref.mek);
+}
+
+TEST_F(ObjectCodecTest, SplitRowEmitsBlocks) {
+  // Child owned by user 2 inside a dir whose copy is read by {2, 3}:
+  // user 2 resolves to owner, user 3 (group member) to group class =>
+  // split with a shared group block plus (only) 2's user block skipped —
+  // 2 is not a group-class user.
+  fs::InodeAttrs dir_attrs = FileAttrs(0770);
+  dir_attrs.type = fs::FileType::kDirectory;
+  OwnershipInfo dinfo = OwnershipInfo::FromAttrs(dir_attrs);
+  auto specs = ReplicasFor(dinfo, Scheme::kScheme2, dir_);
+  ObjectKeyBundle bundle = MakeBundle(specs, fs::FileType::kDirectory);
+  MasterTable master;
+  MasterEntry e;
+  e.name = "bobs";
+  e.inode = 55;
+  e.child = dinfo;
+  e.child.owner = 2;
+  e.child.type = fs::FileType::kFile;
+  e.mvk = engine_.NewSigningKeyPair().verify.Serialize();
+  for (const ReplicaSpec& s :
+       ReplicasFor(e.child, Scheme::kScheme2, dir_)) {
+    e.meks[s.selector] = engine_.NewSymmetricKey().Serialize();
+  }
+  ASSERT_TRUE(master.Add(e).ok());
+  std::vector<PendingSplitBlock> blocks;
+  auto wire = codec_.EncodeTableCopy(dir_attrs.inode, kGroupSelector,
+                                     TableView::kFull, master, {2, 3},
+                                     bundle, &blocks);
+  ASSERT_TRUE(wire.ok());
+  auto table = codec_.DecodeTableCopy(dir_attrs.inode, kGroupSelector, *wire,
+                                      bundle.table_keys.at(kGroupSelector),
+                                      bundle.data.verify);
+  ASSERT_TRUE(table.ok());
+  const RowRef& row = table->refs.at("bobs");
+  EXPECT_EQ(row.kind, RowRef::Kind::kSplit);
+  EXPECT_TRUE(row.has_group_block);
+  EXPECT_EQ(row.gid, 10u);
+  // One group block (user 3) + one user block (user 2, the child owner).
+  ASSERT_EQ(blocks.size(), 2u);
+  bool has_group = false, has_user = false;
+  for (const auto& b : blocks) {
+    if (b.is_group) has_group = true;
+    if (!b.is_group && b.id == 2) has_user = true;
+    EXPECT_EQ(b.child_inode, 55u);
+  }
+  EXPECT_TRUE(has_group);
+  EXPECT_TRUE(has_user);
+}
+
+}  // namespace
+}  // namespace sharoes::core

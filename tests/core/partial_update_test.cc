@@ -1,0 +1,167 @@
+// Block-level update tests (paper §II-B): "larger files are divided into
+// multiple blocks and each block is encrypted separately. This helps
+// accommodate updates efficiently by avoiding re-encrypting entire files
+// after a write."
+
+#include <gtest/gtest.h>
+
+#include "testing/world.h"
+
+namespace sharoes {
+namespace {
+
+using testing::kAlice;
+using testing::kBob;
+using testing::kEng;
+using testing::World;
+
+class PartialUpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<World>();
+    core::LocalNode root =
+        core::LocalNode::Dir("", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+    // A 5-block file (4 KiB blocks).
+    base_ = Bytes(18000, 'a');
+    root.children.push_back(core::LocalNode::File(
+        "big.bin", kAlice, kEng, World::ParseMode("rw-rw-r--"), base_));
+    ASSERT_TRUE(world_->MigrateAndMountAll(root).ok());
+    auto attrs = world_->client(kAlice).Getattr("/big.bin");
+    ASSERT_TRUE(attrs.ok());
+    inode_ = attrs->inode;
+  }
+
+  /// Raw stored blocks at the SSP (to see which were rewritten).
+  std::map<uint32_t, Bytes> StoredBlocks() {
+    std::map<uint32_t, Bytes> out;
+    for (uint32_t i = 0; i < 16; ++i) {
+      auto blob = world_->server().store().GetData(inode_, i);
+      if (blob.has_value()) out[i] = *blob;
+    }
+    return out;
+  }
+
+  std::unique_ptr<World> world_;
+  Bytes base_;
+  fs::InodeNum inode_ = 0;
+};
+
+TEST_F(PartialUpdateTest, SingleBlockEditRewritesOnlyThatBlockAndDesc) {
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(alice.Read("/big.bin").ok());  // Warm the block cache.
+  std::map<uint32_t, Bytes> before = StoredBlocks();
+  ASSERT_EQ(before.size(), 5u);
+
+  // Flip bytes inside block 2 only (offsets within [chunk0+bs, chunk0+2bs)).
+  Bytes edited = base_;
+  for (size_t i = 9000; i < 9100; ++i) edited[i] = 'Z';
+  ASSERT_TRUE(alice.WriteFile("/big.bin", edited).ok());
+
+  std::map<uint32_t, Bytes> after = StoredBlocks();
+  ASSERT_EQ(after.size(), 5u);
+  EXPECT_NE(after[0], before[0]);  // Descriptor block always rewritten.
+  EXPECT_EQ(after[1], before[1]);  // Untouched blocks keep old ciphertext.
+  EXPECT_NE(after[2], before[2]);  // The edited block was re-encrypted.
+  EXPECT_EQ(after[3], before[3]);
+  EXPECT_EQ(after[4], before[4]);
+
+  // And the mixed-generation file reads back correctly everywhere.
+  world_->client(kBob).DropCaches();
+  auto read = world_->client(kBob).Read("/big.bin");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, edited);
+}
+
+TEST_F(PartialUpdateTest, AppendWritesOnlyNewAndLastBlocks) {
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(alice.Read("/big.bin").ok());
+  std::map<uint32_t, Bytes> before = StoredBlocks();
+
+  Bytes extra(6000, 'x');
+  ASSERT_TRUE(alice.Append("/big.bin", extra).ok());
+  ASSERT_TRUE(alice.Close("/big.bin").ok());
+
+  std::map<uint32_t, Bytes> after = StoredBlocks();
+  EXPECT_EQ(after.size(), 6u);  // 24000 bytes => 6 blocks.
+  EXPECT_EQ(after[1], before[1]);  // Early blocks untouched.
+  EXPECT_EQ(after[2], before[2]);
+  EXPECT_EQ(after[3], before[3]);
+  // Block 4 (was the partial tail) changed; block 5 is new.
+  EXPECT_NE(after[4], before[4]);
+  EXPECT_TRUE(after.count(5));
+
+  world_->client(kBob).DropCaches();
+  auto read = world_->client(kBob).Read("/big.bin");
+  ASSERT_TRUE(read.ok()) << read.status();
+  Bytes expected = base_;
+  expected.insert(expected.end(), extra.begin(), extra.end());
+  EXPECT_EQ(*read, expected);
+}
+
+TEST_F(PartialUpdateTest, ShrinkFallsBackToFullRewrite) {
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(alice.Read("/big.bin").ok());
+  ASSERT_TRUE(alice.WriteFile("/big.bin", ToBytes("tiny now")).ok());
+  std::map<uint32_t, Bytes> after = StoredBlocks();
+  EXPECT_EQ(after.size(), 1u);  // Old tail blocks deleted.
+  world_->client(kBob).DropCaches();
+  auto read = world_->client(kBob).Read("/big.bin");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(ToString(*read), "tiny now");
+}
+
+TEST_F(PartialUpdateTest, ColdWriterDoesFullRewrite) {
+  // Without the previous version cached there is no diff basis; the
+  // flush rewrites everything and the result is still correct.
+  auto& alice = world_->client(kAlice);
+  alice.DropCaches();
+  Bytes v2(18000, 'b');
+  ASSERT_TRUE(alice.WriteFile("/big.bin", v2).ok());
+  world_->client(kBob).DropCaches();
+  auto read = world_->client(kBob).Read("/big.bin");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, v2);
+}
+
+TEST_F(PartialUpdateTest, StaleBlockFromOldGenerationDetected) {
+  // After a partial update, the SSP re-serves the OLD version of the
+  // edited block (whose signature is valid for the old generation): the
+  // descriptor's per-block generation vector catches it.
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(alice.Read("/big.bin").ok());
+  std::map<uint32_t, Bytes> before = StoredBlocks();
+  Bytes edited = base_;
+  edited[9000] = 'Z';
+  ASSERT_TRUE(alice.WriteFile("/big.bin", edited).ok());
+  // Malicious SSP: restore the pre-edit block 2.
+  world_->server().store().PutData(inode_, 2, before[2]);
+  world_->client(kBob).DropCaches();
+  auto read = world_->client(kBob).Read("/big.bin");
+  EXPECT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsIntegrityError()) << read.status();
+}
+
+TEST_F(PartialUpdateTest, PartialUpdateShipsFewerBytes) {
+  // The efficiency claim itself: an in-place one-block edit of a warm
+  // file must ship far less than a full rewrite.
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(alice.Read("/big.bin").ok());
+  Bytes edited = base_;
+  edited[9000] = 'Q';
+
+  // Count upload bytes via the SSP store delta: compare total stored
+  // bytes rewritten (2 blocks ~ 8 KiB) against the file size (18 KB).
+  // We measure through virtual network accounting instead: zero-cost
+  // model in tests, so use block counts.
+  std::map<uint32_t, Bytes> before = StoredBlocks();
+  ASSERT_TRUE(alice.WriteFile("/big.bin", edited).ok());
+  std::map<uint32_t, Bytes> after = StoredBlocks();
+  int rewritten = 0;
+  for (const auto& [idx, blob] : after) {
+    if (!before.count(idx) || before.at(idx) != blob) ++rewritten;
+  }
+  EXPECT_EQ(rewritten, 2);  // Descriptor block + the edited block.
+}
+
+}  // namespace
+}  // namespace sharoes

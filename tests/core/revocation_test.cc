@@ -1,0 +1,225 @@
+// Revocation tests (paper §IV-A.1): chmod-driven permission changes with
+// immediate and lazy re-encryption, plus group-membership revocation.
+
+#include <gtest/gtest.h>
+
+#include "testing/world.h"
+
+namespace sharoes {
+namespace {
+
+using core::CreateOptions;
+using core::RevocationMode;
+using testing::kAlice;
+using testing::kBob;
+using testing::kCarol;
+using testing::kEng;
+using testing::World;
+
+core::LocalNode TreeWithSharedFile() {
+  using core::LocalNode;
+  LocalNode root =
+      LocalNode::Dir("", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+  root.children.push_back(LocalNode::File(
+      "doc.txt", kAlice, kEng, World::ParseMode("rw-r--r--"),
+      ToBytes("version one")));
+  return root;
+}
+
+TEST(RevocationTest, ChmodGrantsNewAccess) {
+  World world;
+  ASSERT_TRUE(world.MigrateAndMountAll(TreeWithSharedFile()).ok());
+  // Tighten to owner-only first, then re-grant to others.
+  ASSERT_TRUE(world.client(kAlice)
+                  .Chmod("/doc.txt", World::ParseMode("rw-------"))
+                  .ok());
+  world.client(kCarol).DropCaches();
+  EXPECT_FALSE(world.client(kCarol).Read("/doc.txt").ok());
+  ASSERT_TRUE(world.client(kAlice)
+                  .Chmod("/doc.txt", World::ParseMode("rw-r--r--"))
+                  .ok());
+  world.client(kCarol).DropCaches();
+  auto read = world.client(kCarol).Read("/doc.txt");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(ToString(*read), "version one");
+}
+
+TEST(RevocationTest, ImmediateRevocationRotatesDataKey) {
+  World world;  // Immediate mode is the default.
+  ASSERT_TRUE(world.MigrateAndMountAll(TreeWithSharedFile()).ok());
+
+  // Carol reads the file (and thereby caches its DEK inside her client).
+  auto before = world.client(kCarol).Read("/doc.txt");
+  ASSERT_TRUE(before.ok());
+
+  // Alice revokes others' read; immediate mode re-encrypts now.
+  ASSERT_TRUE(world.client(kAlice)
+                  .Chmod("/doc.txt", World::ParseMode("rw-r-----"))
+                  .ok());
+
+  // Carol's fresh fetch is denied.
+  world.client(kCarol).DropCaches();
+  auto after = world.client(kCarol).Read("/doc.txt");
+  EXPECT_FALSE(after.ok());
+  EXPECT_TRUE(after.status().IsPermissionDenied()) << after.status();
+
+  // Bob (group) still reads, and sees content re-encrypted under the new
+  // key transparently.
+  world.client(kBob).DropCaches();
+  auto bob = world.client(kBob).Read("/doc.txt");
+  ASSERT_TRUE(bob.ok()) << bob.status();
+  EXPECT_EQ(ToString(*bob), "version one");
+}
+
+TEST(RevocationTest, ImmediateRevocationDefeatsCachedKey) {
+  // The sharper property: even an adversary who kept the old DEK cannot
+  // use it after immediate revocation, because the stored ciphertext was
+  // rewritten under a fresh key.
+  World world;
+  ASSERT_TRUE(world.MigrateAndMountAll(TreeWithSharedFile()).ok());
+  auto before = world.client(kCarol).Read("/doc.txt");
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(world.client(kAlice)
+                  .Chmod("/doc.txt", World::ParseMode("rw-r-----"))
+                  .ok());
+
+  // Carol's client still holds its old decrypted cache; a *fresh* fetch
+  // of the raw blocks from the SSP (simulating the cached-DEK adversary)
+  // yields bytes encrypted under the rotated key: her stale cache can no
+  // longer be refreshed, and without DropCaches her client would serve
+  // only the historical copy she already had.
+  world.client(kCarol).DropCaches();
+  EXPECT_FALSE(world.client(kCarol).Read("/doc.txt").ok());
+}
+
+TEST(RevocationTest, LazyRevocationDefersReencryptionUntilWrite) {
+  World::Options opts;
+  opts.revocation = RevocationMode::kLazy;
+  World world(opts);
+  ASSERT_TRUE(world.MigrateAndMountAll(TreeWithSharedFile()).ok());
+
+  ASSERT_TRUE(world.client(kAlice)
+                  .Chmod("/doc.txt", World::ParseMode("rw-r-----"))
+                  .ok());
+
+  // Carol is denied through the filesystem (her CAP lost the DEK)...
+  world.client(kCarol).DropCaches();
+  EXPECT_FALSE(world.client(kCarol).Read("/doc.txt").ok());
+  // ...but the stored ciphertext has NOT yet been rewritten: bob still
+  // reads under the old generation.
+  world.client(kBob).DropCaches();
+  auto bob = world.client(kBob).Read("/doc.txt");
+  ASSERT_TRUE(bob.ok()) << bob.status();
+  EXPECT_EQ(ToString(*bob), "version one");
+
+  // The next write rotates to the pending key.
+  ASSERT_TRUE(world.client(kAlice)
+                  .WriteFile("/doc.txt", ToBytes("version two"))
+                  .ok());
+  world.client(kBob).DropCaches();
+  bob = world.client(kBob).Read("/doc.txt");
+  ASSERT_TRUE(bob.ok()) << bob.status();
+  EXPECT_EQ(ToString(*bob), "version two");
+}
+
+TEST(RevocationTest, ChmodByNonOwnerDenied) {
+  World world;
+  ASSERT_TRUE(world.MigrateAndMountAll(TreeWithSharedFile()).ok());
+  Status s = world.client(kBob).Chmod("/doc.txt",
+                                      World::ParseMode("rwxrwxrwx"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsPermissionDenied()) << s;
+}
+
+TEST(RevocationTest, ChmodToUnsupportedModeRejected) {
+  World world;
+  ASSERT_TRUE(world.MigrateAndMountAll(TreeWithSharedFile()).ok());
+  // Write-only for others on a file (0602) is unrepresentable.
+  Status s = world.client(kAlice).Chmod("/doc.txt", fs::Mode::FromOctal(0602));
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnsupported()) << s;
+}
+
+TEST(RevocationTest, DirectoryChmodChangesTableView) {
+  World world;
+  core::LocalNode root =
+      core::LocalNode::Dir("", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+  core::LocalNode d =
+      core::LocalNode::Dir("d", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+  d.children.push_back(core::LocalNode::File(
+      "f", kAlice, kEng, World::ParseMode("rw-r--r--"), ToBytes("x")));
+  root.children.push_back(std::move(d));
+  ASSERT_TRUE(world.MigrateAndMountAll(root).ok());
+
+  // Initially carol can list and traverse.
+  ASSERT_TRUE(world.client(kCarol).Readdir("/d").ok());
+  ASSERT_TRUE(world.client(kCarol).Getattr("/d/f").ok());
+
+  // rwxr-x--x: others become exec-only — no listing, traversal works.
+  ASSERT_TRUE(world.client(kAlice)
+                  .Chmod("/d", World::ParseMode("rwxr-x--x"))
+                  .ok());
+  world.client(kCarol).DropCaches();
+  EXPECT_FALSE(world.client(kCarol).Readdir("/d").ok());
+  EXPECT_TRUE(world.client(kCarol).Getattr("/d/f").ok());
+
+  // rwxr-x---: others lose everything.
+  ASSERT_TRUE(world.client(kAlice)
+                  .Chmod("/d", World::ParseMode("rwxr-x---"))
+                  .ok());
+  world.client(kCarol).DropCaches();
+  EXPECT_FALSE(world.client(kCarol).Readdir("/d").ok());
+  EXPECT_FALSE(world.client(kCarol).Getattr("/d/f").ok());
+}
+
+TEST(RevocationTest, GroupMembershipRevocation) {
+  World world;
+  core::LocalNode root =
+      core::LocalNode::Dir("", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+  root.children.push_back(core::LocalNode::File(
+      "eng.txt", kAlice, kEng, World::ParseMode("rw-r-----"),
+      ToBytes("eng only")));
+  ASSERT_TRUE(world.MigrateAndMountAll(root).ok());
+
+  // Bob (member) reads.
+  ASSERT_TRUE(world.client(kBob).Read("/eng.txt").ok());
+
+  // The admin removes bob from eng and rotates the group key.
+  ASSERT_TRUE(world.provisioner().RemoveGroupMember(kEng, kBob).ok());
+
+  // Bob re-mounts (fresh client, no cached keys): his class is now
+  // "others" (---) and the group key block for him is gone.
+  ASSERT_TRUE(world.Mount(kBob).ok());
+  auto read = world.client(kBob).Read("/eng.txt");
+  EXPECT_FALSE(read.ok()) << "revoked member must lose access";
+}
+
+TEST(RevocationTest, AddedGroupMemberGainsAccessAfterRefresh) {
+  World world;
+  core::LocalNode root =
+      core::LocalNode::Dir("", kAlice, kEng, World::ParseMode("rwxr-xr-x"));
+  root.children.push_back(core::LocalNode::File(
+      "eng.txt", kAlice, kEng, World::ParseMode("rw-r-----"),
+      ToBytes("eng only")));
+  ASSERT_TRUE(world.MigrateAndMountAll(root).ok());
+  EXPECT_FALSE(world.client(kCarol).Read("/eng.txt").ok());
+
+  ASSERT_TRUE(world.provisioner().AddGroupMember(kEng, kCarol).ok());
+  // Class universes changed: the admin refreshes superblocks (carol's
+  // class at the root changed) and the owner refreshes affected
+  // directories so rows reflect the new membership.
+  ASSERT_TRUE(world.provisioner().RefreshSuperblocks().ok());
+  ASSERT_TRUE(world.client(kAlice).RefreshDir("/").ok());
+  // Re-render the file's replicas for its new group universe.
+  ASSERT_TRUE(world.client(kAlice)
+                  .Chmod("/eng.txt", World::ParseMode("rw-r-----"))
+                  .ok());
+  ASSERT_TRUE(world.Mount(kCarol).ok());
+  auto read = world.client(kCarol).Read("/eng.txt");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(ToString(*read), "eng only");
+}
+
+}  // namespace
+}  // namespace sharoes

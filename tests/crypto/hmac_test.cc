@@ -1,0 +1,73 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace sharoes::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacSha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = ToBytes("Jefe");
+  EXPECT_EQ(HexEncode(HmacSha256(key, "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case4) {
+  bool ok = false;
+  Bytes key = HexDecode("0102030405060708090a0b0c0d0e0f10111213141516171819",
+                        &ok);
+  ASSERT_TRUE(ok);
+  Bytes msg(50, 0xcd);
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(HexEncode(HmacSha256(
+                key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, Rfc4231Case7LongKeyAndData) {
+  Bytes key(131, 0xaa);
+  std::string msg =
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.";
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  Bytes k1 = ToBytes("key-one");
+  Bytes k2 = ToBytes("key-two");
+  EXPECT_NE(HmacSha256(k1, "message"), HmacSha256(k2, "message"));
+}
+
+TEST(HmacTest, KeyPaddingBoundary) {
+  // Keys of exactly block size, one less, one more must all work and give
+  // distinct MACs.
+  Bytes k63(63, 0x11), k64(64, 0x11), k65(65, 0x11);
+  Bytes m = ToBytes("msg");
+  EXPECT_NE(HmacSha256(k63, m), HmacSha256(k64, m));
+  EXPECT_NE(HmacSha256(k64, m), HmacSha256(k65, m));
+}
+
+}  // namespace
+}  // namespace sharoes::crypto

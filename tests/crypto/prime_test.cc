@@ -1,0 +1,62 @@
+#include "crypto/prime.h"
+
+#include <gtest/gtest.h>
+
+namespace sharoes::crypto {
+namespace {
+
+TEST(PrimeTest, KnownSmallPrimes) {
+  Rng rng(1);
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 7919ULL, 104729ULL}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(PrimeTest, KnownComposites) {
+  Rng rng(2);
+  for (uint64_t c : {1ULL, 4ULL, 9ULL, 100ULL, 7917ULL, 104730ULL,
+                     561ULL /* Carmichael */, 41041ULL /* Carmichael */}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, LargeKnownPrime) {
+  // 2^127 - 1 is a Mersenne prime.
+  Rng rng(3);
+  BigInt m127 = BigInt::Sub(BigInt::ShiftLeft(BigInt(1), 127), BigInt(1));
+  EXPECT_TRUE(IsProbablePrime(m127, rng));
+}
+
+TEST(PrimeTest, LargeKnownComposite) {
+  // 2^128 - 1 factors (3 * 5 * 17 * ...).
+  Rng rng(4);
+  BigInt m128 = BigInt::Sub(BigInt::ShiftLeft(BigInt(1), 128), BigInt(1));
+  EXPECT_FALSE(IsProbablePrime(m128, rng));
+}
+
+TEST(PrimeTest, GeneratedPrimesHaveRequestedBits) {
+  Rng rng(5);
+  for (size_t bits : {64u, 128u, 256u}) {
+    BigInt p = GeneratePrime(bits, rng);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(p.IsOdd());
+    EXPECT_TRUE(IsProbablePrime(p, rng));
+  }
+}
+
+TEST(PrimeTest, GeneratedPrimesAreDistinct) {
+  Rng rng(6);
+  BigInt p = GeneratePrime(128, rng);
+  BigInt q = GeneratePrime(128, rng);
+  EXPECT_NE(p, q);
+}
+
+TEST(PrimeTest, ProductOfTwoPrimesIsComposite) {
+  Rng rng(7);
+  BigInt p = GeneratePrime(96, rng);
+  BigInt q = GeneratePrime(96, rng);
+  EXPECT_FALSE(IsProbablePrime(BigInt::Mul(p, q), rng));
+}
+
+}  // namespace
+}  // namespace sharoes::crypto

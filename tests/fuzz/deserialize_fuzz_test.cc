@@ -1,0 +1,129 @@
+// Adversarial-input robustness: every deserializer in the system parses
+// bytes that ultimately come from the untrusted SSP. Feeding them random
+// garbage and bit-flipped valid encodings must never crash, hang or
+// over-allocate — only return clean error statuses (or, for flips the
+// format cannot distinguish, a structurally valid object).
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+#include "core/identity.h"
+#include "core/refs.h"
+#include "crypto/rsa.h"
+#include "fs/dir_table.h"
+#include "fs/metadata.h"
+#include "fs/superblock.h"
+#include "ssp/message.h"
+
+namespace sharoes {
+namespace {
+
+// Runs every deserializer on one buffer; returns how many accepted it.
+int TryAll(const Bytes& data) {
+  int accepted = 0;
+  accepted += fs::InodeAttrs::Deserialize(data).ok();
+  accepted += fs::DirTable::Deserialize(data).ok();
+  accepted += fs::Superblock::Deserialize(data).ok();
+  accepted += ssp::Request::Deserialize(data).ok();
+  accepted += ssp::Response::Deserialize(data).ok();
+  accepted += core::PlainRef::Deserialize(data).ok();
+  accepted += core::MetadataView::Deserialize(data).ok();
+  accepted += core::MasterTable::Deserialize(data).ok();
+  accepted += core::SuperblockPayload::Deserialize(data).ok();
+  accepted += core::GroupSecret::Deserialize(data).ok();
+  accepted += core::IdentityDirectory::Deserialize(data).ok();
+  accepted += baselines::BaselineRecord::Deserialize(data).ok();
+  accepted += crypto::RsaPublicKey::Deserialize(data).ok();
+  accepted += crypto::RsaPrivateKey::Deserialize(data).ok();
+  accepted += crypto::SymmetricKey::Deserialize(data).ok();
+  {
+    BinaryReader r(data);
+    accepted += core::DataDescriptor::ReadFrom(&r).ok();
+  }
+  {
+    BinaryReader r(data);
+    accepted += core::RowRef::ReadFrom(&r).ok();
+  }
+  return accepted;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, RandomBuffersNeverCrash) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    size_t len = rng.NextBelow(200);
+    Bytes data = rng.NextBytes(len);
+    TryAll(data);  // Must not crash / hang / throw.
+  }
+}
+
+TEST_P(FuzzSweep, StructuredPrefixesNeverCrash) {
+  // Buffers that begin with plausible length prefixes (the classic
+  // over-allocation trap).
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int i = 0; i < 200; ++i) {
+    BinaryWriter w;
+    w.PutU32(static_cast<uint32_t>(rng.NextU64()));  // Huge/broken count.
+    w.PutRaw(rng.NextBytes(rng.NextBelow(64)));
+    TryAll(w.Take());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(FuzzMutation, BitFlippedValidEncodings) {
+  // Take valid encodings of each type, flip every byte position once,
+  // and re-parse. No crash allowed; most flips must be detected.
+  Rng rng(777);
+
+  std::vector<Bytes> corpus;
+  {
+    fs::InodeAttrs attrs;
+    attrs.inode = 7;
+    attrs.acl.push_back(fs::AclEntry{fs::AclEntry::Kind::kUser, 3, 5});
+    corpus.push_back(attrs.Serialize());
+    fs::DirTable table;
+    (void)table.Add("hello", 10);
+    (void)table.Add("world", 11);
+    corpus.push_back(table.Serialize());
+    corpus.push_back(ssp::Request::PutMetadata(1, 2, {1, 2, 3}).Serialize());
+    corpus.push_back(
+        ssp::Request::Batch({ssp::Request::GetData(1, 0)}).Serialize());
+    corpus.push_back(ssp::Response::Ok({9, 9}).Serialize());
+    core::MasterTable master;
+    core::MasterEntry e;
+    e.name = "x";
+    e.inode = 3;
+    e.meks[0] = rng.NextBytes(16);
+    e.mvk = rng.NextBytes(32);
+    (void)master.Add(e);
+    corpus.push_back(master.Serialize());
+  }
+
+  for (const Bytes& valid : corpus) {
+    for (size_t pos = 0; pos < valid.size(); ++pos) {
+      Bytes mutated = valid;
+      mutated[pos] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+      TryAll(mutated);
+    }
+    // Truncations at every length.
+    for (size_t len = 0; len < valid.size(); ++len) {
+      Bytes truncated(valid.begin(), valid.begin() + len);
+      TryAll(truncated);
+    }
+  }
+}
+
+TEST(FuzzMutation, EmptyAndTinyBuffers) {
+  // Nothing structured should parse from (almost) nothing.
+  EXPECT_LE(TryAll(Bytes{}), 1);
+  for (size_t len = 1; len <= 16; ++len) {
+    EXPECT_LE(TryAll(Bytes(len, 0x00)), 3) << len;
+    TryAll(Bytes(len, 0xFF));
+  }
+}
+
+}  // namespace
+}  // namespace sharoes

@@ -1,0 +1,251 @@
+// Tests for the SSP: protocol messages, object store, server dispatch,
+// connection cost accounting.
+
+#include <gtest/gtest.h>
+
+#include "net/network_model.h"
+#include <cstdio>
+#include <fstream>
+
+#include "ssp/ssp_server.h"
+
+namespace sharoes::ssp {
+namespace {
+
+TEST(MessageTest, RequestRoundTripAllShapes) {
+  std::vector<Request> requests = {
+      Request::GetSuperblock(7),
+      Request::PutSuperblock(7, {1, 2, 3}),
+      Request::GetMetadata(42, 3),
+      Request::PutMetadata(42, 3, {9, 9}),
+      Request::DeleteMetadata(42, 3),
+      Request::DeleteInodeMetadata(42),
+      Request::GetUserMetadata(42, 7),
+      Request::PutUserMetadata(42, 7, {5}),
+      Request::GetData(42, 1),
+      Request::PutData(42, 1, {0xAB}),
+      Request::DeleteInodeData(42),
+      Request::GetGroupKey(10, 7),
+      Request::PutGroupKey(10, 7, {1}),
+      Request::DeleteGroupKey(10, 7),
+  };
+  for (const Request& req : requests) {
+    auto back = Request::Deserialize(req.Serialize());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->op, req.op);
+    EXPECT_EQ(back->inode, req.inode);
+    EXPECT_EQ(back->selector, req.selector);
+    EXPECT_EQ(back->user, req.user);
+    EXPECT_EQ(back->group, req.group);
+    EXPECT_EQ(back->block, req.block);
+    EXPECT_EQ(back->payload, req.payload);
+  }
+}
+
+TEST(MessageTest, BatchRoundTrip) {
+  Request batch = Request::Batch(
+      {Request::GetMetadata(1, 0), Request::PutData(2, 0, {7})});
+  auto back = Request::Deserialize(batch.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->op, OpCode::kBatch);
+  ASSERT_EQ(back->batch.size(), 2u);
+  EXPECT_EQ(back->batch[0].op, OpCode::kGetMetadata);
+  EXPECT_EQ(back->batch[1].payload, Bytes{7});
+}
+
+TEST(MessageTest, NestedBatchRejected) {
+  Request inner = Request::Batch({Request::GetMetadata(1, 0)});
+  Request outer = Request::Batch({inner});
+  EXPECT_FALSE(Request::Deserialize(outer.Serialize()).ok());
+}
+
+TEST(MessageTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Request::Deserialize(ToBytes("garbage")).ok());
+  EXPECT_FALSE(Response::Deserialize(ToBytes("zz")).ok());
+  Bytes bad_op = Request::GetMetadata(1, 0).Serialize();
+  bad_op[0] = 0xEE;
+  EXPECT_FALSE(Request::Deserialize(bad_op).ok());
+}
+
+TEST(MessageTest, ResponseRoundTrip) {
+  Response ok = Response::Ok({1, 2});
+  auto back = Response::Deserialize(ok.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ok());
+  EXPECT_EQ(back->payload, (Bytes{1, 2}));
+  Response nf = Response::NotFound();
+  back = Response::Deserialize(nf.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->status, RespStatus::kNotFound);
+}
+
+TEST(ObjectStoreTest, MetadataCrud) {
+  ObjectStore store;
+  EXPECT_FALSE(store.GetMetadata(1, 0).has_value());
+  store.PutMetadata(1, 0, {1});
+  store.PutMetadata(1, 1, {2});
+  store.PutMetadata(2, 0, {3});
+  EXPECT_EQ(store.GetMetadata(1, 1), std::optional<Bytes>(Bytes{2}));
+  EXPECT_EQ(store.MetadataReplicaCount(1), 2u);
+  store.DeleteMetadata(1, 0);
+  EXPECT_EQ(store.MetadataReplicaCount(1), 1u);
+  store.DeleteInodeMetadata(1);
+  EXPECT_EQ(store.MetadataReplicaCount(1), 0u);
+  EXPECT_TRUE(store.GetMetadata(2, 0).has_value());  // Untouched.
+}
+
+TEST(ObjectStoreTest, DataCrudAndStats) {
+  ObjectStore store;
+  store.PutData(5, 0, Bytes(100, 1));
+  store.PutData(5, 1, Bytes(50, 2));
+  store.PutSuperblock(1, Bytes(10, 3));
+  StorageStats stats = store.Stats();
+  EXPECT_EQ(stats.data_bytes, 150u);
+  EXPECT_EQ(stats.superblock_bytes, 10u);
+  EXPECT_EQ(stats.object_count, 3u);
+  EXPECT_EQ(stats.total_bytes(), 160u);
+  store.DeleteInodeData(5);
+  EXPECT_FALSE(store.GetData(5, 0).has_value());
+}
+
+TEST(ObjectStoreTest, CorruptionInjection) {
+  ObjectStore store;
+  store.PutMetadata(1, 0, Bytes(16, 0xAA));
+  EXPECT_TRUE(store.CorruptMetadata(1, 0, 3, 0x01));
+  EXPECT_EQ((*store.GetMetadata(1, 0))[3], 0xAB);
+  EXPECT_FALSE(store.CorruptMetadata(9, 0, 0));
+  store.PutData(1, 0, Bytes(8, 0));
+  EXPECT_TRUE(store.CorruptData(1, 0, 100));  // Offset wraps modulo size.
+  EXPECT_TRUE(store.ReplaceData(1, 0, Bytes{1, 2, 3}));
+  EXPECT_EQ(store.GetData(1, 0), std::optional<Bytes>(Bytes{1, 2, 3}));
+}
+
+TEST(SspServerTest, GetPutDeleteThroughWire) {
+  SspServer server;
+  Bytes resp_wire =
+      server.HandleWire(Request::PutMetadata(1, 0, {42}).Serialize());
+  auto resp = Response::Deserialize(resp_wire);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok());
+  resp = Response::Deserialize(
+      server.HandleWire(Request::GetMetadata(1, 0).Serialize()));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->payload, Bytes{42});
+  resp = Response::Deserialize(
+      server.HandleWire(Request::GetMetadata(1, 9).Serialize()));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, RespStatus::kNotFound);
+}
+
+TEST(SspServerTest, MalformedWireGetsBadRequest) {
+  SspServer server;
+  auto resp = Response::Deserialize(server.HandleWire(ToBytes("junk")));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, RespStatus::kBadRequest);
+}
+
+TEST(SspServerTest, BatchExecution) {
+  SspServer server;
+  Response resp = server.Handle(Request::Batch({
+      Request::PutMetadata(1, 0, {1}),
+      Request::GetMetadata(1, 0),
+      Request::GetMetadata(2, 0),
+  }));
+  ASSERT_EQ(resp.batch.size(), 3u);
+  EXPECT_TRUE(resp.batch[0].ok());
+  EXPECT_EQ(resp.batch[1].payload, Bytes{1});
+  EXPECT_EQ(resp.batch[2].status, RespStatus::kNotFound);
+}
+
+TEST(SspServerTest, GroupKeyOps) {
+  SspServer server;
+  server.Handle(Request::PutGroupKey(10, 1, {9}));
+  EXPECT_TRUE(server.Handle(Request::GetGroupKey(10, 1)).ok());
+  server.Handle(Request::DeleteGroupKey(10, 1));
+  EXPECT_EQ(server.Handle(Request::GetGroupKey(10, 1)).status,
+            RespStatus::kNotFound);
+}
+
+TEST(SspConnectionTest, ChargesRoundTripsAndCountsBytes) {
+  SimClock clock;
+  net::Transport transport(&clock, net::NetworkModel::PaperDsl());
+  SspServer server;
+  SspConnection conn(&server, &transport);
+  auto resp = conn.Call(Request::PutMetadata(1, 0, Bytes(1000, 1)));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(transport.counters().round_trips, 1u);
+  EXPECT_GT(transport.counters().bytes_up, 1000u);
+  // 2 x 45 ms latency + 8 ms overhead + ~1 KB at 850 kbit/s (~9.8 ms).
+  double ms = clock.snapshot().total_ms();
+  EXPECT_GT(ms, 105);
+  EXPECT_LT(ms, 115);
+  EXPECT_EQ(clock.snapshot().network_ns(), clock.snapshot().total_ns);
+}
+
+TEST(NetworkModelTest, RoundTripMath) {
+  net::NetworkModel m;
+  m.latency_ms = 10;
+  m.uplink_bps = 8000;    // 1 byte per ms.
+  m.downlink_bps = 4000;  // 0.5 bytes per ms.
+  m.per_request_ms = 1;
+  EXPECT_DOUBLE_EQ(m.RoundTripMs(100, 50), 20 + 1 + 100 + 100);
+  net::NetworkModel zero = net::NetworkModel::Zero();
+  EXPECT_DOUBLE_EQ(zero.RoundTripMs(1 << 20, 1 << 20), 0);
+}
+
+}  // namespace
+}  // namespace sharoes::ssp
+
+namespace sharoes::ssp {
+namespace {
+
+TEST(ObjectStorePersistenceTest, SnapshotRoundTrip) {
+  ObjectStore store;
+  store.PutSuperblock(1, {1, 2, 3});
+  store.PutMetadata(10, 0, {4, 5});
+  store.PutMetadata(10, 2, {6});
+  store.PutUserMetadata(10, 7, {7, 7});
+  store.PutData(10, 0, Bytes(100, 9));
+  store.PutGroupKey(500, 1, {8});
+  Bytes snap = store.Serialize();
+  auto back = ObjectStore::Deserialize(snap);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->GetSuperblock(1), std::optional<Bytes>(Bytes{1, 2, 3}));
+  EXPECT_EQ(back->GetMetadata(10, 2), std::optional<Bytes>(Bytes{6}));
+  EXPECT_EQ(back->GetUserMetadata(10, 7), std::optional<Bytes>(Bytes{7, 7}));
+  EXPECT_EQ(back->GetData(10, 0), std::optional<Bytes>(Bytes(100, 9)));
+  EXPECT_EQ(back->GetGroupKey(500, 1), std::optional<Bytes>(Bytes{8}));
+  EXPECT_EQ(back->Stats().object_count, store.Stats().object_count);
+}
+
+TEST(ObjectStorePersistenceTest, FileRoundTripAndErrors) {
+  ObjectStore store;
+  store.PutMetadata(3, 0, {42});
+  std::string path = ::testing::TempDir() + "/sharoes_store_test.db";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  auto back = ObjectStore::LoadFromFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->GetMetadata(3, 0), std::optional<Bytes>(Bytes{42}));
+  EXPECT_TRUE(ObjectStore::LoadFromFile("/no/such/file").status()
+                  .IsNotFound());
+  // Garbage files are rejected, not crashed on.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a snapshot";
+  }
+  EXPECT_FALSE(ObjectStore::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ObjectStorePersistenceTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ObjectStore::Deserialize(ToBytes("junk")).ok());
+  EXPECT_FALSE(ObjectStore::Deserialize(Bytes{}).ok());
+  ObjectStore store;
+  store.PutData(1, 0, {1});
+  Bytes snap = store.Serialize();
+  snap.pop_back();  // Truncate.
+  EXPECT_FALSE(ObjectStore::Deserialize(snap).ok());
+}
+
+}  // namespace
+}  // namespace sharoes::ssp

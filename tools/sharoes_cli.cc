@@ -1,0 +1,231 @@
+// sharoes_cli: a command-line SHAROES client for a running sharoes_sspd.
+//
+// Enterprise state (the identity directory plus each user's private key)
+// lives in a state directory on the trusted side; the SSP never sees any
+// of it.
+//
+//   # 1. start the SSP:              ./sharoes_sspd 7070 &
+//   # 2. provision a demo world:     ./sharoes_cli provision --state /tmp/sh
+//   # 3. use it:
+//   ./sharoes_cli --state /tmp/sh --user alice ls /
+//   ./sharoes_cli --state /tmp/sh --user alice cat /docs/welcome.txt
+//   ./sharoes_cli --state /tmp/sh --user alice put /docs/new.txt "hello"
+//   ./sharoes_cli --state /tmp/sh --user bob   cat /docs/new.txt
+//   ./sharoes_cli --state /tmp/sh --user alice chmod /docs/new.txt 600
+//   ./sharoes_cli --state /tmp/sh --user bob   cat /docs/new.txt   # denied
+//
+// Flags: --host (default 127.0.0.1), --port (7070), --state (required),
+//        --user (name registered at provision time).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/migration.h"
+#include "ssp/tcp_service.h"
+
+using namespace sharoes;
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7070;
+  std::string state;
+  std::string user;
+  std::vector<std::string> command;
+};
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "sharoes_cli: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+void CheckOk(const Status& s) {
+  if (!s.ok()) Die(s.ToString());
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) Die("missing value for " + a);
+      return argv[i];
+    };
+    if (a == "--host") {
+      args.host = next();
+    } else if (a == "--port") {
+      args.port = static_cast<uint16_t>(std::atoi(next().c_str()));
+    } else if (a == "--state") {
+      args.state = next();
+    } else if (a == "--user") {
+      args.user = next();
+    } else {
+      args.command.push_back(a);
+    }
+  }
+  if (args.state.empty()) Die("--state <dir> is required");
+  if (args.command.empty()) Die("no command given");
+  return args;
+}
+
+Status WriteFileBytes(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good() ? Status::OK() : Status::IoError("short write " + path);
+}
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read " + path);
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+// Demo enterprise: alice (uid 100) and bob (uid 101) in group "staff".
+constexpr fs::UserId kAliceUid = 100;
+constexpr fs::UserId kBobUid = 101;
+constexpr fs::GroupId kStaffGid = 500;
+
+void Provision(const Args& args) {
+  SimClock clock;
+  crypto::CryptoEngineOptions eng_opts;
+  crypto::CryptoEngine engine(&clock, eng_opts);
+  core::IdentityDirectory identity;
+  core::Provisioner::Options popts;
+  popts.user_key_bits = 1024;
+  core::Provisioner prov(&identity, /*server=*/nullptr, &engine, popts);
+  auto channel = ssp::TcpSspChannel::Connect(args.host, args.port);
+  if (!channel.ok()) {
+    Die("cannot reach sharoes_sspd at " + args.host + ":" +
+        std::to_string(args.port) + " (" + channel.status().ToString() +
+        ") — start it first");
+  }
+  prov.set_remote_channel(channel->get());
+
+  auto alice = prov.CreateUser(kAliceUid, "alice");
+  CheckOk(alice.status());
+  auto bob = prov.CreateUser(kBobUid, "bob");
+  CheckOk(bob.status());
+  CheckOk(prov.CreateGroup(kStaffGid, "staff", {kAliceUid, kBobUid})
+              .status());
+
+  core::LocalNode root =
+      core::LocalNode::Dir("", kAliceUid, kStaffGid, fs::Mode::FromOctal(0755));
+  core::LocalNode docs = core::LocalNode::Dir(
+      "docs", kAliceUid, kStaffGid, fs::Mode::FromOctal(0775));
+  docs.children.push_back(core::LocalNode::File(
+      "welcome.txt", kAliceUid, kStaffGid, fs::Mode::FromOctal(0644),
+      ToBytes("welcome to sharoes over tcp\n")));
+  root.children.push_back(std::move(docs));
+  auto stats = prov.Migrate(root);
+  CheckOk(stats.status());
+
+  CheckOk(WriteFileBytes(args.state + "/identity.db", identity.Serialize()));
+  CheckOk(WriteFileBytes(args.state + "/alice.key", alice->priv.Serialize()));
+  CheckOk(WriteFileBytes(args.state + "/bob.key", bob->priv.Serialize()));
+  std::printf(
+      "provisioned: users alice/bob (group staff), %llu objects at the "
+      "SSP;\nstate written to %s (identity.db, alice.key, bob.key)\n",
+      static_cast<unsigned long long>(stats->files + stats->directories),
+      args.state.c_str());
+}
+
+fs::UserId UidOf(const core::IdentityDirectory& identity,
+                 const std::string& name) {
+  for (fs::UserId uid : identity.AllUsers()) {
+    auto user = identity.GetUser(uid);
+    if (user.ok() && user->name == name) return uid;
+  }
+  Die("unknown user '" + name + "'");
+}
+
+int RunCommand(const Args& args) {
+  auto identity_bytes = ReadFileBytes(args.state + "/identity.db");
+  CheckOk(identity_bytes.status());
+  auto identity = core::IdentityDirectory::Deserialize(*identity_bytes);
+  CheckOk(identity.status());
+  if (args.user.empty()) Die("--user <name> is required");
+  fs::UserId uid = UidOf(*identity, args.user);
+  auto key_bytes = ReadFileBytes(args.state + "/" + args.user + ".key");
+  CheckOk(key_bytes.status());
+  auto priv = crypto::RsaPrivateKey::Deserialize(*key_bytes);
+  CheckOk(priv.status());
+
+  SimClock clock;
+  crypto::CryptoEngineOptions eng_opts;
+  crypto::CryptoEngine engine(&clock, eng_opts);
+  auto channel = ssp::TcpSspChannel::Connect(args.host, args.port);
+  CheckOk(channel.status());
+  core::ClientOptions copts;
+  copts.default_group = kStaffGid;
+  core::SharoesClient client(uid, *priv, &*identity, channel->get(), &engine,
+                             copts);
+  CheckOk(client.Mount());
+
+  const std::string& cmd = args.command[0];
+  auto arg_at = [&](size_t i) -> const std::string& {
+    if (args.command.size() <= i) Die("missing argument for " + cmd);
+    return args.command[i];
+  };
+  if (cmd == "ls") {
+    auto names = client.Readdir(arg_at(1));
+    CheckOk(names.status());
+    for (const std::string& n : *names) std::printf("%s\n", n.c_str());
+  } else if (cmd == "cat") {
+    auto content = client.Read(arg_at(1));
+    CheckOk(content.status());
+    fwrite(content->data(), 1, content->size(), stdout);
+  } else if (cmd == "put") {
+    const std::string& path = arg_at(1);
+    if (!client.Exists(path)) {
+      core::CreateOptions opts;
+      opts.mode = fs::Mode::FromOctal(0644);
+      CheckOk(client.Create(path, opts));
+    }
+    CheckOk(client.WriteFile(path, ToBytes(arg_at(2))));
+    std::printf("wrote %zu bytes to %s\n", arg_at(2).size(), path.c_str());
+  } else if (cmd == "stat") {
+    auto attrs = client.Getattr(arg_at(1));
+    CheckOk(attrs.status());
+    std::printf("%s %u:%u inode=%llu %s\n", attrs->mode.ToString().c_str(),
+                attrs->owner, attrs->group,
+                static_cast<unsigned long long>(attrs->inode),
+                fs::FileTypeName(attrs->type).c_str());
+  } else if (cmd == "mkdir") {
+    core::CreateOptions opts;
+    opts.mode = fs::Mode::FromOctal(
+        static_cast<uint16_t>(std::strtol(arg_at(2).c_str(), nullptr, 8)));
+    CheckOk(client.Mkdir(arg_at(1), opts));
+  } else if (cmd == "chmod") {
+    fs::Mode mode(static_cast<uint16_t>(
+        std::strtol(arg_at(2).c_str(), nullptr, 8)));
+    CheckOk(client.Chmod(arg_at(1), mode));
+  } else if (cmd == "rm") {
+    CheckOk(client.Unlink(arg_at(1)));
+  } else if (cmd == "rmdir") {
+    CheckOk(client.Rmdir(arg_at(1)));
+  } else {
+    Die("unknown command '" + cmd +
+        "' (try: ls cat put stat mkdir chmod rm rmdir)");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.command[0] == "provision") {
+    Provision(args);
+    return 0;
+  }
+  return RunCommand(args);
+}

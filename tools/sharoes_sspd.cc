@@ -1,0 +1,82 @@
+// sharoes_sspd: the SSP data-serving tool as a standalone network daemon
+// (paper §IV, component 2). Serves the client <-> SSP protocol over TCP.
+//
+// Usage:
+//   sharoes_sspd [port] [--store FILE]
+//
+// Default port 7070 (0 picks an ephemeral port). With --store, the
+// daemon loads the snapshot at startup (if present) and saves it on
+// shutdown, so the hosted ciphertext survives restarts. The daemon
+// starts empty otherwise; an enterprise provisions it remotely through
+// the same wire protocol (see tools/sharoes_cli.cc).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
+
+#include <string>
+
+#include "ssp/tcp_service.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7070;
+  std::string store_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
+    } else {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str()));
+    }
+  }
+
+  sharoes::ssp::SspServer server;
+  if (!store_path.empty()) {
+    auto loaded = sharoes::ssp::ObjectStore::LoadFromFile(store_path);
+    if (loaded.ok()) {
+      server.store() = std::move(*loaded);
+      std::printf("sharoes_sspd: loaded %llu objects from %s\n",
+                  static_cast<unsigned long long>(
+                      server.store().Stats().object_count),
+                  store_path.c_str());
+    } else if (!loaded.status().IsNotFound()) {
+      std::fprintf(stderr, "sharoes_sspd: cannot load %s: %s\n",
+                   store_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+  }
+  auto daemon = sharoes::ssp::TcpSspDaemon::Start(&server, port);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "sharoes_sspd: %s\n",
+                 daemon.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sharoes_sspd: serving on 127.0.0.1:%u (ctrl-c to stop)\n",
+              (*daemon)->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    ::pause();
+  }
+  std::printf("sharoes_sspd: shutting down\n");
+  (*daemon)->Shutdown();
+  if (!store_path.empty()) {
+    sharoes::Status s = server.store().SaveToFile(store_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "sharoes_sspd: snapshot failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("sharoes_sspd: snapshot saved to %s\n", store_path.c_str());
+  }
+  return 0;
+}
