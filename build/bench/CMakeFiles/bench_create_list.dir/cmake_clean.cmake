@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_create_list.dir/bench_create_list.cc.o"
+  "CMakeFiles/bench_create_list.dir/bench_create_list.cc.o.d"
+  "bench_create_list"
+  "bench_create_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_create_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

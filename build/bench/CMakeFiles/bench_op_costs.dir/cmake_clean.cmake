@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_op_costs.dir/bench_op_costs.cc.o"
+  "CMakeFiles/bench_op_costs.dir/bench_op_costs.cc.o.d"
+  "bench_op_costs"
+  "bench_op_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_op_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_postmark.dir/bench_postmark.cc.o"
+  "CMakeFiles/bench_postmark.dir/bench_postmark.cc.o.d"
+  "bench_postmark"
+  "bench_postmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

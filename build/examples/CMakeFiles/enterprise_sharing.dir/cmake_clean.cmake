@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_sharing.dir/enterprise_sharing.cpp.o"
+  "CMakeFiles/enterprise_sharing.dir/enterprise_sharing.cpp.o.d"
+  "enterprise_sharing"
+  "enterprise_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_audit.dir/migration_audit.cpp.o"
+  "CMakeFiles/migration_audit.dir/migration_audit.cpp.o.d"
+  "migration_audit"
+  "migration_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

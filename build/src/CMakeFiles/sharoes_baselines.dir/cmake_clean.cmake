@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_baselines.dir/baselines/baseline.cc.o"
+  "CMakeFiles/sharoes_baselines.dir/baselines/baseline.cc.o.d"
+  "libsharoes_baselines.a"
+  "libsharoes_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

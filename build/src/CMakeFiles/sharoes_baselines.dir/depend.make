@@ -1,0 +1,2 @@
+# Empty dependencies file for sharoes_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cc" "src/CMakeFiles/sharoes_core.dir/core/cache.cc.o" "gcc" "src/CMakeFiles/sharoes_core.dir/core/cache.cc.o.d"
+  "/root/repo/src/core/cap_class.cc" "src/CMakeFiles/sharoes_core.dir/core/cap_class.cc.o" "gcc" "src/CMakeFiles/sharoes_core.dir/core/cap_class.cc.o.d"
+  "/root/repo/src/core/cap_policy.cc" "src/CMakeFiles/sharoes_core.dir/core/cap_policy.cc.o" "gcc" "src/CMakeFiles/sharoes_core.dir/core/cap_policy.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/CMakeFiles/sharoes_core.dir/core/client.cc.o" "gcc" "src/CMakeFiles/sharoes_core.dir/core/client.cc.o.d"
+  "/root/repo/src/core/identity.cc" "src/CMakeFiles/sharoes_core.dir/core/identity.cc.o" "gcc" "src/CMakeFiles/sharoes_core.dir/core/identity.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/CMakeFiles/sharoes_core.dir/core/migration.cc.o" "gcc" "src/CMakeFiles/sharoes_core.dir/core/migration.cc.o.d"
+  "/root/repo/src/core/object_codec.cc" "src/CMakeFiles/sharoes_core.dir/core/object_codec.cc.o" "gcc" "src/CMakeFiles/sharoes_core.dir/core/object_codec.cc.o.d"
+  "/root/repo/src/core/refs.cc" "src/CMakeFiles/sharoes_core.dir/core/refs.cc.o" "gcc" "src/CMakeFiles/sharoes_core.dir/core/refs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sharoes_ssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

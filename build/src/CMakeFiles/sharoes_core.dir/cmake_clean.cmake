@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_core.dir/core/cache.cc.o"
+  "CMakeFiles/sharoes_core.dir/core/cache.cc.o.d"
+  "CMakeFiles/sharoes_core.dir/core/cap_class.cc.o"
+  "CMakeFiles/sharoes_core.dir/core/cap_class.cc.o.d"
+  "CMakeFiles/sharoes_core.dir/core/cap_policy.cc.o"
+  "CMakeFiles/sharoes_core.dir/core/cap_policy.cc.o.d"
+  "CMakeFiles/sharoes_core.dir/core/client.cc.o"
+  "CMakeFiles/sharoes_core.dir/core/client.cc.o.d"
+  "CMakeFiles/sharoes_core.dir/core/identity.cc.o"
+  "CMakeFiles/sharoes_core.dir/core/identity.cc.o.d"
+  "CMakeFiles/sharoes_core.dir/core/migration.cc.o"
+  "CMakeFiles/sharoes_core.dir/core/migration.cc.o.d"
+  "CMakeFiles/sharoes_core.dir/core/object_codec.cc.o"
+  "CMakeFiles/sharoes_core.dir/core/object_codec.cc.o.d"
+  "CMakeFiles/sharoes_core.dir/core/refs.cc.o"
+  "CMakeFiles/sharoes_core.dir/core/refs.cc.o.d"
+  "libsharoes_core.a"
+  "libsharoes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

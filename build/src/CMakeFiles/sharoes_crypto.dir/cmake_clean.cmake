@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_crypto.dir/crypto/aes.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/aes.cc.o.d"
+  "CMakeFiles/sharoes_crypto.dir/crypto/bignum.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/bignum.cc.o.d"
+  "CMakeFiles/sharoes_crypto.dir/crypto/ctr.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/ctr.cc.o.d"
+  "CMakeFiles/sharoes_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/sharoes_crypto.dir/crypto/kdf.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/kdf.cc.o.d"
+  "CMakeFiles/sharoes_crypto.dir/crypto/keys.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/keys.cc.o.d"
+  "CMakeFiles/sharoes_crypto.dir/crypto/prime.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/prime.cc.o.d"
+  "CMakeFiles/sharoes_crypto.dir/crypto/rsa.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/rsa.cc.o.d"
+  "CMakeFiles/sharoes_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/sharoes_crypto.dir/crypto/sha256.cc.o.d"
+  "libsharoes_crypto.a"
+  "libsharoes_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/dir_table.cc" "src/CMakeFiles/sharoes_fs.dir/fs/dir_table.cc.o" "gcc" "src/CMakeFiles/sharoes_fs.dir/fs/dir_table.cc.o.d"
+  "/root/repo/src/fs/metadata.cc" "src/CMakeFiles/sharoes_fs.dir/fs/metadata.cc.o" "gcc" "src/CMakeFiles/sharoes_fs.dir/fs/metadata.cc.o.d"
+  "/root/repo/src/fs/mode.cc" "src/CMakeFiles/sharoes_fs.dir/fs/mode.cc.o" "gcc" "src/CMakeFiles/sharoes_fs.dir/fs/mode.cc.o.d"
+  "/root/repo/src/fs/path.cc" "src/CMakeFiles/sharoes_fs.dir/fs/path.cc.o" "gcc" "src/CMakeFiles/sharoes_fs.dir/fs/path.cc.o.d"
+  "/root/repo/src/fs/posix_monitor.cc" "src/CMakeFiles/sharoes_fs.dir/fs/posix_monitor.cc.o" "gcc" "src/CMakeFiles/sharoes_fs.dir/fs/posix_monitor.cc.o.d"
+  "/root/repo/src/fs/superblock.cc" "src/CMakeFiles/sharoes_fs.dir/fs/superblock.cc.o" "gcc" "src/CMakeFiles/sharoes_fs.dir/fs/superblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sharoes_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

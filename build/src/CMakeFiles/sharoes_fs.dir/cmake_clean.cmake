@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_fs.dir/fs/dir_table.cc.o"
+  "CMakeFiles/sharoes_fs.dir/fs/dir_table.cc.o.d"
+  "CMakeFiles/sharoes_fs.dir/fs/metadata.cc.o"
+  "CMakeFiles/sharoes_fs.dir/fs/metadata.cc.o.d"
+  "CMakeFiles/sharoes_fs.dir/fs/mode.cc.o"
+  "CMakeFiles/sharoes_fs.dir/fs/mode.cc.o.d"
+  "CMakeFiles/sharoes_fs.dir/fs/path.cc.o"
+  "CMakeFiles/sharoes_fs.dir/fs/path.cc.o.d"
+  "CMakeFiles/sharoes_fs.dir/fs/posix_monitor.cc.o"
+  "CMakeFiles/sharoes_fs.dir/fs/posix_monitor.cc.o.d"
+  "CMakeFiles/sharoes_fs.dir/fs/superblock.cc.o"
+  "CMakeFiles/sharoes_fs.dir/fs/superblock.cc.o.d"
+  "libsharoes_fs.a"
+  "libsharoes_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network_model.cc" "src/CMakeFiles/sharoes_net.dir/net/network_model.cc.o" "gcc" "src/CMakeFiles/sharoes_net.dir/net/network_model.cc.o.d"
+  "/root/repo/src/net/tcp_stream.cc" "src/CMakeFiles/sharoes_net.dir/net/tcp_stream.cc.o" "gcc" "src/CMakeFiles/sharoes_net.dir/net/tcp_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sharoes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

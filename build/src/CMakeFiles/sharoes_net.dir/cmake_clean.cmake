@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_net.dir/net/network_model.cc.o"
+  "CMakeFiles/sharoes_net.dir/net/network_model.cc.o.d"
+  "CMakeFiles/sharoes_net.dir/net/tcp_stream.cc.o"
+  "CMakeFiles/sharoes_net.dir/net/tcp_stream.cc.o.d"
+  "libsharoes_net.a"
+  "libsharoes_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_ssp.dir/ssp/message.cc.o"
+  "CMakeFiles/sharoes_ssp.dir/ssp/message.cc.o.d"
+  "CMakeFiles/sharoes_ssp.dir/ssp/object_store.cc.o"
+  "CMakeFiles/sharoes_ssp.dir/ssp/object_store.cc.o.d"
+  "CMakeFiles/sharoes_ssp.dir/ssp/ssp_server.cc.o"
+  "CMakeFiles/sharoes_ssp.dir/ssp/ssp_server.cc.o.d"
+  "CMakeFiles/sharoes_ssp.dir/ssp/tcp_service.cc.o"
+  "CMakeFiles/sharoes_ssp.dir/ssp/tcp_service.cc.o.d"
+  "libsharoes_ssp.a"
+  "libsharoes_ssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_ssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

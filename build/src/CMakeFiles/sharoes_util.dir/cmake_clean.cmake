@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_util.dir/util/binary_io.cc.o"
+  "CMakeFiles/sharoes_util.dir/util/binary_io.cc.o.d"
+  "CMakeFiles/sharoes_util.dir/util/bytes.cc.o"
+  "CMakeFiles/sharoes_util.dir/util/bytes.cc.o.d"
+  "CMakeFiles/sharoes_util.dir/util/random.cc.o"
+  "CMakeFiles/sharoes_util.dir/util/random.cc.o.d"
+  "CMakeFiles/sharoes_util.dir/util/sim_clock.cc.o"
+  "CMakeFiles/sharoes_util.dir/util/sim_clock.cc.o.d"
+  "CMakeFiles/sharoes_util.dir/util/status.cc.o"
+  "CMakeFiles/sharoes_util.dir/util/status.cc.o.d"
+  "libsharoes_util.a"
+  "libsharoes_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/andrew.cc" "src/CMakeFiles/sharoes_workload.dir/workload/andrew.cc.o" "gcc" "src/CMakeFiles/sharoes_workload.dir/workload/andrew.cc.o.d"
+  "/root/repo/src/workload/create_list.cc" "src/CMakeFiles/sharoes_workload.dir/workload/create_list.cc.o" "gcc" "src/CMakeFiles/sharoes_workload.dir/workload/create_list.cc.o.d"
+  "/root/repo/src/workload/harness.cc" "src/CMakeFiles/sharoes_workload.dir/workload/harness.cc.o" "gcc" "src/CMakeFiles/sharoes_workload.dir/workload/harness.cc.o.d"
+  "/root/repo/src/workload/op_costs.cc" "src/CMakeFiles/sharoes_workload.dir/workload/op_costs.cc.o" "gcc" "src/CMakeFiles/sharoes_workload.dir/workload/op_costs.cc.o.d"
+  "/root/repo/src/workload/postmark.cc" "src/CMakeFiles/sharoes_workload.dir/workload/postmark.cc.o" "gcc" "src/CMakeFiles/sharoes_workload.dir/workload/postmark.cc.o.d"
+  "/root/repo/src/workload/report.cc" "src/CMakeFiles/sharoes_workload.dir/workload/report.cc.o" "gcc" "src/CMakeFiles/sharoes_workload.dir/workload/report.cc.o.d"
+  "/root/repo/src/workload/tree_gen.cc" "src/CMakeFiles/sharoes_workload.dir/workload/tree_gen.cc.o" "gcc" "src/CMakeFiles/sharoes_workload.dir/workload/tree_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sharoes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_ssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

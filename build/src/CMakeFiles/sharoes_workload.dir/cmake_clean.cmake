@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_workload.dir/workload/andrew.cc.o"
+  "CMakeFiles/sharoes_workload.dir/workload/andrew.cc.o.d"
+  "CMakeFiles/sharoes_workload.dir/workload/create_list.cc.o"
+  "CMakeFiles/sharoes_workload.dir/workload/create_list.cc.o.d"
+  "CMakeFiles/sharoes_workload.dir/workload/harness.cc.o"
+  "CMakeFiles/sharoes_workload.dir/workload/harness.cc.o.d"
+  "CMakeFiles/sharoes_workload.dir/workload/op_costs.cc.o"
+  "CMakeFiles/sharoes_workload.dir/workload/op_costs.cc.o.d"
+  "CMakeFiles/sharoes_workload.dir/workload/postmark.cc.o"
+  "CMakeFiles/sharoes_workload.dir/workload/postmark.cc.o.d"
+  "CMakeFiles/sharoes_workload.dir/workload/report.cc.o"
+  "CMakeFiles/sharoes_workload.dir/workload/report.cc.o.d"
+  "CMakeFiles/sharoes_workload.dir/workload/tree_gen.cc.o"
+  "CMakeFiles/sharoes_workload.dir/workload/tree_gen.cc.o.d"
+  "libsharoes_workload.a"
+  "libsharoes_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsharoes_workload.a"
+)

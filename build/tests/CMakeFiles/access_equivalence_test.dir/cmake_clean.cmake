@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_equivalence_test.dir/core/access_equivalence_test.cc.o"
+  "CMakeFiles/access_equivalence_test.dir/core/access_equivalence_test.cc.o.d"
+  "access_equivalence_test"
+  "access_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

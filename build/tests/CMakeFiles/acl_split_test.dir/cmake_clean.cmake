@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_split_test.dir/core/acl_split_test.cc.o"
+  "CMakeFiles/acl_split_test.dir/core/acl_split_test.cc.o.d"
+  "acl_split_test"
+  "acl_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_test.dir/crypto/aes_test.cc.o"
+  "CMakeFiles/aes_test.dir/crypto/aes_test.cc.o.d"
+  "aes_test"
+  "aes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/baseline_test.cc" "tests/CMakeFiles/baseline_test.dir/baselines/baseline_test.cc.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baselines/baseline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sharoes_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_ssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sharoes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_class_test.dir/core/cap_class_test.cc.o"
+  "CMakeFiles/cap_class_test.dir/core/cap_class_test.cc.o.d"
+  "cap_class_test"
+  "cap_class_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

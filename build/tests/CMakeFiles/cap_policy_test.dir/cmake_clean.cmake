@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_policy_test.dir/core/cap_policy_test.cc.o"
+  "CMakeFiles/cap_policy_test.dir/core/cap_policy_test.cc.o.d"
+  "cap_policy_test"
+  "cap_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

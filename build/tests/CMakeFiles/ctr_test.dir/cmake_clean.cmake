@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctr_test.dir/crypto/ctr_test.cc.o"
+  "CMakeFiles/ctr_test.dir/crypto/ctr_test.cc.o.d"
+  "ctr_test"
+  "ctr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

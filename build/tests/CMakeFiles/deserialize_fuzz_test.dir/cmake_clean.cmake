@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deserialize_fuzz_test.dir/fuzz/deserialize_fuzz_test.cc.o"
+  "CMakeFiles/deserialize_fuzz_test.dir/fuzz/deserialize_fuzz_test.cc.o.d"
+  "deserialize_fuzz_test"
+  "deserialize_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deserialize_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_test.dir/workload/figure8_test.cc.o"
+  "CMakeFiles/figure8_test.dir/workload/figure8_test.cc.o.d"
+  "figure8_test"
+  "figure8_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

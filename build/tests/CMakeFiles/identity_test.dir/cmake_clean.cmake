@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identity_test.dir/core/identity_test.cc.o"
+  "CMakeFiles/identity_test.dir/core/identity_test.cc.o.d"
+  "identity_test"
+  "identity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

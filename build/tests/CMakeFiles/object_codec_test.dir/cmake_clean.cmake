@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_codec_test.dir/core/object_codec_test.cc.o"
+  "CMakeFiles/object_codec_test.dir/core/object_codec_test.cc.o.d"
+  "object_codec_test"
+  "object_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_update_test.dir/core/partial_update_test.cc.o"
+  "CMakeFiles/partial_update_test.dir/core/partial_update_test.cc.o.d"
+  "partial_update_test"
+  "partial_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_monitor_test.dir/fs/posix_monitor_test.cc.o"
+  "CMakeFiles/posix_monitor_test.dir/fs/posix_monitor_test.cc.o.d"
+  "posix_monitor_test"
+  "posix_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssp_test.dir/ssp/ssp_test.cc.o"
+  "CMakeFiles/ssp_test.dir/ssp/ssp_test.cc.o.d"
+  "ssp_test"
+  "ssp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamper_test.dir/core/tamper_test.cc.o"
+  "CMakeFiles/tamper_test.dir/core/tamper_test.cc.o.d"
+  "tamper_test"
+  "tamper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

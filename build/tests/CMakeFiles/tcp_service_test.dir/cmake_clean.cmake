@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_service_test.dir/ssp/tcp_service_test.cc.o"
+  "CMakeFiles/tcp_service_test.dir/ssp/tcp_service_test.cc.o.d"
+  "tcp_service_test"
+  "tcp_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_cli.dir/sharoes_cli.cc.o"
+  "CMakeFiles/sharoes_cli.dir/sharoes_cli.cc.o.d"
+  "sharoes_cli"
+  "sharoes_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharoes_sspd.dir/sharoes_sspd.cc.o"
+  "CMakeFiles/sharoes_sspd.dir/sharoes_sspd.cc.o.d"
+  "sharoes_sspd"
+  "sharoes_sspd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharoes_sspd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

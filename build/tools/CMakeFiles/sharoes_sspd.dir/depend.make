@@ -1,0 +1,2 @@
+# Empty dependencies file for sharoes_sspd.
+# This may be replaced when dependencies are built.
