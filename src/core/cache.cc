@@ -6,26 +6,33 @@ namespace sharoes::core {
 
 void LruCache::PutErased(const std::string& key,
                          std::shared_ptr<const void> value, size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) return;
-  Erase(key);
+  EraseLocked(key);
   lru_.push_front(Entry{key, std::move(value), size});
   map_[key] = lru_.begin();
   size_ += size;
-  EvictToFit();
+  EvictToFitLocked();
 }
 
 std::shared_ptr<const void> LruCache::GetErased(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }
 
 void LruCache::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EraseLocked(key);
+}
+
+void LruCache::EraseLocked(const std::string& key) {
   auto it = map_.find(key);
   if (it == map_.end()) return;
   size_ -= it->second->size;
@@ -34,30 +41,45 @@ void LruCache::Erase(const std::string& key) {
 }
 
 void LruCache::ErasePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> doomed;
   for (const auto& [key, it] : map_) {
     (void)it;
     if (key.compare(0, prefix.size(), prefix) == 0) doomed.push_back(key);
   }
-  for (const std::string& key : doomed) Erase(key);
+  for (const std::string& key : doomed) EraseLocked(key);
 }
 
 void LruCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
   size_ = 0;
 }
 
+size_t LruCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+size_t LruCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
 void LruCache::set_capacity(size_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity_bytes;
   if (capacity_ == 0) {
-    Clear();
+    lru_.clear();
+    map_.clear();
+    size_ = 0;
   } else {
-    EvictToFit();
+    EvictToFitLocked();
   }
 }
 
-void LruCache::EvictToFit() {
+void LruCache::EvictToFitLocked() {
   while (size_ > capacity_ && !lru_.empty()) {
     Entry& victim = lru_.back();
     size_ -= victim.size;

@@ -8,8 +8,10 @@
 #ifndef SHAROES_CORE_CACHE_H_
 #define SHAROES_CORE_CACHE_H_
 
+#include <atomic>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -18,6 +20,11 @@ namespace sharoes::core {
 /// Byte-capacity LRU cache from string keys to type-erased immutable
 /// values. Callers use a key discipline ("m|<inode>|<sel>", "t|...",
 /// "d|...") and must read values back with the type they stored.
+///
+/// Thread-safe: a single mutex guards the list/map (LRU reordering makes
+/// even Get a write), and hit/miss counters are atomics so the stats
+/// accessors never need the lock. Values are immutable shared_ptrs, so a
+/// value returned by Get stays valid after a concurrent eviction.
 class LruCache {
  public:
   /// capacity_bytes == 0 disables caching entirely.
@@ -49,10 +56,10 @@ class LruCache {
   void ErasePrefix(const std::string& prefix);
   void Clear();
 
-  size_t size_bytes() const { return size_; }
-  size_t entry_count() const { return map_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size_bytes() const;
+  size_t entry_count() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   void set_capacity(size_t capacity_bytes);
 
  private:
@@ -65,14 +72,18 @@ class LruCache {
   void PutErased(const std::string& key, std::shared_ptr<const void> value,
                  size_t size);
   std::shared_ptr<const void> GetErased(const std::string& key);
-  void EvictToFit();
+  // *Locked helpers require mu_ held.
+  void EraseLocked(const std::string& key);
+  void EvictToFitLocked();
 
-  size_t capacity_;
-  size_t size_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  std::list<Entry> lru_;  // Front = most recent.
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  mutable std::mutex mu_;
+  size_t capacity_;      // Guarded by mu_.
+  size_t size_ = 0;      // Guarded by mu_.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::list<Entry> lru_;  // Front = most recent. Guarded by mu_.
+  std::unordered_map<std::string, std::list<Entry>::iterator>
+      map_;  // Guarded by mu_.
 };
 
 }  // namespace sharoes::core

@@ -1,52 +1,128 @@
 #include "ssp/object_store.h"
 
 #include <fstream>
+#include <mutex>
+#include <utility>
 
 namespace sharoes::ssp {
 
 namespace {
+
+// splitmix64 finalizer: cheap, well-distributed shard partitioning even
+// for sequential inode / user ids.
+uint64_t MixKey(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Inserts/replaces m[k] = blob, keeping `family_bytes` and the shard's
+// object count in step. Caller holds the shard's exclusive lock.
+template <typename Map, typename Key>
+void PutCounted(Map& m, const Key& k, Bytes blob, uint64_t& family_bytes,
+                uint64_t& object_count) {
+  auto [it, inserted] = m.try_emplace(k);
+  if (inserted) {
+    ++object_count;
+  } else {
+    family_bytes -= it->second.size();
+  }
+  family_bytes += blob.size();
+  it->second = std::move(blob);
+}
+
+template <typename Map, typename Key>
+void EraseCounted(Map& m, const Key& k, uint64_t& family_bytes,
+                  uint64_t& object_count) {
+  auto it = m.find(k);
+  if (it == m.end()) return;
+  family_bytes -= it->second.size();
+  --object_count;
+  m.erase(it);
+}
+
 template <typename Map, typename Key>
 std::optional<Bytes> Find(const Map& m, const Key& k) {
   auto it = m.find(k);
   if (it == m.end()) return std::nullopt;
   return it->second;
 }
+
 }  // namespace
 
+ObjectStore::ObjectStore(size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ObjectStore::Shard& ObjectStore::ShardFor(uint64_t key) const {
+  return *shards_[MixKey(key) % shards_.size()];
+}
+
 void ObjectStore::PutSuperblock(uint32_t user, Bytes blob) {
-  superblocks_[user] = std::move(blob);
+  Shard& s = ShardFor(user);
+  std::unique_lock lock(s.mu);
+  PutCounted(s.superblocks, user, std::move(blob), s.stats.superblock_bytes,
+             s.stats.object_count);
 }
 
 std::optional<Bytes> ObjectStore::GetSuperblock(uint32_t user) const {
-  return Find(superblocks_, user);
+  Shard& s = ShardFor(user);
+  std::shared_lock lock(s.mu);
+  return Find(s.superblocks, user);
 }
 
-void ObjectStore::DeleteSuperblock(uint32_t user) { superblocks_.erase(user); }
+void ObjectStore::DeleteSuperblock(uint32_t user) {
+  Shard& s = ShardFor(user);
+  std::unique_lock lock(s.mu);
+  EraseCounted(s.superblocks, user, s.stats.superblock_bytes,
+               s.stats.object_count);
+}
 
 void ObjectStore::PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob) {
-  metadata_[{inode, sel}] = std::move(blob);
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  PutCounted(s.metadata, std::make_pair(inode, sel), std::move(blob),
+             s.stats.metadata_bytes, s.stats.object_count);
 }
 
 std::optional<Bytes> ObjectStore::GetMetadata(fs::InodeNum inode,
                                               Selector sel) const {
-  return Find(metadata_, std::make_pair(inode, sel));
+  Shard& s = ShardFor(inode);
+  std::shared_lock lock(s.mu);
+  return Find(s.metadata, std::make_pair(inode, sel));
 }
 
 void ObjectStore::DeleteMetadata(fs::InodeNum inode, Selector sel) {
-  metadata_.erase({inode, sel});
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  EraseCounted(s.metadata, std::make_pair(inode, sel),
+               s.stats.metadata_bytes, s.stats.object_count);
 }
 
 void ObjectStore::DeleteInodeMetadata(fs::InodeNum inode) {
-  auto it = metadata_.lower_bound({inode, 0});
-  while (it != metadata_.end() && it->first.first == inode) {
-    it = metadata_.erase(it);
+  // All of an inode's replicas hash to the same shard, so the ranged
+  // delete is a single-shard operation.
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  auto it = s.metadata.lower_bound({inode, 0});
+  while (it != s.metadata.end() && it->first.first == inode) {
+    s.stats.metadata_bytes -= it->second.size();
+    --s.stats.object_count;
+    it = s.metadata.erase(it);
   }
 }
 
 size_t ObjectStore::MetadataReplicaCount(fs::InodeNum inode) const {
+  Shard& s = ShardFor(inode);
+  std::shared_lock lock(s.mu);
   size_t n = 0;
-  for (auto it = metadata_.lower_bound({inode, 0});
-       it != metadata_.end() && it->first.first == inode; ++it) {
+  for (auto it = s.metadata.lower_bound({inode, 0});
+       it != s.metadata.end() && it->first.first == inode; ++it) {
     ++n;
   }
   return n;
@@ -54,75 +130,85 @@ size_t ObjectStore::MetadataReplicaCount(fs::InodeNum inode) const {
 
 void ObjectStore::PutUserMetadata(fs::InodeNum inode, uint32_t user,
                                   Bytes blob) {
-  user_metadata_[{inode, user}] = std::move(blob);
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  PutCounted(s.user_metadata, std::make_pair(inode, user), std::move(blob),
+             s.stats.user_metadata_bytes, s.stats.object_count);
 }
 
 std::optional<Bytes> ObjectStore::GetUserMetadata(fs::InodeNum inode,
                                                   uint32_t user) const {
-  return Find(user_metadata_, std::make_pair(inode, user));
+  Shard& s = ShardFor(inode);
+  std::shared_lock lock(s.mu);
+  return Find(s.user_metadata, std::make_pair(inode, user));
 }
 
 void ObjectStore::DeleteUserMetadata(fs::InodeNum inode, uint32_t user) {
-  user_metadata_.erase({inode, user});
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  EraseCounted(s.user_metadata, std::make_pair(inode, user),
+               s.stats.user_metadata_bytes, s.stats.object_count);
 }
 
 void ObjectStore::PutData(fs::InodeNum inode, uint32_t block, Bytes blob) {
-  data_[{inode, block}] = std::move(blob);
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  PutCounted(s.data, std::make_pair(inode, block), std::move(blob),
+             s.stats.data_bytes, s.stats.object_count);
 }
 
 std::optional<Bytes> ObjectStore::GetData(fs::InodeNum inode,
                                           uint32_t block) const {
-  return Find(data_, std::make_pair(inode, block));
+  Shard& s = ShardFor(inode);
+  std::shared_lock lock(s.mu);
+  return Find(s.data, std::make_pair(inode, block));
 }
 
 void ObjectStore::DeleteInodeData(fs::InodeNum inode) {
-  auto it = data_.lower_bound({inode, 0});
-  while (it != data_.end() && it->first.first == inode) {
-    it = data_.erase(it);
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  auto it = s.data.lower_bound({inode, 0});
+  while (it != s.data.end() && it->first.first == inode) {
+    s.stats.data_bytes -= it->second.size();
+    --s.stats.object_count;
+    it = s.data.erase(it);
   }
 }
 
 void ObjectStore::PutGroupKey(uint32_t group, uint32_t user, Bytes blob) {
-  group_keys_[{group, user}] = std::move(blob);
+  Shard& s = ShardFor(group);
+  std::unique_lock lock(s.mu);
+  PutCounted(s.group_keys, std::make_pair(group, user), std::move(blob),
+             s.stats.group_key_bytes, s.stats.object_count);
 }
 
 std::optional<Bytes> ObjectStore::GetGroupKey(uint32_t group,
                                               uint32_t user) const {
-  return Find(group_keys_, std::make_pair(group, user));
+  Shard& s = ShardFor(group);
+  std::shared_lock lock(s.mu);
+  return Find(s.group_keys, std::make_pair(group, user));
 }
 
 void ObjectStore::DeleteGroupKey(uint32_t group, uint32_t user) {
-  group_keys_.erase({group, user});
+  Shard& s = ShardFor(group);
+  std::unique_lock lock(s.mu);
+  EraseCounted(s.group_keys, std::make_pair(group, user),
+               s.stats.group_key_bytes, s.stats.object_count);
 }
 
 StorageStats ObjectStore::Stats() const {
-  StorageStats s;
-  for (const auto& [k, v] : superblocks_) {
-    (void)k;
-    s.superblock_bytes += v.size();
-    ++s.object_count;
+  StorageStats total;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    const StorageStats& s = shard->stats;
+    total.superblock_bytes += s.superblock_bytes;
+    total.metadata_bytes += s.metadata_bytes;
+    total.user_metadata_bytes += s.user_metadata_bytes;
+    total.data_bytes += s.data_bytes;
+    total.group_key_bytes += s.group_key_bytes;
+    total.object_count += s.object_count;
   }
-  for (const auto& [k, v] : metadata_) {
-    (void)k;
-    s.metadata_bytes += v.size();
-    ++s.object_count;
-  }
-  for (const auto& [k, v] : user_metadata_) {
-    (void)k;
-    s.user_metadata_bytes += v.size();
-    ++s.object_count;
-  }
-  for (const auto& [k, v] : data_) {
-    (void)k;
-    s.data_bytes += v.size();
-    ++s.object_count;
-  }
-  for (const auto& [k, v] : group_keys_) {
-    (void)k;
-    s.group_key_bytes += v.size();
-    ++s.object_count;
-  }
-  return s;
+  return total;
 }
 
 namespace {
@@ -139,8 +225,10 @@ void PutPairMap(BinaryWriter* w, const std::map<std::pair<K1, K2>, Bytes>& m) {
   }
 }
 
-template <typename K1, typename K2>
-Status GetPairMap(BinaryReader* r, std::map<std::pair<K1, K2>, Bytes>* m) {
+// Reads one serialized pair-map, delegating each entry to `put` so the
+// entries land in the right shard with accounting applied.
+template <typename K1, typename K2, typename PutFn>
+Status GetPairMap(BinaryReader* r, PutFn put) {
   uint32_t n = r->GetU32();
   if (!r->ok() || n > r->remaining()) {
     return Status::Corruption("truncated store map");
@@ -148,7 +236,7 @@ Status GetPairMap(BinaryReader* r, std::map<std::pair<K1, K2>, Bytes>* m) {
   for (uint32_t i = 0; i < n; ++i) {
     K1 k1 = static_cast<K1>(r->GetU64());
     K2 k2 = static_cast<K2>(r->GetU64());
-    (*m)[{k1, k2}] = r->GetBytes();
+    put(k1, k2, r->GetBytes());
   }
   return r->ok() ? Status::OK() : Status::Corruption("truncated store map");
 }
@@ -156,17 +244,32 @@ Status GetPairMap(BinaryReader* r, std::map<std::pair<K1, K2>, Bytes>* m) {
 }  // namespace
 
 Bytes ObjectStore::Serialize() const {
+  std::map<uint32_t, Bytes> superblocks;
+  std::map<std::pair<fs::InodeNum, Selector>, Bytes> metadata;
+  std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> user_metadata;
+  std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> data;
+  std::map<std::pair<uint32_t, uint32_t>, Bytes> group_keys;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    superblocks.insert(shard->superblocks.begin(), shard->superblocks.end());
+    metadata.insert(shard->metadata.begin(), shard->metadata.end());
+    user_metadata.insert(shard->user_metadata.begin(),
+                         shard->user_metadata.end());
+    data.insert(shard->data.begin(), shard->data.end());
+    group_keys.insert(shard->group_keys.begin(), shard->group_keys.end());
+  }
+
   BinaryWriter w;
   w.PutU32(kStoreMagic);
-  w.PutU32(static_cast<uint32_t>(superblocks_.size()));
-  for (const auto& [user, blob] : superblocks_) {
+  w.PutU32(static_cast<uint32_t>(superblocks.size()));
+  for (const auto& [user, blob] : superblocks) {
     w.PutU32(user);
     w.PutBytes(blob);
   }
-  PutPairMap(&w, metadata_);
-  PutPairMap(&w, user_metadata_);
-  PutPairMap(&w, data_);
-  PutPairMap(&w, group_keys_);
+  PutPairMap(&w, metadata);
+  PutPairMap(&w, user_metadata);
+  PutPairMap(&w, data);
+  PutPairMap(&w, group_keys);
   return w.Take();
 }
 
@@ -182,12 +285,24 @@ Result<ObjectStore> ObjectStore::Deserialize(const Bytes& data) {
   }
   for (uint32_t i = 0; i < n_super; ++i) {
     uint32_t user = r.GetU32();
-    store.superblocks_[user] = r.GetBytes();
+    store.PutSuperblock(user, r.GetBytes());
   }
-  SHAROES_RETURN_IF_ERROR(GetPairMap(&r, &store.metadata_));
-  SHAROES_RETURN_IF_ERROR(GetPairMap(&r, &store.user_metadata_));
-  SHAROES_RETURN_IF_ERROR(GetPairMap(&r, &store.data_));
-  SHAROES_RETURN_IF_ERROR(GetPairMap(&r, &store.group_keys_));
+  SHAROES_RETURN_IF_ERROR((GetPairMap<fs::InodeNum, Selector>(
+      &r, [&store](fs::InodeNum inode, Selector sel, Bytes blob) {
+        store.PutMetadata(inode, sel, std::move(blob));
+      })));
+  SHAROES_RETURN_IF_ERROR((GetPairMap<fs::InodeNum, uint32_t>(
+      &r, [&store](fs::InodeNum inode, uint32_t user, Bytes blob) {
+        store.PutUserMetadata(inode, user, std::move(blob));
+      })));
+  SHAROES_RETURN_IF_ERROR((GetPairMap<fs::InodeNum, uint32_t>(
+      &r, [&store](fs::InodeNum inode, uint32_t block, Bytes blob) {
+        store.PutData(inode, block, std::move(blob));
+      })));
+  SHAROES_RETURN_IF_ERROR((GetPairMap<uint32_t, uint32_t>(
+      &r, [&store](uint32_t group, uint32_t user, Bytes blob) {
+        store.PutGroupKey(group, user, std::move(blob));
+      })));
   SHAROES_RETURN_IF_ERROR(r.Finish("store snapshot"));
   return store;
 }
@@ -212,23 +327,31 @@ Result<ObjectStore> ObjectStore::LoadFromFile(const std::string& path) {
 
 bool ObjectStore::CorruptMetadata(fs::InodeNum inode, Selector sel,
                                   size_t offset, uint8_t mask) {
-  auto it = metadata_.find({inode, sel});
-  if (it == metadata_.end() || it->second.empty()) return false;
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  auto it = s.metadata.find({inode, sel});
+  if (it == s.metadata.end() || it->second.empty()) return false;
   it->second[offset % it->second.size()] ^= mask;
   return true;
 }
 
 bool ObjectStore::CorruptData(fs::InodeNum inode, uint32_t block,
                               size_t offset, uint8_t mask) {
-  auto it = data_.find({inode, block});
-  if (it == data_.end() || it->second.empty()) return false;
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  auto it = s.data.find({inode, block});
+  if (it == s.data.end() || it->second.empty()) return false;
   it->second[offset % it->second.size()] ^= mask;
   return true;
 }
 
 bool ObjectStore::ReplaceData(fs::InodeNum inode, uint32_t block, Bytes blob) {
-  auto it = data_.find({inode, block});
-  if (it == data_.end()) return false;
+  Shard& s = ShardFor(inode);
+  std::unique_lock lock(s.mu);
+  auto it = s.data.find({inode, block});
+  if (it == s.data.end()) return false;
+  s.stats.data_bytes -= it->second.size();
+  s.stats.data_bytes += blob.size();
   it->second = std::move(blob);
   return true;
 }

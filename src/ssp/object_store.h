@@ -3,14 +3,27 @@
 // and encrypted data blocks", paper §IV). Includes fault injection used
 // by the integrity tests and storage accounting used by the Scheme-1 /
 // Scheme-2 cost ablation.
+//
+// Thread safety: the store is shard-striped. Keys are hash-partitioned
+// over N shards (default 16), each guarded by its own std::shared_mutex;
+// reads take shared locks, writes exclusive locks, and storage accounting
+// lives in per-shard counters aggregated on Stats(). Maps whose keys share
+// an inode (metadata replicas, per-user metadata, data blocks) are
+// partitioned by inode so the inode-ranged operations
+// (DeleteInodeMetadata, DeleteInodeData, MetadataReplicaCount) stay
+// single-shard. No operation ever holds more than one shard lock, so
+// there is no lock-order concern (see DESIGN.md §7).
 
 #ifndef SHAROES_SSP_OBJECT_STORE_H_
 #define SHAROES_SSP_OBJECT_STORE_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "fs/types.h"
 #include "ssp/message.h"
@@ -36,8 +49,22 @@ struct StorageStats {
 };
 
 /// Pure key-value storage; no knowledge of plaintext structure.
+/// Safe for concurrent use from any number of threads.
 class ObjectStore {
  public:
+  static constexpr size_t kDefaultShards = 16;
+
+  /// `num_shards` == 1 degrades to a single global lock (the baseline
+  /// measured by bench_concurrent_ssp).
+  explicit ObjectStore(size_t num_shards = kDefaultShards);
+
+  // Movable (needed by Result<ObjectStore>); not copyable. Moving is only
+  // safe while no other thread is using either store.
+  ObjectStore(ObjectStore&&) noexcept = default;
+  ObjectStore& operator=(ObjectStore&&) noexcept = default;
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
   // Superblocks, keyed by user.
   void PutSuperblock(uint32_t user, Bytes blob);
   std::optional<Bytes> GetSuperblock(uint32_t user) const;
@@ -67,11 +94,17 @@ class ObjectStore {
   std::optional<Bytes> GetGroupKey(uint32_t group, uint32_t user) const;
   void DeleteGroupKey(uint32_t group, uint32_t user);
 
+  /// Aggregates the per-shard counters (shared-locking one shard at a
+  /// time, so the result is a consistent per-shard but not cross-shard
+  /// snapshot — fine for accounting).
   StorageStats Stats() const;
+
+  size_t shard_count() const { return shards_.size(); }
 
   /// Whole-store snapshot/restore (the daemon's persistence format). The
   /// store only ever holds ciphertext, so the snapshot file is as opaque
-  /// to its holder as the live store is to the SSP.
+  /// to its holder as the live store is to the SSP. The snapshot is
+  /// byte-deterministic (globally key-sorted) regardless of shard count.
   Bytes Serialize() const;
   static Result<ObjectStore> Deserialize(const Bytes& data);
   /// File-level convenience used by sharoes_sspd --store.
@@ -89,11 +122,21 @@ class ObjectStore {
   bool ReplaceData(fs::InodeNum inode, uint32_t block, Bytes blob);
 
  private:
-  std::map<uint32_t, Bytes> superblocks_;
-  std::map<std::pair<fs::InodeNum, Selector>, Bytes> metadata_;
-  std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> user_metadata_;
-  std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> data_;
-  std::map<std::pair<uint32_t, uint32_t>, Bytes> group_keys_;
+  // One stripe of the store. Every map in the shard is guarded by `mu`,
+  // as are the accounting counters (no atomics needed).
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<uint32_t, Bytes> superblocks;
+    std::map<std::pair<fs::InodeNum, Selector>, Bytes> metadata;
+    std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> user_metadata;
+    std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> data;
+    std::map<std::pair<uint32_t, uint32_t>, Bytes> group_keys;
+    StorageStats stats;
+  };
+
+  Shard& ShardFor(uint64_t key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace sharoes::ssp

@@ -16,13 +16,21 @@
 namespace sharoes::ssp {
 
 /// Server side: request execution against the store.
+///
+/// Handle/HandleWire hold no server-level state beyond the thread-safe
+/// sharded ObjectStore, so any number of connection threads may call
+/// them in parallel (see TcpSspDaemon).
 class SspServer {
  public:
   SspServer() = default;
+  /// Serves a pre-configured store (e.g. a custom shard count, or one
+  /// loaded from a snapshot).
+  explicit SspServer(ObjectStore store) : store_(std::move(store)) {}
 
   /// Handles one serialized request, returning a serialized response.
+  /// Safe to call concurrently from multiple threads.
   Bytes HandleWire(const Bytes& request_bytes);
-  /// Handles one decoded request.
+  /// Handles one decoded request. Safe to call concurrently.
   Response Handle(const Request& req);
 
   ObjectStore& store() { return store_; }

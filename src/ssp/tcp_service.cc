@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace sharoes::ssp {
 
@@ -31,7 +32,7 @@ Result<std::unique_ptr<TcpSspDaemon>> TcpSspDaemon::Start(SspServer* server,
     ::close(fd);
     return Errno("bind");
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, 64) != 0) {
     ::close(fd);
     return Errno("listen");
   }
@@ -54,20 +55,37 @@ TcpSspDaemon::~TcpSspDaemon() { Shutdown(); }
 void TcpSspDaemon::Shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
-  // Unblock accept() by closing the listening socket.
+  // Unblock accept() (on Linux, shutdown() on a listening socket wakes
+  // blocked accept with EINVAL). The fd is closed only after the acceptor
+  // has joined, so accept() never races a recycled descriptor.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> workers;
+  ::close(listen_fd_);
+  std::list<std::unique_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers.swap(workers_);
-    // Kick worker threads out of their blocking recv() calls.
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    conn_fds_.clear();
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    // Kick live worker threads out of their blocking recv() calls. A
+    // connection's fd is guaranteed still open while !done (the serving
+    // thread publishes done under this mutex before closing), so this
+    // never touches a reused descriptor.
+    for (const auto& conn : conns_) {
+      if (!conn->done.load()) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    conns.swap(conns_);
   }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void TcpSspDaemon::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -79,26 +97,36 @@ void TcpSspDaemon::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // Listener broken; stop serving.
     }
+    if (stopping_.load()) {
+      // Raced with Shutdown; don't spawn workers it could miss.
+      ::close(fd);
+      return;
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    conn_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    ReapFinishedLocked();  // Keep the list bounded by live connections.
+    conns_.push_back(std::make_unique<Connection>(fd));
+    Connection* conn = conns_.back().get();
+    conn->thread = std::thread([this, conn] { ServeConnection(conn); });
   }
 }
 
-void TcpSspDaemon::ServeConnection(int fd) {
-  net::TcpStream stream(fd);
-  for (;;) {
-    auto request = stream.RecvFrame();
-    if (!request.ok()) return;  // Peer closed or broken.
-    Bytes response;
-    {
-      // The SSP is a simple serialized hashtable (paper §IV).
-      std::lock_guard<std::mutex> lock(serve_mutex_);
-      response = server_->HandleWire(*request);
+void TcpSspDaemon::ServeConnection(Connection* conn) {
+  {
+    net::TcpStream stream(conn->fd);
+    for (;;) {
+      auto request = stream.RecvFrame();
+      if (!request.ok()) break;  // Peer closed or broken.
+      // No daemon-level lock: the store is shard-striped and the server
+      // dispatch is stateless, so connections proceed in parallel.
+      Bytes response = server_->HandleWire(*request);
+      if (!stream.SendFrame(response).ok()) break;
     }
-    if (!stream.SendFrame(response).ok()) return;
+    // Publish done before the stream destructor closes the fd, so a
+    // concurrent Shutdown() skips this (about-to-be-recycled) descriptor.
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn->done.store(true);
   }
 }
 

@@ -8,19 +8,21 @@
 #define SHAROES_SSP_TCP_SERVICE_H_
 
 #include <atomic>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "net/tcp_stream.h"
 #include "ssp/ssp_server.h"
 
 namespace sharoes::ssp {
 
-/// Serves an SspServer over TCP with one thread per connection. Requests
-/// are executed serialized (the paper's SSP is a simple hashtable).
+/// Serves an SspServer over TCP with one thread per connection.
+/// Connection threads execute requests in parallel — the ObjectStore
+/// behind the SspServer is shard-striped and thread-safe, so no
+/// daemon-level serialization is needed.
 class TcpSspDaemon {
  public:
   /// Binds to 127.0.0.1:`port` (0 = ephemeral) and starts the accept
@@ -30,28 +32,39 @@ class TcpSspDaemon {
   ~TcpSspDaemon();
 
   uint16_t port() const { return port_; }
-  /// Stops accepting and joins all threads. Idempotent.
+  /// Stops accepting, unblocks in-flight connections, and joins all
+  /// threads. Idempotent; safe to call while clients are mid-request.
   void Shutdown();
 
  private:
+  /// One live connection. `fd` stays open (owned by the serving thread's
+  /// TcpStream) until `done` is published under conns_mutex_, so Shutdown
+  /// never calls ::shutdown() on a recycled descriptor.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    int fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   TcpSspDaemon(SspServer* server, int listen_fd, uint16_t port);
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(Connection* conn);
+  /// Joins and drops finished connections. Caller holds conns_mutex_.
+  void ReapFinishedLocked();
 
   SspServer* server_;
   int listen_fd_;
   uint16_t port_;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::mutex serve_mutex_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  /// Live connection fds; force-shutdown() on daemon Shutdown so worker
-  /// threads blocked in recv() unblock and exit.
-  std::vector<int> conn_fds_;
+  std::mutex conns_mutex_;
+  std::list<std::unique_ptr<Connection>> conns_;
 };
 
-/// Client-side channel over a real TCP connection.
+/// Client-side channel over a real TCP connection. Not thread-safe: one
+/// channel per client thread (each carries its own socket), matching how
+/// enterprise clients each hold their own SSP connection.
 class TcpSspChannel : public SspChannel {
  public:
   static Result<std::unique_ptr<TcpSspChannel>> Connect(

@@ -88,6 +88,32 @@ TEST(LruCacheTest, ShrinkCapacityEvicts) {
   EXPECT_EQ(cache.entry_count(), 0u);
 }
 
+TEST(LruCacheTest, GrowCapacityKeepsEntriesAndAdmitsMore) {
+  LruCache cache(50);
+  cache.Put<int>("a", 1, 40);
+  cache.Put<int>("b", 2, 40);  // Evicts a.
+  EXPECT_EQ(cache.entry_count(), 1u);
+  cache.set_capacity(100);  // Growing evicts nothing...
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_NE(cache.Get<int>("b"), nullptr);
+  cache.Put<int>("c", 3, 40);  // ...and both now fit.
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_NE(cache.Get<int>("b"), nullptr);
+  EXPECT_NE(cache.Get<int>("c"), nullptr);
+}
+
+TEST(LruCacheTest, ZeroThenNonzeroCapacityReenablesCaching) {
+  LruCache cache(100);
+  cache.Put<int>("a", 1, 10);
+  cache.set_capacity(0);  // Disables and clears.
+  EXPECT_EQ(cache.entry_count(), 0u);
+  cache.Put<int>("b", 2, 10);  // Dropped while disabled.
+  EXPECT_EQ(cache.Get<int>("b"), nullptr);
+  cache.set_capacity(100);
+  cache.Put<int>("c", 3, 10);
+  EXPECT_NE(cache.Get<int>("c"), nullptr);
+}
+
 TEST(LruCacheTest, PutPtrSharesValue) {
   LruCache cache(1000);
   auto sp = std::make_shared<const std::string>("shared");

@@ -1,0 +1,59 @@
+// Concurrency test harness: spawn K threads, release them through a
+// start barrier so they genuinely contend, collect a per-thread Status,
+// and propagate any failure into gtest. Used by the SSP / cache
+// concurrency suites; designed to run clean under
+// -DSHAROES_SANITIZE=thread.
+
+#ifndef SHAROES_TESTS_TESTING_STRESS_H_
+#define SHAROES_TESTS_TESTING_STRESS_H_
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sharoes::testing {
+
+/// Runs `body(thread_index)` on `threads` OS threads. All threads block
+/// on a barrier until the full pack is spawned, then start simultaneously
+/// (maximizing interleaving pressure). Returns each thread's Status in
+/// index order.
+inline std::vector<Status> RunThreads(
+    int threads, const std::function<Status(int)>& body) {
+  std::vector<Status> statuses(static_cast<size_t>(threads), Status::OK());
+  std::barrier start(threads);
+  std::vector<std::thread> pack;
+  pack.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pack.emplace_back([&, t] {
+      start.arrive_and_wait();
+      statuses[static_cast<size_t>(t)] = body(t);
+    });
+  }
+  for (std::thread& th : pack) th.join();
+  return statuses;
+}
+
+/// Registers a gtest failure for every non-OK thread Status.
+inline void ExpectAllOk(const std::vector<Status>& statuses) {
+  for (size_t t = 0; t < statuses.size(); ++t) {
+    if (!statuses[t].ok()) {
+      ADD_FAILURE() << "thread " << t << ": " << statuses[t].ToString();
+    }
+  }
+}
+
+/// Convenience: run + assert in one call.
+inline void StressThreads(int threads,
+                          const std::function<Status(int)>& body) {
+  ExpectAllOk(RunThreads(threads, body));
+}
+
+}  // namespace sharoes::testing
+
+#endif  // SHAROES_TESTS_TESTING_STRESS_H_
