@@ -313,7 +313,8 @@ Status SharoesClient::ExecuteBatch(std::vector<ssp::Request> requests) {
       conn_->Call(ssp::Request::Batch(std::move(requests))));
   if (!resp.ok()) return Status::IoError("SSP rejected batch");
   for (const ssp::Response& sub : resp.batch) {
-    if (sub.status == ssp::RespStatus::kBadRequest) {
+    if (sub.status == ssp::RespStatus::kBadRequest ||
+        sub.status == ssp::RespStatus::kError) {
       return Status::IoError("SSP rejected batched request");
     }
   }

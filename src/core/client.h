@@ -21,6 +21,8 @@
 #include "core/cache.h"
 #include "core/fs_client.h"
 #include "core/object_codec.h"
+#include "core/retrying_connection.h"
+#include "net/tcp_stream.h"
 #include "ssp/ssp_server.h"
 
 namespace sharoes::core {
@@ -44,6 +46,13 @@ struct ClientOptions {
   /// reads whose write generation regresses below what this client has
   /// already observed for the inode.
   bool track_freshness = true;
+  /// Transport fault tolerance for real-socket deployments: callers that
+  /// reach the SSP over TCP build a RetryingConnection from these knobs
+  /// and arm the stream deadlines below (see tools/sharoes_cli.cc, which
+  /// maps its --retries/--*-timeout-ms flags here). The in-process
+  /// simulated channel never fails, so benchmarks ignore them.
+  RetryOptions transport_retry;
+  net::TcpTimeouts transport_timeouts;
 };
 
 class SharoesClient : public FsClient {

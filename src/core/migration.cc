@@ -87,7 +87,8 @@ void Provisioner::Store(uint64_t bytes, MigrationStats* stats) {
 Status Provisioner::Put(ssp::Request req) {
   if (channel_ != nullptr) {
     SHAROES_ASSIGN_OR_RETURN(ssp::Response resp, channel_->Call(req));
-    if (resp.status == ssp::RespStatus::kBadRequest) {
+    if (resp.status == ssp::RespStatus::kBadRequest ||
+        resp.status == ssp::RespStatus::kError) {
       return Status::IoError("SSP rejected provisioning request");
     }
     return Status::OK();

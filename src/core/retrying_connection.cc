@@ -1,0 +1,72 @@
+#include "core/retrying_connection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace sharoes::core {
+
+namespace {
+Rng MakeRng(uint64_t seed) { return seed == 0 ? Rng() : Rng(seed); }
+}  // namespace
+
+RetryingConnection::RetryingConnection(ChannelFactory factory,
+                                       const RetryOptions& options)
+    : factory_(std::move(factory)),
+      options_(options),
+      rng_(MakeRng(options.seed)) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+void RetryingConnection::Backoff(int attempt) {
+  uint64_t base = options_.initial_backoff_ms;
+  for (int i = 0; i < attempt && base < options_.max_backoff_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min<uint64_t>(base, options_.max_backoff_ms);
+  double jitter = options_.jitter;
+  if (jitter > 0) {
+    // Uniform in [1 - jitter, 1 + jitter].
+    double factor = 1.0 + jitter * (2.0 * rng_.NextDouble() - 1.0);
+    base = static_cast<uint64_t>(static_cast<double>(base) * factor);
+  }
+  if (base > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(base));
+  }
+}
+
+Result<ssp::Response> RetryingConnection::Call(const ssp::Request& req) {
+  Status last_error = Status::IoError("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      Backoff(attempt - 1);
+    }
+    if (channel_ == nullptr) {
+      auto fresh = factory_();
+      if (!fresh.ok()) {
+        last_error = fresh.status();
+        if (!IsRetryable(last_error)) return last_error;
+        continue;
+      }
+      channel_ = std::move(*fresh);
+      if (attempt > 0) ++reconnects_;
+    }
+    auto resp = channel_->Call(req);
+    if (resp.ok()) {
+      if (resp->status != ssp::RespStatus::kError) return resp;
+      // Transient server-side failure: the request was not executed; the
+      // connection itself is healthy, so retry without reconnecting.
+      last_error = Status::IoError("SSP reported transient error");
+      continue;
+    }
+    last_error = resp.status();
+    if (!IsRetryable(last_error)) return last_error;
+    // The socket is in an unknown state (possibly mid-frame); drop it
+    // and reconnect on the next attempt.
+    channel_.reset();
+  }
+  return last_error;
+}
+
+}  // namespace sharoes::core

@@ -1,0 +1,57 @@
+#include "ssp/fault_injection.h"
+
+namespace sharoes::ssp {
+
+FaultAction FaultPolicy::OnRequest(const Bytes& wire_request) {
+  (void)wire_request;  // Policies are oblivious to request content.
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.requests;
+  FaultAction action;
+  double draw = rng_.NextDouble();
+  if (draw < options_.fail_prob) {
+    action.kind = FaultAction::Kind::kFailRequest;
+    ++counts_.failed;
+  } else if (draw < options_.fail_prob + options_.delay_prob) {
+    action.kind = FaultAction::Kind::kDelayResponse;
+    action.delay_ms = options_.delay_ms;
+    ++counts_.delayed;
+  } else if (draw <
+             options_.fail_prob + options_.delay_prob + options_.corrupt_prob) {
+    action.kind = FaultAction::Kind::kCorruptResponse;
+    action.corrupt_mask = options_.corrupt_mask;
+    ++counts_.corrupted;
+  } else if (draw < options_.fail_prob + options_.delay_prob +
+                        options_.corrupt_prob + options_.drop_prob) {
+    action.kind = FaultAction::Kind::kDropConnection;
+    ++counts_.dropped;
+  }
+  return action;
+}
+
+FaultPolicy::Counts FaultPolicy::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+bool CorruptResponsePayload(Bytes* wire_response, uint8_t mask) {
+  if (mask == 0) return false;
+  // Response wire layout (ssp/message.cc): status u8, payload length u32,
+  // payload bytes, batch count u32, then sub-responses back to back. Walk
+  // the chain of empty-payload headers until a payload shows up.
+  size_t off = 0;
+  while (off + 9 <= wire_response->size()) {
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>((*wire_response)[off + 1 + i]) << (8 * i);
+    }
+    if (len > 0) {
+      if (off + 5 + len > wire_response->size()) return false;  // Not ours.
+      (*wire_response)[off + 5 + len / 2] ^= mask;
+      return true;
+    }
+    off += 9;  // Empty payload: skip this header into its first child.
+  }
+  return false;
+}
+
+}  // namespace sharoes::ssp

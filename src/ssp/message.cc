@@ -4,6 +4,16 @@ namespace sharoes::ssp {
 
 namespace {
 constexpr int kMaxBatchDepth = 2;  // A batch may not contain batches.
+
+// Smallest possible wire encodings, used to bound attacker-controlled
+// batch counts before reserve(): a count claiming more sub-messages than
+// the remaining bytes could possibly hold is a lie, and trusting it would
+// let a ~40-byte frame demand gigabytes of vector reservation.
+//   Request:  op(1) + inode(8) + selector(8) + user/group/block(12) +
+//             payload length(4) + batch count(4).
+constexpr size_t kMinRequestWire = 37;
+//   Response: status(1) + payload length(4) + batch count(4).
+constexpr size_t kMinResponseWire = 9;
 }
 
 void Request::AppendTo(BinaryWriter* w) const {
@@ -41,7 +51,7 @@ Result<Request> Request::ReadFrom(BinaryReader* r, int depth) {
   req.block = r->GetU32();
   req.payload = r->GetBytes();
   uint32_t n = r->GetU32();
-  if (!r->ok() || n > r->remaining()) {
+  if (!r->ok() || n > r->remaining() / kMinRequestWire) {
     return Status::Corruption("truncated request");
   }
   if (n > 0 && req.op != OpCode::kBatch) {
@@ -202,13 +212,13 @@ Result<Response> Response::ReadFrom(BinaryReader* r, int depth) {
   }
   Response resp;
   uint8_t status = r->GetU8();
-  if (r->ok() && status > static_cast<uint8_t>(RespStatus::kBadRequest)) {
+  if (r->ok() && status > static_cast<uint8_t>(RespStatus::kError)) {
     return Status::Corruption("unknown response status");
   }
   resp.status = static_cast<RespStatus>(status);
   resp.payload = r->GetBytes();
   uint32_t n = r->GetU32();
-  if (!r->ok() || n > r->remaining()) {
+  if (!r->ok() || n > r->remaining() / kMinResponseWire) {
     return Status::Corruption("truncated response");
   }
   resp.batch.reserve(n);

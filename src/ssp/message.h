@@ -83,6 +83,9 @@ enum class RespStatus : uint8_t {
   kOk = 0,
   kNotFound = 1,
   kBadRequest = 2,
+  kError = 3,  // Transient server-side failure (fault injection, overload).
+               // Unlike kBadRequest the request was well-formed and was
+               // *not* executed; retrying it is the expected reaction.
 };
 
 struct Response {
@@ -102,6 +105,7 @@ struct Response {
   static Response BadRequest() {
     return Response{RespStatus::kBadRequest, {}, {}};
   }
+  static Response Error() { return Response{RespStatus::kError, {}, {}}; }
 
  private:
   void AppendTo(BinaryWriter* w) const;

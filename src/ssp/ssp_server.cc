@@ -1,5 +1,8 @@
 #include "ssp/ssp_server.h"
 
+#include <chrono>
+#include <thread>
+
 namespace sharoes::ssp {
 
 namespace {
@@ -10,9 +13,24 @@ Response FromOptional(std::optional<Bytes> blob) {
 }  // namespace
 
 Bytes SspServer::HandleWire(const Bytes& request_bytes) {
+  FaultAction fault;
+  if (FaultInjector* injector =
+          fault_injector_.load(std::memory_order_acquire)) {
+    fault = injector->OnRequest(request_bytes);
+  }
+  if (fault.kind == FaultAction::Kind::kFailRequest ||
+      fault.kind == FaultAction::Kind::kDropConnection) {
+    return Response::Error().Serialize();
+  }
   auto req = Request::Deserialize(request_bytes);
   if (!req.ok()) return Response::BadRequest().Serialize();
-  return Handle(*req).Serialize();
+  Bytes wire = Handle(*req).Serialize();
+  if (fault.kind == FaultAction::Kind::kDelayResponse) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+  } else if (fault.kind == FaultAction::Kind::kCorruptResponse) {
+    CorruptResponsePayload(&wire, fault.corrupt_mask);
+  }
+  return wire;
 }
 
 Response SspServer::Handle(const Request& req) {

@@ -10,7 +10,10 @@
 #ifndef SHAROES_SSP_SSP_SERVER_H_
 #define SHAROES_SSP_SSP_SERVER_H_
 
+#include <atomic>
+
 #include "net/network_model.h"
+#include "ssp/fault_injection.h"
 #include "ssp/object_store.h"
 
 namespace sharoes::ssp {
@@ -36,10 +39,20 @@ class SspServer {
   ObjectStore& store() { return store_; }
   const ObjectStore& store() const { return store_; }
 
+  /// Installs a fault injector consulted by HandleWire before executing
+  /// each request (nullptr uninstalls). `injector` must be thread-safe
+  /// and outlive the server. kDropConnection degrades to kFailRequest
+  /// here — an in-process server has no connection to sever; install on
+  /// TcpSspDaemon for real severed connections.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   Response HandleOne(const Request& req);
 
   ObjectStore store_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 };
 
 /// Client-side channel to an SSP. Two implementations exist: the

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -118,9 +119,31 @@ void TcpSspDaemon::ServeConnection(Connection* conn) {
     for (;;) {
       auto request = stream.RecvFrame();
       if (!request.ok()) break;  // Peer closed or broken.
+      FaultAction fault;
+      if (FaultInjector* injector =
+              fault_injector_.load(std::memory_order_acquire)) {
+        fault = injector->OnRequest(*request);
+      }
+      if (fault.kind == FaultAction::Kind::kDropConnection) {
+        // Tear the connection mid-frame: emit a partial length header so
+        // the client sees a cut in the middle of a reply, the worst spot.
+        const uint8_t torn_header[2] = {0xEF, 0xBE};
+        ::send(conn->fd, torn_header, sizeof(torn_header), MSG_NOSIGNAL);
+        break;
+      }
+      if (fault.kind == FaultAction::Kind::kFailRequest) {
+        if (!stream.SendFrame(Response::Error().Serialize()).ok()) break;
+        continue;
+      }
       // No daemon-level lock: the store is shard-striped and the server
       // dispatch is stateless, so connections proceed in parallel.
       Bytes response = server_->HandleWire(*request);
+      if (fault.kind == FaultAction::Kind::kDelayResponse) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.delay_ms));
+      } else if (fault.kind == FaultAction::Kind::kCorruptResponse) {
+        CorruptResponsePayload(&response, fault.corrupt_mask);
+      }
       if (!stream.SendFrame(response).ok()) break;
     }
     // Publish done before the stream destructor closes the fd, so a
@@ -131,9 +154,9 @@ void TcpSspDaemon::ServeConnection(Connection* conn) {
 }
 
 Result<std::unique_ptr<TcpSspChannel>> TcpSspChannel::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, const net::TcpTimeouts& timeouts) {
   SHAROES_ASSIGN_OR_RETURN(net::TcpStream stream,
-                           net::TcpStream::Connect(host, port));
+                           net::TcpStream::Connect(host, port, timeouts));
   return std::unique_ptr<TcpSspChannel>(new TcpSspChannel(std::move(stream)));
 }
 

@@ -36,6 +36,15 @@ class TcpSspDaemon {
   /// threads. Idempotent; safe to call while clients are mid-request.
   void Shutdown();
 
+  /// Installs a fault injector consulted once per received frame, before
+  /// the request executes (nullptr uninstalls). Must be thread-safe and
+  /// outlive the daemon. Unlike the SspServer hook, kDropConnection here
+  /// really severs the socket mid-frame (a torn partial header is sent
+  /// first, so the client observes a cut, not a clean close).
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   /// One live connection. `fd` stays open (owned by the serving thread's
   /// TcpStream) until `done` is published under conns_mutex_, so Shutdown
@@ -56,6 +65,7 @@ class TcpSspDaemon {
   SspServer* server_;
   int listen_fd_;
   uint16_t port_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::mutex conns_mutex_;
@@ -67,8 +77,11 @@ class TcpSspDaemon {
 /// enterprise clients each hold their own SSP connection.
 class TcpSspChannel : public SspChannel {
  public:
+  /// `timeouts` arms the stream's connect deadline and per-syscall IO
+  /// deadlines; expiry surfaces from Call as Status::DeadlineExceeded.
   static Result<std::unique_ptr<TcpSspChannel>> Connect(
-      const std::string& host, uint16_t port);
+      const std::string& host, uint16_t port,
+      const net::TcpTimeouts& timeouts = {});
 
   Result<Response> Call(const Request& req) override;
 

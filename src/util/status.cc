@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "failed-precondition";
     case StatusCode::kIoError:
       return "io-error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
     case StatusCode::kInternal:
       return "internal";
   }

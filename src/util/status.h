@@ -28,7 +28,9 @@ enum class StatusCode {
   kUnsupported,       // Permission combinations the paper cannot support
                       // (e.g. write-only files) or unimplemented features.
   kFailedPrecondition,// Operation invalid in the current state.
-  kIoError,           // Simulated transport / store failure.
+  kIoError,           // Transport / store failure (real or simulated).
+  kDeadlineExceeded,  // A timed operation ran out of budget (the peer may
+                      // be slow rather than broken; retrying is sensible).
   kInternal,          // Invariant violation; indicates a bug.
 };
 
@@ -81,6 +83,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -100,6 +105,10 @@ class Status {
     return code() == StatusCode::kIntegrityError;
   }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "ok" or "<code-name>: <message>".
   std::string ToString() const;

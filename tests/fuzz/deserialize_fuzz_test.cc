@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "baselines/baseline.h"
 #include "core/identity.h"
 #include "core/refs.h"
@@ -14,6 +19,7 @@
 #include "fs/metadata.h"
 #include "fs/superblock.h"
 #include "ssp/message.h"
+#include "ssp/tcp_service.h"
 
 namespace sharoes {
 namespace {
@@ -123,6 +129,197 @@ TEST(FuzzMutation, EmptyAndTinyBuffers) {
     EXPECT_LE(TryAll(Bytes(len, 0x00)), 3) << len;
     TryAll(Bytes(len, 0xFF));
   }
+}
+
+Bytes BatchCountLieRequest(uint32_t claimed, size_t padding) {
+  BinaryWriter w;
+  w.PutU8(16);  // OpCode::kBatch.
+  w.PutU64(0);  // inode.
+  w.PutU64(0);  // selector.
+  w.PutU32(0);  // user.
+  w.PutU32(0);  // group.
+  w.PutU32(0);  // block.
+  w.PutBytes({});
+  w.PutU32(claimed);
+  w.PutRaw(Bytes(padding, 0));
+  return w.Take();
+}
+
+TEST(BatchCountLie, RequestCountBeyondRemainingBytesIsRejectedFast) {
+  // Regression: a ~4KB frame whose batch header claims 10^8 sub-requests
+  // used to hit batch.reserve(10^8) — a multi-GB allocation from bytes an
+  // attacker fully controls — before any sub-request was even parsed. The
+  // count is now bounded by what the remaining bytes could possibly hold.
+  auto parsed =
+      ssp::Request::Deserialize(BatchCountLieRequest(100'000'000, 4096));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+
+  // The bound must not over-reject: an honest batch still round-trips.
+  std::vector<ssp::Request> subs;
+  for (int i = 0; i < 50; ++i) subs.push_back(ssp::Request::GetData(i, 0));
+  auto honest = ssp::Request::Deserialize(
+      ssp::Request::Batch(std::move(subs)).Serialize());
+  ASSERT_TRUE(honest.ok()) << honest.status();
+  EXPECT_EQ(honest->batch.size(), 50u);
+}
+
+TEST(BatchCountLie, ResponseCountBeyondRemainingBytesIsRejectedFast) {
+  // The client-side analog: a malicious SSP lying about the sub-response
+  // count must not drive the client into a giant reserve either.
+  BinaryWriter w;
+  w.PutU8(0);  // RespStatus::kOk.
+  w.PutBytes({});
+  w.PutU32(100'000'000);
+  w.PutRaw(Bytes(4096, 0));
+  auto parsed = ssp::Response::Deserialize(w.Take());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+
+  std::vector<ssp::Response> subs(50, ssp::Response::Ok({1}));
+  ssp::Response honest_resp;
+  honest_resp.batch = std::move(subs);
+  auto honest = ssp::Response::Deserialize(honest_resp.Serialize());
+  ASSERT_TRUE(honest.ok()) << honest.status();
+  EXPECT_EQ(honest->batch.size(), 50u);
+}
+
+// --- Frame-level fuzzing against a live daemon ---
+//
+// The deserializer sweeps above feed bytes straight to parsers; these
+// feed hostile *frames* to a real TcpSspDaemon through raw sockets. The
+// invariant: a hostile connection may get kBadRequest or be dropped, but
+// the daemon keeps serving healthy clients afterwards.
+
+int RawConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void RawSend(int fd, const Bytes& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return;  // Daemon may legitimately drop us mid-send.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+Bytes Framed(const Bytes& payload) {
+  Bytes out;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+class FrameFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto daemon = ssp::TcpSspDaemon::Start(&server_, 0);
+    ASSERT_TRUE(daemon.ok()) << daemon.status();
+    daemon_ = std::move(*daemon);
+  }
+  void TearDown() override { daemon_->Shutdown(); }
+
+  /// The post-condition of every hostile exchange.
+  void ExpectStillServing(int round) {
+    auto channel = ssp::TcpSspChannel::Connect("127.0.0.1", daemon_->port());
+    ASSERT_TRUE(channel.ok()) << channel.status();
+    Bytes payload = {static_cast<uint8_t>(round)};
+    auto put = (*channel)->Call(
+        ssp::Request::PutMetadata(9000 + round, 0, payload));
+    ASSERT_TRUE(put.ok()) << put.status();
+    EXPECT_TRUE(put->ok());
+    auto get = (*channel)->Call(ssp::Request::GetMetadata(9000 + round, 0));
+    ASSERT_TRUE(get.ok());
+    EXPECT_EQ(get->payload, payload);
+  }
+
+  ssp::SspServer server_;
+  std::unique_ptr<ssp::TcpSspDaemon> daemon_;
+};
+
+TEST_F(FrameFuzzTest, TruncatedHeaderThenClose) {
+  int fd = RawConnect(daemon_->port());
+  RawSend(fd, Bytes{0xAB, 0xCD});  // Half a length header, then vanish.
+  ::close(fd);
+  ExpectStillServing(0);
+}
+
+TEST_F(FrameFuzzTest, HeaderWithoutPayloadThenClose) {
+  int fd = RawConnect(daemon_->port());
+  RawSend(fd, Bytes{100, 0, 0, 0});  // Promises 100 bytes, delivers none.
+  ::close(fd);
+  ExpectStillServing(1);
+}
+
+TEST_F(FrameFuzzTest, OversizedLengthPrefixIsDroppedNotAllocated) {
+  // A 4-byte header claiming a 2GB frame: the daemon must refuse (drop
+  // the connection) rather than try to buffer it.
+  int fd = RawConnect(daemon_->port());
+  RawSend(fd, Bytes{0xFF, 0xFF, 0xFF, 0x7F});
+  uint8_t byte;
+  EXPECT_LE(::recv(fd, &byte, 1, 0), 0);  // Dropped, no reply frame.
+  ::close(fd);
+  ExpectStillServing(2);
+}
+
+TEST_F(FrameFuzzTest, GarbageFramesGetBadRequestAndServiceContinues) {
+  Rng rng(4242);
+  for (int round = 0; round < 8; ++round) {
+    int fd = RawConnect(daemon_->port());
+    Bytes garbage = rng.NextBytes(1 + rng.NextBelow(300));
+    RawSend(fd, Framed(garbage));
+    // The daemon answers each well-framed garbage payload with a framed
+    // kBadRequest response (unless the bytes happen to parse, in which
+    // case any valid response is fine).
+    uint8_t header[4];
+    ssize_t n = ::recv(fd, header, sizeof(header), MSG_WAITALL);
+    ASSERT_EQ(n, 4);
+    uint32_t len = static_cast<uint32_t>(header[0]) |
+                   (static_cast<uint32_t>(header[1]) << 8) |
+                   (static_cast<uint32_t>(header[2]) << 16) |
+                   (static_cast<uint32_t>(header[3]) << 24);
+    ASSERT_GT(len, 0u);
+    ASSERT_LE(len, 1u << 20);
+    Bytes body(len);
+    ASSERT_EQ(::recv(fd, body.data(), len, MSG_WAITALL),
+              static_cast<ssize_t>(len));
+    auto resp = ssp::Response::Deserialize(body);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ::close(fd);
+  }
+  ExpectStillServing(3);
+}
+
+TEST_F(FrameFuzzTest, BatchCountLieOverTheWireGetsBadRequest) {
+  int fd = RawConnect(daemon_->port());
+  RawSend(fd, Framed(BatchCountLieRequest(100'000'000, 4096)));
+  uint8_t header[4];
+  ASSERT_EQ(::recv(fd, header, sizeof(header), MSG_WAITALL), 4);
+  uint32_t len = static_cast<uint32_t>(header[0]) |
+                 (static_cast<uint32_t>(header[1]) << 8) |
+                 (static_cast<uint32_t>(header[2]) << 16) |
+                 (static_cast<uint32_t>(header[3]) << 24);
+  Bytes body(len);
+  ASSERT_EQ(::recv(fd, body.data(), len, MSG_WAITALL),
+            static_cast<ssize_t>(len));
+  auto resp = ssp::Response::Deserialize(body);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, ssp::RespStatus::kBadRequest);
+  ::close(fd);
+  ExpectStillServing(4);
 }
 
 }  // namespace

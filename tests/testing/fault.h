@@ -1,0 +1,47 @@
+// Test-side fault tooling: an injector scripted per request index (for
+// exact fault placement) shared by the fault-injection and client fault
+// suites.
+
+#ifndef SHAROES_TESTS_TESTING_FAULT_H_
+#define SHAROES_TESTS_TESTING_FAULT_H_
+
+#include <mutex>
+#include <vector>
+
+#include "ssp/fault_injection.h"
+
+namespace sharoes::testing {
+
+/// Plays back a fixed list of FaultActions, one per request, then
+/// injects nothing. Thread-safe (daemon connections run in parallel).
+class ScriptedInjector : public ssp::FaultInjector {
+ public:
+  explicit ScriptedInjector(std::vector<ssp::FaultAction> script)
+      : script_(std::move(script)) {}
+
+  ssp::FaultAction OnRequest(const Bytes&) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (next_ >= script_.size()) return {};
+    return script_[next_++];
+  }
+
+  size_t consumed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ssp::FaultAction> script_;
+  size_t next_ = 0;
+};
+
+inline ssp::FaultAction Fault(ssp::FaultAction::Kind kind) {
+  ssp::FaultAction a;
+  a.kind = kind;
+  return a;
+}
+
+}  // namespace sharoes::testing
+
+#endif  // SHAROES_TESTS_TESTING_FAULT_H_

@@ -14,8 +14,18 @@
 //   ./sharoes_cli --state /tmp/sh --user alice chmod /docs/new.txt 600
 //   ./sharoes_cli --state /tmp/sh --user bob   cat /docs/new.txt   # denied
 //
-// Flags: --host (default 127.0.0.1), --port (7070), --state (required),
-//        --user (name registered at provision time).
+// Flags: --host (default 127.0.0.1; names resolve via DNS), --port
+//        (7070), --state (required), --user (name registered at
+//        provision time).
+// Transport fault tolerance (every SSP op is an idempotent put/get/
+// delete, so blanket retry is safe — see core/retrying_connection.h):
+//        --retries N            attempts per op incl. the first (8;
+//                               1 disables retry)
+//        --retry-backoff-ms N   initial backoff, doubled per retry (10)
+//        --retry-max-backoff-ms N  backoff cap (1000)
+//        --connect-timeout-ms N    connect deadline (5000; 0 = forever)
+//        --io-timeout-ms N         per-syscall send/recv deadline
+//                                  (10000; 0 = forever)
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +36,7 @@
 
 #include "core/client.h"
 #include "core/migration.h"
+#include "core/retrying_connection.h"
 #include "ssp/tcp_service.h"
 
 using namespace sharoes;
@@ -37,6 +48,9 @@ struct Args {
   uint16_t port = 7070;
   std::string state;
   std::string user;
+  core::RetryOptions retry;
+  net::TcpTimeouts timeouts{/*connect_ms=*/5000, /*send_ms=*/10000,
+                            /*recv_ms=*/10000};
   std::vector<std::string> command;
 };
 
@@ -65,6 +79,21 @@ Args ParseArgs(int argc, char** argv) {
       args.state = next();
     } else if (a == "--user") {
       args.user = next();
+    } else if (a == "--retries") {
+      args.retry.max_attempts = std::atoi(next().c_str());
+    } else if (a == "--retry-backoff-ms") {
+      args.retry.initial_backoff_ms =
+          static_cast<uint32_t>(std::atoi(next().c_str()));
+    } else if (a == "--retry-max-backoff-ms") {
+      args.retry.max_backoff_ms =
+          static_cast<uint32_t>(std::atoi(next().c_str()));
+    } else if (a == "--connect-timeout-ms") {
+      args.timeouts.connect_ms =
+          static_cast<uint32_t>(std::atoi(next().c_str()));
+    } else if (a == "--io-timeout-ms") {
+      uint32_t ms = static_cast<uint32_t>(std::atoi(next().c_str()));
+      args.timeouts.send_ms = ms;
+      args.timeouts.recv_ms = ms;
     } else {
       args.command.push_back(a);
     }
@@ -94,6 +123,20 @@ constexpr fs::UserId kAliceUid = 100;
 constexpr fs::UserId kBobUid = 101;
 constexpr fs::GroupId kStaffGid = 500;
 
+/// Fault-tolerant channel to the daemon: reconnects and retries per the
+/// retry flags, with stream deadlines from the timeout flags.
+std::unique_ptr<core::RetryingConnection> MakeConnection(
+    const std::string& host, uint16_t port, const net::TcpTimeouts& timeouts,
+    const core::RetryOptions& retry) {
+  auto factory = [host, port,
+                  timeouts]() -> Result<std::unique_ptr<ssp::SspChannel>> {
+    auto channel = ssp::TcpSspChannel::Connect(host, port, timeouts);
+    if (!channel.ok()) return channel.status();
+    return std::unique_ptr<ssp::SspChannel>(std::move(*channel));
+  };
+  return std::make_unique<core::RetryingConnection>(std::move(factory), retry);
+}
+
 void Provision(const Args& args) {
   SimClock clock;
   crypto::CryptoEngineOptions eng_opts;
@@ -102,13 +145,18 @@ void Provision(const Args& args) {
   core::Provisioner::Options popts;
   popts.user_key_bits = 1024;
   core::Provisioner prov(&identity, /*server=*/nullptr, &engine, popts);
-  auto channel = ssp::TcpSspChannel::Connect(args.host, args.port);
-  if (!channel.ok()) {
+  // Probe once without retry for a crisp diagnosis, then provision
+  // through the fault-tolerant channel.
+  auto probe = ssp::TcpSspChannel::Connect(args.host, args.port,
+                                           args.timeouts);
+  if (!probe.ok()) {
     Die("cannot reach sharoes_sspd at " + args.host + ":" +
-        std::to_string(args.port) + " (" + channel.status().ToString() +
+        std::to_string(args.port) + " (" + probe.status().ToString() +
         ") — start it first");
   }
-  prov.set_remote_channel(channel->get());
+  auto channel =
+      MakeConnection(args.host, args.port, args.timeouts, args.retry);
+  prov.set_remote_channel(channel.get());
 
   auto alice = prov.CreateUser(kAliceUid, "alice");
   CheckOk(alice.status());
@@ -162,11 +210,14 @@ int RunCommand(const Args& args) {
   SimClock clock;
   crypto::CryptoEngineOptions eng_opts;
   crypto::CryptoEngine engine(&clock, eng_opts);
-  auto channel = ssp::TcpSspChannel::Connect(args.host, args.port);
-  CheckOk(channel.status());
   core::ClientOptions copts;
   copts.default_group = kStaffGid;
-  core::SharoesClient client(uid, *priv, &*identity, channel->get(), &engine,
+  copts.transport_retry = args.retry;
+  copts.transport_timeouts = args.timeouts;
+  auto channel = MakeConnection(args.host, args.port,
+                                copts.transport_timeouts,
+                                copts.transport_retry);
+  core::SharoesClient client(uid, *priv, &*identity, channel.get(), &engine,
                              copts);
   CheckOk(client.Mount());
 

@@ -2,21 +2,33 @@
 // (paper §IV, component 2). Serves the client <-> SSP protocol over TCP.
 //
 // Usage:
-//   sharoes_sspd [port] [--store FILE]
+//   sharoes_sspd [port] [--store FILE] [fault flags]
 //
 // Default port 7070 (0 picks an ephemeral port). With --store, the
 // daemon loads the snapshot at startup (if present) and saves it on
 // shutdown, so the hosted ciphertext survives restarts. The daemon
 // starts empty otherwise; an enterprise provisions it remotely through
 // the same wire protocol (see tools/sharoes_cli.cc).
+//
+// Fault flags turn the daemon into its own chaos monkey (percentages of
+// requests, evaluated in this order; 0 disables each):
+//   --fault-fail-pct P      reply kError without executing
+//   --fault-delay-pct P     delay the reply by --fault-delay-ms (def. 5)
+//   --fault-corrupt-pct P   flip one reply payload byte
+//   --fault-drop-pct P      sever the connection mid-frame
+//   --fault-seed N          deterministic schedule seed (default 1)
+// Clients behind core::RetryingConnection ride out everything except
+// corruption, which their integrity layer must reject instead.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <unistd.h>
 
+#include <memory>
 #include <string>
 
+#include "ssp/fault_injection.h"
 #include "ssp/tcp_service.h"
 
 namespace {
@@ -27,10 +39,24 @@ void HandleSignal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   uint16_t port = 7070;
   std::string store_path;
+  sharoes::ssp::FaultPolicy::Options fault_opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    auto pct = [&]() { return std::atof(argv[++i]) / 100.0; };
     if (arg == "--store" && i + 1 < argc) {
       store_path = argv[++i];
+    } else if (arg == "--fault-fail-pct" && i + 1 < argc) {
+      fault_opts.fail_prob = pct();
+    } else if (arg == "--fault-delay-pct" && i + 1 < argc) {
+      fault_opts.delay_prob = pct();
+    } else if (arg == "--fault-corrupt-pct" && i + 1 < argc) {
+      fault_opts.corrupt_prob = pct();
+    } else if (arg == "--fault-drop-pct" && i + 1 < argc) {
+      fault_opts.drop_prob = pct();
+    } else if (arg == "--fault-delay-ms" && i + 1 < argc) {
+      fault_opts.delay_ms = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      fault_opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else {
       port = static_cast<uint16_t>(std::atoi(arg.c_str()));
     }
@@ -58,6 +84,19 @@ int main(int argc, char** argv) {
                  daemon.status().ToString().c_str());
     return 1;
   }
+  std::unique_ptr<sharoes::ssp::FaultPolicy> faults;
+  if (fault_opts.fail_prob + fault_opts.delay_prob +
+          fault_opts.corrupt_prob + fault_opts.drop_prob >
+      0) {
+    faults = std::make_unique<sharoes::ssp::FaultPolicy>(fault_opts);
+    (*daemon)->set_fault_injector(faults.get());
+    std::printf(
+        "sharoes_sspd: fault injection armed (fail %.1f%% delay %.1f%% "
+        "corrupt %.1f%% drop %.1f%%, seed %llu)\n",
+        fault_opts.fail_prob * 100, fault_opts.delay_prob * 100,
+        fault_opts.corrupt_prob * 100, fault_opts.drop_prob * 100,
+        static_cast<unsigned long long>(fault_opts.seed));
+  }
   std::printf("sharoes_sspd: serving on 127.0.0.1:%u (ctrl-c to stop)\n",
               (*daemon)->port());
   std::fflush(stdout);
@@ -69,6 +108,18 @@ int main(int argc, char** argv) {
   }
   std::printf("sharoes_sspd: shutting down\n");
   (*daemon)->Shutdown();
+  if (faults != nullptr) {
+    auto counts = faults->counts();
+    std::printf(
+        "sharoes_sspd: injected %llu faults over %llu requests "
+        "(%llu failed, %llu delayed, %llu corrupted, %llu dropped)\n",
+        static_cast<unsigned long long>(counts.injected()),
+        static_cast<unsigned long long>(counts.requests),
+        static_cast<unsigned long long>(counts.failed),
+        static_cast<unsigned long long>(counts.delayed),
+        static_cast<unsigned long long>(counts.corrupted),
+        static_cast<unsigned long long>(counts.dropped));
+  }
   if (!store_path.empty()) {
     sharoes::Status s = server.store().SaveToFile(store_path);
     if (!s.ok()) {
