@@ -6,9 +6,23 @@
 // operations; mkdir grows with the number (and kind) of CAPs created —
 // exec-only CAPs cost extra for the per-row inner encryption; 1 MB I/O is
 // dominated by WAN transfer time.
+//
+// Also measures the observability layer's own cost: wall-clock ns/op of
+// the instrumented SSP serving path on an Andrew-style op mix, with
+// metrics enabled vs SHAROES_METRICS=off, written to
+// BENCH_obs_overhead.json (budget: < 2%, DESIGN.md §9).
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "ssp/message.h"
+#include "ssp/ssp_server.h"
+#include "workload/andrew.h"
 #include "workload/op_costs.h"
 #include "workload/report.h"
 
@@ -42,10 +56,168 @@ void Run() {
       " dominated by WAN transfer.\n");
 }
 
+/// The Andrew phases as SSP wire frames (the serving-path view of the
+/// workload in tests/core/client_fault_test.cc): directory/metadata
+/// puts, stat-phase metadata gets, data reads/writes, and a batched
+/// "metadata send". Trace-stamped, so the instrumented run pays the
+/// full price: extension parse + per-op counters + histograms + gauges.
+std::vector<Bytes> AndrewWireMix() {
+  Bytes block(4096, 0xAB);
+  Bytes meta(256, 0x17);
+  std::vector<ssp::Request> mix;
+  for (int i = 0; i < 3; ++i) {  // Phase 1: mkdir skeleton.
+    mix.push_back(ssp::Request::PutMetadata(10 + i, 0, meta));
+  }
+  for (int i = 0; i < 5; ++i) {  // Phase 2: copy sources in.
+    mix.push_back(ssp::Request::Batch(
+        {ssp::Request::PutMetadata(20 + i, 0, meta),
+         ssp::Request::PutData(20 + i, 0, block)}));
+  }
+  for (int i = 0; i < 5; ++i) {  // Phase 3: stat everything.
+    mix.push_back(ssp::Request::GetMetadata(20 + i, 0));
+  }
+  for (int i = 0; i < 5; ++i) {  // Phase 4: cold reads.
+    mix.push_back(ssp::Request::GetData(20 + i, 0));
+  }
+  for (int i = 0; i < 5; ++i) {  // Phase 5: compile + link.
+    mix.push_back(ssp::Request::GetData(20 + i, 0));
+    mix.push_back(ssp::Request::Batch(
+        {ssp::Request::PutMetadata(30 + i, 0, meta),
+         ssp::Request::PutData(30 + i, 0, block)}));
+    mix.push_back(ssp::Request::GetData(30 + i, 0));
+  }
+  std::vector<Bytes> frames;
+  frames.reserve(mix.size());
+  for (const ssp::Request& req : mix) {
+    frames.push_back(req.SerializeWithTrace(obs::NextTraceId(), 0));
+  }
+  return frames;
+}
+
+/// ns/op for one pass configuration; best-of-`rounds` to suppress
+/// scheduler noise (this host has a single CPU — see README).
+double MeasureNsPerOp(ssp::SspServer* server, const std::vector<Bytes>& mix,
+                      int rounds, int passes_per_round) {
+  double best = 0;
+  for (int r = 0; r < rounds; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    for (int p = 0; p < passes_per_round; ++p) {
+      for (const Bytes& frame : mix) (void)server->HandleWire(frame);
+    }
+    auto end = std::chrono::steady_clock::now();
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+    double per_op = ns / (static_cast<double>(passes_per_round) *
+                          static_cast<double>(mix.size()));
+    if (r == 0 || per_op < best) best = per_op;
+  }
+  return best;
+}
+
+/// Wall-clock seconds of one full client-level Andrew run (all five
+/// phases, SHAROES variant). World construction (provisioning crypto) is
+/// excluded; the run itself exercises every instrumented layer: client
+/// spans, cache counters, retry accounting, and the SSP serving path.
+double MeasureAndrewSeconds() {
+  BenchWorldOptions opts;
+  opts.variant = SystemVariant::kSharoes;
+  BenchWorld world(opts);
+  AndrewParams params;
+  auto start = std::chrono::steady_clock::now();
+  (void)RunAndrew(world, params);
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+void RunObsOverhead() {
+  Heading("Observability overhead: instrumented vs SHAROES_METRICS=off");
+
+  // (a) Worst case: the raw in-process SSP serving path, where one op is
+  // a ~600 ns hashtable access and every instrumentation atomic shows.
+  // Long rounds: on a 1-CPU host a ~15 ns/op delta disappears into
+  // scheduler noise unless each timed sample spans many timeslices.
+  ssp::SspServer server;
+  std::vector<Bytes> mix = AndrewWireMix();
+  constexpr int kRounds = 7;
+  constexpr int kPasses = 3000;
+  // Warm up stores, metric registrations, and caches before timing.
+  (void)MeasureNsPerOp(&server, mix, 1, 50);
+  // Interleave the two modes round-robin so slow drift (thermal, other
+  // tenants) biases neither; best-of-round is taken per mode.
+  double serve_on = 0, serve_off = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    obs::SetMetricsEnabled(true);
+    double on_ns = MeasureNsPerOp(&server, mix, 1, kPasses);
+    obs::SetMetricsEnabled(false);
+    double off_ns = MeasureNsPerOp(&server, mix, 1, kPasses);
+    if (r == 0 || on_ns < serve_on) serve_on = on_ns;
+    if (r == 0 || off_ns < serve_off) serve_off = off_ns;
+  }
+  double serve_pct = (serve_on - serve_off) / serve_off * 100.0;
+
+  // (b) The budgeted number (DESIGN.md §9): the client-level Andrew op
+  // mix, where each op also pays its real crypto and codec work — the
+  // denominator an operator actually experiences.
+  constexpr int kAndrewRounds = 3;
+  double andrew_on = 0, andrew_off = 0;
+  for (int r = 0; r < kAndrewRounds; ++r) {
+    obs::SetMetricsEnabled(true);
+    double on_s = MeasureAndrewSeconds();
+    obs::SetMetricsEnabled(false);
+    double off_s = MeasureAndrewSeconds();
+    if (r == 0 || on_s < andrew_on) andrew_on = on_s;
+    if (r == 0 || off_s < andrew_off) andrew_off = off_s;
+  }
+  obs::SetMetricsEnabled(true);
+  double andrew_pct = (andrew_on - andrew_off) / andrew_off * 100.0;
+
+  std::printf("  SSP serving path (worst case, ~600 ns/op denominator):\n");
+  std::printf("    instrumented : %8.1f ns/op\n", serve_on);
+  std::printf("    metrics off  : %8.1f ns/op\n", serve_off);
+  std::printf("    overhead     : %+7.2f %%\n", serve_pct);
+  std::printf("  Andrew client op mix (budgeted, DESIGN.md §9):\n");
+  std::printf("    instrumented : %8.3f s/run\n", andrew_on);
+  std::printf("    metrics off  : %8.3f s/run\n", andrew_off);
+  std::printf("    overhead     : %+7.2f %%  (budget < 2%%)\n", andrew_pct);
+
+  obs::JsonObjectWriter w;
+  w.Field("bench", "obs_overhead");
+  w.BeginObject("serving_path");
+  w.Field("op_mix", "andrew_wire_frames");
+  w.Field("ops_per_pass", static_cast<uint64_t>(mix.size()));
+  w.Field("passes_per_round", static_cast<uint64_t>(kPasses));
+  w.Field("rounds", static_cast<uint64_t>(kRounds));
+  w.Field("instrumented_ns_per_op", serve_on);
+  w.Field("metrics_off_ns_per_op", serve_off);
+  w.Field("overhead_pct", serve_pct);
+  w.EndObject();
+  w.BeginObject("andrew_client");
+  w.Field("op_mix", "andrew_five_phases");
+  w.Field("rounds", static_cast<uint64_t>(kAndrewRounds));
+  w.Field("instrumented_s_per_run", andrew_on);
+  w.Field("metrics_off_s_per_run", andrew_off);
+  w.Field("overhead_pct", andrew_pct);
+  w.EndObject();
+  w.Field("budget_pct", 2.0);
+  w.Field("budget_applies_to", "andrew_client");
+  w.Field("within_budget", andrew_pct < 2.0);
+  std::string json = w.Take();
+  const char* path = "BENCH_obs_overhead.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("  wrote %s\n", path);
+  } else {
+    std::printf("  could not write %s\n", path);
+  }
+}
+
 }  // namespace
 }  // namespace sharoes::workload
 
 int main() {
   sharoes::workload::Run();
+  sharoes::workload::RunObsOverhead();
   return 0;
 }

@@ -19,10 +19,10 @@ std::shared_ptr<const void> LruCache::GetErased(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Increment();
     return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }

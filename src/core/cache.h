@@ -8,12 +8,13 @@
 #ifndef SHAROES_CORE_CACHE_H_
 #define SHAROES_CORE_CACHE_H_
 
-#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "obs/metrics.h"
 
 namespace sharoes::core {
 
@@ -22,13 +23,24 @@ namespace sharoes::core {
 /// "d|...") and must read values back with the type they stored.
 ///
 /// Thread-safe: a single mutex guards the list/map (LRU reordering makes
-/// even Get a write), and hit/miss counters are atomics so the stats
-/// accessors never need the lock. Values are immutable shared_ptrs, so a
-/// value returned by Get stays valid after a concurrent eviction.
+/// even Get a write), and hit/miss counts live in lock-free registry
+/// counters so the stats accessors never need the lock. Values are
+/// immutable shared_ptrs, so a value returned by Get stays valid after a
+/// concurrent eviction.
 class LruCache {
  public:
-  /// capacity_bytes == 0 disables caching entirely.
-  explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+  /// capacity_bytes == 0 disables caching entirely. Hit/miss counts are
+  /// recorded as "client.cache.hits"/"client.cache.misses" in `registry`
+  /// (default: the process-wide registry, where several caches sum and
+  /// kGetStats reports them). Tests asserting exact per-instance counts
+  /// pass their own registry.
+  explicit LruCache(size_t capacity_bytes,
+                    obs::MetricsRegistry* registry = nullptr)
+      : capacity_(capacity_bytes) {
+    if (registry == nullptr) registry = &obs::MetricsRegistry::Global();
+    hits_ = registry->counter("client.cache.hits");
+    misses_ = registry->counter("client.cache.misses");
+  }
 
   /// Inserts (replacing any existing entry) and evicts LRU overflow.
   /// `size` is the entry's accounted size in bytes.
@@ -58,8 +70,9 @@ class LruCache {
 
   size_t size_bytes() const;
   size_t entry_count() const;
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Counter views; process-wide totals when sharing the global registry.
+  uint64_t hits() const { return hits_->Value(); }
+  uint64_t misses() const { return misses_->Value(); }
   void set_capacity(size_t capacity_bytes);
 
  private:
@@ -79,8 +92,8 @@ class LruCache {
   mutable std::mutex mu_;
   size_t capacity_;      // Guarded by mu_.
   size_t size_ = 0;      // Guarded by mu_.
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  obs::Counter* hits_;    // Owned by the registry; outlives this cache.
+  obs::Counter* misses_;
   std::list<Entry> lru_;  // Front = most recent. Guarded by mu_.
   std::unordered_map<std::string, std::list<Entry>::iterator>
       map_;  // Guarded by mu_.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fs/path.h"
+#include "obs/trace.h"
 
 namespace sharoes::core {
 
@@ -86,6 +87,7 @@ fs::InodeNum SharoesClient::AllocateInode() {
 }
 
 Status SharoesClient::Mount() {
+  obs::ClientSpan span("Mount");
   principal_ = identity_->PrincipalOf(uid_);
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
@@ -248,6 +250,7 @@ Result<SharoesClient::Node> SharoesClient::ResolvePath(
 }
 
 Result<fs::InodeAttrs> SharoesClient::Getattr(const std::string& path) {
+  obs::ClientSpan span("Getattr");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
   fs::InodeAttrs attrs = node.view.attrs;
@@ -271,6 +274,7 @@ Result<fs::InodeAttrs> SharoesClient::Getattr(const std::string& path) {
 
 Result<std::vector<std::string>> SharoesClient::Readdir(
     const std::string& path) {
+  obs::ClientSpan span("Readdir");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
   if (!node.view.attrs.is_dir()) {
@@ -411,6 +415,7 @@ Status SharoesClient::RenderDirTables(const WriterDirContext& ctx,
 
 Status SharoesClient::CreateObject(const std::string& path, fs::FileType type,
                                    const CreateOptions& opts) {
+  obs::ClientSpan span(type == fs::FileType::kDirectory ? "Mkdir" : "Create");
   ChargeClientOverhead();
   if (!ModeSupported(type, opts.mode)) {
     return Status::Unsupported("mode " + opts.mode.ToString() +
@@ -610,6 +615,7 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
 }
 
 Result<Bytes> SharoesClient::Read(const std::string& path) {
+  obs::ClientSpan span("Read");
   ChargeClientOverhead();
   auto buf_it = write_buffers_.find(path);
   if (buf_it != write_buffers_.end()) return buf_it->second.content;
@@ -624,6 +630,7 @@ Result<Bytes> SharoesClient::Read(const std::string& path) {
 }
 
 Status SharoesClient::Write(const std::string& path, const Bytes& content) {
+  obs::ClientSpan span("Write");
   auto it = write_buffers_.find(path);
   if (it != write_buffers_.end()) {
     it->second.content = content;
@@ -766,6 +773,7 @@ Result<uint64_t> SharoesClient::NextWriteGen(fs::InodeNum inode) {
 }
 
 Status SharoesClient::Close(const std::string& path) {
+  obs::ClientSpan span("Close");
   ChargeClientOverhead();
   auto it = write_buffers_.find(path);
   if (it == write_buffers_.end()) return Status::OK();  // Nothing buffered.
@@ -776,6 +784,7 @@ Status SharoesClient::Close(const std::string& path) {
 }
 
 Status SharoesClient::Chmod(const std::string& path, fs::Mode mode) {
+  obs::ClientSpan span("Chmod");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
   fs::InodeAttrs attrs = node.view.attrs;
@@ -909,6 +918,7 @@ Status SharoesClient::Chmod(const std::string& path, fs::Mode mode) {
 
 Status SharoesClient::RemoveObject(const std::string& path,
                                    fs::FileType type) {
+  obs::ClientSpan span(type == fs::FileType::kDirectory ? "Rmdir" : "Unlink");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(fs::SplitParent sp, fs::SplitParentName(path));
   SHAROES_ASSIGN_OR_RETURN(WriterDirContext ctx, LoadDirForWrite(sp.parent));
@@ -963,6 +973,7 @@ Status SharoesClient::RemoveObject(const std::string& path,
 
 Status SharoesClient::Rename(const std::string& from,
                              const std::string& to) {
+  obs::ClientSpan span("Rename");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(fs::SplitParent src, fs::SplitParentName(from));
   SHAROES_ASSIGN_OR_RETURN(fs::SplitParent dst, fs::SplitParentName(to));
@@ -1018,6 +1029,7 @@ Status SharoesClient::Rename(const std::string& from,
 }
 
 Status SharoesClient::RefreshDir(const std::string& path) {
+  obs::ClientSpan span("RefreshDir");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
   if (!node.view.attrs.is_dir()) {

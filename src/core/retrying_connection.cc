@@ -4,10 +4,36 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sharoes::core {
 
 namespace {
 Rng MakeRng(uint64_t seed) { return seed == 0 ? Rng() : Rng(seed); }
+
+/// Process-wide retry accounting (every RetryingConnection sums here;
+/// per-instance counts remain available via retries()/reconnects()).
+struct RetryMetrics {
+  obs::Counter* calls;
+  obs::Counter* retries;
+  obs::Counter* reconnects;
+  obs::Counter* exhausted;
+
+  RetryMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    calls = reg.counter("client.retry.calls");
+    retries = reg.counter("client.retry.retries");
+    reconnects = reg.counter("client.retry.reconnects");
+    exhausted = reg.counter("client.retry.exhausted");
+  }
+};
+
+RetryMetrics& Metrics() {
+  static RetryMetrics* metrics = new RetryMetrics();  // Never dies.
+  return *metrics;
+}
 }  // namespace
 
 RetryingConnection::RetryingConnection(ChannelFactory factory,
@@ -36,10 +62,17 @@ void RetryingConnection::Backoff(int attempt) {
 }
 
 Result<ssp::Response> RetryingConnection::Call(const ssp::Request& req) {
+  Metrics().calls->Increment();
+  // Join (or start) the ambient trace so every wire attempt below
+  // carries the same trace id with an increasing attempt number; the
+  // server's structured log lines then reconstruct the retry story.
+  obs::RpcTraceScope trace_scope;
   Status last_error = Status::IoError("no attempt made");
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    trace_scope.set_attempt(static_cast<uint8_t>(std::min(attempt, 255)));
     if (attempt > 0) {
       ++retries_;
+      Metrics().retries->Increment();
       Backoff(attempt - 1);
     }
     if (channel_ == nullptr) {
@@ -50,7 +83,10 @@ Result<ssp::Response> RetryingConnection::Call(const ssp::Request& req) {
         continue;
       }
       channel_ = std::move(*fresh);
-      if (attempt > 0) ++reconnects_;
+      if (attempt > 0) {
+        ++reconnects_;
+        Metrics().reconnects->Increment();
+      }
     }
     auto resp = channel_->Call(req);
     if (resp.ok()) {
@@ -66,6 +102,12 @@ Result<ssp::Response> RetryingConnection::Call(const ssp::Request& req) {
     // and reconnect on the next attempt.
     channel_.reset();
   }
+  Metrics().exhausted->Increment();
+  obs::Log(obs::Severity::kError, "client.retry_exhausted",
+           {{"op", ssp::OpCodeName(req.op)},
+            {"trace", obs::TraceIdHex(obs::CurrentTrace().trace_id)},
+            {"attempts", static_cast<uint64_t>(options_.max_attempts)},
+            {"error", last_error.ToString()}});
   return last_error;
 }
 

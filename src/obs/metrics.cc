@@ -1,0 +1,260 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace sharoes::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{[] {
+  const char* env = std::getenv("SHAROES_METRICS");
+  return env == nullptr ||
+         (std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0);
+}()};
+
+/// Stripe for the calling thread, computed once per thread. Hashing the
+/// thread id spreads writers over the counter cells. Constant-initialized
+/// sentinel + manual lazy init, not `static thread_local` with a dynamic
+/// initializer: the latter routes every access through a TLS init guard,
+/// which is real cost on a path hit several times per request.
+constexpr size_t kStripeUnset = ~size_t{0};
+thread_local size_t t_stripe = kStripeUnset;
+
+size_t ComputeStripe() {
+  size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  // Mix: thread ids are often sequential small integers.
+  h ^= h >> 17;
+  h *= 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(h >> 32) % Counter::kStripes;
+}
+
+inline size_t ThreadStripe() {
+  size_t s = t_stripe;
+  if (s == kStripeUnset) [[unlikely]] {
+    s = ComputeStripe();
+    t_stripe = s;
+  }
+  return s;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Counter::Add(uint64_t n) {
+  if (!MetricsEnabled()) return;
+  cells_[ThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  unsigned e = std::bit_width(value) - 1;  // MSB position, >= kSubBucketBits.
+  uint64_t sub = (value >> (e - kSubBucketBits)) - kSubBuckets;
+  return static_cast<size_t>((e - kSubBucketBits + 1) * kSubBuckets + sub);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  uint64_t octave = index / kSubBuckets;  // >= 1.
+  uint64_t sub = index % kSubBuckets;
+  return (kSubBuckets + sub) << (octave - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!MetricsEnabled()) return;
+  // No separate count cell: Snapshot derives the count from the buckets
+  // (which also keeps racing snapshots self-consistent), so maintaining
+  // one here would be a pure extra RMW per sample.
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  uint64_t count = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    count += snap.buckets[i];
+  }
+  // Derive count from the buckets so the snapshot is self-consistent
+  // even if records are racing in (sum/min/max may trail by a sample).
+  snap.count = count;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (count == 0 || min == ~0ull) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; ceil so p100 is the last sample.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    uint64_t next = cum + buckets[i];
+    if (rank <= next) {
+      uint64_t lo = Histogram::BucketLowerBound(i);
+      uint64_t hi = (i + 1 < buckets.size())
+                        ? Histogram::BucketLowerBound(i + 1) - 1
+                        : lo;
+      // Interpolate by rank within the bucket.
+      double frac = buckets[i] <= 1
+                        ? 0.0
+                        : static_cast<double>(rank - cum - 1) /
+                              static_cast<double>(buckets[i] - 1);
+      uint64_t est = lo + static_cast<uint64_t>(
+                              frac * static_cast<double>(hi - lo));
+      if (min > 0 && est < min) est = min;
+      if (max > 0 && est > max) est = max;
+      return est;
+    }
+    cum = next;
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  JsonObjectWriter w;
+  w.BeginObject("counters");
+  for (const auto& [name, value] : counters) w.Field(name, value);
+  w.EndObject();
+  w.BeginObject("gauges");
+  for (const auto& [name, value] : gauges) w.Field(name, value);
+  w.EndObject();
+  w.BeginObject("histograms");
+  for (const auto& [name, h] : histograms) {
+    w.BeginObject(name);
+    w.Field("count", h.count);
+    w.Field("sum", h.sum);
+    w.Field("min", h.min);
+    w.Field("max", h.max);
+    w.Field("mean", h.Mean());
+    w.Field("p50", h.Percentile(0.50));
+    w.Field("p90", h.Percentile(0.90));
+    w.Field("p99", h.Percentile(0.99));
+    w.Field("p999", h.Percentile(0.999));
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Never dies.
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsRegistry::GaugeHandle MetricsRegistry::AddGauge(std::string name,
+                                                       GaugeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_gauge_id_++;
+  gauges_.emplace(id, GaugeEntry{std::move(name), std::move(fn)});
+  return GaugeHandle(this, id);
+}
+
+void MetricsRegistry::RemoveGauge(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.erase(id);
+}
+
+MetricsRegistry::GaugeHandle::GaugeHandle(GaugeHandle&& other) noexcept
+    : reg_(other.reg_), id_(other.id_) {
+  other.reg_ = nullptr;
+}
+
+MetricsRegistry::GaugeHandle& MetricsRegistry::GaugeHandle::operator=(
+    GaugeHandle&& other) noexcept {
+  if (this != &other) {
+    if (reg_ != nullptr) reg_->RemoveGauge(id_);
+    reg_ = other.reg_;
+    id_ = other.id_;
+    other.reg_ = nullptr;
+  }
+  return *this;
+}
+
+MetricsRegistry::GaugeHandle::~GaugeHandle() {
+  if (reg_ != nullptr) reg_->RemoveGauge(id_);
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  for (const auto& [id, gauge] : gauges_) {
+    snap.gauges[gauge.name] += gauge.fn();
+  }
+  return snap;
+}
+
+}  // namespace sharoes::obs

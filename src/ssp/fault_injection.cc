@@ -1,9 +1,40 @@
 #include "ssp/fault_injection.h"
 
+#include "obs/metrics.h"
+
 namespace sharoes::ssp {
+
+namespace {
+/// Live registry mirrors of FaultPolicy::Counts, so an operator polling
+/// kGetStats sees the injected-fault totals without asking the test
+/// harness (names: ssp.fault.requests, ssp.fault.injected.<kind>).
+struct FaultMetrics {
+  obs::Counter* requests;
+  obs::Counter* failed;
+  obs::Counter* delayed;
+  obs::Counter* corrupted;
+  obs::Counter* dropped;
+
+  FaultMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    requests = reg.counter("ssp.fault.requests");
+    failed = reg.counter("ssp.fault.injected.fail");
+    delayed = reg.counter("ssp.fault.injected.delay");
+    corrupted = reg.counter("ssp.fault.injected.corrupt");
+    dropped = reg.counter("ssp.fault.injected.drop");
+  }
+};
+
+FaultMetrics& Metrics() {
+  static FaultMetrics* metrics = new FaultMetrics();  // Never dies.
+  return *metrics;
+}
+}  // namespace
 
 FaultAction FaultPolicy::OnRequest(const Bytes& wire_request) {
   (void)wire_request;  // Policies are oblivious to request content.
+  FaultMetrics& m = Metrics();
+  m.requests->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.requests;
   FaultAction action;
@@ -11,19 +42,23 @@ FaultAction FaultPolicy::OnRequest(const Bytes& wire_request) {
   if (draw < options_.fail_prob) {
     action.kind = FaultAction::Kind::kFailRequest;
     ++counts_.failed;
+    m.failed->Increment();
   } else if (draw < options_.fail_prob + options_.delay_prob) {
     action.kind = FaultAction::Kind::kDelayResponse;
     action.delay_ms = options_.delay_ms;
     ++counts_.delayed;
+    m.delayed->Increment();
   } else if (draw <
              options_.fail_prob + options_.delay_prob + options_.corrupt_prob) {
     action.kind = FaultAction::Kind::kCorruptResponse;
     action.corrupt_mask = options_.corrupt_mask;
     ++counts_.corrupted;
+    m.corrupted->Increment();
   } else if (draw < options_.fail_prob + options_.delay_prob +
                         options_.corrupt_prob + options_.drop_prob) {
     action.kind = FaultAction::Kind::kDropConnection;
     ++counts_.dropped;
+    m.dropped->Increment();
   }
   return action;
 }

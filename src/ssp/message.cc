@@ -14,6 +14,53 @@ constexpr int kMaxBatchDepth = 2;  // A batch may not contain batches.
 constexpr size_t kMinRequestWire = 37;
 //   Response: status(1) + payload length(4) + batch count(4).
 constexpr size_t kMinResponseWire = 9;
+
+// Trace extension entry payload: trace id (8) + attempt (1).
+constexpr uint8_t kTraceEntryLen = 9;
+
+void AppendTraceExtension(BinaryWriter* w, uint64_t trace_id,
+                          uint8_t attempt) {
+  w->PutU32(kRequestExtensionMagic);
+  w->PutU8(1);  // One entry.
+  w->PutU8(kExtensionTagTrace);
+  w->PutU8(kTraceEntryLen);
+  w->PutU64(trace_id);
+  w->PutU8(attempt);
+}
+}
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kGetSuperblock: return "GetSuperblock";
+    case OpCode::kPutSuperblock: return "PutSuperblock";
+    case OpCode::kDeleteSuperblock: return "DeleteSuperblock";
+    case OpCode::kGetMetadata: return "GetMetadata";
+    case OpCode::kPutMetadata: return "PutMetadata";
+    case OpCode::kDeleteMetadata: return "DeleteMetadata";
+    case OpCode::kDeleteInodeMetadata: return "DeleteInodeMetadata";
+    case OpCode::kGetUserMetadata: return "GetUserMetadata";
+    case OpCode::kPutUserMetadata: return "PutUserMetadata";
+    case OpCode::kDeleteUserMetadata: return "DeleteUserMetadata";
+    case OpCode::kGetData: return "GetData";
+    case OpCode::kPutData: return "PutData";
+    case OpCode::kDeleteInodeData: return "DeleteInodeData";
+    case OpCode::kGetGroupKey: return "GetGroupKey";
+    case OpCode::kPutGroupKey: return "PutGroupKey";
+    case OpCode::kDeleteGroupKey: return "DeleteGroupKey";
+    case OpCode::kBatch: return "Batch";
+    case OpCode::kGetStats: return "GetStats";
+  }
+  return "Unknown";
+}
+
+const char* RespStatusName(RespStatus status) {
+  switch (status) {
+    case RespStatus::kOk: return "kOk";
+    case RespStatus::kNotFound: return "kNotFound";
+    case RespStatus::kBadRequest: return "kBadRequest";
+    case RespStatus::kError: return "kError";
+  }
+  return "kUnknown";
 }
 
 void Request::AppendTo(BinaryWriter* w) const {
@@ -31,7 +78,38 @@ void Request::AppendTo(BinaryWriter* w) const {
 Bytes Request::Serialize() const {
   BinaryWriter w;
   AppendTo(&w);
+  if (trace_id != 0) AppendTraceExtension(&w, trace_id, attempt);
   return w.Take();
+}
+
+Bytes Request::SerializeWithTrace(uint64_t trace, uint8_t att) const {
+  BinaryWriter w;
+  AppendTo(&w);
+  if (trace != 0) AppendTraceExtension(&w, trace, att);
+  return w.Take();
+}
+
+Status Request::ReadExtensions(BinaryReader* r, Request* req) {
+  uint32_t magic = r->GetU32();
+  if (!r->ok() || magic != kRequestExtensionMagic) {
+    return Status::Corruption("trailing bytes in request");
+  }
+  uint8_t entries = r->GetU8();
+  for (uint8_t i = 0; r->ok() && i < entries; ++i) {
+    uint8_t tag = r->GetU8();
+    uint8_t len = r->GetU8();
+    if (tag == kExtensionTagTrace && len == kTraceEntryLen) {
+      req->trace_id = r->GetU64();
+      req->attempt = r->GetU8();
+    } else {
+      // Unknown (future) extension, or a known tag with an unexpected
+      // length: skip the entry wholesale. This is what lets an old
+      // server ignore a new client's extensions gracefully.
+      r->GetRaw(len);
+    }
+  }
+  if (!r->ok()) return Status::Corruption("truncated request extension");
+  return Status::OK();
 }
 
 Result<Request> Request::ReadFrom(BinaryReader* r, int depth) {
@@ -40,7 +118,7 @@ Result<Request> Request::ReadFrom(BinaryReader* r, int depth) {
   }
   Request req;
   uint8_t op = r->GetU8();
-  if (r->ok() && op > static_cast<uint8_t>(OpCode::kBatch)) {
+  if (r->ok() && op >= kNumOpCodes) {
     return Status::Corruption("unknown opcode");
   }
   req.op = static_cast<OpCode>(op);
@@ -68,6 +146,11 @@ Result<Request> Request::ReadFrom(BinaryReader* r, int depth) {
 Result<Request> Request::Deserialize(const Bytes& data) {
   BinaryReader r(data);
   SHAROES_ASSIGN_OR_RETURN(Request req, ReadFrom(&r, 0));
+  // A top-level request may be followed by an extension block (trace
+  // propagation etc.); anything else trailing is corruption, as before.
+  if (r.remaining() > 0) {
+    SHAROES_RETURN_IF_ERROR(ReadExtensions(&r, &req));
+  }
   SHAROES_RETURN_IF_ERROR(r.Finish("request"));
   return req;
 }
@@ -190,6 +273,12 @@ Request Request::Batch(std::vector<Request> requests) {
   Request r;
   r.op = OpCode::kBatch;
   r.batch = std::move(requests);
+  return r;
+}
+
+Request Request::GetStats() {
+  Request r;
+  r.op = OpCode::kGetStats;
   return r;
 }
 

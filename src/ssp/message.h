@@ -37,11 +37,31 @@ enum class OpCode : uint8_t {
   kPutGroupKey = 14,
   kDeleteGroupKey = 15,
   kBatch = 16,
+  kGetStats = 17,  // Admin: serialized metrics-registry snapshot (JSON).
 };
+
+/// One past the largest valid OpCode (array sizing, validity checks).
+inline constexpr size_t kNumOpCodes =
+    static_cast<size_t>(OpCode::kGetStats) + 1;
+
+/// Stable metric-label name for an opcode ("GetData", "Batch", ...).
+const char* OpCodeName(OpCode op);
 
 /// Replica selector: which copy of an inode's metadata. Scheme-2 uses a
 /// CAP id, Scheme-1 a hash of the user id; the baselines use selector 0.
 using Selector = uint64_t;
+
+// --- Request header extension (observability) -------------------------
+// A top-level Request may carry a trailing extension block after the
+// base encoding: a magic u32, a u8 entry count, then tag/length/value
+// entries (u8 tag, u8 length, `length` bytes). Receivers skip entries
+// with unknown tags, so new extensions deploy without a protocol
+// version bump; requests with no extension serialize byte-identically
+// to the pre-extension format, so a non-tracing client is
+// indistinguishable from a legacy one. Batch sub-requests never carry
+// extensions (the top-level frame's context covers them).
+inline constexpr uint32_t kRequestExtensionMagic = 0x4F425331;  // "OBS1".
+inline constexpr uint8_t kExtensionTagTrace = 1;  // u64 trace id, u8 attempt.
 
 struct Request {
   OpCode op = OpCode::kGetMetadata;
@@ -53,7 +73,17 @@ struct Request {
   Bytes payload;
   std::vector<Request> batch;  // Only for kBatch.
 
+  // Observability extension (not part of the base encoding): the client
+  // op's trace id (0 = untraced) and the 0-based transport retry
+  // attempt. Filled by Deserialize when the frame carries a trace
+  // entry; emitted by Serialize only when trace_id != 0.
+  uint64_t trace_id = 0;
+  uint8_t attempt = 0;
+
   Bytes Serialize() const;
+  /// Serializes with the given trace stamped, regardless of the struct's
+  /// own trace fields (the channel layer's ambient-trace path).
+  Bytes SerializeWithTrace(uint64_t trace_id, uint8_t attempt) const;
   static Result<Request> Deserialize(const Bytes& data);
 
   // Convenience constructors for the common shapes.
@@ -73,10 +103,12 @@ struct Request {
   static Request PutGroupKey(uint32_t group, uint32_t user, Bytes payload);
   static Request DeleteGroupKey(uint32_t group, uint32_t user);
   static Request Batch(std::vector<Request> requests);
+  static Request GetStats();
 
  private:
   void AppendTo(BinaryWriter* w) const;
   static Result<Request> ReadFrom(BinaryReader* r, int depth);
+  static Status ReadExtensions(BinaryReader* r, Request* req);
 };
 
 enum class RespStatus : uint8_t {
@@ -87,6 +119,13 @@ enum class RespStatus : uint8_t {
                // Unlike kBadRequest the request was well-formed and was
                // *not* executed; retrying it is the expected reaction.
 };
+
+/// One past the largest valid RespStatus (array sizing, metric labels).
+inline constexpr size_t kNumRespStatuses =
+    static_cast<size_t>(RespStatus::kError) + 1;
+
+/// Stable metric-label name for a response status ("kNotFound", ...).
+const char* RespStatusName(RespStatus status);
 
 struct Response {
   RespStatus status = RespStatus::kOk;

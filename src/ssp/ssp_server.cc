@@ -1,7 +1,11 @@
 #include "ssp/ssp_server.h"
 
 #include <chrono>
+#include <string>
 #include <thread>
+
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace sharoes::ssp {
 
@@ -10,9 +14,80 @@ Response FromOptional(std::optional<Bytes> blob) {
   if (!blob.has_value()) return Response::NotFound();
   return Response::Ok(std::move(*blob));
 }
+
+/// Serving-path metrics, shared by every SspServer in the process (they
+/// all record into the global registry; pointers are resolved once and
+/// the record path is lock-free). See DESIGN.md §9 for the name scheme.
+struct ServingMetrics {
+  obs::Counter* requests[kNumOpCodes];
+  obs::Histogram* service_us[kNumOpCodes];
+  obs::Counter* responses[kNumRespStatuses];
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* batch_subops;
+  obs::Counter* bad_frames;
+
+  ServingMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    for (size_t i = 0; i < kNumOpCodes; ++i) {
+      const char* op = OpCodeName(static_cast<OpCode>(i));
+      requests[i] = reg.counter(std::string("ssp.requests.") + op);
+      service_us[i] = reg.histogram(std::string("ssp.service_us.") + op);
+    }
+    for (size_t i = 0; i < kNumRespStatuses; ++i) {
+      responses[i] = reg.counter(std::string("ssp.responses.") +
+                                 RespStatusName(static_cast<RespStatus>(i)));
+    }
+    bytes_in = reg.counter("ssp.bytes_in");
+    bytes_out = reg.counter("ssp.bytes_out");
+    batch_subops = reg.counter("ssp.batch_subops");
+    bad_frames = reg.counter("ssp.bad_frames");
+  }
+};
+
+ServingMetrics& Metrics() {
+  static ServingMetrics* metrics = new ServingMetrics();  // Never dies.
+  return *metrics;
+}
+
+/// Best-effort request parse for log context on rare paths (injected
+/// faults, malformed frames): surfaces the opcode and the propagated
+/// trace so the server-side line joins to the client op and attempt.
+void LogRequestEvent(obs::Severity sev, std::string_view event,
+                     const Bytes& request_bytes, std::string_view detail) {
+  if (!obs::LogEnabled(sev)) return;
+  auto req = Request::Deserialize(request_bytes);
+  if (req.ok()) {
+    obs::Log(sev, event,
+             {{"op", OpCodeName(req->op)},
+              {"trace", obs::TraceIdHex(req->trace_id)},
+              {"attempt", req->attempt},
+              {"detail", detail}});
+  } else {
+    obs::Log(sev, event,
+             {{"op", "unparseable"}, {"detail", detail}});
+  }
+}
 }  // namespace
 
+void SspServer::RegisterStoreGauges() {
+  auto& reg = obs::MetricsRegistry::Global();
+  ObjectStore* store = &store_;
+  store_gauges_.push_back(reg.AddGauge(
+      "ssp.store.objects", [store] { return store->Stats().object_count; }));
+  store_gauges_.push_back(reg.AddGauge(
+      "ssp.store.total_bytes",
+      [store] { return store->Stats().total_bytes(); }));
+  store_gauges_.push_back(reg.AddGauge(
+      "ssp.store.metadata_bytes",
+      [store] { return store->Stats().metadata_bytes; }));
+  store_gauges_.push_back(reg.AddGauge(
+      "ssp.store.data_bytes", [store] { return store->Stats().data_bytes; }));
+}
+
 Bytes SspServer::HandleWire(const Bytes& request_bytes) {
+  ServingMetrics& m = Metrics();
+  m.bytes_in->Add(request_bytes.size());
   FaultAction fault;
   if (FaultInjector* injector =
           fault_injector_.load(std::memory_order_acquire)) {
@@ -20,14 +95,49 @@ Bytes SspServer::HandleWire(const Bytes& request_bytes) {
   }
   if (fault.kind == FaultAction::Kind::kFailRequest ||
       fault.kind == FaultAction::Kind::kDropConnection) {
-    return Response::Error().Serialize();
+    LogRequestEvent(obs::Severity::kWarn, "ssp.fault_injected",
+                    request_bytes, "fail_request");
+    m.responses[static_cast<size_t>(RespStatus::kError)]->Increment();
+    Bytes wire = Response::Error().Serialize();
+    m.bytes_out->Add(wire.size());
+    return wire;
   }
   auto req = Request::Deserialize(request_bytes);
-  if (!req.ok()) return Response::BadRequest().Serialize();
-  Bytes wire = Handle(*req).Serialize();
+  if (!req.ok()) {
+    m.bad_frames->Increment();
+    m.responses[static_cast<size_t>(RespStatus::kBadRequest)]->Increment();
+    obs::Log(obs::Severity::kWarn, "ssp.bad_frame",
+             {{"detail", req.status().ToString()},
+              {"bytes", static_cast<uint64_t>(request_bytes.size())}});
+    Bytes wire = Response::BadRequest().Serialize();
+    m.bytes_out->Add(wire.size());
+    return wire;
+  }
+  auto start = std::chrono::steady_clock::now();
+  Response resp = Handle(*req);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  size_t op = static_cast<size_t>(req->op);
+  m.requests[op]->Increment();
+  m.service_us[op]->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
+  if (req->op == OpCode::kBatch) m.batch_subops->Add(req->batch.size());
+  m.responses[static_cast<size_t>(resp.status)]->Increment();
+  if (resp.status == RespStatus::kBadRequest) {
+    obs::Log(obs::Severity::kWarn, "ssp.request_rejected",
+             {{"op", OpCodeName(req->op)},
+              {"trace", obs::TraceIdHex(req->trace_id)},
+              {"attempt", req->attempt}});
+  }
+  Bytes wire = resp.Serialize();
+  m.bytes_out->Add(wire.size());
   if (fault.kind == FaultAction::Kind::kDelayResponse) {
+    LogRequestEvent(obs::Severity::kWarn, "ssp.fault_injected",
+                    request_bytes, "delay_response");
     std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
   } else if (fault.kind == FaultAction::Kind::kCorruptResponse) {
+    LogRequestEvent(obs::Severity::kWarn, "ssp.fault_injected",
+                    request_bytes, "corrupt_response");
     CorruptResponsePayload(&wire, fault.corrupt_mask);
   }
   return wire;
@@ -95,6 +205,12 @@ Response SspServer::HandleOne(const Request& req) {
     case OpCode::kDeleteGroupKey:
       store_.DeleteGroupKey(req.group, req.user);
       return Response::Ok();
+    case OpCode::kGetStats:
+      // Admin RPC: one JSON document with every counter, gauge, and
+      // latency histogram in the process. Read-only — it never touches
+      // the store, so it is safe to issue against a serving daemon.
+      return Response::Ok(
+          ToBytes(obs::MetricsRegistry::Global().SnapshotJson()));
     case OpCode::kBatch:
       return Response::BadRequest();  // Handled by Handle().
   }

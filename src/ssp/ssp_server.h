@@ -11,8 +11,10 @@
 #define SHAROES_SSP_SSP_SERVER_H_
 
 #include <atomic>
+#include <vector>
 
 #include "net/network_model.h"
+#include "obs/metrics.h"
 #include "ssp/fault_injection.h"
 #include "ssp/object_store.h"
 
@@ -25,10 +27,12 @@ namespace sharoes::ssp {
 /// them in parallel (see TcpSspDaemon).
 class SspServer {
  public:
-  SspServer() = default;
+  SspServer() { RegisterStoreGauges(); }
   /// Serves a pre-configured store (e.g. a custom shard count, or one
   /// loaded from a snapshot).
-  explicit SspServer(ObjectStore store) : store_(std::move(store)) {}
+  explicit SspServer(ObjectStore store) : store_(std::move(store)) {
+    RegisterStoreGauges();
+  }
 
   /// Handles one serialized request, returning a serialized response.
   /// Safe to call concurrently from multiple threads.
@@ -50,9 +54,15 @@ class SspServer {
 
  private:
   Response HandleOne(const Request& req);
+  /// Publishes this server's store accounting as registry gauges
+  /// (ssp.store.*). Several live servers sum in the snapshot.
+  void RegisterStoreGauges();
 
   ObjectStore store_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+  // Declared after store_ so the gauges (which read store_) unregister
+  // before the store dies.
+  std::vector<obs::MetricsRegistry::GaugeHandle> store_gauges_;
 };
 
 /// Client-side channel to an SSP. Two implementations exist: the

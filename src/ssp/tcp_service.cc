@@ -11,11 +11,52 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace sharoes::ssp {
 
 namespace {
 Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Daemon-level connection metrics (process-wide; pointers cached once).
+struct DaemonMetrics {
+  obs::Counter* accepted;
+  obs::Counter* dropped_by_fault;
+  obs::Counter* fault_errors;
+
+  DaemonMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    accepted = reg.counter("ssp.conn.accepted");
+    dropped_by_fault = reg.counter("ssp.conn.dropped_by_fault");
+    // The daemon's kFailRequest path replies kError without entering
+    // HandleWire, so it shares the server's per-status counter name.
+    fault_errors = reg.counter("ssp.responses.kError");
+  }
+};
+
+DaemonMetrics& Metrics() {
+  static DaemonMetrics* metrics = new DaemonMetrics();  // Never dies.
+  return *metrics;
+}
+
+/// Logs a daemon-level injected fault with the request's trace context
+/// (best-effort parse; the frame may be arbitrary bytes).
+void LogDaemonFault(const Bytes& request_bytes, std::string_view detail) {
+  if (!obs::LogEnabled(obs::Severity::kWarn)) return;
+  auto req = Request::Deserialize(request_bytes);
+  if (req.ok()) {
+    obs::Log(obs::Severity::kWarn, "ssp.fault_injected",
+             {{"op", OpCodeName(req->op)},
+              {"trace", obs::TraceIdHex(req->trace_id)},
+              {"attempt", req->attempt},
+              {"detail", detail}});
+  } else {
+    obs::Log(obs::Severity::kWarn, "ssp.fault_injected",
+             {{"op", "unparseable"}, {"detail", detail}});
+  }
 }
 }  // namespace
 
@@ -48,6 +89,9 @@ Result<std::unique_ptr<TcpSspDaemon>> TcpSspDaemon::Start(SspServer* server,
 
 TcpSspDaemon::TcpSspDaemon(SspServer* server, int listen_fd, uint16_t port)
     : server_(server), listen_fd_(listen_fd), port_(port) {
+  active_conns_gauge_ = obs::MetricsRegistry::Global().AddGauge(
+      "ssp.conn.active",
+      [this] { return active_conns_.load(std::memory_order_relaxed); });
   acceptor_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -105,6 +149,7 @@ void TcpSspDaemon::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Metrics().accepted->Increment();
     std::lock_guard<std::mutex> lock(conns_mutex_);
     ReapFinishedLocked();  // Keep the list bounded by live connections.
     conns_.push_back(std::make_unique<Connection>(fd));
@@ -114,6 +159,7 @@ void TcpSspDaemon::AcceptLoop() {
 }
 
 void TcpSspDaemon::ServeConnection(Connection* conn) {
+  active_conns_.fetch_add(1, std::memory_order_relaxed);
   {
     net::TcpStream stream(conn->fd);
     for (;;) {
@@ -127,11 +173,15 @@ void TcpSspDaemon::ServeConnection(Connection* conn) {
       if (fault.kind == FaultAction::Kind::kDropConnection) {
         // Tear the connection mid-frame: emit a partial length header so
         // the client sees a cut in the middle of a reply, the worst spot.
+        LogDaemonFault(*request, "drop_connection");
+        Metrics().dropped_by_fault->Increment();
         const uint8_t torn_header[2] = {0xEF, 0xBE};
         ::send(conn->fd, torn_header, sizeof(torn_header), MSG_NOSIGNAL);
         break;
       }
       if (fault.kind == FaultAction::Kind::kFailRequest) {
+        LogDaemonFault(*request, "fail_request");
+        Metrics().fault_errors->Increment();
         if (!stream.SendFrame(Response::Error().Serialize()).ok()) break;
         continue;
       }
@@ -151,6 +201,7 @@ void TcpSspDaemon::ServeConnection(Connection* conn) {
     std::lock_guard<std::mutex> lock(conns_mutex_);
     conn->done.store(true);
   }
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 Result<std::unique_ptr<TcpSspChannel>> TcpSspChannel::Connect(
@@ -161,7 +212,16 @@ Result<std::unique_ptr<TcpSspChannel>> TcpSspChannel::Connect(
 }
 
 Result<Response> TcpSspChannel::Call(const Request& req) {
-  SHAROES_RETURN_IF_ERROR(stream_.SendFrame(req.Serialize()));
+  // Stamp the ambient trace (if any) onto the wire frame so the server's
+  // structured log lines join to the client op that caused them. The
+  // simulated-WAN SspConnection deliberately does not do this: its byte
+  // counts feed deterministic cost models that must not vary with
+  // whether a trace happens to be active.
+  obs::TraceContext tc = obs::CurrentTrace();
+  Bytes wire_request = tc.active()
+                           ? req.SerializeWithTrace(tc.trace_id, tc.attempt)
+                           : req.Serialize();
+  SHAROES_RETURN_IF_ERROR(stream_.SendFrame(wire_request));
   SHAROES_ASSIGN_OR_RETURN(Bytes wire, stream_.RecvFrame());
   return Response::Deserialize(wire);
 }

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "net/tcp_stream.h"
+#include "obs/metrics.h"
 #include "ssp/ssp_server.h"
 
 namespace sharoes::ssp {
@@ -67,6 +68,10 @@ class TcpSspDaemon {
   uint16_t port_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
   std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> active_conns_{0};
+  // Declared after active_conns_ so the gauge (which reads it)
+  // unregisters first on destruction.
+  obs::MetricsRegistry::GaugeHandle active_conns_gauge_;
   std::thread acceptor_;
   std::mutex conns_mutex_;
   std::list<std::unique_ptr<Connection>> conns_;

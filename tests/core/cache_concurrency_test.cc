@@ -120,8 +120,10 @@ TEST(LruCacheConcurrencyTest, EvictedValuesStayAliveForHolders) {
 
 TEST(LruCacheConcurrencyTest, StatsCountersAreCoherent) {
   // hits + misses must equal the total number of Get calls even under
-  // maximal contention (they are atomics, not lock-guarded).
-  LruCache cache(1 << 20);
+  // maximal contention (lock-free striped registry counters). A private
+  // registry keeps other tests' caches out of the totals.
+  obs::MetricsRegistry registry;
+  LruCache cache(1 << 20, &registry);
   cache.Put<int>("present", 1, 8);
   StressThreads(kThreads, [&](int t) -> Status {
     for (int i = 0; i < kOpsPerThread; ++i) {

@@ -8,7 +8,10 @@ namespace sharoes::core {
 namespace {
 
 TEST(LruCacheTest, PutGet) {
-  LruCache cache(1000);
+  // A private registry isolates this test's hit/miss counts from other
+  // caches in the process (production caches share the global registry).
+  obs::MetricsRegistry registry;
+  LruCache cache(1000, &registry);
   cache.Put<int>("a", 7, 10);
   auto v = cache.Get<int>("a");
   ASSERT_NE(v, nullptr);

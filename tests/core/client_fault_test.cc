@@ -377,6 +377,66 @@ TEST_F(ClientFaultTest, AndrewSequenceSurvivesFaultsAndRestarts) {
   }
 }
 
+TEST_F(ClientFaultTest, StatsPollingNeverPerturbsTheWorkload) {
+  // kGetStats is the one opcode an operator fires at a *live* production
+  // daemon, so it must be observably read-only: an Andrew run with a
+  // concurrent stats poller hammering the same daemon must produce the
+  // same transcript and the same final store as an unpolled run.
+  Bytes reference;
+  Bytes reference_store;
+  {
+    ResetToGolden();
+    daemon_->Start();
+    SimClock clock;
+    auto engine = MakeEngine(&clock, 99);
+    RetryOptions no_retry;
+    no_retry.max_attempts = 1;
+    RetryingConnection conn(TcpFactory(daemon_.get()), no_retry);
+    auto client = MakeClient(enterprise_.get(), &conn, engine.get());
+    ASSERT_TRUE(client->Mount().ok());
+    auto transcript = RunAndrewSequence(client.get());
+    ASSERT_TRUE(transcript.ok()) << transcript.status();
+    reference = std::move(*transcript);
+    daemon_->Kill();
+    auto stored = SlurpFile(store_path_);
+    ASSERT_TRUE(stored.ok());
+    reference_store = std::move(*stored);
+  }
+
+  ResetToGolden();
+  daemon_->Start();
+  SimClock clock;
+  auto engine = MakeEngine(&clock, 99);
+  RetryOptions no_retry;
+  no_retry.max_attempts = 1;
+  RetryingConnection conn(TcpFactory(daemon_.get()), no_retry);
+  auto client = MakeClient(enterprise_.get(), &conn, engine.get());
+  ASSERT_TRUE(client->Mount().ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> polls{0};
+  std::thread poller([&] {
+    auto channel = ssp::TcpSspChannel::Connect("127.0.0.1", daemon_->port());
+    if (!channel.ok()) return;
+    while (!done.load()) {
+      auto stats = (*channel)->Call(ssp::Request::GetStats());
+      if (stats.ok() && stats->ok() && !stats->payload.empty()) {
+        polls.fetch_add(1);
+      }
+    }
+  });
+  auto transcript = RunAndrewSequence(client.get());
+  done.store(true);
+  poller.join();
+  ASSERT_TRUE(transcript.ok()) << transcript.status();
+  EXPECT_EQ(*transcript, reference);
+  EXPECT_GT(polls.load(), 0u) << "poller never landed a stats snapshot";
+  daemon_->Kill();
+  auto polled_store = SlurpFile(store_path_);
+  ASSERT_TRUE(polled_store.ok());
+  EXPECT_EQ(*polled_store, reference_store);
+}
+
 TEST_F(ClientFaultTest, WithoutRetriesTheSameScheduleFails) {
   ResetToGolden();
   daemon_->Start();

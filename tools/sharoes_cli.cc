@@ -14,6 +14,10 @@
 //   ./sharoes_cli --state /tmp/sh --user alice chmod /docs/new.txt 600
 //   ./sharoes_cli --state /tmp/sh --user bob   cat /docs/new.txt   # denied
 //
+// `sharoes_cli stats` needs no state or user: it sends the admin
+// kGetStats RPC and prints the daemon's metrics snapshot (one JSON
+// document: counters, gauges, latency histograms with percentiles).
+//
 // Flags: --host (default 127.0.0.1; names resolve via DNS), --port
 //        (7070), --state (required), --user (name registered at
 //        provision time).
@@ -37,6 +41,7 @@
 #include "core/client.h"
 #include "core/migration.h"
 #include "core/retrying_connection.h"
+#include "ssp/message.h"
 #include "ssp/tcp_service.h"
 
 using namespace sharoes;
@@ -98,8 +103,11 @@ Args ParseArgs(int argc, char** argv) {
       args.command.push_back(a);
     }
   }
-  if (args.state.empty()) Die("--state <dir> is required");
   if (args.command.empty()) Die("no command given");
+  // `stats` talks the admin RPC only — no enterprise state involved.
+  if (args.state.empty() && args.command[0] != "stats") {
+    Die("--state <dir> is required");
+  }
   return args;
 }
 
@@ -186,6 +194,18 @@ void Provision(const Args& args) {
       args.state.c_str());
 }
 
+/// `sharoes_cli stats`: fetch and print the daemon's metrics snapshot.
+int Stats(const Args& args) {
+  auto channel =
+      MakeConnection(args.host, args.port, args.timeouts, args.retry);
+  auto resp = channel->Call(ssp::Request::GetStats());
+  CheckOk(resp.status());
+  if (!resp->ok()) Die("SSP rejected kGetStats");
+  std::printf("%.*s\n", static_cast<int>(resp->payload.size()),
+              reinterpret_cast<const char*>(resp->payload.data()));
+  return 0;
+}
+
 fs::UserId UidOf(const core::IdentityDirectory& identity,
                  const std::string& name) {
   for (fs::UserId uid : identity.AllUsers()) {
@@ -265,7 +285,7 @@ int RunCommand(const Args& args) {
     CheckOk(client.Rmdir(arg_at(1)));
   } else {
     Die("unknown command '" + cmd +
-        "' (try: ls cat put stat mkdir chmod rm rmdir)");
+        "' (try: ls cat put stat mkdir chmod rm rmdir stats)");
   }
   return 0;
 }
@@ -278,5 +298,6 @@ int main(int argc, char** argv) {
     Provision(args);
     return 0;
   }
+  if (args.command[0] == "stats") return Stats(args);
   return RunCommand(args);
 }

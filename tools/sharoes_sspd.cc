@@ -10,6 +10,10 @@
 // starts empty otherwise; an enterprise provisions it remotely through
 // the same wire protocol (see tools/sharoes_cli.cc).
 //
+// --stats-interval-s N dumps the metrics-registry snapshot (the same
+// JSON that OpCode::kGetStats returns) to stdout every N seconds — a
+// poor man's scrape endpoint for watching a daemon under load.
+//
 // Fault flags turn the daemon into its own chaos monkey (percentages of
 // requests, evaluated in this order; 0 disables each):
 //   --fault-fail-pct P      reply kError without executing
@@ -28,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "ssp/fault_injection.h"
 #include "ssp/tcp_service.h"
 
@@ -39,12 +44,15 @@ void HandleSignal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   uint16_t port = 7070;
   std::string store_path;
+  int stats_interval_s = 0;
   sharoes::ssp::FaultPolicy::Options fault_opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto pct = [&]() { return std::atof(argv[++i]) / 100.0; };
     if (arg == "--store" && i + 1 < argc) {
       store_path = argv[++i];
+    } else if (arg == "--stats-interval-s" && i + 1 < argc) {
+      stats_interval_s = std::atoi(argv[++i]);
     } else if (arg == "--fault-fail-pct" && i + 1 < argc) {
       fault_opts.fail_prob = pct();
     } else if (arg == "--fault-delay-pct" && i + 1 < argc) {
@@ -103,8 +111,24 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  while (g_stop == 0) {
-    ::pause();
+  if (stats_interval_s > 0) {
+    // Sleep in 100ms slices so a signal stops the daemon promptly even
+    // mid-interval (sleep() would also be interrupted, but a handler
+    // racing just before sleep(N) would otherwise stall a full period).
+    int slices_per_dump = stats_interval_s * 10;
+    for (int slice = 0; g_stop == 0; ++slice) {
+      ::usleep(100 * 1000);
+      if (slice % slices_per_dump == slices_per_dump - 1) {
+        std::string json =
+            sharoes::obs::MetricsRegistry::Global().SnapshotJson();
+        std::printf("%s\n", json.c_str());
+        std::fflush(stdout);
+      }
+    }
+  } else {
+    while (g_stop == 0) {
+      ::pause();
+    }
   }
   std::printf("sharoes_sspd: shutting down\n");
   (*daemon)->Shutdown();
