@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "obs/trace.h"
 #include "ssp/message.h"
 #include "ssp/ssp_server.h"
+#include "ssp/wal.h"
 #include "workload/andrew.h"
 #include "workload/op_costs.h"
 #include "workload/report.h"
@@ -213,11 +215,103 @@ void RunObsOverhead() {
   }
 }
 
+/// ns/op of the serving path with a WAL attached under one sync policy.
+/// Fresh log directory per call; the Wal is torn down (joining its
+/// background thread) before the directory is removed.
+double MeasureWalNsPerOp(ssp::WalSyncPolicy policy,
+                         const std::vector<Bytes>& mix, int rounds,
+                         int passes_per_round) {
+  std::string dir = std::string("/tmp/sharoes_bench_wal_") +
+                    ssp::WalSyncPolicyName(policy);
+  std::string rm = "rm -rf " + dir;
+  (void)std::system(rm.c_str());
+  ssp::SspServer server;
+  ssp::WalOptions opts;
+  opts.sync = policy;
+  auto wal = ssp::Wal::Open(dir, opts, &server.store());
+  if (!wal.ok()) {
+    std::printf("  could not open WAL at %s: %s\n", dir.c_str(),
+                wal.status().ToString().c_str());
+    return 0;
+  }
+  server.set_wal(wal->get());
+  (void)MeasureNsPerOp(&server, mix, 1, 10);  // Warm-up.
+  double best = MeasureNsPerOp(&server, mix, rounds, passes_per_round);
+  server.set_wal(nullptr);
+  wal->reset();
+  (void)std::system(rm.c_str());
+  return best;
+}
+
+void RunWalOverhead() {
+  Heading("WAL overhead: serving path with durability on vs off");
+
+  // Same wire mix as the observability bench (~60% mutating ops, so the
+  // append/ack path is exercised at a realistic rate). Few passes: under
+  // --wal-sync always every mutating request is an fsync, and the point
+  // is the per-op cost ordering (off < interval < always), not a
+  // throughput record. Single-CPU host + /tmp (often tmpfs) make the
+  // absolute fsync numbers flatter than production disks — see README.
+  std::vector<Bytes> mix = AndrewWireMix();
+  constexpr int kRounds = 3;
+  constexpr int kPasses = 60;
+
+  ssp::SspServer baseline;
+  (void)MeasureNsPerOp(&baseline, mix, 1, 10);
+  double no_wal = MeasureNsPerOp(&baseline, mix, kRounds, kPasses);
+
+  struct PolicyRow {
+    ssp::WalSyncPolicy policy;
+    double ns_per_op;
+  };
+  std::vector<PolicyRow> rows;
+  for (ssp::WalSyncPolicy policy :
+       {ssp::WalSyncPolicy::kOff, ssp::WalSyncPolicy::kInterval,
+        ssp::WalSyncPolicy::kAlways}) {
+    rows.push_back({policy, MeasureWalNsPerOp(policy, mix, kRounds, kPasses)});
+  }
+
+  std::printf("    no WAL        : %10.1f ns/op\n", no_wal);
+  for (const PolicyRow& row : rows) {
+    double pct = (row.ns_per_op - no_wal) / no_wal * 100.0;
+    std::printf("    sync=%-8s : %10.1f ns/op  (%+8.1f %%)\n",
+                ssp::WalSyncPolicyName(row.policy), row.ns_per_op, pct);
+  }
+
+  obs::JsonObjectWriter w;
+  w.Field("bench", "wal_overhead");
+  w.Field("op_mix", "andrew_wire_frames");
+  w.Field("ops_per_pass", static_cast<uint64_t>(mix.size()));
+  w.Field("passes_per_round", static_cast<uint64_t>(kPasses));
+  w.Field("rounds", static_cast<uint64_t>(kRounds));
+  w.Field("no_wal_ns_per_op", no_wal);
+  for (const PolicyRow& row : rows) {
+    w.BeginObject(std::string("sync_") +
+                  ssp::WalSyncPolicyName(row.policy));
+    w.Field("ns_per_op", row.ns_per_op);
+    w.Field("overhead_pct", (row.ns_per_op - no_wal) / no_wal * 100.0);
+    w.EndObject();
+  }
+  w.Field("note",
+          "single-CPU host, /tmp backing; fsync costs are flatter than "
+          "production disks, compare policies relatively");
+  std::string json = w.Take();
+  const char* path = "BENCH_wal_overhead.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("  wrote %s\n", path);
+  } else {
+    std::printf("  could not write %s\n", path);
+  }
+}
+
 }  // namespace
 }  // namespace sharoes::workload
 
 int main() {
   sharoes::workload::Run();
   sharoes::workload::RunObsOverhead();
+  sharoes::workload::RunWalOverhead();
   return 0;
 }

@@ -312,14 +312,35 @@ ObjectKeyBundle SharoesClient::GenerateBundle(
 
 Status SharoesClient::ExecuteBatch(std::vector<ssp::Request> requests) {
   if (requests.empty()) return Status::OK();
+  // Keep the opcodes: the requests are moved into the wire batch, but a
+  // failure report without "which sub-op" is undiagnosable in the
+  // fault-injection suites.
+  std::vector<ssp::OpCode> ops;
+  ops.reserve(requests.size());
+  for (const ssp::Request& r : requests) ops.push_back(r.op);
   SHAROES_ASSIGN_OR_RETURN(
       ssp::Response resp,
       conn_->Call(ssp::Request::Batch(std::move(requests))));
-  if (!resp.ok()) return Status::IoError("SSP rejected batch");
-  for (const ssp::Response& sub : resp.batch) {
+  if (!resp.ok()) {
+    return Status::IoError(std::string("SSP rejected batch of ") +
+                           std::to_string(ops.size()) + " ops (" +
+                           ssp::RespStatusName(resp.status) + ")");
+  }
+  if (resp.batch.size() != ops.size()) {
+    return Status::IoError("SSP answered " +
+                           std::to_string(resp.batch.size()) +
+                           " sub-responses to a batch of " +
+                           std::to_string(ops.size()));
+  }
+  for (size_t i = 0; i < resp.batch.size(); ++i) {
+    const ssp::Response& sub = resp.batch[i];
     if (sub.status == ssp::RespStatus::kBadRequest ||
         sub.status == ssp::RespStatus::kError) {
-      return Status::IoError("SSP rejected batched request");
+      return Status::IoError(
+          std::string("SSP rejected batched sub-op ") + std::to_string(i) +
+          "/" + std::to_string(ops.size()) + " (" +
+          ssp::OpCodeName(ops[i]) + ": " + ssp::RespStatusName(sub.status) +
+          ")");
     }
   }
   return Status::OK();

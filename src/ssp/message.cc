@@ -53,6 +53,25 @@ const char* OpCodeName(OpCode op) {
   return "Unknown";
 }
 
+bool IsMutatingOp(OpCode op) {
+  switch (op) {
+    case OpCode::kPutSuperblock:
+    case OpCode::kDeleteSuperblock:
+    case OpCode::kPutMetadata:
+    case OpCode::kDeleteMetadata:
+    case OpCode::kDeleteInodeMetadata:
+    case OpCode::kPutUserMetadata:
+    case OpCode::kDeleteUserMetadata:
+    case OpCode::kPutData:
+    case OpCode::kDeleteInodeData:
+    case OpCode::kPutGroupKey:
+    case OpCode::kDeleteGroupKey:
+      return true;
+    default:
+      return false;
+  }
+}
+
 const char* RespStatusName(RespStatus status) {
   switch (status) {
     case RespStatus::kOk: return "kOk";

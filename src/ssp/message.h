@@ -47,6 +47,11 @@ inline constexpr size_t kNumOpCodes =
 /// Stable metric-label name for an opcode ("GetData", "Batch", ...).
 const char* OpCodeName(OpCode op);
 
+/// True iff the opcode mutates the store. Exactly these ops go through
+/// the write-ahead log (ssp/wal.h); gets, stats, and the batch wrapper
+/// (whose sub-ops are logged individually) do not.
+bool IsMutatingOp(OpCode op);
+
 /// Replica selector: which copy of an inode's metadata. Scheme-2 uses a
 /// CAP id, Scheme-1 a hash of the user id; the baselines use selector 0.
 using Selector = uint64_t;

@@ -1,11 +1,13 @@
 #include "ssp/ssp_server.h"
 
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "ssp/wal.h"
 
 namespace sharoes::ssp {
 
@@ -144,8 +146,18 @@ Bytes SspServer::HandleWire(const Bytes& request_bytes) {
 }
 
 Response SspServer::Handle(const Request& req) {
+  // Bracket the whole request (appends + store applies) in the WAL's
+  // shared-side guard so a compaction cut never lands between a sub-op's
+  // log append and its store apply. Reads take the guard too — it is a
+  // shared lock, so they still run in parallel — which keeps this path
+  // branch-free about what the request might contain.
+  Wal* wal = wal_.load(std::memory_order_acquire);
+  std::optional<Wal::OpGuard> guard;
+  if (wal != nullptr) guard.emplace(wal->StartOp());
+
+  Response resp;
+  bool mutated = false;
   if (req.op == OpCode::kBatch) {
-    Response resp;
     resp.status = RespStatus::kOk;
     resp.batch.reserve(req.batch.size());
     for (const Request& sub : req.batch) {
@@ -153,58 +165,60 @@ Response SspServer::Handle(const Request& req) {
         resp.batch.push_back(Response::BadRequest());
         continue;
       }
+      mutated = mutated || IsMutatingOp(sub.op);
       resp.batch.push_back(HandleOne(sub));
     }
-    return resp;
+  } else {
+    mutated = IsMutatingOp(req.op);
+    resp = HandleOne(req);
   }
-  return HandleOne(req);
+
+  // One durability point per top-level request: under sync=always a
+  // batch costs one fsync, not one per sub-op. If the sync fails the
+  // store holds the mutation but durability is not assured, so answer
+  // kError — the client retries and every mutating op is idempotent.
+  if (wal != nullptr && mutated) {
+    Status acked = wal->Ack();
+    if (!acked.ok()) {
+      obs::Log(obs::Severity::kError, "ssp.wal_ack_failed",
+               {{"detail", acked.ToString()}});
+      return Response::Error();
+    }
+  }
+  return resp;
 }
 
 Response SspServer::HandleOne(const Request& req) {
+  // Mutations funnel through the same ApplyWalOp the recovery path
+  // replays, so a recovered store is byte-identical by construction.
+  // Log-before-apply: an op that reaches the store is always in the log
+  // (the reverse — logged but not applied due to a crash — is exactly
+  // what replay repairs).
+  if (IsMutatingOp(req.op)) {
+    if (Wal* wal = wal_.load(std::memory_order_acquire)) {
+      Status appended = wal->Append(req);
+      if (!appended.ok()) {
+        obs::Log(obs::Severity::kError, "ssp.wal_append_failed",
+                 {{"op", OpCodeName(req.op)},
+                  {"detail", appended.ToString()}});
+        return Response::Error();
+      }
+    }
+    Status applied = ApplyWalOp(req, &store_);
+    if (!applied.ok()) return Response::BadRequest();
+    return Response::Ok();
+  }
   switch (req.op) {
     case OpCode::kGetSuperblock:
       return FromOptional(store_.GetSuperblock(req.user));
-    case OpCode::kPutSuperblock:
-      store_.PutSuperblock(req.user, req.payload);
-      return Response::Ok();
-    case OpCode::kDeleteSuperblock:
-      store_.DeleteSuperblock(req.user);
-      return Response::Ok();
     case OpCode::kGetMetadata:
       return FromOptional(store_.GetMetadata(req.inode, req.selector));
-    case OpCode::kPutMetadata:
-      store_.PutMetadata(req.inode, req.selector, req.payload);
-      return Response::Ok();
-    case OpCode::kDeleteMetadata:
-      store_.DeleteMetadata(req.inode, req.selector);
-      return Response::Ok();
-    case OpCode::kDeleteInodeMetadata:
-      store_.DeleteInodeMetadata(req.inode);
-      return Response::Ok();
     case OpCode::kGetUserMetadata:
       return FromOptional(store_.GetUserMetadata(req.inode, req.user));
-    case OpCode::kPutUserMetadata:
-      store_.PutUserMetadata(req.inode, req.user, req.payload);
-      return Response::Ok();
-    case OpCode::kDeleteUserMetadata:
-      store_.DeleteUserMetadata(req.inode, req.user);
-      return Response::Ok();
     case OpCode::kGetData:
       return FromOptional(store_.GetData(req.inode, req.block));
-    case OpCode::kPutData:
-      store_.PutData(req.inode, req.block, req.payload);
-      return Response::Ok();
-    case OpCode::kDeleteInodeData:
-      store_.DeleteInodeData(req.inode);
-      return Response::Ok();
     case OpCode::kGetGroupKey:
       return FromOptional(store_.GetGroupKey(req.group, req.user));
-    case OpCode::kPutGroupKey:
-      store_.PutGroupKey(req.group, req.user, req.payload);
-      return Response::Ok();
-    case OpCode::kDeleteGroupKey:
-      store_.DeleteGroupKey(req.group, req.user);
-      return Response::Ok();
     case OpCode::kGetStats:
       // Admin RPC: one JSON document with every counter, gauge, and
       // latency histogram in the process. Read-only — it never touches
@@ -213,8 +227,10 @@ Response SspServer::HandleOne(const Request& req) {
           ToBytes(obs::MetricsRegistry::Global().SnapshotJson()));
     case OpCode::kBatch:
       return Response::BadRequest();  // Handled by Handle().
+    default:
+      // Mutating ops were dispatched above; anything else is invalid.
+      return Response::BadRequest();
   }
-  return Response::BadRequest();
 }
 
 Result<Response> SspConnection::Call(const Request& req) {

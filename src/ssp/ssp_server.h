@@ -20,6 +20,8 @@
 
 namespace sharoes::ssp {
 
+class Wal;
+
 /// Server side: request execution against the store.
 ///
 /// Handle/HandleWire hold no server-level state beyond the thread-safe
@@ -52,6 +54,15 @@ class SspServer {
     fault_injector_.store(injector, std::memory_order_release);
   }
 
+  /// Attaches a write-ahead log (nullptr detaches). Every mutating op is
+  /// appended before it touches the store and each top-level request is
+  /// fsynced per the WAL's sync policy before its response leaves
+  /// Handle(), so an acknowledged write is recoverable. The Wal must
+  /// already be Open()ed over this server's store and must outlive the
+  /// server. Install before serving begins — the pointer is read per
+  /// request without further synchronization against in-flight ops.
+  void set_wal(Wal* wal) { wal_.store(wal, std::memory_order_release); }
+
  private:
   Response HandleOne(const Request& req);
   /// Publishes this server's store accounting as registry gauges
@@ -60,6 +71,7 @@ class SspServer {
 
   ObjectStore store_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+  std::atomic<Wal*> wal_{nullptr};
   // Declared after store_ so the gauges (which read store_) unregister
   // before the store dies.
   std::vector<obs::MetricsRegistry::GaugeHandle> store_gauges_;

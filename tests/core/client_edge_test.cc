@@ -14,6 +14,42 @@ using testing::kCarol;
 using testing::kEng;
 using testing::World;
 
+/// Forwards to a real in-process connection, then (when armed) rewrites
+/// one sub-response of the next batch reply — the malicious-SSP shape the
+/// fault-injection suites hit, minus the transport noise.
+class TamperingChannel : public ssp::SspChannel {
+ public:
+  explicit TamperingChannel(ssp::SspChannel* inner) : inner_(inner) {}
+
+  void FailNextBatchSubOp() { armed_ = true; }
+  void TruncateNextBatchReply() { truncate_ = true; }
+  size_t tampered_index() const { return tampered_index_; }
+  ssp::OpCode tampered_op() const { return tampered_op_; }
+
+  Result<ssp::Response> Call(const ssp::Request& req) override {
+    auto resp = inner_->Call(req);
+    if (!resp.ok() || req.op != ssp::OpCode::kBatch) return resp;
+    if (armed_ && !resp->batch.empty()) {
+      armed_ = false;
+      tampered_index_ = resp->batch.size() - 1;
+      tampered_op_ = req.batch[tampered_index_].op;
+      resp->batch[tampered_index_].status = ssp::RespStatus::kError;
+    }
+    if (truncate_ && !resp->batch.empty()) {
+      truncate_ = false;
+      resp->batch.pop_back();
+    }
+    return resp;
+  }
+
+ private:
+  ssp::SspChannel* inner_;  // Not owned.
+  bool armed_ = false;
+  bool truncate_ = false;
+  size_t tampered_index_ = 0;
+  ssp::OpCode tampered_op_ = ssp::OpCode::kBatch;
+};
+
 TEST(ClientEdgeTest, OperationsBeforeMountFail) {
   World world;
   ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
@@ -129,6 +165,51 @@ TEST(ClientEdgeTest, ManyFilesInOneDirectory) {
   // Spot-check resolution at both ends.
   EXPECT_TRUE(alice.Exists("/shared/f0"));
   EXPECT_TRUE(alice.Exists("/shared/f59"));
+}
+
+TEST(ClientEdgeTest, BatchSubOpFailureIsDiagnosable) {
+  // Regression: ExecuteBatch used to collapse every sub-op failure into a
+  // generic "SSP rejected batched request", leaving fault-injection
+  // failures undiagnosable. The error must name the failing sub-op index,
+  // its opcode, and the SSP's verdict.
+  World world;
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+
+  // A hand-built alice whose channel we control.
+  crypto::CryptoEngineOptions eng_opts;
+  eng_opts.cost_model = crypto::CryptoCostModel::Zero();
+  eng_opts.signing_key_bits = 512;
+  eng_opts.rng_seed = 0xBA7C4;
+  crypto::CryptoEngine engine(&world.clock(), eng_opts);
+  net::Transport transport(&world.clock(), net::NetworkModel::Zero());
+  ssp::SspConnection real(&world.server(), &transport);
+  TamperingChannel tamper(&real);
+  core::ClientOptions copts;
+  copts.scheme = core::Scheme::kScheme2;
+  copts.default_group = kEng;
+  core::SharoesClient alice(kAlice, world.user_key(kAlice),
+                            &world.identity(), &tamper, &engine, copts);
+  ASSERT_TRUE(alice.Mount().ok());
+
+  CreateOptions opts;
+  opts.mode = World::ParseMode("rw-r--r--");
+  tamper.FailNextBatchSubOp();
+  Status s = alice.Create("/shared/tampered.txt", opts);
+  ASSERT_FALSE(s.ok());
+  const std::string want_index =
+      "sub-op " + std::to_string(tamper.tampered_index()) + "/";
+  EXPECT_NE(s.message().find(want_index), std::string::npos) << s;
+  EXPECT_NE(s.message().find(ssp::OpCodeName(tamper.tampered_op())),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.message().find("kError"), std::string::npos) << s;
+
+  // A short reply (sub-responses lost) is called out as such, not
+  // silently treated as success.
+  tamper.TruncateNextBatchReply();
+  s = alice.Create("/shared/tampered2.txt", opts);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("sub-responses"), std::string::npos) << s;
 }
 
 TEST(ExecOnlyDeepTest, ChainOfExecOnlyDirectories) {

@@ -25,247 +25,24 @@
 #include "core/retrying_connection.h"
 #include "ssp/fault_injection.h"
 #include "ssp/tcp_service.h"
+#include "testing/andrew_client.h"
 #include "testing/fault.h"
+#include "testing/restartable.h"
 
 namespace sharoes::core {
 namespace {
 
+using sharoes::testing::Enterprise;
 using sharoes::testing::Fault;
+using sharoes::testing::MakeClient;
+using sharoes::testing::MakeEngine;
+using sharoes::testing::ProvisionOverTcp;
+using sharoes::testing::RestartableDaemon;
+using sharoes::testing::RunAndrewSequence;
 using sharoes::testing::ScriptedInjector;
-
-constexpr fs::UserId kAlice = 100;
-constexpr fs::GroupId kStaff = 500;
-
-/// An in-process stand-in for the `sharoes_sspd --store FILE` lifecycle:
-/// Start() loads the snapshot and serves on a stable port, Kill() shuts
-/// down and snapshots — so a kill/restart cycle loses no acknowledged
-/// state, exactly like the real daemon handling SIGTERM. Thread-safe:
-/// the tests restart it from a controller thread mid-workload.
-class RestartableDaemon {
- public:
-  explicit RestartableDaemon(std::string store_path)
-      : store_path_(std::move(store_path)) {}
-  ~RestartableDaemon() { Kill(); }
-
-  void set_injector(ssp::FaultInjector* injector) { injector_ = injector; }
-
-  void Start() {
-    std::lock_guard<std::mutex> lock(mu_);
-    StartLocked();
-  }
-
-  void Kill() {
-    std::lock_guard<std::mutex> lock(mu_);
-    KillLocked();
-  }
-
-  void Restart() {
-    std::lock_guard<std::mutex> lock(mu_);
-    KillLocked();
-    StartLocked();
-  }
-
-  uint16_t port() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return port_;
-  }
-
- private:
-  void StartLocked() {
-    ASSERT_EQ(daemon_, nullptr);
-    server_ = std::make_unique<ssp::SspServer>();
-    auto loaded = ssp::ObjectStore::LoadFromFile(store_path_);
-    if (loaded.ok()) {
-      server_->store() = std::move(*loaded);
-    } else {
-      ASSERT_TRUE(loaded.status().IsNotFound()) << loaded.status();
-    }
-    // Re-binding the just-released port can transiently fail; be patient.
-    for (int attempt = 0; attempt < 50; ++attempt) {
-      auto daemon = ssp::TcpSspDaemon::Start(server_.get(), port_);
-      if (daemon.ok()) {
-        daemon_ = std::move(*daemon);
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
-    ASSERT_NE(daemon_, nullptr) << "could not rebind port " << port_;
-    port_ = daemon_->port();
-    if (injector_ != nullptr) daemon_->set_fault_injector(injector_);
-  }
-
-  void KillLocked() {
-    if (daemon_ == nullptr) return;
-    daemon_->Shutdown();
-    daemon_.reset();
-    ASSERT_TRUE(server_->store().SaveToFile(store_path_).ok());
-    server_.reset();
-  }
-
-  const std::string store_path_;
-  std::mutex mu_;
-  std::unique_ptr<ssp::SspServer> server_;
-  std::unique_ptr<ssp::TcpSspDaemon> daemon_;
-  uint16_t port_ = 0;  // 0 until the first Start picks an ephemeral port.
-  ssp::FaultInjector* injector_ = nullptr;
-};
-
-Result<Bytes> SlurpFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("no " + path);
-  Bytes data;
-  uint8_t buf[4096];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    data.insert(data.end(), buf, buf + n);
-  }
-  std::fclose(f);
-  return data;
-}
-
-Status SpillFile(const std::string& path, const Bytes& data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot write " + path);
-  size_t n = std::fwrite(data.data(), 1, data.size(), f);
-  std::fclose(f);
-  return n == data.size() ? Status::OK() : Status::IoError("short write");
-}
-
-/// The enterprise side: identity directory + alice's key, provisioned
-/// once over the wire into the daemon's (initially empty) store.
-struct Enterprise {
-  SimClock clock;
-  std::unique_ptr<crypto::CryptoEngine> engine;
-  IdentityDirectory identity;
-  crypto::RsaPrivateKey alice_key;
-};
-
-std::unique_ptr<Enterprise> ProvisionOverTcp(RestartableDaemon* daemon) {
-  auto ent = std::make_unique<Enterprise>();
-  crypto::CryptoEngineOptions eng_opts;
-  eng_opts.cost_model = crypto::CryptoCostModel::Zero();
-  eng_opts.signing_key_bits = 512;
-  eng_opts.rng_seed = 4242;
-  ent->engine = std::make_unique<crypto::CryptoEngine>(&ent->clock, eng_opts);
-
-  Provisioner::Options popts;
-  popts.user_key_bits = 512;
-  Provisioner prov(&ent->identity, /*server=*/nullptr, ent->engine.get(),
-                   popts);
-  auto admin = ssp::TcpSspChannel::Connect("127.0.0.1", daemon->port());
-  EXPECT_TRUE(admin.ok()) << admin.status();
-  prov.set_remote_channel(admin->get());
-
-  auto alice = prov.CreateUser(kAlice, "alice");
-  EXPECT_TRUE(alice.ok());
-  ent->alice_key = alice->priv;
-  EXPECT_TRUE(prov.CreateGroup(kStaff, "staff", {kAlice}).ok());
-  LocalNode root = LocalNode::Dir("", kAlice, kStaff,
-                                  fs::Mode::FromOctal(0755));
-  EXPECT_TRUE(prov.Migrate(root).ok());
-  return ent;
-}
-
-/// One mounted client for a run, over whatever channel the run uses.
-std::unique_ptr<SharoesClient> MakeClient(Enterprise* ent,
-                                          ssp::SspChannel* channel,
-                                          crypto::CryptoEngine* engine) {
-  ClientOptions copts;
-  copts.default_group = kStaff;
-  return std::make_unique<SharoesClient>(kAlice, ent->alice_key,
-                                         &ent->identity, channel, engine,
-                                         copts);
-}
-
-std::unique_ptr<crypto::CryptoEngine> MakeEngine(SimClock* clock,
-                                                 uint64_t seed) {
-  crypto::CryptoEngineOptions eng_opts;
-  eng_opts.cost_model = crypto::CryptoCostModel::Zero();
-  eng_opts.signing_key_bits = 512;
-  eng_opts.rng_seed = seed;
-  return std::make_unique<crypto::CryptoEngine>(clock, eng_opts);
-}
-
-RetryingConnection::ChannelFactory TcpFactory(RestartableDaemon* daemon) {
-  return [daemon]() -> Result<std::unique_ptr<ssp::SspChannel>> {
-    net::TcpTimeouts timeouts{/*connect_ms=*/2000, /*send_ms=*/5000,
-                              /*recv_ms=*/5000};
-    auto channel =
-        ssp::TcpSspChannel::Connect("127.0.0.1", daemon->port(), timeouts);
-    if (!channel.ok()) return channel.status();
-    return std::unique_ptr<ssp::SspChannel>(std::move(*channel));
-  };
-}
-
-constexpr int kSourceFiles = 5;
-
-Bytes SourceContent(int i) {
-  Bytes content;
-  for (int b = 0; b < 220 + 13 * i; ++b) {
-    content.push_back(static_cast<uint8_t>((b * 7 + i * 31) & 0xFF));
-  }
-  return content;
-}
-
-/// The five Andrew phases as client ops: build the skeleton, copy
-/// sources in, stat everything, read every byte, "compile" (read source,
-/// write derived object, link = read objects back). Every observable
-/// result is appended to the returned transcript; two runs are
-/// equivalent iff their transcripts are byte-identical.
-Result<Bytes> RunAndrewSequence(SharoesClient* client) {
-  BinaryWriter transcript;
-  // Phase 1: directory skeleton.
-  for (const char* dir : {"/proj", "/proj/src", "/proj/obj"}) {
-    CreateOptions opts;
-    opts.mode = fs::Mode::FromOctal(0755);
-    SHAROES_RETURN_IF_ERROR(client->Mkdir(dir, opts));
-  }
-  // Phase 2: copy the source tree in.
-  for (int i = 0; i < kSourceFiles; ++i) {
-    std::string path = "/proj/src/f" + std::to_string(i) + ".c";
-    CreateOptions opts;
-    opts.mode = fs::Mode::FromOctal(0644);
-    SHAROES_RETURN_IF_ERROR(client->Create(path, opts));
-    SHAROES_RETURN_IF_ERROR(client->WriteFile(path, SourceContent(i)));
-  }
-  // Phase 3: stat every file without touching data.
-  for (int i = 0; i < kSourceFiles; ++i) {
-    std::string path = "/proj/src/f" + std::to_string(i) + ".c";
-    SHAROES_ASSIGN_OR_RETURN(fs::InodeAttrs attrs, client->Getattr(path));
-    transcript.PutString(attrs.mode.ToString());
-    transcript.PutU32(attrs.owner);
-    transcript.PutU32(attrs.group);
-    transcript.PutU8(static_cast<uint8_t>(attrs.type));
-  }
-  // Phase 4: read every byte of every file, cold.
-  client->DropCaches();
-  for (int i = 0; i < kSourceFiles; ++i) {
-    std::string path = "/proj/src/f" + std::to_string(i) + ".c";
-    SHAROES_ASSIGN_OR_RETURN(Bytes content, client->Read(path));
-    transcript.PutBytes(content);
-  }
-  // Phase 5: compile and link.
-  for (int i = 0; i < kSourceFiles; ++i) {
-    std::string src = "/proj/src/f" + std::to_string(i) + ".c";
-    std::string obj = "/proj/obj/f" + std::to_string(i) + ".o";
-    SHAROES_ASSIGN_OR_RETURN(Bytes content, client->Read(src));
-    for (uint8_t& b : content) b ^= 0x5A;  // "compilation".
-    CreateOptions opts;
-    opts.mode = fs::Mode::FromOctal(0644);
-    SHAROES_RETURN_IF_ERROR(client->Create(obj, opts));
-    SHAROES_RETURN_IF_ERROR(client->WriteFile(obj, content));
-  }
-  SHAROES_ASSIGN_OR_RETURN(std::vector<std::string> objects,
-                           client->Readdir("/proj/obj"));
-  for (const std::string& name : objects) transcript.PutString(name);
-  client->DropCaches();
-  for (int i = 0; i < kSourceFiles; ++i) {
-    std::string obj = "/proj/obj/f" + std::to_string(i) + ".o";
-    SHAROES_ASSIGN_OR_RETURN(Bytes content, client->Read(obj));
-    transcript.PutBytes(content);
-  }
-  return transcript.Take();
-}
+using sharoes::testing::SlurpFile;
+using sharoes::testing::SpillFile;
+using sharoes::testing::TcpFactory;
 
 class ClientFaultTest : public ::testing::Test {
  protected:

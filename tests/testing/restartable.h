@@ -1,0 +1,172 @@
+// An in-process stand-in for the sharoes_sspd lifecycle, shared by the
+// transport-fault and crash-recovery suites. Two persistence modes,
+// mirroring the daemon's flags:
+//
+//   --store FILE  (store_path):  Kill() snapshots on the way down, like
+//                 the real daemon handling SIGTERM. KillHard() does not
+//                 — everything since Start() is lost, which is exactly
+//                 the durability hole the WAL exists to close.
+//   --wal DIR     (wal_dir):     every mutating op is logged before its
+//                 ack; Start() recovers snapshot + log. KillHard() drops
+//                 the daemon with no graceful snapshot/compaction —
+//                 recovery must come entirely from the log. Faithful to
+//                 SIGKILL in-process because Wal::Append issues a direct
+//                 ::write per record (no user-space buffering), and the
+//                 page cache survives a real SIGKILL just as our file
+//                 bytes survive the object teardown.
+//
+// Thread-safe: tests restart it from controller threads mid-workload.
+
+#ifndef SHAROES_TESTS_TESTING_RESTARTABLE_H_
+#define SHAROES_TESTS_TESTING_RESTARTABLE_H_
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "ssp/fault_injection.h"
+#include "ssp/object_store.h"
+#include "ssp/tcp_service.h"
+#include "ssp/wal.h"
+
+namespace sharoes::testing {
+
+class RestartableDaemon {
+ public:
+  struct Options {
+    std::string store_path;  // Clean-shutdown snapshot mode.
+    std::string wal_dir;     // Write-ahead-log mode.
+    ssp::WalOptions wal;
+  };
+
+  /// Legacy convenience: snapshot-file mode only.
+  explicit RestartableDaemon(std::string store_path) {
+    opts_.store_path = std::move(store_path);
+  }
+  explicit RestartableDaemon(Options opts) : opts_(std::move(opts)) {}
+  ~RestartableDaemon() { Kill(); }
+
+  void set_injector(ssp::FaultInjector* injector) { injector_ = injector; }
+
+  void Start() {
+    std::lock_guard<std::mutex> lock(mu_);
+    StartLocked();
+  }
+
+  /// Graceful shutdown (SIGTERM): snapshot in store mode, sync + compact
+  /// in WAL mode.
+  void Kill() {
+    std::lock_guard<std::mutex> lock(mu_);
+    KillLocked(/*graceful=*/true);
+  }
+
+  /// SIGKILL: no snapshot, no sync, no compaction. In store mode this
+  /// loses everything since Start(); in WAL mode the log is the only
+  /// thing the next Start() has.
+  void KillHard() {
+    std::lock_guard<std::mutex> lock(mu_);
+    KillLocked(/*graceful=*/false);
+  }
+
+  void Restart() {
+    std::lock_guard<std::mutex> lock(mu_);
+    KillLocked(/*graceful=*/true);
+    StartLocked();
+  }
+
+  void RestartHard() {
+    std::lock_guard<std::mutex> lock(mu_);
+    KillLocked(/*graceful=*/false);
+    StartLocked();
+  }
+
+  uint16_t port() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return port_;
+  }
+
+  bool running() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return daemon_ != nullptr;
+  }
+
+  /// The live server (null when down). Only touch between Kill/Start
+  /// from the controlling thread — the store reference dies with it.
+  ssp::SspServer* server() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_.get();
+  }
+
+  /// What the most recent WAL-mode Start() recovered.
+  ssp::WalRecoveryInfo last_recovery() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_recovery_;
+  }
+
+ private:
+  void StartLocked() {
+    ASSERT_EQ(daemon_, nullptr);
+    server_ = std::make_unique<ssp::SspServer>();
+    if (!opts_.wal_dir.empty()) {
+      auto wal = ssp::Wal::Open(opts_.wal_dir, opts_.wal, &server_->store());
+      ASSERT_TRUE(wal.ok()) << "wal recovery: " << wal.status();
+      wal_ = std::move(*wal);
+      last_recovery_ = wal_->recovery();
+      server_->set_wal(wal_.get());
+    } else if (!opts_.store_path.empty()) {
+      auto loaded = ssp::ObjectStore::LoadFromFile(opts_.store_path);
+      if (loaded.ok()) {
+        server_->store() = std::move(*loaded);
+      } else {
+        ASSERT_TRUE(loaded.status().IsNotFound()) << loaded.status();
+      }
+    }
+    // Re-binding the just-released port can transiently fail; be patient.
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      auto daemon = ssp::TcpSspDaemon::Start(server_.get(), port_);
+      if (daemon.ok()) {
+        daemon_ = std::move(*daemon);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_NE(daemon_, nullptr) << "could not rebind port " << port_;
+    port_ = daemon_->port();
+    if (injector_ != nullptr) daemon_->set_fault_injector(injector_);
+  }
+
+  void KillLocked(bool graceful) {
+    if (daemon_ == nullptr) return;
+    daemon_->Shutdown();
+    daemon_.reset();
+    if (wal_ != nullptr) {
+      if (graceful) {
+        EXPECT_TRUE(wal_->Sync().ok());
+        EXPECT_TRUE(wal_->Compact().ok());
+      }
+      server_->set_wal(nullptr);
+      wal_.reset();
+    } else if (graceful && !opts_.store_path.empty()) {
+      ASSERT_TRUE(server_->store().SaveToFile(opts_.store_path).ok());
+    }
+    server_.reset();
+  }
+
+  Options opts_;
+  std::mutex mu_;
+  std::unique_ptr<ssp::SspServer> server_;
+  std::unique_ptr<ssp::Wal> wal_;
+  std::unique_ptr<ssp::TcpSspDaemon> daemon_;
+  ssp::WalRecoveryInfo last_recovery_;
+  uint16_t port_ = 0;  // 0 until the first Start picks an ephemeral port.
+  ssp::FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace sharoes::testing
+
+#endif  // SHAROES_TESTS_TESTING_RESTARTABLE_H_

@@ -2,13 +2,24 @@
 // (paper §IV, component 2). Serves the client <-> SSP protocol over TCP.
 //
 // Usage:
-//   sharoes_sspd [port] [--store FILE] [fault flags]
+//   sharoes_sspd [port] [--wal DIR [wal flags] | --store FILE] [fault flags]
 //
-// Default port 7070 (0 picks an ephemeral port). With --store, the
-// daemon loads the snapshot at startup (if present) and saves it on
-// shutdown, so the hosted ciphertext survives restarts. The daemon
-// starts empty otherwise; an enterprise provisions it remotely through
-// the same wire protocol (see tools/sharoes_cli.cc).
+// Default port 7070 (0 picks an ephemeral port).
+//
+// --wal DIR makes the store durable: every mutating op is appended to a
+// write-ahead log in DIR before it is acknowledged, and startup recovers
+// snapshot + log (tolerating a torn tail from a crash). See DESIGN.md
+// §10 for the guarantees per sync policy:
+//   --wal-sync always|interval|off   durability point (default always)
+//   --wal-interval-ms N              flush cadence for `interval` (def. 50)
+//   --wal-compact-bytes N            segment size that triggers background
+//                                    snapshot compaction (default 64 MiB)
+//
+// --store FILE is the legacy clean-shutdown-only persistence: load the
+// snapshot at startup, save it at exit — a crash loses everything since
+// startup. The two modes are mutually exclusive; prefer --wal.
+// The daemon starts empty otherwise; an enterprise provisions it
+// remotely through the same wire protocol (see tools/sharoes_cli.cc).
 //
 // --stats-interval-s N dumps the metrics-registry snapshot (the same
 // JSON that OpCode::kGetStats returns) to stdout every N seconds — a
@@ -35,6 +46,7 @@
 #include "obs/metrics.h"
 #include "ssp/fault_injection.h"
 #include "ssp/tcp_service.h"
+#include "ssp/wal.h"
 
 namespace {
 volatile std::sig_atomic_t g_stop = 0;
@@ -44,6 +56,8 @@ void HandleSignal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   uint16_t port = 7070;
   std::string store_path;
+  std::string wal_dir;
+  sharoes::ssp::WalOptions wal_opts;
   int stats_interval_s = 0;
   sharoes::ssp::FaultPolicy::Options fault_opts;
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +65,19 @@ int main(int argc, char** argv) {
     auto pct = [&]() { return std::atof(argv[++i]) / 100.0; };
     if (arg == "--store" && i + 1 < argc) {
       store_path = argv[++i];
+    } else if (arg == "--wal" && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (arg == "--wal-sync" && i + 1 < argc) {
+      if (!sharoes::ssp::ParseWalSyncPolicy(argv[++i], &wal_opts.sync)) {
+        std::fprintf(stderr,
+                     "sharoes_sspd: --wal-sync must be always|interval|off\n");
+        return 1;
+      }
+    } else if (arg == "--wal-interval-ms" && i + 1 < argc) {
+      wal_opts.interval_ms = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--wal-compact-bytes" && i + 1 < argc) {
+      wal_opts.compact_threshold_bytes =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--stats-interval-s" && i + 1 < argc) {
       stats_interval_s = std::atoi(argv[++i]);
     } else if (arg == "--fault-fail-pct" && i + 1 < argc) {
@@ -70,7 +97,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!wal_dir.empty() && !store_path.empty()) {
+    std::fprintf(stderr,
+                 "sharoes_sspd: --wal and --store are mutually exclusive "
+                 "(the WAL supersedes the clean-shutdown snapshot)\n");
+    return 1;
+  }
+
   sharoes::ssp::SspServer server;
+  std::unique_ptr<sharoes::ssp::Wal> wal;
+  if (!wal_dir.empty()) {
+    auto opened =
+        sharoes::ssp::Wal::Open(wal_dir, wal_opts, &server.store());
+    if (!opened.ok()) {
+      std::fprintf(stderr, "sharoes_sspd: wal recovery failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    wal = std::move(*opened);
+    const auto& rec = wal->recovery();
+    std::printf(
+        "sharoes_sspd: wal recovered from %s (sync=%s): snapshot %s "
+        "seq %llu, %llu records replayed, %llu skipped, last seq %llu%s\n",
+        wal_dir.c_str(), sharoes::ssp::WalSyncPolicyName(wal_opts.sync),
+        rec.had_snapshot ? "at" : "absent,",
+        static_cast<unsigned long long>(rec.snapshot_seq),
+        static_cast<unsigned long long>(rec.records_applied),
+        static_cast<unsigned long long>(rec.records_skipped),
+        static_cast<unsigned long long>(rec.last_seq),
+        rec.tail_truncated ? " (torn tail truncated)" : "");
+    server.set_wal(wal.get());
+  }
   if (!store_path.empty()) {
     auto loaded = sharoes::ssp::ObjectStore::LoadFromFile(store_path);
     if (loaded.ok()) {
@@ -143,6 +200,27 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(counts.delayed),
         static_cast<unsigned long long>(counts.corrupted),
         static_cast<unsigned long long>(counts.dropped));
+  }
+  if (wal != nullptr) {
+    // Graceful exit: make everything appended durable, then fold the log
+    // into a snapshot so the next startup replays nothing. Both are
+    // best-effort — even without them the log already holds every
+    // acknowledged op up to its sync-policy guarantee.
+    sharoes::Status synced = wal->Sync();
+    if (!synced.ok()) {
+      std::fprintf(stderr, "sharoes_sspd: final wal sync failed: %s\n",
+                   synced.ToString().c_str());
+    }
+    sharoes::Status compacted = wal->Compact();
+    if (compacted.ok()) {
+      std::printf("sharoes_sspd: wal compacted at seq %llu\n",
+                  static_cast<unsigned long long>(wal->last_sequence()));
+    } else {
+      std::fprintf(stderr, "sharoes_sspd: final wal compaction failed: %s\n",
+                   compacted.ToString().c_str());
+    }
+    server.set_wal(nullptr);
+    wal.reset();
   }
   if (!store_path.empty()) {
     sharoes::Status s = server.store().SaveToFile(store_path);
