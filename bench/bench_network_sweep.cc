@@ -3,9 +3,20 @@
 // Create-And-List across link profiles from home DSL to LAN. As the
 // network gets faster, crypto costs surface: SHAROES' symmetric-key
 // overhead stays small while PUB-OPT's private-key ops come to dominate.
+//
+// Second experiment (read round trips): the batched read path — coalesced
+// path resolution plus readahead windows — against the one-get-per-round-
+// trip wire behaviour, on the paper's 45 ms DSL link where round trips
+// dominate reads. Round-trip counts come from the simulated transport and
+// are fully deterministic, so CI gates on the ratios (BENCH_read_rtt.json).
 
+#include <cassert>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "obs/json.h"
 #include "workload/create_list.h"
 #include "workload/report.h"
 
@@ -51,10 +62,164 @@ void Run() {
       " SHAROES' symmetric overhead stays modest.\n");
 }
 
+/// One file in the cold-read mixes: where it lives and how many 4 KiB
+/// data blocks it spans (content of n*4096 bytes yields exactly n blocks).
+struct MixFile {
+  std::string path;
+  uint32_t blocks;
+};
+
+Bytes PatternBytes(size_t n, uint8_t salt) {
+  Bytes b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<uint8_t>((i * 131 + salt) & 0xFF);
+  }
+  return b;
+}
+
+struct ReadRttMeasurement {
+  uint64_t round_trips = 0;
+  double network_s = 0;
+  bool identical = true;
+};
+
+/// Provisions the files, drops every cache, then reads each file once
+/// cold, checking contents byte-for-byte against what was written.
+ReadRttMeasurement MeasureColdReads(bool batch_reads,
+                                    const std::vector<std::string>& dirs,
+                                    const std::vector<MixFile>& files) {
+  BenchWorldOptions opts;
+  opts.variant = SystemVariant::kSharoes;
+  opts.network = net::NetworkModel::PaperDsl();
+  opts.batch_reads = batch_reads;
+  BenchWorld world(opts);
+  core::CreateOptions dopts;
+  dopts.mode = fs::Mode::FromOctal(0755);
+  core::CreateOptions fopts;
+  fopts.mode = fs::Mode::FromOctal(0644);
+  for (const std::string& d : dirs) {
+    Status s = world.client().Mkdir(d, dopts);
+    assert(s.ok());
+    (void)s;
+  }
+  uint8_t salt = 1;
+  for (const MixFile& f : files) {
+    Status s = world.client().Create(f.path, fopts);
+    assert(s.ok());
+    s = world.client().WriteFile(f.path,
+                                 PatternBytes(f.blocks * size_t{4096}, salt++));
+    assert(s.ok());
+    (void)s;
+  }
+  world.Reset();  // Cold caches, zeroed clock and wire counters.
+
+  ReadRttMeasurement m;
+  uint64_t trips_before = world.transport().counters().round_trips;
+  CostSnapshot cost = world.Measure([&] {
+    uint8_t check_salt = 1;
+    for (const MixFile& f : files) {
+      auto content = world.client().Read(f.path);
+      uint8_t want_salt = check_salt++;
+      if (!content.ok() ||
+          *content != PatternBytes(f.blocks * size_t{4096}, want_salt)) {
+        m.identical = false;
+      }
+    }
+  });
+  m.round_trips = world.transport().counters().round_trips - trips_before;
+  m.network_s = static_cast<double>(cost.network_ns()) / 1e9;
+  return m;
+}
+
+void EmitScenario(obs::JsonObjectWriter* w, const char* key,
+                  const ReadRttMeasurement& batched,
+                  const ReadRttMeasurement& unbatched) {
+  w->BeginObject(key);
+  w->Field("batched_round_trips", batched.round_trips);
+  w->Field("unbatched_round_trips", unbatched.round_trips);
+  double ratio = batched.round_trips == 0
+                     ? 0.0
+                     : static_cast<double>(unbatched.round_trips) /
+                           static_cast<double>(batched.round_trips);
+  w->Field("round_trip_ratio", ratio);
+  w->Field("batched_network_s", batched.network_s);
+  w->Field("unbatched_network_s", unbatched.network_s);
+  w->Field("contents_identical", batched.identical && unbatched.identical);
+  w->EndObject();
+}
+
+void RunReadRtt() {
+  Heading("Batched reads: round trips, cold cache, 45 ms DSL link");
+
+  // Scenario 1: one 128-block sequential read (the paper's large-file
+  // read shape). Batched: coalesced descent + readahead windows.
+  std::vector<MixFile> seq = {{"/work/big.bin", 128}};
+  ReadRttMeasurement seq_b = MeasureColdReads(true, {}, seq);
+  ReadRttMeasurement seq_u = MeasureColdReads(false, {}, seq);
+
+  // Scenario 2: an Andrew-flavoured cold read mix — a shallow source
+  // tree of mostly-small files with one large artifact, every file read
+  // once with cold caches (the benchmark's phase-4 shape).
+  std::vector<std::string> dirs = {"/work/src", "/work/src/lib",
+                                   "/work/src/lib/util"};
+  std::vector<MixFile> mix = {
+      {"/work/src/main.c", 1},      {"/work/src/parser.c", 2},
+      {"/work/src/lib/io.c", 4},    {"/work/src/lib/table.c", 8},
+      {"/work/src/lib/util/a.c", 1}, {"/work/src/lib/util/b.c", 2},
+      {"/work/src/codegen.c", 16},  {"/work/src/objects.bin", 64},
+  };
+  ReadRttMeasurement mix_b = MeasureColdReads(true, dirs, mix);
+  ReadRttMeasurement mix_u = MeasureColdReads(false, dirs, mix);
+
+  Table table({"scenario", "batched RTs", "unbatched RTs", "ratio",
+               "batched net (s)", "unbatched net (s)"});
+  auto ratio_str = [](const ReadRttMeasurement& b,
+                      const ReadRttMeasurement& u) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx",
+                  b.round_trips == 0 ? 0.0
+                                     : static_cast<double>(u.round_trips) /
+                                           static_cast<double>(b.round_trips));
+    return std::string(buf);
+  };
+  table.AddRow({"seq 128-block file", std::to_string(seq_b.round_trips),
+                std::to_string(seq_u.round_trips), ratio_str(seq_b, seq_u),
+                Seconds(seq_b.network_s), Seconds(seq_u.network_s)});
+  table.AddRow({"andrew cold read mix", std::to_string(mix_b.round_trips),
+                std::to_string(mix_u.round_trips), ratio_str(mix_b, mix_u),
+                Seconds(mix_b.network_s), Seconds(mix_u.network_s)});
+  table.Print();
+  if (!seq_b.identical || !seq_u.identical || !mix_b.identical ||
+      !mix_u.identical) {
+    std::printf("ERROR: batched/unbatched read contents diverged\n");
+  }
+
+  obs::JsonObjectWriter w;
+  w.Field("bench", "read_rtt");
+  w.Field("network", "PaperDsl 45ms one-way");
+  w.Field("readahead_blocks", static_cast<uint64_t>(32));
+  EmitScenario(&w, "seq128", seq_b, seq_u);
+  EmitScenario(&w, "andrew_read_mix", mix_b, mix_u);
+  std::string json = w.Take();
+  const char* path = "BENCH_read_rtt.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("  wrote %s\n", path);
+  } else {
+    std::printf("  could not write %s\n", path);
+  }
+}
+
 }  // namespace
 }  // namespace sharoes::workload
 
-int main() {
-  sharoes::workload::Run();
+int main(int argc, char** argv) {
+  bool read_rtt_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--read-rtt-only") == 0) read_rtt_only = true;
+  }
+  if (!read_rtt_only) sharoes::workload::Run();
+  sharoes::workload::RunReadRtt();
   return 0;
 }

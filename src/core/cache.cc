@@ -27,6 +27,11 @@ std::shared_ptr<const void> LruCache::GetErased(const std::string& key) {
   return it->second->value;
 }
 
+bool LruCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.find(key) != map_.end();
+}
+
 void LruCache::Erase(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   EraseLocked(key);

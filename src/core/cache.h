@@ -30,16 +30,19 @@ namespace sharoes::core {
 class LruCache {
  public:
   /// capacity_bytes == 0 disables caching entirely. Hit/miss counts are
-  /// recorded as "client.cache.hits"/"client.cache.misses" in `registry`
-  /// (default: the process-wide registry, where several caches sum and
-  /// kGetStats reports them). Tests asserting exact per-instance counts
-  /// pass their own registry.
+  /// recorded as "<counter_prefix>.hits"/"<counter_prefix>.misses" in
+  /// `registry` (default: the process-wide registry, where several caches
+  /// sum and kGetStats reports them). Tests asserting exact per-instance
+  /// counts pass their own registry; caches with distinct roles (e.g. the
+  /// negative dentry cache) pass their own prefix so their hit rates do
+  /// not pollute the main cache's.
   explicit LruCache(size_t capacity_bytes,
-                    obs::MetricsRegistry* registry = nullptr)
+                    obs::MetricsRegistry* registry = nullptr,
+                    const std::string& counter_prefix = "client.cache")
       : capacity_(capacity_bytes) {
     if (registry == nullptr) registry = &obs::MetricsRegistry::Global();
-    hits_ = registry->counter("client.cache.hits");
-    misses_ = registry->counter("client.cache.misses");
+    hits_ = registry->counter(counter_prefix + ".hits");
+    misses_ = registry->counter(counter_prefix + ".misses");
   }
 
   /// Inserts (replacing any existing entry) and evicts LRU overflow.
@@ -62,6 +65,11 @@ class LruCache {
     std::shared_ptr<const void> p = GetErased(key);
     return std::static_pointer_cast<const T>(p);
   }
+
+  /// True iff the key is present. Does not refresh recency and does not
+  /// count a hit or miss — this is the batched read planner probing what
+  /// it still needs to fetch, not a lookup.
+  bool Contains(const std::string& key) const;
 
   void Erase(const std::string& key);
   /// Drops every key with the given prefix (e.g. all copies of an inode).

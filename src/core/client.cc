@@ -9,6 +9,22 @@ namespace sharoes::core {
 
 namespace {
 
+/// Maps a non-ok read sub-response to the caller-facing Status: kNotFound
+/// stays NotFound (the object genuinely is not at the SSP), kError means
+/// the sub-op was *not executed* and becomes Unavailable (transient,
+/// retryable), and anything else from a well-formed get is an I/O error.
+Status ReadSubError(const std::string& what, ssp::RespStatus status) {
+  switch (status) {
+    case ssp::RespStatus::kNotFound:
+      return Status::NotFound(what + " not at SSP");
+    case ssp::RespStatus::kError:
+      return Status::Unavailable(what + ": SSP reported transient error");
+    default:
+      return Status::IoError(what + ": SSP answered " +
+                             ssp::RespStatusName(status));
+  }
+}
+
 /// Builds the partial bundle a directory writer holds (table keys + data
 /// signing pair); owners use MetadataView::ToBundle for the full bundle.
 Result<ObjectKeyBundle> BundleForWriter(const MetadataView& view) {
@@ -44,7 +60,44 @@ SharoesClient::SharoesClient(fs::UserId uid,
       codec_(engine, identity, options.scheme),
       options_(options),
       cache_(options.cache_bytes),
+      neg_cache_(options.negative_dentry_bytes, nullptr, "client.dentry.neg"),
+      rpc_trips_counter_(
+          obs::MetricsRegistry::Global().counter("client.rpc.round_trips")),
       inode_counter_(engine->rng().NextU64() & 0xFFFFFFFFULL) {}
+
+SharoesClient::OpScope::OpScope(SharoesClient* client, const char* op)
+    : client_(client),
+      span_(op),
+      start_trips_(client->rpc_round_trips_),
+      trips_hist_(obs::MetricsRegistry::Global().histogram(
+          std::string("client.rpc.round_trips.") + op)) {}
+
+SharoesClient::OpScope::~OpScope() {
+  trips_hist_->Record(client_->rpc_round_trips_ - start_trips_);
+}
+
+Result<ssp::Response> SharoesClient::Rpc(const ssp::Request& req) {
+  ++rpc_round_trips_;
+  rpc_trips_counter_->Increment();
+  return conn_->Call(req);
+}
+
+Result<std::string> SharoesClient::NormalizePath(const std::string& path) {
+  SHAROES_ASSIGN_OR_RETURN(std::vector<std::string> comps,
+                           fs::SplitPath(path));
+  return fs::JoinPath(comps);
+}
+
+uint32_t SharoesClient::InitialWindowBlocks() const {
+  // Before the descriptor is fetched the block count is unknown, so the
+  // speculative first window stays small: big enough to cover most files
+  // in one round trip, small enough that a one-block file wastes only a
+  // few tiny kNotFound sub-responses.
+  constexpr uint32_t kInitialReadWindow = 4;
+  size_t window = std::max<size_t>(options_.readahead_blocks, 1);
+  return static_cast<uint32_t>(
+      std::min<size_t>(window, kInitialReadWindow));
+}
 
 void SharoesClient::ChargeClientOverhead() {
   if (engine_->clock() != nullptr) {
@@ -65,10 +118,12 @@ void SharoesClient::InvalidateInode(fs::InodeNum inode) {
   cache_.ErasePrefix("d|" + id + "|");
   cache_.ErasePrefix("u|" + id + "|");
   cache_.ErasePrefix("g|" + id + "|");
+  neg_cache_.ErasePrefix("n|" + id + "|");
 }
 
 void SharoesClient::DropCaches() {
   cache_.Clear();
+  neg_cache_.Clear();
   group_secrets_.clear();
 }
 
@@ -87,11 +142,11 @@ fs::InodeNum SharoesClient::AllocateInode() {
 }
 
 Status SharoesClient::Mount() {
-  obs::ClientSpan span("Mount");
+  OpScope span(this, "Mount");
   principal_ = identity_->PrincipalOf(uid_);
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
-                           conn_->Call(ssp::Request::GetSuperblock(uid_)));
+                           Rpc(ssp::Request::GetSuperblock(uid_)));
   if (!resp.ok()) {
     return Status::NotFound("no superblock for user " + std::to_string(uid_));
   }
@@ -101,28 +156,201 @@ Status SharoesClient::Mount() {
   return Status::OK();
 }
 
+Result<MetadataView> SharoesClient::DecodeAndCacheView(const PlainRef& ref,
+                                                       const Bytes& payload) {
+  SHAROES_ASSIGN_OR_RETURN(
+      MetadataView view,
+      codec_.DecodeMetadataReplica(ref.inode, ref.selector, payload,
+                                   ref.mek, ref.mvk));
+  cache_.Put(ViewCacheKey(ref.inode, ref.selector), view, payload.size());
+  return view;
+}
+
 Result<MetadataView> SharoesClient::FetchView(const PlainRef& ref) {
   std::string key = ViewCacheKey(ref.inode, ref.selector);
   if (auto cached = cache_.Get<MetadataView>(key)) return *cached;
   SHAROES_ASSIGN_OR_RETURN(
       ssp::Response resp,
-      conn_->Call(ssp::Request::GetMetadata(ref.inode, ref.selector)));
+      Rpc(ssp::Request::GetMetadata(ref.inode, ref.selector)));
   if (!resp.ok()) {
     return Status::NotFound("metadata " + std::to_string(ref.inode) +
                             " replica " + std::to_string(ref.selector) +
                             " not at SSP");
   }
-  SHAROES_ASSIGN_OR_RETURN(
-      MetadataView view,
-      codec_.DecodeMetadataReplica(ref.inode, ref.selector, resp.payload,
-                                   ref.mek, ref.mvk));
-  cache_.Put(key, view, resp.payload.size());
-  return view;
+  return DecodeAndCacheView(ref, resp.payload);
 }
 
 Result<SharoesClient::Node> SharoesClient::FetchNode(const PlainRef& ref) {
   SHAROES_ASSIGN_OR_RETURN(MetadataView view, FetchView(ref));
   return Node{ref, std::move(view)};
+}
+
+Result<std::vector<ssp::Response>> SharoesClient::MultiGet(
+    std::vector<ssp::Request> gets) {
+  if (gets.empty()) return std::vector<ssp::Response>{};
+  for (const ssp::Request& r : gets) {
+    if (ssp::IsMutatingOp(r.op) || !ssp::IsBatchableOp(r.op)) {
+      return Status::InvalidArgument(
+          std::string("MultiGet sub-op must be a read, got ") +
+          ssp::OpCodeName(r.op));
+    }
+  }
+  if (gets.size() == 1) {
+    // A batch of one would round-trip identically; skip the wrapper so
+    // single fetches keep the legacy wire shape.
+    SHAROES_ASSIGN_OR_RETURN(ssp::Response resp, Rpc(gets[0]));
+    return std::vector<ssp::Response>{std::move(resp)};
+  }
+  size_t n = gets.size();
+  SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
+                           Rpc(ssp::Request::Batch(std::move(gets))));
+  if (resp.status == ssp::RespStatus::kError) {
+    // The batch was not executed; all sub-ops are idempotent reads, so
+    // re-issuing is always safe (RetryingConnection does exactly that).
+    return Status::Unavailable("SSP reported transient error for read batch");
+  }
+  if (!resp.ok()) {
+    return Status::IoError(std::string("SSP rejected read batch of ") +
+                           std::to_string(n) + " gets (" +
+                           ssp::RespStatusName(resp.status) + ")");
+  }
+  if (resp.batch.size() != n) {
+    return Status::IoError("SSP answered " +
+                           std::to_string(resp.batch.size()) +
+                           " sub-responses to a read batch of " +
+                           std::to_string(n));
+  }
+  return std::move(resp.batch);
+}
+
+void SharoesClient::CacheFetchedDataBlocks(const Node& node,
+                                           const std::vector<uint32_t>& indices,
+                                           const ssp::Response* resps) {
+  if (!node.view.CanReadData()) return;
+  fs::InodeNum inode = node.ref.inode;
+  auto key_for = [&](uint32_t key_gen) -> Result<crypto::SymmetricKey> {
+    if (key_gen == node.view.dek_gen) return *node.view.dek;
+    if (key_gen == node.view.dek_gen + 1 && node.view.dek_next.has_value()) {
+      return *node.view.dek_next;
+    }
+    return Status::PermissionDenied("rotated key");
+  };
+  // The descriptor (in block 0) gates everything else: without it the
+  // per-block generations cannot be validated against anything.
+  std::optional<DataDescriptor> desc;
+  auto desc_from_plain = [&](const Bytes& plain) {
+    BinaryReader r(plain);
+    auto d = DataDescriptor::ReadFrom(&r);
+    if (d.ok()) desc = *d;
+  };
+  for (size_t j = 0; j < indices.size(); ++j) {
+    if (indices[j] != 0) continue;
+    const ssp::Response& r = resps[j];
+    if (!r.ok()) return;  // No block 0, nothing to validate against.
+    auto h = ObjectCodec::PeekDataHeader(r.payload);
+    if (!h.ok()) return;
+    auto dek = key_for(h->key_gen);
+    if (!dek.ok()) return;
+    auto plain = codec_.DecodeDataBlock(inode, 0, r.payload, *dek,
+                                        *node.view.dvk);
+    if (!plain.ok()) return;
+    cache_.Put("d|" + std::to_string(inode) + "|0", *plain, r.payload.size());
+    desc_from_plain(*plain);
+  }
+  if (!desc.has_value()) {
+    if (auto cached0 =
+            cache_.Get<Bytes>("d|" + std::to_string(inode) + "|0")) {
+      desc_from_plain(*cached0);
+    }
+  }
+  if (!desc.has_value()) return;
+  for (size_t j = 0; j < indices.size(); ++j) {
+    uint32_t i = indices[j];
+    if (i == 0 || i >= desc->block_count) continue;  // Done / past EOF.
+    const ssp::Response& r = resps[j];
+    if (!r.ok()) continue;
+    auto h = ObjectCodec::PeekDataHeader(r.payload);
+    if (!h.ok() || h->write_gen != desc->GenOfBlock(i)) continue;
+    auto dek = key_for(h->key_gen);
+    if (!dek.ok()) continue;
+    auto plain =
+        codec_.DecodeDataBlock(inode, i, r.payload, *dek, *node.view.dvk);
+    if (!plain.ok()) continue;
+    cache_.Put("d|" + std::to_string(inode) + "|" + std::to_string(i),
+               *plain, r.payload.size());
+  }
+}
+
+Result<SharoesClient::Node> SharoesClient::FetchNodeBatched(
+    const PlainRef& ref, bool want_table, bool want_data) {
+  if (!options_.batch_reads) return FetchNode(ref);
+  std::string view_key = ViewCacheKey(ref.inode, ref.selector);
+  std::string table_key = "t|" + std::to_string(ref.inode) + "|" +
+                          std::to_string(ref.selector);
+  bool fetch_view = !cache_.Contains(view_key);
+  bool fetch_table = want_table && !cache_.Contains(table_key);
+  std::vector<uint32_t> data_blocks;
+  if (want_data) {
+    uint32_t window = InitialWindowBlocks();
+    for (uint32_t i = 0; i < window; ++i) {
+      if (!cache_.Contains("d|" + std::to_string(ref.inode) + "|" +
+                           std::to_string(i))) {
+        data_blocks.push_back(i);
+      }
+    }
+  }
+  if (!fetch_view && !fetch_table && data_blocks.empty()) {
+    return FetchNode(ref);  // Fully cached.
+  }
+  std::vector<ssp::Request> gets;
+  if (fetch_view) {
+    gets.push_back(ssp::Request::GetMetadata(ref.inode, ref.selector));
+  }
+  if (fetch_table) {
+    gets.push_back(ssp::Request::GetMetadata(ref.inode,
+                                             TableSelector(ref.selector)));
+  }
+  for (uint32_t b : data_blocks) {
+    gets.push_back(ssp::Request::GetData(ref.inode, b));
+  }
+  SHAROES_ASSIGN_OR_RETURN(std::vector<ssp::Response> resps,
+                           MultiGet(std::move(gets)));
+  size_t idx = 0;
+  MetadataView view;
+  if (fetch_view) {
+    const ssp::Response& r = resps[idx++];
+    if (r.status == ssp::RespStatus::kNotFound) {
+      return Status::NotFound("metadata " + std::to_string(ref.inode) +
+                              " replica " + std::to_string(ref.selector) +
+                              " not at SSP");
+    }
+    if (!r.ok()) {
+      return ReadSubError("metadata " + std::to_string(ref.inode), r.status);
+    }
+    SHAROES_ASSIGN_OR_RETURN(view, DecodeAndCacheView(ref, r.payload));
+  } else {
+    SHAROES_ASSIGN_OR_RETURN(view, FetchView(ref));  // Cached.
+  }
+  Node node{ref, std::move(view)};
+  if (fetch_table) {
+    const ssp::Response& r = resps[idx++];
+    // Best-effort: only a directory whose CAP exposes the table keys can
+    // use the prefetched copy; anything else is dropped and FetchTable
+    // (if ever called) re-fetches and reports authoritatively.
+    if (r.ok() && node.view.attrs.is_dir() &&
+        node.view.dek.has_value() && node.view.dvk.has_value()) {
+      auto table = codec_.DecodeTableCopy(ref.inode, ref.selector, r.payload,
+                                          *node.view.dek, *node.view.dvk);
+      if (table.ok()) {
+        auto sp = std::make_shared<const DecodedTable>(std::move(*table));
+        cache_.PutPtr(table_key, sp, r.payload.size());
+      }
+    }
+  }
+  if (!data_blocks.empty()) {
+    CacheFetchedDataBlocks(node, data_blocks, &resps[idx]);
+  }
+  return node;
 }
 
 Result<std::shared_ptr<const DecodedTable>> SharoesClient::FetchTable(
@@ -138,7 +366,7 @@ Result<std::shared_ptr<const DecodedTable>> SharoesClient::FetchTable(
   if (auto cached = cache_.Get<DecodedTable>(key)) return cached;
   SHAROES_ASSIGN_OR_RETURN(
       ssp::Response resp,
-      conn_->Call(ssp::Request::GetMetadata(
+      Rpc(ssp::Request::GetMetadata(
           dir.ref.inode, TableSelector(dir.ref.selector))));
   if (!resp.ok()) return Status::NotFound("table copy not at SSP");
   SHAROES_ASSIGN_OR_RETURN(
@@ -154,7 +382,7 @@ Result<GroupSecret> SharoesClient::FetchGroupSecret(fs::GroupId gid) {
   auto it = group_secrets_.find(gid);
   if (it != group_secrets_.end()) return it->second;
   SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
-                           conn_->Call(ssp::Request::GetGroupKey(gid, uid_)));
+                           Rpc(ssp::Request::GetGroupKey(gid, uid_)));
   if (!resp.ok()) {
     return Status::PermissionDenied("no group key block for group " +
                                     std::to_string(gid) + " user " +
@@ -183,7 +411,7 @@ Result<PlainRef> SharoesClient::ResolveRowRef(const RowRef& row) {
   }
   SHAROES_ASSIGN_OR_RETURN(
       ssp::Response resp,
-      conn_->Call(ssp::Request::GetUserMetadata(row.inode, uid_)));
+      Rpc(ssp::Request::GetUserMetadata(row.inode, uid_)));
   if (resp.ok()) {
     SHAROES_ASSIGN_OR_RETURN(
         PlainRef ref, codec_.DecodeUserRefBlock(user_priv_, resp.payload));
@@ -193,8 +421,8 @@ Result<PlainRef> SharoesClient::ResolveRowRef(const RowRef& row) {
   if (row.has_group_block && principal_.MemberOf(row.gid)) {
     SHAROES_ASSIGN_OR_RETURN(
         ssp::Response gresp,
-        conn_->Call(ssp::Request::GetUserMetadata(row.inode,
-                                                  GroupBlockKey(row.gid))));
+        Rpc(ssp::Request::GetUserMetadata(row.inode,
+                                          GroupBlockKey(row.gid))));
     if (!gresp.ok()) return Status::NotFound("group split block missing");
     SHAROES_ASSIGN_OR_RETURN(GroupSecret secret, FetchGroupSecret(row.gid));
     SHAROES_ASSIGN_OR_RETURN(
@@ -207,12 +435,30 @@ Result<PlainRef> SharoesClient::ResolveRowRef(const RowRef& row) {
 }
 
 Result<SharoesClient::Node> SharoesClient::ResolvePath(
-    const std::string& path) {
+    const std::string& path, ReadIntent intent) {
   if (!mounted_) return Status::FailedPrecondition("not mounted");
   SHAROES_ASSIGN_OR_RETURN(std::vector<std::string> comps,
                            fs::SplitPath(path));
-  SHAROES_ASSIGN_OR_RETURN(Node node, FetchNode(superblock_.root_ref));
-  for (const std::string& comp : comps) {
+  PlainRef ref = superblock_.root_ref;
+  Node node;
+  bool neg_cache_on = options_.negative_dentry_bytes > 0;
+  for (size_t i = 0;; ++i) {
+    const bool last = i == comps.size();
+    // A remembered negative dentry short-circuits after the permission
+    // checks below — and also tells the coalesced fetch not to pay bytes
+    // for a table it will not consult.
+    bool neg = false;
+    if (!last && neg_cache_on) {
+      neg = neg_cache_.Get<bool>("n|" + std::to_string(ref.inode) + "|" +
+                                 comps[i]) != nullptr;
+    }
+    bool want_table = !last && !neg;
+    bool want_data = last && intent == ReadIntent::kData;
+    if (last && intent == ReadIntent::kTable) want_table = true;
+    SHAROES_ASSIGN_OR_RETURN(node,
+                             FetchNodeBatched(ref, want_table, want_data));
+    if (last) return node;
+    const std::string& comp = comps[i];
     if (!node.view.attrs.is_dir()) {
       return Status::InvalidArgument("'" + comp +
                                      "' parent is not a directory");
@@ -222,20 +468,36 @@ Result<SharoesClient::Node> SharoesClient::ResolvePath(
     if (!fs::Allows(node.view.attrs, principal_, fs::Access::kExec)) {
       return Status::PermissionDenied("no exec permission on directory");
     }
+    if (neg) {
+      return Status::NotFound("no entry named '" + comp + "'");
+    }
     SHAROES_ASSIGN_OR_RETURN(auto table, FetchTable(node));
     RowRef row;
     switch (table->view) {
       case TableView::kFull: {
         auto it = table->refs.find(comp);
         if (it == table->refs.end()) {
+          if (neg_cache_on) {
+            std::string nkey =
+                "n|" + std::to_string(ref.inode) + "|" + comp;
+            neg_cache_.Put(nkey, true, nkey.size() + 1);
+          }
           return Status::NotFound("no entry named '" + comp + "'");
         }
         row = it->second;
         break;
       }
       case TableView::kExecOnly: {
-        SHAROES_ASSIGN_OR_RETURN(
-            row, codec_.ExecOnlyLookup(*table, *node.view.dek, comp));
+        auto looked = codec_.ExecOnlyLookup(*table, *node.view.dek, comp);
+        if (!looked.ok()) {
+          if (neg_cache_on && looked.status().IsNotFound()) {
+            std::string nkey =
+                "n|" + std::to_string(ref.inode) + "|" + comp;
+            neg_cache_.Put(nkey, true, nkey.size() + 1);
+          }
+          return looked.status();
+        }
+        row = *looked;
         break;
       }
       case TableView::kNamesOnly:
@@ -243,14 +505,12 @@ Result<SharoesClient::Node> SharoesClient::ResolvePath(
         return Status::PermissionDenied(
             "directory CAP does not permit traversal");
     }
-    SHAROES_ASSIGN_OR_RETURN(PlainRef ref, ResolveRowRef(row));
-    SHAROES_ASSIGN_OR_RETURN(node, FetchNode(ref));
+    SHAROES_ASSIGN_OR_RETURN(ref, ResolveRowRef(row));
   }
-  return node;
 }
 
 Result<fs::InodeAttrs> SharoesClient::Getattr(const std::string& path) {
-  obs::ClientSpan span("Getattr");
+  OpScope span(this, "Getattr");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
   fs::InodeAttrs attrs = node.view.attrs;
@@ -259,7 +519,8 @@ Result<fs::InodeAttrs> SharoesClient::Getattr(const std::string& path) {
   // this client can know without extra round trips: a dirty write buffer
   // or the locally cached descriptor.
   if (!attrs.is_dir()) {
-    auto buf_it = write_buffers_.find(path);
+    SHAROES_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+    auto buf_it = write_buffers_.find(norm);
     if (buf_it != write_buffers_.end()) {
       attrs.size = buf_it->second.content.size();
     } else if (auto cached0 = cache_.Get<Bytes>(
@@ -274,9 +535,9 @@ Result<fs::InodeAttrs> SharoesClient::Getattr(const std::string& path) {
 
 Result<std::vector<std::string>> SharoesClient::Readdir(
     const std::string& path) {
-  obs::ClientSpan span("Readdir");
+  OpScope span(this, "Readdir");
   ChargeClientOverhead();
-  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path, ReadIntent::kTable));
   if (!node.view.attrs.is_dir()) {
     return Status::InvalidArgument("not a directory");
   }
@@ -320,7 +581,7 @@ Status SharoesClient::ExecuteBatch(std::vector<ssp::Request> requests) {
   for (const ssp::Request& r : requests) ops.push_back(r.op);
   SHAROES_ASSIGN_OR_RETURN(
       ssp::Response resp,
-      conn_->Call(ssp::Request::Batch(std::move(requests))));
+      Rpc(ssp::Request::Batch(std::move(requests))));
   if (!resp.ok()) {
     return Status::IoError(std::string("SSP rejected batch of ") +
                            std::to_string(ops.size()) + " ops (" +
@@ -356,8 +617,8 @@ Result<MasterTable> SharoesClient::FetchMaster(const Node& dir,
   if (auto cached = cache_.Get<MasterTable>(key)) return *cached;
   SHAROES_ASSIGN_OR_RETURN(
       ssp::Response resp,
-      conn_->Call(ssp::Request::GetMetadata(dir.ref.inode,
-                                            TableSelector(kMasterSelector))));
+      Rpc(ssp::Request::GetMetadata(dir.ref.inode,
+                                    TableSelector(kMasterSelector))));
   if (!resp.ok()) return Status::NotFound("master table not at SSP");
   SHAROES_ASSIGN_OR_RETURN(
       MasterTable master,
@@ -423,6 +684,9 @@ Status SharoesClient::RenderDirTables(const WriterDirContext& ctx,
   // client keeps the table it just modified in memory).
   std::string id = std::to_string(ctx.node.ref.inode);
   cache_.ErasePrefix("t|" + id + "|");
+  // The directory's membership just changed: names that were absent may
+  // exist now, so every negative dentry under it is stale.
+  neg_cache_.ErasePrefix("n|" + id + "|");
   cache_.Put("M|" + id, ctx.master, ctx.master.Serialize().size());
   if (my_copy_full) {
     auto decoded = codec_.RenderFullTableView(ctx.master, my_universe);
@@ -436,7 +700,7 @@ Status SharoesClient::RenderDirTables(const WriterDirContext& ctx,
 
 Status SharoesClient::CreateObject(const std::string& path, fs::FileType type,
                                    const CreateOptions& opts) {
-  obs::ClientSpan span(type == fs::FileType::kDirectory ? "Mkdir" : "Create");
+  OpScope span(this, type == fs::FileType::kDirectory ? "Mkdir" : "Create");
   ChargeClientOverhead();
   if (!ModeSupported(type, opts.mode)) {
     return Status::Unsupported("mode " + opts.mode.ToString() +
@@ -531,13 +795,6 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
   }
   fs::InodeNum inode = node.ref.inode;
 
-  // Fetch one block's wire bytes (not cached; plaintext is cached below).
-  auto fetch_wire = [&](uint32_t idx) -> Result<Bytes> {
-    SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
-                             conn_->Call(ssp::Request::GetData(inode, idx)));
-    if (!resp.ok()) return Status::NotFound("data block missing");
-    return resp.payload;
-  };
   // Select the data key for a block's recorded generation.
   auto key_for = [&](uint32_t key_gen) -> Result<crypto::SymmetricKey> {
     if (key_gen == node.view.dek_gen) return *node.view.dek;
@@ -556,18 +813,50 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
     SHAROES_ASSIGN_OR_RETURN(desc, DataDescriptor::ReadFrom(&r));
     content = r.GetRaw(r.remaining());
   } else {
-    auto wire0 = fetch_wire(0);
-    if (!wire0.ok()) return Bytes{};  // Never written: empty file.
+    // Cold block 0: fetch it — batched with an initial window of sibling
+    // blocks when batching is on (the block count is still unknown, so
+    // gets past EOF come back as harmless kNotFound sub-responses).
+    std::vector<uint32_t> window = {0};
+    if (options_.batch_reads) {
+      uint32_t w = InitialWindowBlocks();
+      for (uint32_t i = 1; i < w; ++i) {
+        if (!cache_.Contains("d|" + std::to_string(inode) + "|" +
+                             std::to_string(i))) {
+          window.push_back(i);
+        }
+      }
+    }
+    std::vector<ssp::Request> gets;
+    gets.reserve(window.size());
+    for (uint32_t b : window) gets.push_back(ssp::Request::GetData(inode, b));
+    SHAROES_ASSIGN_OR_RETURN(std::vector<ssp::Response> resps,
+                             MultiGet(std::move(gets)));
+    const ssp::Response& r0 = resps[0];
+    if (r0.status == ssp::RespStatus::kNotFound) {
+      return Bytes{};  // Never written: empty file.
+    }
+    if (!r0.ok()) {
+      // A transient kError is NOT a missing block: surfacing it as
+      // NotFound (or an empty file) would corrupt reads under fault
+      // injection. It maps to Unavailable and is safe to retry.
+      return ReadSubError("data block 0", r0.status);
+    }
     SHAROES_ASSIGN_OR_RETURN(ObjectCodec::DataBlockHeader h0,
-                             ObjectCodec::PeekDataHeader(*wire0));
+                             ObjectCodec::PeekDataHeader(r0.payload));
     SHAROES_ASSIGN_OR_RETURN(crypto::SymmetricKey dek, key_for(h0.key_gen));
     SHAROES_ASSIGN_OR_RETURN(
         Bytes plain0,
-        codec_.DecodeDataBlock(inode, 0, *wire0, dek, *node.view.dvk));
-    cache_.Put(key0, plain0, wire0->size());
+        codec_.DecodeDataBlock(inode, 0, r0.payload, dek, *node.view.dvk));
+    cache_.Put(key0, plain0, r0.payload.size());
     BinaryReader r(plain0);
     SHAROES_ASSIGN_OR_RETURN(desc, DataDescriptor::ReadFrom(&r));
     content = r.GetRaw(r.remaining());
+    if (window.size() > 1) {
+      // Siblings from the same round trip: best-effort cache fill (the
+      // strict loop below re-validates anything that failed here).
+      std::vector<uint32_t> siblings(window.begin() + 1, window.end());
+      CacheFetchedDataBlocks(node, siblings, &resps[1]);
+    }
   }
   // Freshness (SUNDR-style rollback detection, paper §VIII): the write
   // generation this client has observed for an inode must never move
@@ -583,8 +872,6 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
   }
 
   if (desc.block_count > 1) {
-    // Fetch every missing block in one round trip.
-    std::vector<ssp::Request> gets;
     std::vector<uint32_t> missing;
     std::map<uint32_t, Bytes> chunks;
     for (uint32_t i = 1; i < desc.block_count; ++i) {
@@ -594,35 +881,43 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
         continue;
       }
       missing.push_back(i);
-      gets.push_back(ssp::Request::GetData(inode, i));
     }
-    if (!gets.empty()) {
-      SHAROES_ASSIGN_OR_RETURN(
-          ssp::Response resp,
-          conn_->Call(ssp::Request::Batch(std::move(gets))));
-      if (resp.batch.size() != missing.size()) {
-        return Status::IoError("short batch response");
+    // Fetch the missing blocks in readahead windows (one batched round
+    // trip per window) — or one RPC per block with batching off, the
+    // pre-batching wire behaviour kept as the benchmark comparator.
+    size_t window_size =
+        options_.batch_reads ? std::max<size_t>(options_.readahead_blocks, 1)
+                             : 1;
+    for (size_t pos = 0; pos < missing.size(); pos += window_size) {
+      size_t end = std::min(missing.size(), pos + window_size);
+      std::vector<ssp::Request> gets;
+      gets.reserve(end - pos);
+      for (size_t j = pos; j < end; ++j) {
+        gets.push_back(ssp::Request::GetData(inode, missing[j]));
       }
-      for (size_t i = 0; i < missing.size(); ++i) {
-        if (!resp.batch[i].ok()) {
-          return Status::IoError("data block missing at SSP");
+      SHAROES_ASSIGN_OR_RETURN(std::vector<ssp::Response> resps,
+                               MultiGet(std::move(gets)));
+      for (size_t j = pos; j < end; ++j) {
+        uint32_t i = missing[j];
+        const ssp::Response& sub = resps[j - pos];
+        if (!sub.ok()) {
+          return ReadSubError("data block " + std::to_string(i), sub.status);
         }
-        const Bytes& wire = resp.batch[i].payload;
+        const Bytes& wire = sub.payload;
         SHAROES_ASSIGN_OR_RETURN(ObjectCodec::DataBlockHeader h,
                                  ObjectCodec::PeekDataHeader(wire));
-        if (h.write_gen != desc.GenOfBlock(missing[i])) {
+        if (h.write_gen != desc.GenOfBlock(i)) {
           return Status::IntegrityError(
               "data block generation does not match the descriptor");
         }
         SHAROES_ASSIGN_OR_RETURN(crypto::SymmetricKey dek,
                                  key_for(h.key_gen));
         SHAROES_ASSIGN_OR_RETURN(
-            Bytes plain, codec_.DecodeDataBlock(inode, missing[i], wire, dek,
-                                                *node.view.dvk));
-        cache_.Put("d|" + std::to_string(inode) + "|" +
-                       std::to_string(missing[i]),
+            Bytes plain,
+            codec_.DecodeDataBlock(inode, i, wire, dek, *node.view.dvk));
+        cache_.Put("d|" + std::to_string(inode) + "|" + std::to_string(i),
                    plain, wire.size());
-        chunks[missing[i]] = std::move(plain);
+        chunks[i] = std::move(plain);
       }
     }
     for (uint32_t i = 1; i < desc.block_count; ++i) {
@@ -636,11 +931,12 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
 }
 
 Result<Bytes> SharoesClient::Read(const std::string& path) {
-  obs::ClientSpan span("Read");
+  OpScope span(this, "Read");
   ChargeClientOverhead();
-  auto buf_it = write_buffers_.find(path);
+  SHAROES_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  auto buf_it = write_buffers_.find(norm);
   if (buf_it != write_buffers_.end()) return buf_it->second.content;
-  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
+  SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path, ReadIntent::kData));
   if (node.view.attrs.is_dir()) {
     return Status::InvalidArgument("cannot Read a directory");
   }
@@ -651,8 +947,11 @@ Result<Bytes> SharoesClient::Read(const std::string& path) {
 }
 
 Status SharoesClient::Write(const std::string& path, const Bytes& content) {
-  obs::ClientSpan span("Write");
-  auto it = write_buffers_.find(path);
+  OpScope span(this, "Write");
+  // Buffers key by the canonical spelling: "/a//b/" and "/a/b" are the
+  // same file and must hit the same dirty buffer.
+  SHAROES_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  auto it = write_buffers_.find(norm);
   if (it != write_buffers_.end()) {
     it->second.content = content;
     it->second.dirty = true;
@@ -668,7 +967,7 @@ Status SharoesClient::Write(const std::string& path, const Bytes& content) {
   if (!node.view.CanWriteData()) {
     return Status::PermissionDenied("CAP does not expose DEK/DSK");
   }
-  write_buffers_[path] = WriteBuffer{node.ref.inode, content, true};
+  write_buffers_[norm] = WriteBuffer{node.ref.inode, content, true};
   return Status::OK();
 }
 
@@ -786,17 +1085,24 @@ Result<uint64_t> SharoesClient::NextWriteGen(fs::InodeNum inode) {
   // Unknown history (overwrite of a never-read file): peek the stored
   // header so generations stay monotonic for other clients.
   SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
-                           conn_->Call(ssp::Request::GetData(inode, 0)));
-  if (!resp.ok()) return 1;  // Never written.
+                           Rpc(ssp::Request::GetData(inode, 0)));
+  if (resp.status == ssp::RespStatus::kNotFound) return 1;  // Never written.
+  if (!resp.ok()) {
+    // A transient failure must not be mistaken for "never written":
+    // starting over at generation 1 would trip other clients' rollback
+    // detection. Surface it and let the caller retry.
+    return ReadSubError("data block 0", resp.status);
+  }
   SHAROES_ASSIGN_OR_RETURN(ObjectCodec::DataBlockHeader h,
                            ObjectCodec::PeekDataHeader(resp.payload));
   return h.write_gen + 1;
 }
 
 Status SharoesClient::Close(const std::string& path) {
-  obs::ClientSpan span("Close");
+  OpScope span(this, "Close");
   ChargeClientOverhead();
-  auto it = write_buffers_.find(path);
+  SHAROES_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  auto it = write_buffers_.find(norm);
   if (it == write_buffers_.end()) return Status::OK();  // Nothing buffered.
   Status s = Status::OK();
   if (it->second.dirty) s = FlushBuffer(path, &it->second);
@@ -805,7 +1111,7 @@ Status SharoesClient::Close(const std::string& path) {
 }
 
 Status SharoesClient::Chmod(const std::string& path, fs::Mode mode) {
-  obs::ClientSpan span("Chmod");
+  OpScope span(this, "Chmod");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
   fs::InodeAttrs attrs = node.view.attrs;
@@ -939,7 +1245,7 @@ Status SharoesClient::Chmod(const std::string& path, fs::Mode mode) {
 
 Status SharoesClient::RemoveObject(const std::string& path,
                                    fs::FileType type) {
-  obs::ClientSpan span(type == fs::FileType::kDirectory ? "Rmdir" : "Unlink");
+  OpScope span(this, type == fs::FileType::kDirectory ? "Rmdir" : "Unlink");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(fs::SplitParent sp, fs::SplitParentName(path));
   SHAROES_ASSIGN_OR_RETURN(WriterDirContext ctx, LoadDirForWrite(sp.parent));
@@ -988,22 +1294,27 @@ Status SharoesClient::RemoveObject(const std::string& path,
   }
   SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
   InvalidateInode(child_inode);
-  write_buffers_.erase(path);
+  SHAROES_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  write_buffers_.erase(norm);
   return Status::OK();
 }
 
 Status SharoesClient::Rename(const std::string& from,
                              const std::string& to) {
-  obs::ClientSpan span("Rename");
+  OpScope span(this, "Rename");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(fs::SplitParent src, fs::SplitParentName(from));
   SHAROES_ASSIGN_OR_RETURN(fs::SplitParent dst, fs::SplitParentName(to));
+  // Compare canonical spellings: "/a//b" and "/a/b" are the same path, and
+  // the prefix test below only works on canonical forms.
+  SHAROES_ASSIGN_OR_RETURN(std::string nfrom, NormalizePath(from));
+  SHAROES_ASSIGN_OR_RETURN(std::string nto, NormalizePath(to));
   // Moving a directory under itself would orphan the subtree.
-  if (to.size() > from.size() && to.compare(0, from.size(), from) == 0 &&
-      to[from.size()] == '/') {
+  if (nto.size() > nfrom.size() && nto.compare(0, nfrom.size(), nfrom) == 0 &&
+      nto[nfrom.size()] == '/') {
     return Status::InvalidArgument("cannot move a directory into itself");
   }
-  if (from == to) return Status::OK();
+  if (nfrom == nto) return Status::OK();
 
   SHAROES_ASSIGN_OR_RETURN(WriterDirContext src_ctx,
                            LoadDirForWrite(src.parent));
@@ -1040,17 +1351,33 @@ Status SharoesClient::Rename(const std::string& from,
     SHAROES_RETURN_IF_ERROR(RenderDirTables(dst_ctx, &batch));
     SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch)));
   }
-  // Any buffered writes follow the file to its new path.
-  auto buf_it = write_buffers_.find(from);
-  if (buf_it != write_buffers_.end()) {
-    write_buffers_[to] = std::move(buf_it->second);
-    write_buffers_.erase(buf_it);
+  // Any buffered writes follow the move — the file itself, and when a
+  // directory moves, every buffered file underneath it (their old paths
+  // no longer resolve, so a stranded buffer would flush into NotFound or,
+  // worse, a recreated file at the old path).
+  std::vector<std::pair<std::string, WriteBuffer>> moved_bufs;
+  for (auto it = write_buffers_.begin(); it != write_buffers_.end();) {
+    const std::string& key = it->first;
+    bool exact = key == nfrom;
+    bool under = key.size() > nfrom.size() &&
+                 key.compare(0, nfrom.size(), nfrom) == 0 &&
+                 key[nfrom.size()] == '/';
+    if (exact || under) {
+      moved_bufs.emplace_back(nto + key.substr(nfrom.size()),
+                              std::move(it->second));
+      it = write_buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [new_key, buf] : moved_bufs) {
+    write_buffers_[new_key] = std::move(buf);
   }
   return Status::OK();
 }
 
 Status SharoesClient::RefreshDir(const std::string& path) {
-  obs::ClientSpan span("RefreshDir");
+  OpScope span(this, "RefreshDir");
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(Node node, ResolvePath(path));
   if (!node.view.attrs.is_dir()) {

@@ -23,6 +23,7 @@
 #include "core/object_codec.h"
 #include "core/retrying_connection.h"
 #include "net/tcp_stream.h"
+#include "obs/trace.h"
 #include "ssp/ssp_server.h"
 
 namespace sharoes::core {
@@ -46,6 +47,22 @@ struct ClientOptions {
   /// reads whose write generation regresses below what this client has
   /// already observed for the inode.
   bool track_freshness = true;
+  /// Batched read path (DESIGN.md §11): ResolvePath coalesces each
+  /// level's metadata + table fetch into one kBatch round trip, and
+  /// FetchFileContent fetches data blocks in readahead windows. Off =
+  /// one RPC per object/block (kept as the benchmark comparator for the
+  /// round-trip win; see bench_network_sweep).
+  bool batch_reads = true;
+  /// Data blocks fetched per batched round trip (min 1; only meaningful
+  /// with batch_reads). Bounds both the readahead window and the size of
+  /// any single data batch, so one huge file cannot produce an unbounded
+  /// SSP request.
+  size_t readahead_blocks = 32;
+  /// Byte budget of the negative dentry cache: names a descent proved
+  /// absent, so repeated misses answer locally instead of re-paying the
+  /// table fetch. 0 disables. Invalidated by the same InvalidateInode /
+  /// table-rerender discipline as positive entries.
+  size_t negative_dentry_bytes = 64 << 10;
   /// Transport fault tolerance for real-socket deployments: callers that
   /// reach the SSP over TCP build a RetryingConnection from these knobs
   /// and arm the stream deadlines below (see tools/sharoes_cli.cc, which
@@ -80,6 +97,22 @@ class SharoesClient : public FsClient {
   /// re-wrapped under the fresh group key.
   Status RefreshDir(const std::string& path);
 
+  /// Packs read-only sub-ops (kGet*) into one kBatch round trip and
+  /// surfaces the per-sub-op responses — statuses are NOT collapsed into
+  /// one verdict: a kNotFound sub-response is a data point (e.g. a
+  /// speculative readahead past EOF), not a failure. Fails only when the
+  /// batch envelope itself fails: a transient envelope kError maps to
+  /// Unavailable (safe to re-issue — every read is idempotent). A single
+  /// sub-op skips the batch wrapper and keeps the legacy wire shape.
+  /// Mutations are rejected; they go through the all-or-error write path.
+  Result<std::vector<ssp::Response>> MultiGet(std::vector<ssp::Request> gets);
+
+  /// SSP round trips this client has issued (every Call on the channel,
+  /// batched or not). Also counted process-wide as
+  /// "client.rpc.round_trips" with per-op histograms
+  /// "client.rpc.round_trips.<Op>" in the global registry.
+  uint64_t rpc_round_trips() const { return rpc_round_trips_; }
+
   LruCache& cache() { return cache_; }
   const ClientOptions& options() const { return options_; }
   fs::UserId uid() const { return uid_; }
@@ -103,10 +136,58 @@ class SharoesClient : public FsClient {
     bool dirty = false;
   };
 
+  /// What the caller of ResolvePath will need at the final level, so the
+  /// descent's last fetch can speculatively batch it in (0 extra round
+  /// trips; unneeded sub-gets come back as harmless kNotFound).
+  enum class ReadIntent {
+    kNone,   // Just the node (Getattr, Write, ...).
+    kData,   // The file's first data blocks too (Read).
+    kTable,  // The directory's table copy too (Readdir, rmdir check).
+  };
+
+  /// RAII around one public client op: the trace span plus a sample in
+  /// "client.rpc.round_trips.<op>" of how many SSP round trips the op
+  /// issued — with batching, round trips are the op's WAN cost, so they
+  /// are first-class observable next to latency.
+  class OpScope {
+   public:
+    OpScope(SharoesClient* client, const char* op);
+    ~OpScope();
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    SharoesClient* client_;
+    obs::ClientSpan span_;
+    uint64_t start_trips_;
+    obs::Histogram* trips_hist_;
+  };
+
   // --- Resolution ---
-  Result<Node> ResolvePath(const std::string& path);
+  Result<Node> ResolvePath(const std::string& path,
+                           ReadIntent intent = ReadIntent::kNone);
   Result<Node> FetchNode(const PlainRef& ref);
+  /// FetchNode, but when batch_reads is on the view fetch is coalesced
+  /// with this level's other likely-needed objects (the directory table
+  /// when want_table, the file's first data blocks when want_data) into
+  /// one round trip. The extra objects are decoded into the cache
+  /// best-effort; a failure there simply surfaces later on the
+  /// authoritative path (FetchTable / FetchFileContent), keeping error
+  /// semantics in one place.
+  Result<Node> FetchNodeBatched(const PlainRef& ref, bool want_table,
+                                bool want_data);
   Result<MetadataView> FetchView(const PlainRef& ref);
+  /// Decodes a fetched metadata replica and fills the cache (the shared
+  /// tail of FetchView and FetchNodeBatched).
+  Result<MetadataView> DecodeAndCacheView(const PlainRef& ref,
+                                          const Bytes& payload);
+  /// Best-effort decode + cache-fill of fetched data-block wires for
+  /// `node`: blocks past the descriptor's block_count (speculative
+  /// overfetch) and non-ok sub-responses are skipped; validation errors
+  /// drop the block so the strict path re-fetches and reports.
+  void CacheFetchedDataBlocks(const Node& node,
+                              const std::vector<uint32_t>& indices,
+                              const ssp::Response* resps);
   Result<std::shared_ptr<const DecodedTable>> FetchTable(const Node& dir);
   Result<PlainRef> ResolveRowRef(const RowRef& row);
   Result<GroupSecret> FetchGroupSecret(fs::GroupId gid);
@@ -144,6 +225,16 @@ class SharoesClient : public FsClient {
   std::string ViewCacheKey(fs::InodeNum inode, Selector sel) const;
   void InvalidateInode(fs::InodeNum inode);
 
+  /// Every SSP exchange funnels through here: one Call = one round trip,
+  /// counted per-instance and into "client.rpc.round_trips".
+  Result<ssp::Response> Rpc(const ssp::Request& req);
+  /// Canonical spelling for write-buffer keys and subtree-prefix logic:
+  /// "/a//b/" and "/a/b" must address the same dirty buffer.
+  static Result<std::string> NormalizePath(const std::string& path);
+  /// Initial data window batched with a cold file's first fetch (before
+  /// the descriptor — and thus the block count — is known).
+  uint32_t InitialWindowBlocks() const;
+
   // --- Data path ---
   Result<Bytes> FetchFileContent(const Node& node);
   Status FlushBuffer(const std::string& path, WriteBuffer* buf);
@@ -160,6 +251,13 @@ class SharoesClient : public FsClient {
   ObjectCodec codec_;
   ClientOptions options_;
   LruCache cache_;
+  /// Names proven absent by a full descent, keyed "n|<dir_inode>|<name>"
+  /// (hits/misses surface as "client.dentry.neg.*"). Separate from the
+  /// main cache so tiny negative entries are not evicted by data blocks
+  /// and vice versa.
+  LruCache neg_cache_;
+  obs::Counter* rpc_trips_counter_;
+  uint64_t rpc_round_trips_ = 0;
 
   bool mounted_ = false;
   SuperblockPayload superblock_;

@@ -20,6 +20,7 @@ struct RetryMetrics {
   obs::Counter* retries;
   obs::Counter* reconnects;
   obs::Counter* exhausted;
+  obs::Counter* batch_sub_retries;
 
   RetryMetrics() {
     auto& reg = obs::MetricsRegistry::Global();
@@ -27,12 +28,34 @@ struct RetryMetrics {
     retries = reg.counter("client.retry.retries");
     reconnects = reg.counter("client.retry.reconnects");
     exhausted = reg.counter("client.retry.exhausted");
+    batch_sub_retries = reg.counter("client.retry.batch_sub_retries");
   }
 };
 
 RetryMetrics& Metrics() {
   static RetryMetrics* metrics = new RetryMetrics();  // Never dies.
   return *metrics;
+}
+
+/// True iff the request is a batch containing only reads. Such a batch
+/// may be replayed wholesale when any sub-op reports kError: re-running
+/// the already-succeeded gets is free of side effects. A batch with any
+/// mutation is NOT retried on sub-errors here — the server already
+/// answers a top-level kError when durability fails, and partial sub-op
+/// outcomes are the client's ExecuteBatch error to report.
+bool IsReadOnlyBatch(const ssp::Request& req) {
+  if (req.op != ssp::OpCode::kBatch) return false;
+  for (const ssp::Request& sub : req.batch) {
+    if (ssp::IsMutatingOp(sub.op)) return false;
+  }
+  return true;
+}
+
+bool HasTransientSubError(const ssp::Response& resp) {
+  for (const ssp::Response& sub : resp.batch) {
+    if (sub.status == ssp::RespStatus::kError) return true;
+  }
+  return false;
 }
 }  // namespace
 
@@ -90,11 +113,24 @@ Result<ssp::Response> RetryingConnection::Call(const ssp::Request& req) {
     }
     auto resp = channel_->Call(req);
     if (resp.ok()) {
-      if (resp->status != ssp::RespStatus::kError) return resp;
-      // Transient server-side failure: the request was not executed; the
-      // connection itself is healthy, so retry without reconnecting.
-      last_error = Status::IoError("SSP reported transient error");
-      continue;
+      if (resp->status == ssp::RespStatus::kError) {
+        // Transient server-side failure: the request was not executed;
+        // the connection itself is healthy, so retry without
+        // reconnecting.
+        last_error = Status::IoError("SSP reported transient error");
+        continue;
+      }
+      if (resp->status == ssp::RespStatus::kOk && IsReadOnlyBatch(req) &&
+          HasTransientSubError(*resp)) {
+        // A per-sub-op injected fault inside a pure-read batch: replaying
+        // the whole batch is side-effect free, so absorb it here instead
+        // of surfacing Unavailable to the read path.
+        Metrics().batch_sub_retries->Increment();
+        last_error =
+            Status::IoError("SSP reported transient error for batch sub-op");
+        continue;
+      }
+      return resp;
     }
     last_error = resp.status();
     if (!IsRetryable(last_error)) return last_error;

@@ -64,7 +64,12 @@ class RetryingConnection : public ssp::SspChannel {
   /// Executes the request, reconnecting/retrying per RetryOptions. After
   /// the attempt budget is exhausted the last transport error is
   /// returned (an exhausted kError reply becomes kIoError — callers
-  /// never see RespStatus::kError through this channel).
+  /// never see RespStatus::kError through this channel). A batch made
+  /// entirely of reads is also replayed when any *sub-response* is
+  /// kError — replaying pure gets is side-effect free — so the batched
+  /// read path never sees transient sub-op faults either. Mixed or
+  /// mutating batches do not get sub-op replay: the server answers a
+  /// top-level kError for durability failures, which is retried above.
   Result<ssp::Response> Call(const ssp::Request& req) override;
 
   /// Observability (tests, CLI verbose output). Like the channel itself

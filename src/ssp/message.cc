@@ -72,6 +72,20 @@ bool IsMutatingOp(OpCode op) {
   }
 }
 
+bool IsBatchableOp(OpCode op) {
+  switch (op) {
+    case OpCode::kGetSuperblock:
+    case OpCode::kGetMetadata:
+    case OpCode::kGetUserMetadata:
+    case OpCode::kGetData:
+    case OpCode::kGetGroupKey:
+      return true;
+    default:
+      // Every mutating op is store-scoped and individually loggable.
+      return IsMutatingOp(op);
+  }
+}
+
 const char* RespStatusName(RespStatus status) {
   switch (status) {
     case RespStatus::kOk: return "kOk";

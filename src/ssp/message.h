@@ -52,6 +52,13 @@ const char* OpCodeName(OpCode op);
 /// (whose sub-ops are logged individually) do not.
 bool IsMutatingOp(OpCode op);
 
+/// True iff the opcode may appear as a kBatch sub-op: the store-level
+/// gets/puts/deletes. Nesting (kBatch) and admin ops (kGetStats) are
+/// excluded — sub-ops must be individually WAL-loggable and store-scoped,
+/// and the server rejects anything else with kBadRequest so a future
+/// opcode cannot silently ride inside a batch.
+bool IsBatchableOp(OpCode op);
+
 /// Replica selector: which copy of an inode's metadata. Scheme-2 uses a
 /// CAP id, Scheme-1 a hash of the user id; the baselines use selector 0.
 using Selector = uint64_t;

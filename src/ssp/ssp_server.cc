@@ -161,7 +161,11 @@ Response SspServer::Handle(const Request& req) {
     resp.status = RespStatus::kOk;
     resp.batch.reserve(req.batch.size());
     for (const Request& sub : req.batch) {
-      if (sub.op == OpCode::kBatch) {
+      // Only store-level gets/puts/deletes may ride inside a batch:
+      // nested batches and admin ops (kGetStats) are rejected per sub-op
+      // so the WAL's "sub-ops are individually loggable" invariant holds
+      // for every opcode, present and future.
+      if (!IsBatchableOp(sub.op)) {
         resp.batch.push_back(Response::BadRequest());
         continue;
       }

@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "io-error";
     case StatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     case StatusCode::kInternal:
       return "internal";
   }

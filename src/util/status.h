@@ -31,6 +31,10 @@ enum class StatusCode {
   kIoError,           // Transport / store failure (real or simulated).
   kDeadlineExceeded,  // A timed operation ran out of budget (the peer may
                       // be slow rather than broken; retrying is sensible).
+  kUnavailable,       // The peer reported a transient failure (e.g. a WAL
+                      // ack failure surfaced as RespStatus::kError): the
+                      // request was not executed and retrying is sensible.
+                      // Distinct from kNotFound — the object may exist.
   kInternal,          // Invariant violation; indicates a bug.
 };
 
@@ -86,6 +90,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -109,6 +116,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "ok" or "<code-name>: <message>".
   std::string ToString() const;

@@ -118,6 +118,8 @@ BenchWorld::BenchWorld(const BenchWorldOptions& opts) : opts_(opts) {
     copts.scheme = opts.scheme;
     copts.cache_bytes = opts.cache_bytes;
     copts.block_size = opts.block_size;
+    copts.batch_reads = opts.batch_reads;
+    copts.readahead_blocks = opts.readahead_blocks;
     auto client = std::make_unique<core::SharoesClient>(
         kBenchUser, bench_user_priv_, &identity_, conn_.get(), engine_.get(),
         copts);

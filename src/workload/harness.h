@@ -59,6 +59,11 @@ struct BenchWorldOptions {
   size_t registered_users = 1;
   core::Scheme scheme = core::Scheme::kScheme2;
   uint64_t seed = 0xBE4C;
+  /// Batched-read knobs (Sharoes variant only). batch_reads=false pins
+  /// the client to one GetData per round trip — the unbatched comparator
+  /// the read-RTT benchmark measures against.
+  bool batch_reads = true;
+  size_t readahead_blocks = 32;
 };
 
 /// A provisioned single-client deployment of one variant.

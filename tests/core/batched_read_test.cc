@@ -1,0 +1,378 @@
+// The batched read path (DESIGN.md §11): coalesced path resolution,
+// readahead windows, the negative dentry cache, and the read-path error
+// taxonomy. The invariant everything here defends: batching changes
+// round-trip counts and nothing else — every byte a batched client
+// returns matches the per-block wire behaviour, under faults included.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/retrying_connection.h"
+#include "obs/metrics.h"
+#include "ssp/message.h"
+#include "testing/fault.h"
+#include "testing/world.h"
+
+namespace sharoes::core {
+namespace {
+
+using sharoes::testing::Fault;
+using sharoes::testing::kAlice;
+using sharoes::testing::kBob;
+using sharoes::testing::kEng;
+using sharoes::testing::ScriptedInjector;
+using sharoes::testing::World;
+
+Bytes BlocksOfPattern(uint32_t blocks, uint8_t salt) {
+  Bytes b(static_cast<size_t>(blocks) * 4096);
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<uint8_t>((i * 37 + salt) & 0xFF);
+  }
+  return b;
+}
+
+World::Options BatchedOpts(bool batch_reads, size_t readahead = 32) {
+  World::Options opts;
+  opts.batch_reads = batch_reads;
+  opts.readahead_blocks = readahead;
+  return opts;
+}
+
+uint64_t ColdRead(World& world, fs::UserId uid, const std::string& path,
+                  Bytes* out) {
+  world.client(uid).DropCaches();
+  uint64_t before = world.transport(uid).counters().round_trips;
+  auto content = world.client(uid).Read(path);
+  EXPECT_TRUE(content.ok()) << content.status();
+  if (content.ok()) *out = std::move(*content);
+  return world.transport(uid).counters().round_trips - before;
+}
+
+TEST(BatchedReadTest, ColdReadsAreByteIdenticalAndCheaper) {
+  // The same tree and 18-block file in a batched and an unbatched world;
+  // every cold read must return identical bytes, and the batched world
+  // must spend strictly fewer wire round trips doing it.
+  Bytes big = BlocksOfPattern(18, 3);
+  World batched(BatchedOpts(true));
+  World unbatched(BatchedOpts(false));
+  for (World* w : {&batched, &unbatched}) {
+    ASSERT_TRUE(w->MigrateAndMountAll(World::DefaultTree()).ok());
+    CreateOptions fopts;
+    fopts.mode = World::ParseMode("rw-rw----");
+    ASSERT_TRUE(w->client(kAlice).Create("/shared/big.bin", fopts).ok());
+    ASSERT_TRUE(w->client(kAlice).WriteFile("/shared/big.bin", big).ok());
+  }
+
+  for (const char* path : {"/shared/big.bin", "/home/alice/notes.txt",
+                           "/home/alice/public.txt", "/shared/plan.md"}) {
+    Bytes got_batched, got_unbatched;
+    uint64_t trips_batched = ColdRead(batched, kAlice, path, &got_batched);
+    uint64_t trips_unbatched =
+        ColdRead(unbatched, kAlice, path, &got_unbatched);
+    EXPECT_EQ(got_batched, got_unbatched) << path;
+    EXPECT_LT(trips_batched, trips_unbatched) << path;
+  }
+  // The big sequential read is where readahead pays: at least 4x fewer
+  // round trips (18 data gets + descent collapse into a handful of
+  // batches).
+  Bytes got;
+  uint64_t tb = ColdRead(batched, kAlice, "/shared/big.bin", &got);
+  uint64_t tu = ColdRead(unbatched, kAlice, "/shared/big.bin", &got);
+  EXPECT_GE(tu, 4 * tb) << "batched=" << tb << " unbatched=" << tu;
+}
+
+TEST(BatchedReadTest, ReadaheadWindowBoundsBatchSize) {
+  // A smaller window means more (but smaller) batches: the 18-block file
+  // needs strictly more round trips at readahead 4 than at 32, and both
+  // stay below the per-block count. The window is a request-size bound,
+  // not a correctness knob.
+  Bytes big = BlocksOfPattern(18, 9);
+  uint64_t trips[2];
+  size_t idx = 0;
+  for (size_t readahead : {size_t{4}, size_t{32}}) {
+    World world(BatchedOpts(true, readahead));
+    ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+    CreateOptions fopts;
+    fopts.mode = World::ParseMode("rw-rw----");
+    ASSERT_TRUE(world.client(kAlice).Create("/shared/big.bin", fopts).ok());
+    ASSERT_TRUE(world.client(kAlice).WriteFile("/shared/big.bin", big).ok());
+    Bytes got;
+    trips[idx++] = ColdRead(world, kAlice, "/shared/big.bin", &got);
+    EXPECT_EQ(got, big);
+  }
+  EXPECT_GT(trips[0], trips[1]);  // window 4 pays more trips than 32...
+  EXPECT_LT(trips[0], 18u);       // ...but far fewer than one per block.
+}
+
+TEST(BatchedReadTest, EmptyFileStaysEmptyUnderBatching) {
+  // A created-but-never-written file has no block 0; the batched path
+  // must preserve the kNotFound => empty-file semantics exactly.
+  World world(BatchedOpts(true));
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  CreateOptions fopts;
+  fopts.mode = World::ParseMode("rw-rw----");
+  ASSERT_TRUE(world.client(kAlice).Create("/shared/empty.txt", fopts).ok());
+  world.client(kAlice).DropCaches();
+  auto content = world.client(kAlice).Read("/shared/empty.txt");
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_TRUE(content->empty());
+}
+
+TEST(BatchedReadTest, NegativeDentryShortCircuitsRepeatMisses) {
+  World world(BatchedOpts(true));
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  auto& alice = world.client(kAlice);
+
+  // First miss: pays the descent, caches the negative dentry.
+  auto miss = alice.Getattr("/shared/later.txt");
+  EXPECT_TRUE(miss.status().IsNotFound());
+  // Second miss: everything (views, tables, the absence itself) is
+  // cached — zero wire round trips.
+  uint64_t before = world.transport(kAlice).counters().round_trips;
+  miss = alice.Getattr("/shared/later.txt");
+  EXPECT_TRUE(miss.status().IsNotFound());
+  EXPECT_EQ(world.transport(kAlice).counters().round_trips, before);
+
+  // Creating the file invalidates the directory's negative dentries: the
+  // lookup must succeed immediately, not serve the stale absence.
+  CreateOptions fopts;
+  fopts.mode = World::ParseMode("rw-rw----");
+  ASSERT_TRUE(alice.Create("/shared/later.txt", fopts).ok());
+  EXPECT_TRUE(alice.Getattr("/shared/later.txt").ok());
+
+  // DropCaches clears negatives too.
+  alice.DropCaches();
+  EXPECT_TRUE(alice.Getattr("/shared/later.txt").ok());
+}
+
+TEST(BatchedReadTest, NegativeDentryCacheCanBeDisabled) {
+  World::Options opts = BatchedOpts(true);
+  opts.negative_dentry_bytes = 0;
+  World world(opts);
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  auto& alice = world.client(kAlice);
+  EXPECT_TRUE(alice.Getattr("/shared/nope.txt").status().IsNotFound());
+  // Without the cache the repeat miss re-asks the SSP nothing — the
+  // *table* is still positively cached, so the lookup fails locally.
+  // The knob's contract is only that no negative entries are stored.
+  EXPECT_TRUE(alice.Getattr("/shared/nope.txt").status().IsNotFound());
+}
+
+TEST(BatchedReadTest, MultiGetValidatesSubOps) {
+  World world(BatchedOpts(true));
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  auto& alice = world.client(kAlice);
+
+  // Mutations may not ride MultiGet (they would bypass ExecuteBatch's
+  // failure reporting), and neither may admin ops.
+  auto r = alice.MultiGet({ssp::Request::PutData(1, 0, {1})});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << r.status();
+  r = alice.MultiGet({ssp::Request::GetStats()});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << r.status();
+
+  // A well-formed get batch answers per-sub-op, misses included.
+  r = alice.MultiGet(
+      {ssp::Request::GetData(999999, 0), ssp::Request::GetData(999999, 1)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].status, ssp::RespStatus::kNotFound);
+  EXPECT_EQ((*r)[1].status, ssp::RespStatus::kNotFound);
+}
+
+TEST(BatchedReadTest, TransientFaultIsUnavailableNotNotFound) {
+  // Regression (the PR 5 bugfix): FetchFileContent used to treat *any*
+  // non-ok GetData as "data block missing" — an injected kError on block
+  // 0 silently read back as an EMPTY FILE. A transient fault must
+  // surface as Unavailable (retryable), never as NotFound or truncation.
+  for (bool batch_reads : {false, true}) {
+    World world(BatchedOpts(batch_reads));
+    ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+    auto& alice = world.client(kAlice);
+    // Warm the metadata descent so the next wire request is the data get.
+    ASSERT_TRUE(alice.Getattr("/home/alice/notes.txt").ok());
+
+    ScriptedInjector inject_one(
+        {Fault(ssp::FaultAction::Kind::kFailRequest)});
+    world.server().set_fault_injector(&inject_one);
+    auto content = alice.Read("/home/alice/notes.txt");
+    world.server().set_fault_injector(nullptr);
+
+    ASSERT_FALSE(content.ok()) << "batch_reads=" << batch_reads;
+    EXPECT_TRUE(content.status().IsUnavailable())
+        << "batch_reads=" << batch_reads << ": " << content.status();
+
+    // And with the fault gone the same client reads the real bytes.
+    auto healed = alice.Read("/home/alice/notes.txt");
+    ASSERT_TRUE(healed.ok()) << healed.status();
+    EXPECT_EQ(*healed, ToBytes("alice's notes"));
+  }
+}
+
+/// Wraps a channel and, when armed, rewrites one sub-response of the next
+/// pure-read batch to kError — the per-sub-op transient fault shape the
+/// retry layer must absorb for side-effect-free batches.
+class SubErrorChannel : public ssp::SspChannel {
+ public:
+  explicit SubErrorChannel(ssp::SspChannel* inner) : inner_(inner) {}
+  void Arm() { armed_ = true; }
+  bool armed() const { return armed_; }
+
+  Result<ssp::Response> Call(const ssp::Request& req) override {
+    auto resp = inner_->Call(req);
+    if (!resp.ok() || !armed_ || req.op != ssp::OpCode::kBatch) return resp;
+    for (const ssp::Request& sub : req.batch) {
+      if (ssp::IsMutatingOp(sub.op)) return resp;
+    }
+    if (!resp->batch.empty()) {
+      armed_ = false;
+      resp->batch.back().status = ssp::RespStatus::kError;
+      resp->batch.back().payload.clear();
+    }
+    return resp;
+  }
+
+ private:
+  ssp::SspChannel* inner_;  // Not owned.
+  bool armed_ = false;
+};
+
+TEST(BatchedReadTest, ReadOnlyBatchSubErrorIsRetriedInPlace) {
+  World world(BatchedOpts(true));
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+
+  // A hand-built alice over RetryingConnection -> SubErrorChannel ->
+  // the world's in-process server.
+  crypto::CryptoEngineOptions eng_opts;
+  eng_opts.cost_model = crypto::CryptoCostModel::Zero();
+  eng_opts.signing_key_bits = 512;
+  eng_opts.rng_seed = 0x5B5B;
+  crypto::CryptoEngine engine(&world.clock(), eng_opts);
+  net::Transport transport(&world.clock(), net::NetworkModel::Zero());
+  ssp::SspConnection real(&world.server(), &transport);
+  SubErrorChannel flaky(&real);
+  RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_ms = 0;
+  retry.jitter = 0;
+  RetryingConnection conn(
+      [&flaky]() -> Result<std::unique_ptr<ssp::SspChannel>> {
+        // Non-owning pass-through: the retry layer may "reconnect", but
+        // it always lands back on the same armed wrapper.
+        struct Fwd : ssp::SspChannel {
+          explicit Fwd(ssp::SspChannel* c) : c_(c) {}
+          Result<ssp::Response> Call(const ssp::Request& req) override {
+            return c_->Call(req);
+          }
+          ssp::SspChannel* c_;
+        };
+        return std::unique_ptr<ssp::SspChannel>(new Fwd(&flaky));
+      },
+      retry);
+  ClientOptions copts;
+  copts.scheme = Scheme::kScheme2;
+  copts.default_group = kEng;
+  SharoesClient alice(kAlice, world.user_key(kAlice), &world.identity(),
+                      &conn, &engine, copts);
+  ASSERT_TRUE(alice.Mount().ok());
+
+  Bytes big = BlocksOfPattern(6, 5);
+  CreateOptions fopts;
+  fopts.mode = World::ParseMode("rw-rw----");
+  ASSERT_TRUE(alice.Create("/shared/flaky.bin", fopts).ok());
+  ASSERT_TRUE(alice.WriteFile("/shared/flaky.bin", big).ok());
+  alice.DropCaches();
+
+  auto* sub_retries = obs::MetricsRegistry::Global().counter(
+      "client.retry.batch_sub_retries");
+  uint64_t before = sub_retries->Value();
+  flaky.Arm();
+  auto content = alice.Read("/shared/flaky.bin");
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(*content, big);
+  EXPECT_FALSE(flaky.armed()) << "the fault was never injected";
+  EXPECT_GT(sub_retries->Value(), before);
+}
+
+TEST(BatchedReadTest, WriteBufferKeysAreCanonical) {
+  // Regression (the PR 5 bugfix): write_buffers_ used to key by the raw
+  // path string, so "/shared//plan.md" and "/shared/plan.md" addressed
+  // DIFFERENT buffers for the same file — a read through one spelling
+  // missed dirty bytes written through the other.
+  World world(BatchedOpts(true));
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  auto& alice = world.client(kAlice);
+
+  Bytes v1 = ToBytes("spelled one way");
+  ASSERT_TRUE(alice.Write("/shared//plan.md", v1).ok());
+  // The buffer is visible through every spelling.
+  auto got = alice.Read("/shared/plan.md");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, v1);
+  auto attrs = alice.Getattr("/shared/plan.md/");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size, v1.size());
+
+  // A second Write through another alias updates the SAME buffer, and a
+  // Close through a third flushes it.
+  Bytes v2 = ToBytes("spelled another way entirely");
+  ASSERT_TRUE(alice.Write("/shared/plan.md/", v2).ok());
+  ASSERT_TRUE(alice.Close("//shared/plan.md").ok());
+  alice.DropCaches();
+  got = alice.Read("/shared/plan.md");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, v2);
+}
+
+TEST(BatchedReadTest, RenameCarriesWriteBuffersAlong) {
+  // Regression (the PR 5 bugfix): Rename left dirty buffers keyed by the
+  // old path. A later Close of the new path flushed nothing, and a
+  // recreate at the old path could inherit the stranded bytes.
+  World world(BatchedOpts(true));
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  auto& alice = world.client(kAlice);
+
+  // File rename: the buffer follows.
+  Bytes plan = ToBytes("the moved plan");
+  ASSERT_TRUE(alice.Write("/shared/plan.md", plan).ok());
+  ASSERT_TRUE(alice.Rename("/shared/plan.md", "/shared/plan-v2.md").ok());
+  ASSERT_TRUE(alice.Close("/shared/plan-v2.md").ok());
+  alice.DropCaches();
+  auto got = alice.Read("/shared/plan-v2.md");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, plan);
+
+  // Directory rename: buffers for everything under it are re-keyed too.
+  Bytes notes = ToBytes("buffered under a moving directory");
+  ASSERT_TRUE(alice.Write("/home/alice/notes.txt", notes).ok());
+  ASSERT_TRUE(alice.Rename("/home/alice", "/home/alice-new").ok());
+  ASSERT_TRUE(alice.Close("/home/alice-new/notes.txt").ok());
+  alice.DropCaches();
+  got = alice.Read("/home/alice-new/notes.txt");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, notes);
+}
+
+TEST(BatchedReadTest, RoundTripAccountingMatchesTheWire) {
+  // client.rpc.round_trips (the counter behind --rpc-stats and the
+  // per-op histograms) must agree with what the transport actually saw.
+  World world(BatchedOpts(true));
+  ASSERT_TRUE(world.MigrateAndMountAll(World::DefaultTree()).ok());
+  auto& alice = world.client(kAlice);
+  uint64_t wire_before = world.transport(kAlice).counters().round_trips;
+  uint64_t client_before = alice.rpc_round_trips();
+  alice.DropCaches();
+  ASSERT_TRUE(alice.Read("/home/alice/notes.txt").ok());
+  ASSERT_TRUE(alice.Readdir("/shared").ok());
+  uint64_t wire_delta =
+      world.transport(kAlice).counters().round_trips - wire_before;
+  uint64_t client_delta = alice.rpc_round_trips() - client_before;
+  EXPECT_EQ(client_delta, wire_delta);
+  EXPECT_GT(client_delta, 0u);
+}
+
+}  // namespace
+}  // namespace sharoes::core

@@ -29,6 +29,13 @@ class TamperingChannel : public ssp::SspChannel {
   Result<ssp::Response> Call(const ssp::Request& req) override {
     auto resp = inner_->Call(req);
     if (!resp.ok() || req.op != ssp::OpCode::kBatch) return resp;
+    // Batched reads ride kBatch too since the readahead change; this
+    // suite diagnoses the *mutation* batch, so let pure-read batches by.
+    bool mutates = false;
+    for (const ssp::Request& sub : req.batch) {
+      if (ssp::IsMutatingOp(sub.op)) mutates = true;
+    }
+    if (!mutates) return resp;
     if (armed_ && !resp->batch.empty()) {
       armed_ = false;
       tampered_index_ = resp->batch.size() - 1;

@@ -157,6 +157,29 @@ TEST(SspServerTest, BatchExecution) {
   EXPECT_EQ(resp.batch[2].status, RespStatus::kNotFound);
 }
 
+TEST(SspServerTest, BatchRejectsNonBatchableSubOps) {
+  // Only store-level gets/puts/deletes may ride inside a batch. An admin
+  // op like kGetStats smuggled in as a sub-op is answered kBadRequest per
+  // slot — and the rest of the batch still executes.
+  SspServer server;
+  Response resp = server.Handle(Request::Batch({
+      Request::GetStats(),
+      Request::PutMetadata(1, 0, {1}),
+      Request::GetMetadata(1, 0),
+  }));
+  ASSERT_EQ(resp.status, RespStatus::kOk);
+  ASSERT_EQ(resp.batch.size(), 3u);
+  EXPECT_EQ(resp.batch[0].status, RespStatus::kBadRequest);
+  EXPECT_TRUE(resp.batch[1].ok());
+  EXPECT_EQ(resp.batch[2].payload, Bytes{1});
+  // The opcode predicate itself: admin + nesting excluded, reads and
+  // mutations allowed.
+  EXPECT_FALSE(IsBatchableOp(OpCode::kGetStats));
+  EXPECT_FALSE(IsBatchableOp(OpCode::kBatch));
+  EXPECT_TRUE(IsBatchableOp(OpCode::kGetData));
+  EXPECT_TRUE(IsBatchableOp(OpCode::kPutMetadata));
+}
+
 TEST(SspServerTest, GroupKeyOps) {
   SspServer server;
   server.Handle(Request::PutGroupKey(10, 1, {9}));

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/retrying_connection.h"
+#include "obs/metrics.h"
 #include "ssp/object_store.h"
 #include "ssp/tcp_service.h"
 #include "ssp/wal.h"
@@ -368,6 +369,59 @@ TEST(WalRecovery, AndrewSequenceSurvivesHardKillChurn) {
     EXPECT_EQ(churn_transcript, clean_transcript) << "round " << round;
     EXPECT_EQ(churn_store, clean_store) << "round " << round;
   }
+}
+
+// The batched read path leans on kBatch for every cold read, so a batch
+// of pure gets against a WAL-enabled daemon must be WAL-neutral: no
+// appends, no fsyncs. Otherwise turning on readahead would multiply the
+// durability cost of a *read* workload.
+TEST(WalBatchCost, PureGetBatchIsWalNeutral) {
+  std::string dir = FreshDir("getbatch");
+  SspServer server;
+  WalOptions wal_opts;
+  wal_opts.sync = WalSyncPolicy::kAlways;
+  auto wal = Wal::Open(dir, wal_opts, &server.store());
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  server.set_wal(wal->get());
+  // Seed one object so the batch sees both kOk and kNotFound sub-results.
+  ASSERT_EQ(server.Handle(Request::PutData(1, 0, {1, 2, 3})).status,
+            RespStatus::kOk);
+
+  auto& reg = obs::MetricsRegistry::Global();
+  uint64_t appends0 = reg.counter("ssp.wal.appends")->Value();
+  uint64_t fsyncs0 = reg.counter("ssp.wal.fsyncs")->Value();
+  Response resp = server.Handle(
+      Request::Batch({Request::GetData(1, 0), Request::GetMetadata(1, 0),
+                      Request::GetData(99, 7)}));
+  ASSERT_EQ(resp.status, RespStatus::kOk);
+  ASSERT_EQ(resp.batch.size(), 3u);
+  EXPECT_EQ(resp.batch[0].status, RespStatus::kOk);
+  EXPECT_EQ(reg.counter("ssp.wal.appends")->Value(), appends0);
+  EXPECT_EQ(reg.counter("ssp.wal.fsyncs")->Value(), fsyncs0);
+  server.set_wal(nullptr);
+}
+
+// A mixed batch logs each mutating sub-op but pays for durability once:
+// exactly one fsync per top-level request under sync=always.
+TEST(WalBatchCost, MixedBatchCostsExactlyOneFsync) {
+  std::string dir = FreshDir("mixedbatch");
+  SspServer server;
+  WalOptions wal_opts;
+  wal_opts.sync = WalSyncPolicy::kAlways;
+  auto wal = Wal::Open(dir, wal_opts, &server.store());
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  server.set_wal(wal->get());
+
+  auto& reg = obs::MetricsRegistry::Global();
+  uint64_t appends0 = reg.counter("ssp.wal.appends")->Value();
+  uint64_t fsyncs0 = reg.counter("ssp.wal.fsyncs")->Value();
+  Response resp = server.Handle(Request::Batch(
+      {Request::PutData(5, 0, {1}), Request::GetData(5, 0),
+       Request::PutMetadata(5, 0, {2}), Request::DeleteMetadata(6, 1)}));
+  ASSERT_EQ(resp.status, RespStatus::kOk);
+  EXPECT_EQ(reg.counter("ssp.wal.appends")->Value(), appends0 + 3);
+  EXPECT_EQ(reg.counter("ssp.wal.fsyncs")->Value(), fsyncs0 + 1);
+  server.set_wal(nullptr);
 }
 
 }  // namespace

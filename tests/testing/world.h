@@ -34,6 +34,11 @@ class World {
     size_t signing_key_bits = 512;
     size_t signing_key_pool = 0;  // Fresh signing keys by default.
     uint64_t seed = 0x5EED;
+    // Batched-read knobs, passed straight into ClientOptions so tests can
+    // pit the batched and per-block wire behaviours against each other.
+    bool batch_reads = true;
+    size_t readahead_blocks = 32;
+    size_t negative_dentry_bytes = 64 << 10;
   };
 
   World() : World(Options()) {}
@@ -94,6 +99,9 @@ class World {
     copts.scheme = opts_.scheme;
     copts.revocation = opts_.revocation;
     copts.cache_bytes = opts_.cache_bytes;
+    copts.batch_reads = opts_.batch_reads;
+    copts.readahead_blocks = opts_.readahead_blocks;
+    copts.negative_dentry_bytes = opts_.negative_dentry_bytes;
     copts.default_group = DefaultGroupOf(uid);
     clients_[uid] = std::make_unique<core::SharoesClient>(
         uid, user_keys_.at(uid), &identity_, conns_[uid].get(),
@@ -108,6 +116,9 @@ class World {
   }
 
   core::SharoesClient& client(fs::UserId uid) { return *clients_.at(uid); }
+  /// The per-user simulated link; counters() gives wire round trips and
+  /// bytes, which is what the round-trip benchmarks and tests assert on.
+  net::Transport& transport(fs::UserId uid) { return *transports_.at(uid); }
   core::Provisioner& provisioner() { return *provisioner_; }
   ssp::SspServer& server() { return server_; }
   core::IdentityDirectory& identity() { return identity_; }

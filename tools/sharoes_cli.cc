@@ -29,6 +29,9 @@
 //        --retry-max-backoff-ms N  backoff cap (1000)
 //        --connect-timeout-ms N    connect deadline (5000; 0 = forever)
 //        --io-timeout-ms N         per-syscall send/recv deadline
+//        --readahead-blocks N      data blocks fetched per read batch
+//                                  (32; 0 = one get per round trip)
+//        --rpc-stats               print the op's round-trip count
 //                                  (10000; 0 = forever)
 
 #include <cstdio>
@@ -56,6 +59,11 @@ struct Args {
   core::RetryOptions retry;
   net::TcpTimeouts timeouts{/*connect_ms=*/5000, /*send_ms=*/10000,
                             /*recv_ms=*/10000};
+  /// Data-read batching window; 0 disables batched reads entirely
+  /// (one get per round trip, the pre-batching wire behaviour).
+  size_t readahead_blocks = 32;
+  /// Print the client's RPC round-trip count to stderr after the command.
+  bool rpc_stats = false;
   std::vector<std::string> command;
 };
 
@@ -99,6 +107,11 @@ Args ParseArgs(int argc, char** argv) {
       uint32_t ms = static_cast<uint32_t>(std::atoi(next().c_str()));
       args.timeouts.send_ms = ms;
       args.timeouts.recv_ms = ms;
+    } else if (a == "--readahead-blocks") {
+      args.readahead_blocks =
+          static_cast<size_t>(std::atoi(next().c_str()));
+    } else if (a == "--rpc-stats") {
+      args.rpc_stats = true;
     } else {
       args.command.push_back(a);
     }
@@ -234,6 +247,10 @@ int RunCommand(const Args& args) {
   copts.default_group = kStaffGid;
   copts.transport_retry = args.retry;
   copts.transport_timeouts = args.timeouts;
+  copts.batch_reads = args.readahead_blocks > 0;
+  if (args.readahead_blocks > 0) {
+    copts.readahead_blocks = args.readahead_blocks;
+  }
   auto channel = MakeConnection(args.host, args.port,
                                 copts.transport_timeouts,
                                 copts.transport_retry);
@@ -286,6 +303,10 @@ int RunCommand(const Args& args) {
   } else {
     Die("unknown command '" + cmd +
         "' (try: ls cat put stat mkdir chmod rm rmdir stats)");
+  }
+  if (args.rpc_stats) {
+    std::fprintf(stderr, "rpc round trips: %llu\n",
+                 static_cast<unsigned long long>(client.rpc_round_trips()));
   }
   return 0;
 }
