@@ -211,15 +211,152 @@ void RunReadRtt() {
   }
 }
 
+// --- Write round trips (the write-behind mirror of RunReadRtt) --------
+
+struct WriteRttMeasurement {
+  uint64_t round_trips = 0;
+  double network_s = 0;
+  Bytes store;  // Final SSP store bytes (ObjectStore::Serialize).
+};
+
+/// The Andrew-flavoured write mix: scaffold a source tree, populate it,
+/// churn attributes, rebuild and clean — every phase mutating, run
+/// identically in the batched and per-op worlds so the stores they leave
+/// behind must match byte for byte.
+void RunWriteMixOps(core::FsClient& c) {
+  core::CreateOptions dopts;
+  dopts.mode = fs::Mode::FromOctal(0755);
+  core::CreateOptions fopts;
+  fopts.mode = fs::Mode::FromOctal(0644);
+  auto check = [](const Status& s) {
+    assert(s.ok());
+    (void)s;
+  };
+  // Phase 1: MakeDir.
+  std::vector<std::string> dirs = {"/work", "/work/src", "/work/lib",
+                                   "/work/obj"};
+  for (const std::string& d : dirs) {
+    check(c.Mkdir(d, dopts));
+  }
+  // Phase 2: Copy — sources of one to four 4 KiB blocks.
+  std::vector<std::string> sources;
+  for (int i = 0; i < 8; ++i) {
+    std::string path = (i < 5 ? "/work/src/f" : "/work/lib/f") +
+                       std::to_string(i) + ".c";
+    sources.push_back(path);
+    check(c.Create(path, fopts));
+    check(c.WriteFile(
+        path, PatternBytes((1 + i % 4) * size_t{4096},
+                           static_cast<uint8_t>(i + 1))));
+  }
+  // Phase 3: attribute churn (widening chmods: no revocation machinery).
+  for (const std::string& path : sources) {
+    check(c.Chmod(path, fs::Mode::FromOctal(0664)));
+  }
+  // Phase 5: ScanDir+Make — compile artifacts, then `make clean`.
+  for (int i = 0; i < 4; ++i) {
+    std::string path = "/work/obj/f" + std::to_string(i) + ".o";
+    check(c.Create(path, fopts));
+    check(c.WriteFile(path, PatternBytes(4096,
+                                         static_cast<uint8_t>(0x60 + i))));
+  }
+  check(c.Rename("/work/src/f0.c", "/work/src/f0_old.c"));
+  for (int i = 0; i < 4; ++i) {
+    check(c.Unlink("/work/obj/f" + std::to_string(i) + ".o"));
+  }
+  check(c.Fsync());
+}
+
+WriteRttMeasurement MeasureWriteMix(size_t write_batch_ops,
+                                    net::NetworkModel network) {
+  BenchWorldOptions opts;
+  opts.variant = SystemVariant::kSharoes;
+  opts.network = network;
+  opts.write_batch_ops = write_batch_ops;
+  BenchWorld world(opts);
+  // Warm the mount's root resolution so both worlds measure the mutation
+  // phases, not the identical two-trip cold start.
+  (void)world.client().Getattr("/");
+  WriteRttMeasurement m;
+  uint64_t trips_before = world.transport().counters().round_trips;
+  CostSnapshot cost = world.Measure([&] { RunWriteMixOps(world.client()); });
+  m.round_trips = world.transport().counters().round_trips - trips_before;
+  m.network_s = static_cast<double>(cost.network_ns()) / 1e9;
+  m.store = world.server().store().Serialize();
+  return m;
+}
+
+void RunWriteRtt() {
+  Heading("Batched writes: round trips, Andrew write mix, 45 ms DSL link");
+  constexpr size_t kWriteBatchOps = 64;
+  WriteRttMeasurement batched =
+      MeasureWriteMix(kWriteBatchOps, net::NetworkModel::PaperDsl());
+  WriteRttMeasurement unbatched =
+      MeasureWriteMix(0, net::NetworkModel::PaperDsl());
+
+  // Byte-identity is checked on a free link: inode mtimes are virtual-
+  // clock stamps, and on a link with latency the two worlds reach each
+  // write at different virtual times. On Zero() the clock advances only
+  // with crypto work — identical in both worlds, because batching moves
+  // RPC timing, never the order of client-side operations.
+  WriteRttMeasurement zb = MeasureWriteMix(kWriteBatchOps,
+                                           net::NetworkModel::Zero());
+  WriteRttMeasurement zu = MeasureWriteMix(0, net::NetworkModel::Zero());
+  bool identical = zb.store == zu.store &&
+                   zb.round_trips == batched.round_trips &&
+                   zu.round_trips == unbatched.round_trips;
+  double ratio = batched.round_trips == 0
+                     ? 0.0
+                     : static_cast<double>(unbatched.round_trips) /
+                           static_cast<double>(batched.round_trips);
+
+  Table table({"scenario", "batched RTs", "unbatched RTs", "ratio",
+               "batched net (s)", "unbatched net (s)"});
+  char ratio_buf[32];
+  std::snprintf(ratio_buf, sizeof(ratio_buf), "%.1fx", ratio);
+  table.AddRow({"andrew write mix", std::to_string(batched.round_trips),
+                std::to_string(unbatched.round_trips), ratio_buf,
+                Seconds(batched.network_s), Seconds(unbatched.network_s)});
+  table.Print();
+  if (!identical) {
+    std::printf("ERROR: batched/unbatched final stores diverged\n");
+  }
+
+  obs::JsonObjectWriter w;
+  w.Field("bench", "write_rtt");
+  w.Field("network", "PaperDsl 45ms one-way");
+  w.Field("write_batch_ops", static_cast<uint64_t>(kWriteBatchOps));
+  w.BeginObject("andrew_write_mix");
+  w.Field("batched_round_trips", batched.round_trips);
+  w.Field("unbatched_round_trips", unbatched.round_trips);
+  w.Field("round_trip_ratio", ratio);
+  w.Field("batched_network_s", batched.network_s);
+  w.Field("unbatched_network_s", unbatched.network_s);
+  w.Field("stores_identical", identical);
+  w.EndObject();
+  std::string json = w.Take();
+  const char* path = "BENCH_write_rtt.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("  wrote %s\n", path);
+  } else {
+    std::printf("  could not write %s\n", path);
+  }
+}
+
 }  // namespace
 }  // namespace sharoes::workload
 
 int main(int argc, char** argv) {
   bool read_rtt_only = false;
+  bool write_rtt_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--read-rtt-only") == 0) read_rtt_only = true;
+    if (std::strcmp(argv[i], "--write-rtt-only") == 0) write_rtt_only = true;
   }
-  if (!read_rtt_only) sharoes::workload::Run();
-  sharoes::workload::RunReadRtt();
+  if (!read_rtt_only && !write_rtt_only) sharoes::workload::Run();
+  if (!write_rtt_only) sharoes::workload::RunReadRtt();
+  if (!read_rtt_only) sharoes::workload::RunWriteRtt();
   return 0;
 }

@@ -12,10 +12,12 @@
 // metrics enabled vs SHAROES_METRICS=off, written to
 // BENCH_obs_overhead.json (budget: < 2%, DESIGN.md §9).
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.h"
@@ -306,6 +308,94 @@ void RunWalOverhead() {
   }
 }
 
+/// Group commit under concurrency: K writer threads ack mutating
+/// requests against a WAL in sync=always mode with a commit window, and
+/// the fsync counter must grow sublinearly in acked ops — concurrent
+/// committers share the leader's fsync instead of each paying their own.
+/// Without group commit this ratio is exactly 1.0; CI gates on < 1.
+void RunGroupCommit() {
+  Heading("WAL group commit: fsyncs per acked op, 8 concurrent writers");
+
+  constexpr int kWriters = 8;
+  constexpr int kOpsPerWriter = 40;
+  constexpr uint32_t kWindowUs = 2000;
+
+  std::string dir = "/tmp/sharoes_bench_group_commit";
+  std::string rm = "rm -rf " + dir;
+  (void)std::system(rm.c_str());
+  ssp::SspServer server;
+  ssp::WalOptions wal_opts;
+  wal_opts.sync = ssp::WalSyncPolicy::kAlways;
+  wal_opts.group_commit_us = kWindowUs;
+  auto wal = ssp::Wal::Open(dir, wal_opts, &server.store());
+  if (!wal.ok()) {
+    std::printf("  could not open WAL at %s: %s\n", dir.c_str(),
+                wal.status().ToString().c_str());
+    return;
+  }
+  server.set_wal(wal->get());
+
+  auto& reg = obs::MetricsRegistry::Global();
+  uint64_t fsyncs0 = reg.counter("ssp.wal.fsyncs")->Value();
+  std::atomic<uint64_t> acked{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Bytes block(512, static_cast<uint8_t>(w));
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        ssp::Response resp = server.Handle(ssp::Request::PutData(
+            1000 + w, static_cast<uint32_t>(i), block));
+        if (resp.status == ssp::RespStatus::kOk) {
+          acked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  uint64_t fsyncs = reg.counter("ssp.wal.fsyncs")->Value() - fsyncs0;
+  uint64_t leads = reg.counter("ssp.wal.commit_leads")->Value();
+  uint64_t piggybacks = reg.counter("ssp.wal.commit_piggybacks")->Value();
+  server.set_wal(nullptr);
+  wal->reset();
+  (void)std::system(rm.c_str());
+
+  double per_op = acked.load() == 0
+                      ? 0.0
+                      : static_cast<double>(fsyncs) /
+                            static_cast<double>(acked.load());
+  std::printf("    writers            : %d x %d ops\n", kWriters,
+              kOpsPerWriter);
+  std::printf("    acked ops          : %llu\n",
+              static_cast<unsigned long long>(acked.load()));
+  std::printf("    fsyncs             : %llu\n",
+              static_cast<unsigned long long>(fsyncs));
+  std::printf("    fsyncs per acked op: %.3f  (per-request sync = 1.0)\n",
+              per_op);
+
+  obs::JsonObjectWriter w;
+  w.Field("bench", "wal_group_commit");
+  w.Field("sync_policy", "always");
+  w.Field("group_commit_us", static_cast<uint64_t>(kWindowUs));
+  w.Field("writers", static_cast<uint64_t>(kWriters));
+  w.Field("ops_per_writer", static_cast<uint64_t>(kOpsPerWriter));
+  w.Field("acked_ops", acked.load());
+  w.Field("fsyncs", fsyncs);
+  w.Field("fsyncs_per_acked_op", per_op);
+  w.Field("commit_leads_total", leads);
+  w.Field("commit_piggybacks_total", piggybacks);
+  w.Field("sublinear", per_op < 1.0);
+  std::string json = w.Take();
+  const char* path = "BENCH_group_commit.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("  wrote %s\n", path);
+  } else {
+    std::printf("  could not write %s\n", path);
+  }
+}
+
 }  // namespace
 }  // namespace sharoes::workload
 
@@ -313,5 +403,6 @@ int main() {
   sharoes::workload::Run();
   sharoes::workload::RunObsOverhead();
   sharoes::workload::RunWalOverhead();
+  sharoes::workload::RunGroupCommit();
   return 0;
 }

@@ -76,7 +76,30 @@ SharoesClient::OpScope::~OpScope() {
   trips_hist_->Record(client_->rpc_round_trips_ - start_trips_);
 }
 
+namespace {
+/// True iff the request would mutate the store — the shapes that may
+/// bypass the read barrier below (a flush's own kBatch is all-mutating).
+bool RequestMutates(const ssp::Request& req) {
+  if (req.op == ssp::OpCode::kBatch) {
+    for (const ssp::Request& sub : req.batch) {
+      if (ssp::IsMutatingOp(sub.op)) return true;
+    }
+    return false;
+  }
+  return ssp::IsMutatingOp(req.op);
+}
+}  // namespace
+
 Result<ssp::Response> SharoesClient::Rpc(const ssp::Request& req) {
+  // Read barrier for the write-behind stage: before any read reaches the
+  // wire, staged mutations must land so the SSP answers reflect this
+  // client's own writes (read-your-writes). Mutating requests skip it —
+  // ordering relative to the stage is preserved by staging them too (or,
+  // for the flush batch itself, by flushing_pending_).
+  if (!flushing_pending_ && !pending_writes_.empty() &&
+      !RequestMutates(req)) {
+    SHAROES_RETURN_IF_ERROR(FlushPendingWrites());
+  }
   ++rpc_round_trips_;
   rpc_trips_counter_->Increment();
   return conn_->Call(req);
@@ -573,38 +596,79 @@ ObjectKeyBundle SharoesClient::GenerateBundle(
 
 Status SharoesClient::ExecuteBatch(std::vector<ssp::Request> requests) {
   if (requests.empty()) return Status::OK();
-  // Keep the opcodes: the requests are moved into the wire batch, but a
-  // failure report without "which sub-op" is undiagnosable in the
-  // fault-injection suites.
-  std::vector<ssp::OpCode> ops;
-  ops.reserve(requests.size());
-  for (const ssp::Request& r : requests) ops.push_back(r.op);
-  SHAROES_ASSIGN_OR_RETURN(
-      ssp::Response resp,
-      Rpc(ssp::Request::Batch(std::move(requests))));
-  if (!resp.ok()) {
-    return Status::IoError(std::string("SSP rejected batch of ") +
-                           std::to_string(ops.size()) + " ops (" +
-                           ssp::RespStatusName(resp.status) + ")");
+  if (options_.write_batch_ops == 0 || flushing_pending_) {
+    return ExecuteBatchNow(requests);
   }
-  if (resp.batch.size() != ops.size()) {
+  // Write-behind: stage the sub-ops and ship them at the next flush
+  // point. Submission order is preserved, so the flushed batch applies
+  // exactly like the immediate path would have.
+  for (ssp::Request& r : requests) {
+    pending_write_bytes_ += r.payload.size() + 48;  // ~frame overhead.
+    pending_writes_.push_back(std::move(r));
+  }
+  if (pending_writes_.size() >= options_.write_batch_ops ||
+      pending_write_bytes_ >= options_.write_batch_bytes) {
+    return FlushPendingWrites();
+  }
+  return Status::OK();
+}
+
+Status SharoesClient::ExecuteBatchNow(
+    const std::vector<ssp::Request>& requests) {
+  if (requests.empty()) return Status::OK();
+  SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
+                           Rpc(ssp::Request::Batch(requests)));
+  if (!resp.ok()) {
+    std::string what = std::string("SSP rejected batch of ") +
+                       std::to_string(requests.size()) + " ops (" +
+                       ssp::RespStatusName(resp.status) + ")";
+    // kError = well-formed but not executed with a durability guarantee;
+    // the idempotent sub-ops are safe to re-issue. kBadRequest is final.
+    return resp.status == ssp::RespStatus::kError ? Status::Unavailable(what)
+                                                  : Status::IoError(what);
+  }
+  if (resp.batch.size() != requests.size()) {
     return Status::IoError("SSP answered " +
                            std::to_string(resp.batch.size()) +
                            " sub-responses to a batch of " +
-                           std::to_string(ops.size()));
+                           std::to_string(requests.size()));
   }
   for (size_t i = 0; i < resp.batch.size(); ++i) {
     const ssp::Response& sub = resp.batch[i];
     if (sub.status == ssp::RespStatus::kBadRequest ||
         sub.status == ssp::RespStatus::kError) {
-      return Status::IoError(
+      std::string what =
           std::string("SSP rejected batched sub-op ") + std::to_string(i) +
-          "/" + std::to_string(ops.size()) + " (" +
-          ssp::OpCodeName(ops[i]) + ": " + ssp::RespStatusName(sub.status) +
-          ")");
+          "/" + std::to_string(requests.size()) + " (" +
+          ssp::OpCodeName(requests[i].op) + ": " +
+          ssp::RespStatusName(sub.status) + ")";
+      return sub.status == ssp::RespStatus::kError ? Status::Unavailable(what)
+                                                   : Status::IoError(what);
     }
   }
   return Status::OK();
+}
+
+Status SharoesClient::FlushPendingWrites() {
+  if (pending_writes_.empty()) return Status::OK();
+  flushing_pending_ = true;
+  Status shipped = ExecuteBatchNow(pending_writes_);
+  flushing_pending_ = false;
+  // Transient outcomes (not executed, or executed without the ack — both
+  // replay-safe for these idempotent sub-ops) keep the stage so the next
+  // flush point retries; anything else resolves the ops' fate, so the
+  // stage clears and the error surfaces exactly once.
+  if (shipped.ok() ||
+      !(shipped.IsUnavailable() || shipped.IsDeadlineExceeded())) {
+    pending_writes_.clear();
+    pending_write_bytes_ = 0;
+  }
+  return shipped;
+}
+
+Status SharoesClient::Fsync() {
+  OpScope scope(this, "Fsync");
+  return FlushPendingWrites();
 }
 
 Result<MasterTable> SharoesClient::FetchMaster(const Node& dir,
@@ -776,6 +840,14 @@ Status SharoesClient::CreateObject(const std::string& path, fs::FileType type,
   MetadataView my_view = ObjectCodec::BuildView(my_spec, attrs, bundle);
   cache_.Put(ViewCacheKey(attrs.inode, my_spec.selector), my_view,
              my_view.Serialize().size());
+  if (type == fs::FileType::kDirectory) {
+    // The creator also knows the new directory is empty: seed the master-
+    // table cache so the first create inside it skips the fetch of a
+    // table this client rendered moments ago.
+    MasterTable empty;
+    cache_.Put("M|" + std::to_string(attrs.inode), empty,
+               empty.Serialize().size());
+  }
   return Status::OK();
 }
 
@@ -1103,11 +1175,16 @@ Status SharoesClient::Close(const std::string& path) {
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
   auto it = write_buffers_.find(norm);
-  if (it == write_buffers_.end()) return Status::OK();  // Nothing buffered.
   Status s = Status::OK();
-  if (it->second.dirty) s = FlushBuffer(path, &it->second);
-  write_buffers_.erase(it);
-  return s;
+  if (it != write_buffers_.end()) {
+    if (it->second.dirty) s = FlushBuffer(path, &it->second);
+    write_buffers_.erase(it);
+  }
+  // Close is a durability point: whatever the write-behind layer staged
+  // (this file's blocks, and any earlier logical ops sharing the batch)
+  // ships now, so a Close that returned OK means the SSP acked the data.
+  Status flushed = FlushPendingWrites();
+  return s.ok() ? flushed : s;
 }
 
 Status SharoesClient::Chmod(const std::string& path, fs::Mode mode) {

@@ -63,6 +63,23 @@ struct ClientOptions {
   /// table fetch. 0 disables. Invalidated by the same InvalidateInode /
   /// table-rerender discipline as positive entries.
   size_t negative_dentry_bytes = 64 << 10;
+  /// Write-behind batching (DESIGN.md §12), the mutation-side mirror of
+  /// batch_reads: the mutating sub-ops a logical op produces (path
+  /// renders, metadata objects, 4 KiB data blocks) are staged
+  /// client-side and shipped as one kBatch at the next flush point —
+  /// Close, Fsync(), this staged-sub-op threshold, write_batch_bytes,
+  /// or any read RPC (the read barrier that preserves read-your-writes).
+  /// 0 disables staging: every logical op pays its own round trips
+  /// immediately (the pre-batching wire shape, kept as the benchmark
+  /// comparator and the library default). With staging on, errors for a
+  /// staged op surface at its flush point, and sub-ops staged but never
+  /// flushed (client destroyed without Close/Fsync) are dropped — the
+  /// same contract as an OS page cache.
+  size_t write_batch_ops = 0;
+  /// Staged-payload byte bound that forces a flush regardless of
+  /// write_batch_ops (only meaningful with staging on), so a run of
+  /// large data blocks cannot grow one batch without limit.
+  size_t write_batch_bytes = 1 << 20;
   /// Transport fault tolerance for real-socket deployments: callers that
   /// reach the SSP over TCP build a RetryingConnection from these knobs
   /// and arm the stream deadlines below (see tools/sharoes_cli.cc, which
@@ -96,6 +113,16 @@ class SharoesClient : public FsClient {
   /// required). Used after group-key rotation so split blocks are
   /// re-wrapped under the fresh group key.
   Status RefreshDir(const std::string& path);
+
+  /// Drains the write-behind stage (ClientOptions::write_batch_ops):
+  /// every staged mutating sub-op ships as one kBatch and the combined
+  /// outcome is returned. A no-op (OK) when nothing is staged or staging
+  /// is off, so callers may fsync unconditionally. On a transient
+  /// failure (Unavailable / DeadlineExceeded) the staged ops are KEPT
+  /// for the next flush attempt — replaying them is safe because every
+  /// sub-op is idempotent — so a transient fault can never silently
+  /// drop an acked-to-the-application write.
+  Status Fsync() override;
 
   /// Packs read-only sub-ops (kGet*) into one kBatch round trip and
   /// surfaces the per-sub-op responses — statuses are NOT collapsed into
@@ -213,8 +240,21 @@ class SharoesClient : public FsClient {
   /// the SSP put requests + split blocks to include in a batch.
   Status RenderDirTables(const WriterDirContext& ctx,
                          std::vector<ssp::Request>* out);
-  /// One batched round trip; verifies each sub-response succeeded.
+  /// Ships a logical op's mutating sub-ops. With write-behind off this
+  /// is one immediate batched round trip (ExecuteBatchNow); with it on,
+  /// the requests are staged into pending_writes_ and shipped at the
+  /// next flush point, so several logical ops share one round trip.
   Status ExecuteBatch(std::vector<ssp::Request> requests);
+  /// The wire half of ExecuteBatch: one batched round trip, verifying
+  /// each sub-response. Envelope or sub-op kError maps to Unavailable
+  /// (well-formed, not executed — safe to re-issue); kBadRequest maps
+  /// to IoError (definitive rejection). Takes the requests by const ref
+  /// so a failed flush can keep its staged ops.
+  Status ExecuteBatchNow(const std::vector<ssp::Request>& requests);
+  /// Ships pending_writes_ as one kBatch. Clears the stage on success
+  /// and on definitive rejection; keeps it on transient failure (the
+  /// ops are idempotent, so the next flush replays them safely).
+  Status FlushPendingWrites();
 
   /// Fetches the master table of a directory the caller can write.
   Result<MasterTable> FetchMaster(const Node& dir,
@@ -263,6 +303,16 @@ class SharoesClient : public FsClient {
   SuperblockPayload superblock_;
   std::map<fs::GroupId, GroupSecret> group_secrets_;
   std::map<std::string, WriteBuffer> write_buffers_;  // By path.
+  /// Write-behind stage (DESIGN.md §12): mutating sub-ops accepted by
+  /// ExecuteBatch but not yet shipped, in client submission order (the
+  /// server applies batch sub-ops in order, so staging preserves the
+  /// unbatched apply order). Flushed by Close/Fsync/thresholds and by
+  /// the read barrier in Rpc().
+  std::vector<ssp::Request> pending_writes_;
+  size_t pending_write_bytes_ = 0;
+  /// True while FlushPendingWrites is on the wire: its own kBatch (and
+  /// any read the flush path issues) must not re-enter the barrier.
+  bool flushing_pending_ = false;
   /// Highest write generation observed per inode (freshness memory;
   /// deliberately survives DropCaches).
   std::map<fs::InodeNum, uint64_t> freshness_;

@@ -70,6 +70,11 @@ class FsClient {
   /// Needs write+exec on both parent directories.
   virtual Status Rename(const std::string& from, const std::string& to) = 0;
 
+  /// fsync(2)-flavoured drain: ships any client-side write-behind state
+  /// to the SSP. The default is a no-op — only clients with a deferred
+  /// write path (SharoesClient's write_batch_ops stage) override it.
+  virtual Status Fsync() { return Status::OK(); }
+
   // --- Conveniences (implemented on the virtuals) ---
 
   /// Write + Close.

@@ -57,6 +57,22 @@ bool HasTransientSubError(const ssp::Response& resp) {
   }
   return false;
 }
+
+/// True iff the request may be transparently re-sent after it might
+/// already have executed (transport failure post-send, or a durability
+/// kError from the server after the store apply). A batch — the shape
+/// the client's write-behind layer ships — is replay-safe only when
+/// EVERY sub-op is individually idempotent; this is the gate that keeps
+/// a future non-idempotent opcode from riding a blanket retry.
+bool IsReplaySafe(const ssp::Request& req) {
+  if (req.op == ssp::OpCode::kBatch) {
+    for (const ssp::Request& sub : req.batch) {
+      if (!ssp::IsIdempotentOp(sub.op)) return false;
+    }
+    return true;
+  }
+  return ssp::IsIdempotentOp(req.op);
+}
 }  // namespace
 
 RetryingConnection::RetryingConnection(ChannelFactory factory,
@@ -90,6 +106,7 @@ Result<ssp::Response> RetryingConnection::Call(const ssp::Request& req) {
   // carries the same trace id with an increasing attempt number; the
   // server's structured log lines then reconstruct the retry story.
   obs::RpcTraceScope trace_scope;
+  const bool replay_safe = IsReplaySafe(req);
   Status last_error = Status::IoError("no attempt made");
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     trace_scope.set_attempt(static_cast<uint8_t>(std::min(attempt, 255)));
@@ -114,10 +131,14 @@ Result<ssp::Response> RetryingConnection::Call(const ssp::Request& req) {
     auto resp = channel_->Call(req);
     if (resp.ok()) {
       if (resp->status == ssp::RespStatus::kError) {
-        // Transient server-side failure: the request was not executed;
-        // the connection itself is healthy, so retry without
-        // reconnecting.
+        // Transient server-side failure. For reads and idempotent
+        // mutations the request either was not executed (fault
+        // injection, overload) or executed without a durability
+        // guarantee (WAL sync failure) — both are safe to replay. A
+        // non-idempotent request might have taken effect in the second
+        // case, so it must surface instead of being re-sent.
         last_error = Status::IoError("SSP reported transient error");
+        if (!replay_safe) return last_error;
         continue;
       }
       if (resp->status == ssp::RespStatus::kOk && IsReadOnlyBatch(req) &&
@@ -135,7 +156,10 @@ Result<ssp::Response> RetryingConnection::Call(const ssp::Request& req) {
     last_error = resp.status();
     if (!IsRetryable(last_error)) return last_error;
     // The socket is in an unknown state (possibly mid-frame); drop it
-    // and reconnect on the next attempt.
+    // and reconnect on the next attempt. A transport failure after the
+    // frame left means the server may have executed the request, so
+    // only replay-safe requests go around again.
+    if (!replay_safe) return last_error;
     channel_.reset();
   }
   Metrics().exhausted->Increment();

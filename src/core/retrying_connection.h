@@ -8,16 +8,21 @@
 // jitter. SharoesClient and the Provisioner sit behind it unchanged —
 // they just see an SspChannel.
 //
-// Why blanket retry is safe: every request in ssp/message.h is an
-// idempotent put/get/delete addressed by absolute coordinates (inode,
-// selector, user, group, block) — there are no appends, counters, or
+// Why retry is safe: every request in ssp/message.h is an idempotent
+// put/get/delete addressed by absolute coordinates (inode, selector,
+// user, group, block) — there are no appends, counters, or
 // compare-and-swaps — so executing a request twice (e.g. the daemon
 // applied a put but died before replying, and the retry replays it)
 // leaves the store in exactly the state of executing it once. Batches
-// are flat vectors of such requests and inherit the property. This
-// invariant is asserted by RetryIdempotence in
-// tests/core/client_fault_test.cc; any future non-idempotent opcode must
-// carry a request id + dedup window before it may ride this channel.
+// are flat vectors of such requests and inherit the property. But the
+// safety is *checked*, not assumed: a request is re-sent after it may
+// have executed only when every constituent op passes
+// ssp::IsIdempotentOp — mutating batches are NOT blanket-retried, they
+// are replayed only as idempotent-verified sub-op sets. A future
+// non-idempotent opcode therefore fails closed (its transport error
+// surfaces to the caller) until it carries a request id + dedup window.
+// The op-level invariant is asserted by RetryIdempotence in
+// tests/core/client_fault_test.cc.
 //
 // What is deliberately NOT retried: kCorruption (a malicious SSP sending
 // garbage must surface, per the threat model), kIntegrityError (ditto —

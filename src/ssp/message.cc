@@ -86,6 +86,38 @@ bool IsBatchableOp(OpCode op) {
   }
 }
 
+bool IsIdempotentOp(OpCode op) {
+  switch (op) {
+    // Reads and admin snapshots have no effects to repeat.
+    case OpCode::kGetSuperblock:
+    case OpCode::kGetMetadata:
+    case OpCode::kGetUserMetadata:
+    case OpCode::kGetData:
+    case OpCode::kGetGroupKey:
+    case OpCode::kGetStats:
+    // Puts and deletes are absolute assignments to fixed coordinates
+    // (inode, selector, user, group, block) — no appends, counters, or
+    // compare-and-swaps — so a replay reproduces the same final state.
+    case OpCode::kPutSuperblock:
+    case OpCode::kDeleteSuperblock:
+    case OpCode::kPutMetadata:
+    case OpCode::kDeleteMetadata:
+    case OpCode::kDeleteInodeMetadata:
+    case OpCode::kPutUserMetadata:
+    case OpCode::kDeleteUserMetadata:
+    case OpCode::kPutData:
+    case OpCode::kDeleteInodeData:
+    case OpCode::kPutGroupKey:
+    case OpCode::kDeleteGroupKey:
+      return true;
+    // kBatch is deliberately absent: a batch is idempotent iff every
+    // sub-op is, which is the caller's per-request question (see
+    // core::RetryingConnection), not a property of the wrapper opcode.
+    default:
+      return false;
+  }
+}
+
 const char* RespStatusName(RespStatus status) {
   switch (status) {
     case RespStatus::kOk: return "kOk";

@@ -157,6 +157,7 @@ Response SspServer::Handle(const Request& req) {
 
   Response resp;
   bool mutated = false;
+  uint64_t max_wal_seq = 0;
   if (req.op == OpCode::kBatch) {
     resp.status = RespStatus::kOk;
     resp.batch.reserve(req.batch.size());
@@ -170,19 +171,22 @@ Response SspServer::Handle(const Request& req) {
         continue;
       }
       mutated = mutated || IsMutatingOp(sub.op);
-      resp.batch.push_back(HandleOne(sub));
+      resp.batch.push_back(HandleOne(sub, &max_wal_seq));
     }
   } else {
     mutated = IsMutatingOp(req.op);
-    resp = HandleOne(req);
+    resp = HandleOne(req, &max_wal_seq);
   }
 
   // One durability point per top-level request: under sync=always a
-  // batch costs one fsync, not one per sub-op. If the sync fails the
-  // store holds the mutation but durability is not assured, so answer
-  // kError — the client retries and every mutating op is idempotent.
+  // batch costs at most one fsync, not one per sub-op, and concurrent
+  // requests share that fsync through the WAL's group-commit queue
+  // (CommitThrough waits only for this request's own highest append).
+  // If the sync fails the store holds the mutation but durability is
+  // not assured, so answer kError — the client retries and every
+  // mutating op is idempotent.
   if (wal != nullptr && mutated) {
-    Status acked = wal->Ack();
+    Status acked = wal->CommitThrough(max_wal_seq);
     if (!acked.ok()) {
       obs::Log(obs::Severity::kError, "ssp.wal_ack_failed",
                {{"detail", acked.ToString()}});
@@ -192,7 +196,7 @@ Response SspServer::Handle(const Request& req) {
   return resp;
 }
 
-Response SspServer::HandleOne(const Request& req) {
+Response SspServer::HandleOne(const Request& req, uint64_t* max_wal_seq) {
   // Mutations funnel through the same ApplyWalOp the recovery path
   // replays, so a recovered store is byte-identical by construction.
   // Log-before-apply: an op that reaches the store is always in the log
@@ -200,7 +204,9 @@ Response SspServer::HandleOne(const Request& req) {
   // what replay repairs).
   if (IsMutatingOp(req.op)) {
     if (Wal* wal = wal_.load(std::memory_order_acquire)) {
-      Status appended = wal->Append(req);
+      uint64_t seq = 0;
+      Status appended = wal->Append(req, &seq);
+      if (appended.ok() && seq > *max_wal_seq) *max_wal_seq = seq;
       if (!appended.ok()) {
         obs::Log(obs::Severity::kError, "ssp.wal_append_failed",
                  {{"op", OpCodeName(req.op)},

@@ -64,7 +64,11 @@ class SspServer {
   void set_wal(Wal* wal) { wal_.store(wal, std::memory_order_release); }
 
  private:
-  Response HandleOne(const Request& req);
+  /// Executes one non-batch op. When the op mutates under a WAL,
+  /// `*max_wal_seq` is raised to the sequence its log append was
+  /// assigned — Handle() commits through the highest one, so a whole
+  /// batch shares a single durability point.
+  Response HandleOne(const Request& req, uint64_t* max_wal_seq);
   /// Publishes this server's store accounting as registry gauges
   /// (ssp.store.*). Several live servers sum in the snapshot.
   void RegisterStoreGauges();

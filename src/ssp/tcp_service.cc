@@ -186,7 +186,11 @@ void TcpSspDaemon::ServeConnection(Connection* conn) {
         continue;
       }
       // No daemon-level lock: the store is shard-striped and the server
-      // dispatch is stateless, so connections proceed in parallel.
+      // dispatch is stateless, so connections proceed in parallel. That
+      // parallelism is load-bearing for WAL group commit — concurrent
+      // mutating requests from different connections meet inside
+      // Wal::CommitThrough and share one fsync, which is where the
+      // sublinear ssp.wal.fsyncs growth comes from.
       Bytes response = server_->HandleWire(*request);
       if (fault.kind == FaultAction::Kind::kDelayResponse) {
         std::this_thread::sleep_for(

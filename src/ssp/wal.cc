@@ -30,6 +30,8 @@ struct WalMetrics {
   obs::Counter* replayed;
   obs::Counter* compactions;
   obs::Counter* torn_tails;
+  obs::Counter* commit_leads;
+  obs::Counter* commit_piggybacks;
   obs::Histogram* append_us;
   obs::Histogram* fsync_us;
 
@@ -41,6 +43,8 @@ struct WalMetrics {
     replayed = reg.counter("ssp.wal.replayed");
     compactions = reg.counter("ssp.wal.compactions");
     torn_tails = reg.counter("ssp.wal.torn_tails");
+    commit_leads = reg.counter("ssp.wal.commit_leads");
+    commit_piggybacks = reg.counter("ssp.wal.commit_piggybacks");
     append_us = reg.histogram("ssp.wal.append_us");
     fsync_us = reg.histogram("ssp.wal.fsync_us");
   }
@@ -473,6 +477,9 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
   }
   wal->recovery_.last_seq = last_seq;
   wal->seq_ = last_seq;
+  // Everything recovery replayed was read back from disk, so the commit
+  // frontier starts at the log head.
+  wal->durable_seq_ = last_seq;
   Metrics().replayed->Add(wal->recovery_.records_applied);
   if (wal->recovery_.tail_truncated) Metrics().torn_tails->Increment();
 
@@ -558,7 +565,7 @@ Status Wal::OpenSegmentLocked(uint64_t base_seq, bool truncate_to,
   return Status::OK();
 }
 
-Status Wal::Append(const Request& op) {
+Status Wal::Append(const Request& op, uint64_t* seq_out) {
   if (!IsMutatingOp(op.op)) {
     return Status::InvalidArgument("only mutating ops are logged");
   }
@@ -572,6 +579,7 @@ Status Wal::Append(const Request& op) {
     SHAROES_RETURN_IF_ERROR(
         WriteAll(fd_, record.data(), record.size(), segment_path_));
     ++seq_;
+    if (seq_out != nullptr) *seq_out = seq_;
     segment_bytes_ += record.size();
     appended_bytes = record.size();
     dirty_ = true;
@@ -591,11 +599,47 @@ Status Wal::Append(const Request& op) {
   return Status::OK();
 }
 
-Status Wal::Ack() {
+Status Wal::CommitThrough(uint64_t seq) {
   if (opts_.sync != WalSyncPolicy::kAlways) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
-  return SyncLocked();
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  bool led = false;
+  while (durable_seq_ < seq) {
+    if (sync_in_flight_) {
+      // Follower: a leader's fsync is underway; its frontier was taken
+      // after our append iff we appended before its pickup — if not, we
+      // re-check and the next round covers us.
+      commit_cv_.wait(lock,
+                      [this] { return !sync_in_flight_; });
+      continue;
+    }
+    // Leader: optionally linger so concurrent appends join this sync,
+    // then fsync once at whatever frontier the log has reached.
+    sync_in_flight_ = true;
+    led = true;
+    lock.unlock();
+    if (opts_.group_commit_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opts_.group_commit_us));
+    }
+    uint64_t frontier = 0;
+    Status synced;
+    {
+      std::lock_guard<std::mutex> mu_lock(mu_);
+      frontier = seq_;
+      synced = SyncLocked();
+    }
+    lock.lock();
+    sync_in_flight_ = false;
+    if (synced.ok() && frontier > durable_seq_) durable_seq_ = frontier;
+    commit_cv_.notify_all();
+    if (!synced.ok()) return synced;
+  }
+  WalMetrics& m = Metrics();
+  (led ? m.commit_leads : m.commit_piggybacks)->Increment();
+  return Status::OK();
 }
+
+Status Wal::Ack() { return CommitThrough(last_sequence()); }
 
 Status Wal::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -701,6 +745,11 @@ void Wal::PruneSegmentsBelow(uint64_t base_seq) {
 uint64_t Wal::last_sequence() const {
   std::lock_guard<std::mutex> lock(mu_);
   return seq_;
+}
+
+uint64_t Wal::durable_sequence() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return durable_seq_;
 }
 
 uint64_t Wal::segment_bytes() const {

@@ -61,6 +61,11 @@ struct WalOptions {
   /// Segment size that triggers background compaction; 0 disables the
   /// automatic trigger (Compact() can still be called explicitly).
   uint64_t compact_threshold_bytes = 64ull << 20;
+  /// Group-commit window for kAlways: the commit leader waits this long
+  /// before issuing the shared fsync so concurrent requests can pile
+  /// their appends into it. 0 keeps pure piggybacking (followers share
+  /// whatever sync is already in flight, the leader never dawdles).
+  uint32_t group_commit_us = 0;
 };
 
 /// What startup recovery found (surfaced by the daemon's banner and the
@@ -158,11 +163,24 @@ class Wal {
 
   /// Assigns the next sequence number and appends one framed mutating
   /// op. Durability is governed by the sync policy — callers ack only
-  /// after Ack() returns.
-  Status Append(const Request& op);
+  /// after CommitThrough(seq) returns. `seq_out` (optional) receives the
+  /// assigned sequence, the token a caller hands to CommitThrough.
+  Status Append(const Request& op, uint64_t* seq_out = nullptr);
 
-  /// The per-request durability point: under kAlways, fsyncs anything
-  /// appended since the last sync. No-op under kInterval / kOff.
+  /// The per-request durability point under kAlways: returns once every
+  /// record up to `seq` is fsynced. Concurrent callers share one fsync
+  /// via a leader/follower commit queue — the first uncovered caller
+  /// becomes leader, optionally waits `group_commit_us` for more appends
+  /// to pile in, and issues a single fsync whose frontier covers every
+  /// follower that appended before it; followers just wait. This is how
+  /// `ssp.wal.fsyncs` grows sublinearly in acked ops while
+  /// acked-implies-durable holds verbatim. No-op under kInterval / kOff
+  /// (their loss windows are unchanged).
+  Status CommitThrough(uint64_t seq);
+
+  /// Legacy per-request durability point: CommitThrough(last_sequence()).
+  /// Prefer CommitThrough with the sequence Append assigned — under
+  /// concurrency this waits for other requests' later appends too.
   Status Ack();
 
   /// Unconditional fsync of the current segment.
@@ -176,6 +194,8 @@ class Wal {
   Status Compact();
 
   uint64_t last_sequence() const;
+  /// Highest sequence CommitThrough has proven durable (kAlways).
+  uint64_t durable_sequence() const;
   uint64_t segment_bytes() const;
   uint64_t compactions() const { return compactions_.load(); }
   const WalRecoveryInfo& recovery() const { return recovery_; }
@@ -210,6 +230,15 @@ class Wal {
   uint64_t seq_ = 0;
   uint64_t segment_bytes_ = 0;
   bool dirty_ = false;  // Unsynced appended bytes exist.
+
+  // Group-commit state (kAlways only). commit_mu_ is never held
+  // together with mu_: the leader marks sync_in_flight_, drops
+  // commit_mu_, takes mu_ for the shared fsync, then re-takes
+  // commit_mu_ to publish the durable frontier.
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  uint64_t durable_seq_ = 0;     // Every record <= this is fsynced.
+  bool sync_in_flight_ = false;  // A leader is between pickup and publish.
 
   std::atomic<uint64_t> compactions_{0};
 

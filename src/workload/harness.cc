@@ -120,6 +120,7 @@ BenchWorld::BenchWorld(const BenchWorldOptions& opts) : opts_(opts) {
     copts.block_size = opts.block_size;
     copts.batch_reads = opts.batch_reads;
     copts.readahead_blocks = opts.readahead_blocks;
+    copts.write_batch_ops = opts.write_batch_ops;
     auto client = std::make_unique<core::SharoesClient>(
         kBenchUser, bench_user_priv_, &identity_, conn_.get(), engine_.get(),
         copts);

@@ -64,6 +64,10 @@ struct BenchWorldOptions {
   /// the read-RTT benchmark measures against.
   bool batch_reads = true;
   size_t readahead_blocks = 32;
+  /// Write-behind knob (Sharoes variant only): mutating sub-ops staged
+  /// per flush. 0 = one round trip per logical op, the unbatched
+  /// comparator the write-RTT benchmark measures against.
+  size_t write_batch_ops = 0;
 };
 
 /// A provisioned single-client deployment of one variant.

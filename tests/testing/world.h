@@ -39,6 +39,10 @@ class World {
     bool batch_reads = true;
     size_t readahead_blocks = 32;
     size_t negative_dentry_bytes = 64 << 10;
+    // Write-behind knobs (ops=0 = immediate per-op round trips, the
+    // default; bytes bounds the staged payload between flushes).
+    size_t write_batch_ops = 0;
+    size_t write_batch_bytes = 1 << 20;
   };
 
   World() : World(Options()) {}
@@ -102,6 +106,8 @@ class World {
     copts.batch_reads = opts_.batch_reads;
     copts.readahead_blocks = opts_.readahead_blocks;
     copts.negative_dentry_bytes = opts_.negative_dentry_bytes;
+    copts.write_batch_ops = opts_.write_batch_ops;
+    copts.write_batch_bytes = opts_.write_batch_bytes;
     copts.default_group = DefaultGroupOf(uid);
     clients_[uid] = std::make_unique<core::SharoesClient>(
         uid, user_keys_.at(uid), &identity_, conns_[uid].get(),

@@ -31,6 +31,10 @@
 //        --io-timeout-ms N         per-syscall send/recv deadline
 //        --readahead-blocks N      data blocks fetched per read batch
 //                                  (32; 0 = one get per round trip)
+//        --write-batch N           mutating sub-ops staged per flush of
+//                                  the write-behind batch (16; 0 = one
+//                                  round trip per logical op, the
+//                                  pre-batching wire behaviour)
 //        --rpc-stats               print the op's round-trip count
 //                                  (10000; 0 = forever)
 
@@ -62,6 +66,9 @@ struct Args {
   /// Data-read batching window; 0 disables batched reads entirely
   /// (one get per round trip, the pre-batching wire behaviour).
   size_t readahead_blocks = 32;
+  /// Write-behind stage threshold; 0 disables write batching (every
+  /// logical op pays its own round trips immediately).
+  size_t write_batch = 16;
   /// Print the client's RPC round-trip count to stderr after the command.
   bool rpc_stats = false;
   std::vector<std::string> command;
@@ -110,6 +117,8 @@ Args ParseArgs(int argc, char** argv) {
     } else if (a == "--readahead-blocks") {
       args.readahead_blocks =
           static_cast<size_t>(std::atoi(next().c_str()));
+    } else if (a == "--write-batch") {
+      args.write_batch = static_cast<size_t>(std::atoi(next().c_str()));
     } else if (a == "--rpc-stats") {
       args.rpc_stats = true;
     } else {
@@ -251,6 +260,7 @@ int RunCommand(const Args& args) {
   if (args.readahead_blocks > 0) {
     copts.readahead_blocks = args.readahead_blocks;
   }
+  copts.write_batch_ops = args.write_batch;
   auto channel = MakeConnection(args.host, args.port,
                                 copts.transport_timeouts,
                                 copts.transport_retry);
@@ -304,6 +314,9 @@ int RunCommand(const Args& args) {
     Die("unknown command '" + cmd +
         "' (try: ls cat put stat mkdir chmod rm rmdir stats)");
   }
+  // Drain the write-behind stage before exit: a one-shot CLI process must
+  // not drop staged mutations (mkdir/chmod/rm have no Close of their own).
+  CheckOk(client.Fsync());
   if (args.rpc_stats) {
     std::fprintf(stderr, "rpc round trips: %llu\n",
                  static_cast<unsigned long long>(client.rpc_round_trips()));

@@ -14,6 +14,10 @@
 //   --wal-interval-ms N              flush cadence for `interval` (def. 50)
 //   --wal-compact-bytes N            segment size that triggers background
 //                                    snapshot compaction (default 64 MiB)
+//   --wal-group-commit-us N          group-commit window for `always`: the
+//                                    commit leader lingers N µs so
+//                                    concurrent requests share its fsync
+//                                    (default 0 = pure piggybacking)
 //
 // --store FILE is the legacy clean-shutdown-only persistence: load the
 // snapshot at startup, save it at exit — a crash loses everything since
@@ -78,6 +82,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--wal-compact-bytes" && i + 1 < argc) {
       wal_opts.compact_threshold_bytes =
           static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--wal-group-commit-us" && i + 1 < argc) {
+      wal_opts.group_commit_us = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--stats-interval-s" && i + 1 < argc) {
       stats_interval_s = std::atoi(argv[++i]);
     } else if (arg == "--fault-fail-pct" && i + 1 < argc) {
