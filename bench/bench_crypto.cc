@@ -1,11 +1,34 @@
 // Micro-benchmarks of the from-scratch crypto primitives underlying the
-// cost model: AES-128-CTR, SHA-256, HMAC, RSA public/private operations
-// and the ESIGN-substitute signatures. These are real wall-clock numbers
-// on the build machine (google-benchmark); the calibrated virtual costs
-// used in the paper reproduction are documented in crypto/keys.h.
+// cost model: AES-128-CTR, AES-128-GCM (portable and AES-NI/CLMUL),
+// SHA-256, HMAC, RSA public/private operations and the ESIGN-substitute
+// signatures. These are real wall-clock numbers on the build machine;
+// the calibrated virtual costs used in the paper reproduction are
+// documented in crypto/keys.h and are NOT derived from this binary.
+//
+// Besides the google-benchmark suite, two special modes back the CI
+// crypto job:
+//
+//   bench_crypto --self-check
+//     Cross-checks the AES-NI/CLMUL fast paths byte-for-byte against the
+//     portable implementations over a random corpus. Prints SKIP and
+//     exits 0 on CPUs without the extensions.
+//
+//   bench_crypto --json <path>
+//     Writes a GiB/s throughput table (aes_ctr / ghash / gcm_seal /
+//     gcm_open, portable and accelerated, 4 KiB and 1 MiB payloads) as
+//     JSON — the BENCH_crypto.json artifact.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/aes_accel.h"
 #include "crypto/ctr.h"
 #include "crypto/hmac.h"
 #include "crypto/keys.h"
@@ -30,6 +53,203 @@ const RsaKeyPair& Rsa512() {
   static RsaKeyPair* kp = new RsaKeyPair(GenerateRsaKeyPair(512, BenchRng()));
   return *kp;
 }
+
+// ---------------------------------------------------------------------
+// Portable CTR reference (the exact ctr.cc fallback loop), used both to
+// cross-check CtrXorAccel and as the portable aes_ctr throughput row.
+// ---------------------------------------------------------------------
+
+Bytes PortableCtr(const Bytes& key, const Bytes& iv, const Bytes& input,
+                  size_t ctr_bytes) {
+  Aes128 aes(key);
+  Bytes out(input.size());
+  uint8_t counter[kAesBlockSize];
+  std::memcpy(counter, iv.data(), kAesBlockSize);
+  uint8_t keystream[kAesBlockSize];
+  size_t pos = 0;
+  while (pos < input.size()) {
+    aes.EncryptBlock(counter, keystream);
+    size_t n = std::min(input.size() - pos, kAesBlockSize);
+    for (size_t i = 0; i < n; ++i) out[pos + i] = input[pos + i] ^ keystream[i];
+    pos += n;
+    for (int i = kAesBlockSize - 1; i >= static_cast<int>(16 - ctr_bytes);
+         --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+Bytes AccelCtr(const Bytes& key, const Bytes& iv, const Bytes& input,
+               size_t ctr_bytes) {
+  AesAccelSchedule sched;
+  ExpandKeyAccel(key.data(), &sched);
+  uint8_t counter[kAesBlockSize];
+  std::memcpy(counter, iv.data(), kAesBlockSize);
+  Bytes out(input.size());
+  CtrXorAccel(sched, counter, ctr_bytes, input.data(), out.data(),
+              input.size());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// --self-check: byte-for-byte agreement of the fast paths.
+// ---------------------------------------------------------------------
+
+int SelfCheck() {
+  if (!CpuHasAesClmul()) {
+    std::printf("SKIP: CPU lacks AES-NI/PCLMUL/SSSE3; no fast path to "
+                "cross-check\n");
+    return 0;
+  }
+  Rng rng(0x5E1F);
+  size_t cases = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    Bytes key = rng.NextBytes(16);
+    Bytes iv = rng.NextBytes(kAesBlockSize);
+    Bytes data = rng.NextBytes(rng.NextU64() % 8192);
+    // CTR keystream, both counter widths the codebase uses (ctr.cc uses
+    // 8, GCM's inc32 uses 4).
+    for (size_t ctr_bytes : {4u, 8u}) {
+      if (PortableCtr(key, iv, data, ctr_bytes) !=
+          AccelCtr(key, iv, data, ctr_bytes)) {
+        std::printf("FAIL: CTR mismatch (ctr_bytes=%zu, len=%zu)\n",
+                    ctr_bytes, data.size());
+        return 1;
+      }
+      ++cases;
+    }
+    // Full GCM seal + open, portable vs accelerated, both directions.
+    Bytes nonce = rng.NextBytes(kAeadNonceSize);
+    Bytes aad = rng.NextBytes(rng.NextU64() % 128);
+    ForceAeadImpl(AeadImpl::kPortable);
+    Bytes tag_p;
+    Bytes ct_p = GcmSeal(key, nonce, aad, data, &tag_p);
+    ForceAeadImpl(AeadImpl::kAccelerated);
+    Bytes tag_a;
+    Bytes ct_a = GcmSeal(key, nonce, aad, data, &tag_a);
+    if (ct_p != ct_a || tag_p != tag_a) {
+      ResetAeadImpl();
+      std::printf("FAIL: GCM seal mismatch (len=%zu)\n", data.size());
+      return 1;
+    }
+    auto open_a = GcmOpen(key, nonce, aad, ct_p, tag_p);
+    ForceAeadImpl(AeadImpl::kPortable);
+    auto open_p = GcmOpen(key, nonce, aad, ct_a, tag_a);
+    ResetAeadImpl();
+    if (!open_a.ok() || !open_p.ok() || *open_a != data || *open_p != data) {
+      std::printf("FAIL: GCM cross-open mismatch (len=%zu)\n", data.size());
+      return 1;
+    }
+    cases += 2;
+  }
+  std::printf("OK: %zu cross-implementation cases agree byte-for-byte\n",
+              cases);
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// --json: GiB/s throughput table.
+// ---------------------------------------------------------------------
+
+/// Measures `fn` (which processes `bytes` per call) and returns GiB/s.
+template <typename Fn>
+double Throughput(size_t bytes, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // Warm-up (key schedules, caches).
+  size_t iters = 1;
+  for (;;) {
+    auto start = clock::now();
+    for (size_t i = 0; i < iters; ++i) fn();
+    double secs = std::chrono::duration<double>(clock::now() - start).count();
+    if (secs >= 0.05) {
+      return static_cast<double>(bytes) * static_cast<double>(iters) / secs /
+             (1024.0 * 1024.0 * 1024.0);
+    }
+    iters *= 4;
+  }
+}
+
+struct JsonRow {
+  const char* primitive;
+  const char* impl;
+  size_t size;
+  double gib_s;
+};
+
+int WriteJson(const std::string& path) {
+  Rng rng(0x71B5);
+  Bytes key = rng.NextBytes(16);
+  Bytes iv = rng.NextBytes(kAesBlockSize);
+  Bytes nonce = rng.NextBytes(kAeadNonceSize);
+  std::vector<JsonRow> rows;
+  std::vector<const char*> impls = {"portable"};
+  if (CpuHasAesClmul()) impls.push_back("accelerated");
+
+  for (size_t size : {size_t{4096}, size_t{1} << 20}) {
+    Bytes data = rng.NextBytes(size);
+    Bytes tag;
+    Bytes ct = GcmSeal(key, nonce, {}, data, &tag);
+    for (const char* impl : impls) {
+      bool accel = std::strcmp(impl, "accelerated") == 0;
+      ForceAeadImpl(accel ? AeadImpl::kAccelerated : AeadImpl::kPortable);
+      rows.push_back({"aes_ctr", impl, size,
+                      Throughput(size, [&] {
+                        benchmark::DoNotOptimize(
+                            accel ? AccelCtr(key, iv, data, 8)
+                                  : PortableCtr(key, iv, data, 8));
+                      })});
+      // GHASH-dominated: authenticate `size` bytes of AAD, empty payload.
+      rows.push_back({"ghash", impl, size,
+                      Throughput(size, [&] {
+                        Bytes t;
+                        benchmark::DoNotOptimize(
+                            GcmSeal(key, nonce, data, {}, &t));
+                      })});
+      rows.push_back({"gcm_seal", impl, size,
+                      Throughput(size, [&] {
+                        Bytes t;
+                        benchmark::DoNotOptimize(
+                            GcmSeal(key, nonce, {}, data, &t));
+                      })});
+      rows.push_back({"gcm_open", impl, size,
+                      Throughput(size, [&] {
+                        benchmark::DoNotOptimize(
+                            GcmOpen(key, nonce, {}, ct, tag));
+                      })});
+    }
+  }
+  ResetAeadImpl();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"crypto\",\n  \"unit\": \"GiB/s\",\n");
+  std::fprintf(f, "  \"aes_accel_available\": %s,\n",
+               CpuHasAesClmul() ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"primitive\": \"%s\", \"impl\": \"%s\", "
+                 "\"size_bytes\": %zu, \"gib_per_s\": %.4f}%s\n",
+                 rows[i].primitive, rows[i].impl, rows[i].size, rows[i].gib_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  for (const JsonRow& r : rows) {
+    std::printf("%-9s %-12s %8zu B  %8.3f GiB/s\n", r.primitive, r.impl,
+                r.size, r.gib_s);
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark suite.
+// ---------------------------------------------------------------------
 
 void BM_Sha256(benchmark::State& state) {
   Bytes data = BenchRng().NextBytes(state.range(0));
@@ -60,6 +280,54 @@ void BM_AesCtrEncrypt(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_AesCtrEncrypt)->Arg(4096)->Arg(1 << 20);
+
+void BM_GcmSeal(benchmark::State& state) {
+  // range(1): 0 = portable, 1 = accelerated.
+  bool accel = state.range(1) != 0;
+  if (accel && !AesAccelAvailable()) {
+    state.SkipWithError("CPU lacks AES-NI/PCLMUL");
+    return;
+  }
+  ForceAeadImpl(accel ? AeadImpl::kAccelerated : AeadImpl::kPortable);
+  Bytes key = BenchRng().NextBytes(16);
+  Bytes nonce = BenchRng().NextBytes(kAeadNonceSize);
+  Bytes data = BenchRng().NextBytes(state.range(0));
+  for (auto _ : state) {
+    Bytes tag;
+    benchmark::DoNotOptimize(GcmSeal(key, nonce, {}, data, &tag));
+  }
+  ResetAeadImpl();
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GcmSeal)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+void BM_GcmOpen(benchmark::State& state) {
+  bool accel = state.range(1) != 0;
+  if (accel && !AesAccelAvailable()) {
+    state.SkipWithError("CPU lacks AES-NI/PCLMUL");
+    return;
+  }
+  ForceAeadImpl(accel ? AeadImpl::kAccelerated : AeadImpl::kPortable);
+  Bytes key = BenchRng().NextBytes(16);
+  Bytes nonce = BenchRng().NextBytes(kAeadNonceSize);
+  Bytes data = BenchRng().NextBytes(state.range(0));
+  Bytes tag;
+  Bytes ct = GcmSeal(key, nonce, {}, data, &tag);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GcmOpen(key, nonce, {}, ct, tag));
+  }
+  ResetAeadImpl();
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GcmOpen)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
 
 void BM_RsaKeygen512(benchmark::State& state) {
   for (auto _ : state) {
@@ -109,4 +377,17 @@ BENCHMARK(BM_EsignSubstituteVerify);
 }  // namespace
 }  // namespace sharoes::crypto
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-check") == 0) {
+      return sharoes::crypto::SelfCheck();
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return sharoes::crypto::WriteJson(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

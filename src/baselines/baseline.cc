@@ -1,6 +1,7 @@
 #include "baselines/baseline.h"
 
 #include "crypto/ctr.h"
+#include "crypto/merkle.h"
 #include "fs/path.h"
 #include "fs/superblock.h"
 
@@ -136,6 +137,9 @@ Status BaselineProvisioner::MigrateNode(const core::LocalNode& spec,
     size_t chunk0 = std::min(content.size(), bs);
     desc.block_count =
         1 + static_cast<uint32_t>((content.size() - chunk0 + bs - 1) / bs);
+    // Baselines have no per-block AEAD tags; the zero root keeps the
+    // descriptor wire shape shared with the SHAROES client.
+    desc.tag_root = Bytes(crypto::kMerkleRootSize, 0);
     BinaryWriter w0;
     desc.AppendTo(&w0);
     w0.PutRaw(content.data(), chunk0);
@@ -587,6 +591,7 @@ Status BaselineClient::FlushBuffer(WriteBuffer* buf,
   size_t chunk0 = std::min(content.size(), bs);
   desc.block_count =
       1 + static_cast<uint32_t>((content.size() - chunk0 + bs - 1) / bs);
+  desc.tag_root = Bytes(crypto::kMerkleRootSize, 0);
 
   std::vector<ssp::Request> puts;
   // Block 0 holds the directory table for dirs; files start at block 1.

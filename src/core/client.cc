@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/merkle.h"
 #include "fs/path.h"
 #include "obs/trace.h"
 
@@ -134,11 +135,43 @@ std::string SharoesClient::ViewCacheKey(fs::InodeNum inode,
   return "m|" + std::to_string(inode) + "|" + std::to_string(sel);
 }
 
+std::string SharoesClient::DataCacheKey(fs::InodeNum inode, uint32_t block) {
+  return "d|" + std::to_string(inode) + "|" + std::to_string(block);
+}
+
+std::string SharoesClient::TagCacheKey(fs::InodeNum inode, uint32_t block) {
+  return "e|" + std::to_string(inode) + "|" + std::to_string(block);
+}
+
+std::string SharoesClient::TableCacheKey(fs::InodeNum inode, Selector sel) {
+  return "t|" + std::to_string(inode) + "|" + std::to_string(sel);
+}
+
+std::string SharoesClient::MasterCacheKey(fs::InodeNum inode) {
+  return "M|" + std::to_string(inode);
+}
+
+std::string SharoesClient::UserSplitCacheKey(fs::InodeNum inode,
+                                             fs::UserId uid) {
+  return "u|" + std::to_string(inode) + "|" + std::to_string(uid);
+}
+
+std::string SharoesClient::GroupSplitCacheKey(fs::InodeNum inode,
+                                              uint32_t id) {
+  return "g|" + std::to_string(inode) + "|" + std::to_string(id);
+}
+
+std::string SharoesClient::NegDentryCacheKey(fs::InodeNum dir_inode,
+                                             const std::string& name) {
+  return "n|" + std::to_string(dir_inode) + "|" + name;
+}
+
 void SharoesClient::InvalidateInode(fs::InodeNum inode) {
   std::string id = std::to_string(inode);
   cache_.ErasePrefix("m|" + id + "|");
   cache_.ErasePrefix("t|" + id + "|");
   cache_.ErasePrefix("d|" + id + "|");
+  cache_.ErasePrefix("e|" + id + "|");
   cache_.ErasePrefix("u|" + id + "|");
   cache_.ErasePrefix("g|" + id + "|");
   neg_cache_.ErasePrefix("n|" + id + "|");
@@ -277,12 +310,11 @@ void SharoesClient::CacheFetchedDataBlocks(const Node& node,
     auto plain = codec_.DecodeDataBlock(inode, 0, r.payload, *dek,
                                         *node.view.dvk);
     if (!plain.ok()) return;
-    cache_.Put("d|" + std::to_string(inode) + "|0", *plain, r.payload.size());
+    cache_.Put(DataCacheKey(inode, 0), *plain, r.payload.size());
     desc_from_plain(*plain);
   }
   if (!desc.has_value()) {
-    if (auto cached0 =
-            cache_.Get<Bytes>("d|" + std::to_string(inode) + "|0")) {
+    if (auto cached0 = cache_.Get<Bytes>(DataCacheKey(inode, 0))) {
       desc_from_plain(*cached0);
     }
   }
@@ -299,8 +331,14 @@ void SharoesClient::CacheFetchedDataBlocks(const Node& node,
     auto plain =
         codec_.DecodeDataBlock(inode, i, r.payload, *dek, *node.view.dvk);
     if (!plain.ok()) continue;
-    cache_.Put("d|" + std::to_string(inode) + "|" + std::to_string(i),
-               *plain, r.payload.size());
+    auto tag = ObjectCodec::PeekDataTag(r.payload);
+    if (!tag.ok()) continue;
+    // The tag is the block's Merkle leaf: cache it alongside the
+    // plaintext so a later root check over cached blocks needs no
+    // re-fetch (FetchFileContent counts a block as cached only when
+    // both entries are present).
+    cache_.Put(DataCacheKey(inode, i), *plain, r.payload.size());
+    cache_.Put(TagCacheKey(inode, i), *tag, tag->size());
   }
 }
 
@@ -308,16 +346,15 @@ Result<SharoesClient::Node> SharoesClient::FetchNodeBatched(
     const PlainRef& ref, bool want_table, bool want_data) {
   if (!options_.batch_reads) return FetchNode(ref);
   std::string view_key = ViewCacheKey(ref.inode, ref.selector);
-  std::string table_key = "t|" + std::to_string(ref.inode) + "|" +
-                          std::to_string(ref.selector);
+  std::string table_key = TableCacheKey(ref.inode, ref.selector);
   bool fetch_view = !cache_.Contains(view_key);
   bool fetch_table = want_table && !cache_.Contains(table_key);
   std::vector<uint32_t> data_blocks;
   if (want_data) {
     uint32_t window = InitialWindowBlocks();
     for (uint32_t i = 0; i < window; ++i) {
-      if (!cache_.Contains("d|" + std::to_string(ref.inode) + "|" +
-                           std::to_string(i))) {
+      if (!cache_.Contains(DataCacheKey(ref.inode, i)) ||
+          (i > 0 && !cache_.Contains(TagCacheKey(ref.inode, i)))) {
         data_blocks.push_back(i);
       }
     }
@@ -384,8 +421,7 @@ Result<std::shared_ptr<const DecodedTable>> SharoesClient::FetchTable(
   if (!dir.view.dek.has_value() || !dir.view.dvk.has_value()) {
     return Status::PermissionDenied("no table access on directory");
   }
-  std::string key = "t|" + std::to_string(dir.ref.inode) + "|" +
-                    std::to_string(dir.ref.selector);
+  std::string key = TableCacheKey(dir.ref.inode, dir.ref.selector);
   if (auto cached = cache_.Get<DecodedTable>(key)) return cached;
   SHAROES_ASSIGN_OR_RETURN(
       ssp::Response resp,
@@ -424,11 +460,9 @@ Result<PlainRef> SharoesClient::ResolveRowRef(const RowRef& row) {
   // readers whose class diverges from the shared group block — e.g. the
   // child's owner, who may also be a group member); group members without
   // one fall back to the shared group block.
-  std::string ukey =
-      "u|" + std::to_string(row.inode) + "|" + std::to_string(uid_);
+  std::string ukey = UserSplitCacheKey(row.inode, uid_);
   if (auto cached = cache_.Get<PlainRef>(ukey)) return *cached;
-  std::string gkey =
-      "g|" + std::to_string(row.inode) + "|" + std::to_string(row.gid);
+  std::string gkey = GroupSplitCacheKey(row.inode, row.gid);
   if (row.has_group_block && principal_.MemberOf(row.gid)) {
     if (auto cached = cache_.Get<PlainRef>(gkey)) return *cached;
   }
@@ -472,8 +506,8 @@ Result<SharoesClient::Node> SharoesClient::ResolvePath(
     // for a table it will not consult.
     bool neg = false;
     if (!last && neg_cache_on) {
-      neg = neg_cache_.Get<bool>("n|" + std::to_string(ref.inode) + "|" +
-                                 comps[i]) != nullptr;
+      neg = neg_cache_.Get<bool>(NegDentryCacheKey(ref.inode, comps[i])) !=
+            nullptr;
     }
     bool want_table = !last && !neg;
     bool want_data = last && intent == ReadIntent::kData;
@@ -501,8 +535,7 @@ Result<SharoesClient::Node> SharoesClient::ResolvePath(
         auto it = table->refs.find(comp);
         if (it == table->refs.end()) {
           if (neg_cache_on) {
-            std::string nkey =
-                "n|" + std::to_string(ref.inode) + "|" + comp;
+            std::string nkey = NegDentryCacheKey(ref.inode, comp);
             neg_cache_.Put(nkey, true, nkey.size() + 1);
           }
           return Status::NotFound("no entry named '" + comp + "'");
@@ -514,8 +547,7 @@ Result<SharoesClient::Node> SharoesClient::ResolvePath(
         auto looked = codec_.ExecOnlyLookup(*table, *node.view.dek, comp);
         if (!looked.ok()) {
           if (neg_cache_on && looked.status().IsNotFound()) {
-            std::string nkey =
-                "n|" + std::to_string(ref.inode) + "|" + comp;
+            std::string nkey = NegDentryCacheKey(ref.inode, comp);
             neg_cache_.Put(nkey, true, nkey.size() + 1);
           }
           return looked.status();
@@ -546,8 +578,8 @@ Result<fs::InodeAttrs> SharoesClient::Getattr(const std::string& path) {
     auto buf_it = write_buffers_.find(norm);
     if (buf_it != write_buffers_.end()) {
       attrs.size = buf_it->second.content.size();
-    } else if (auto cached0 = cache_.Get<Bytes>(
-                   "d|" + std::to_string(node.ref.inode) + "|0")) {
+    } else if (auto cached0 =
+                   cache_.Get<Bytes>(DataCacheKey(node.ref.inode, 0))) {
       BinaryReader r(*cached0);
       auto desc = DataDescriptor::ReadFrom(&r);
       if (desc.ok()) attrs.size = desc->size;
@@ -677,7 +709,7 @@ Result<MasterTable> SharoesClient::FetchMaster(const Node& dir,
   if (it == bundle.table_keys.end()) {
     return Status::PermissionDenied("no master table key");
   }
-  std::string key = "M|" + std::to_string(dir.ref.inode);
+  std::string key = MasterCacheKey(dir.ref.inode);
   if (auto cached = cache_.Get<MasterTable>(key)) return *cached;
   SHAROES_ASSIGN_OR_RETURN(
       ssp::Response resp,
@@ -751,11 +783,12 @@ Status SharoesClient::RenderDirTables(const WriterDirContext& ctx,
   // The directory's membership just changed: names that were absent may
   // exist now, so every negative dentry under it is stale.
   neg_cache_.ErasePrefix("n|" + id + "|");
-  cache_.Put("M|" + id, ctx.master, ctx.master.Serialize().size());
+  cache_.Put(MasterCacheKey(ctx.node.ref.inode), ctx.master,
+             ctx.master.Serialize().size());
   if (my_copy_full) {
     auto decoded = codec_.RenderFullTableView(ctx.master, my_universe);
     if (decoded.ok()) {
-      cache_.Put("t|" + id + "|" + std::to_string(ctx.node.ref.selector),
+      cache_.Put(TableCacheKey(ctx.node.ref.inode, ctx.node.ref.selector),
                  std::move(*decoded), my_copy_size);
     }
   }
@@ -835,7 +868,7 @@ Status SharoesClient::CreateObject(const std::string& path, fs::FileType type,
   SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(batch2)));
   // The creator keeps its own view of the new object in memory, and
   // knows the file has never been written (write generation 0).
-  freshness_[attrs.inode] = 0;
+  freshness_[attrs.inode] = FreshnessRecord{0, {}};
   ReplicaSpec my_spec = SpecFor(info, principal_, options_.scheme);
   MetadataView my_view = ObjectCodec::BuildView(my_spec, attrs, bundle);
   cache_.Put(ViewCacheKey(attrs.inode, my_spec.selector), my_view,
@@ -845,7 +878,7 @@ Status SharoesClient::CreateObject(const std::string& path, fs::FileType type,
     // table cache so the first create inside it skips the fetch of a
     // table this client rendered moments ago.
     MasterTable empty;
-    cache_.Put("M|" + std::to_string(attrs.inode), empty,
+    cache_.Put(MasterCacheKey(attrs.inode), empty,
                empty.Serialize().size());
   }
   return Status::OK();
@@ -879,7 +912,7 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
 
   Bytes content;
   DataDescriptor desc;
-  std::string key0 = "d|" + std::to_string(inode) + "|0";
+  std::string key0 = DataCacheKey(inode, 0);
   if (auto cached = cache_.Get<Bytes>(key0)) {
     BinaryReader r(*cached);
     SHAROES_ASSIGN_OR_RETURN(desc, DataDescriptor::ReadFrom(&r));
@@ -892,8 +925,8 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
     if (options_.batch_reads) {
       uint32_t w = InitialWindowBlocks();
       for (uint32_t i = 1; i < w; ++i) {
-        if (!cache_.Contains("d|" + std::to_string(inode) + "|" +
-                             std::to_string(i))) {
+        if (!cache_.Contains(DataCacheKey(inode, i)) ||
+            !cache_.Contains(TagCacheKey(inode, i))) {
           window.push_back(i);
         }
       }
@@ -936,20 +969,37 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
   // caught here.
   if (options_.track_freshness) {
     auto it = freshness_.find(inode);
-    if (it != freshness_.end() && desc.write_gen < it->second) {
-      return Status::IntegrityError(
-          "rollback detected: write generation regressed");
+    if (it != freshness_.end()) {
+      if (desc.write_gen < it->second.write_gen) {
+        return Status::Corruption(
+            "rollback detected: write generation regressed");
+      }
+      // Same generation but a different tag root is SSP equivocation:
+      // two distinct contents presented under one write generation.
+      if (desc.write_gen == it->second.write_gen &&
+          !it->second.tag_root.empty() &&
+          !ConstantTimeEquals(desc.tag_root, it->second.tag_root)) {
+        return Status::Corruption(
+            "rollback detected: different content presented at the same "
+            "write generation");
+      }
     }
-    freshness_[inode] = desc.write_gen;
+    freshness_[inode] = FreshnessRecord{desc.write_gen, desc.tag_root};
   }
 
+  std::vector<Bytes> tail_tags;  // Merkle leaves: blocks 1..block_count-1.
   if (desc.block_count > 1) {
+    tail_tags.resize(desc.block_count - 1);
     std::vector<uint32_t> missing;
     std::map<uint32_t, Bytes> chunks;
     for (uint32_t i = 1; i < desc.block_count; ++i) {
-      std::string key = "d|" + std::to_string(inode) + "|" + std::to_string(i);
-      if (auto cached = cache_.Get<Bytes>(key)) {
+      // A block counts as cached only when its AEAD tag is cached
+      // alongside: the root check below needs every tail tag.
+      auto cached = cache_.Get<Bytes>(DataCacheKey(inode, i));
+      auto cached_tag = cache_.Get<Bytes>(TagCacheKey(inode, i));
+      if (cached != nullptr && cached_tag != nullptr) {
         chunks[i] = *cached;
+        tail_tags[i - 1] = *cached_tag;
         continue;
       }
       missing.push_back(i);
@@ -979,7 +1029,7 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
         SHAROES_ASSIGN_OR_RETURN(ObjectCodec::DataBlockHeader h,
                                  ObjectCodec::PeekDataHeader(wire));
         if (h.write_gen != desc.GenOfBlock(i)) {
-          return Status::IntegrityError(
+          return Status::Corruption(
               "data block generation does not match the descriptor");
         }
         SHAROES_ASSIGN_OR_RETURN(crypto::SymmetricKey dek,
@@ -987,8 +1037,10 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
         SHAROES_ASSIGN_OR_RETURN(
             Bytes plain,
             codec_.DecodeDataBlock(inode, i, wire, dek, *node.view.dvk));
-        cache_.Put("d|" + std::to_string(inode) + "|" + std::to_string(i),
-                   plain, wire.size());
+        SHAROES_ASSIGN_OR_RETURN(Bytes tag, ObjectCodec::PeekDataTag(wire));
+        cache_.Put(DataCacheKey(inode, i), plain, wire.size());
+        cache_.Put(TagCacheKey(inode, i), tag, tag.size());
+        tail_tags[i - 1] = std::move(tag);
         chunks[i] = std::move(plain);
       }
     }
@@ -996,8 +1048,20 @@ Result<Bytes> SharoesClient::FetchFileContent(const Node& node) {
       ::sharoes::Append(content, chunks[i]);
     }
   }
+  // The one signature a reader verifies (block 0) commits to the tail
+  // blocks only through the descriptor's Merkle root: re-derive it from
+  // the tags actually served and compare. A cross-block splice — valid
+  // AEAD blocks lifted from another consistent version of this file —
+  // fails here even though every individual tag authenticated, and a
+  // reader who forged tail tags with the shared DEK fails here because
+  // it cannot re-sign block 0 without the DSK.
+  if (!ConstantTimeEquals(crypto::MerkleRoot(tail_tags), desc.tag_root)) {
+    return Status::Corruption(
+        "block tag root mismatch: tail blocks do not match the signed "
+        "descriptor");
+  }
   if (content.size() != desc.size) {
-    return Status::IntegrityError("file size mismatch after reassembly");
+    return Status::Corruption("file size mismatch after reassembly");
   }
   return content;
 }
@@ -1075,7 +1139,7 @@ Status SharoesClient::FlushBuffer(const std::string& path, WriteBuffer* buf) {
   // the local cache, only changed blocks are re-encrypted and shipped.
   DataDescriptor old_desc;
   bool have_old = false;
-  if (auto cached0 = cache_.Get<Bytes>("d|" + std::to_string(inode) + "|0")) {
+  if (auto cached0 = cache_.Get<Bytes>(DataCacheKey(inode, 0))) {
     BinaryReader r(*cached0);
     auto parsed = DataDescriptor::ReadFrom(&r);
     if (parsed.ok()) {
@@ -1094,9 +1158,7 @@ Status SharoesClient::FlushBuffer(const std::string& path, WriteBuffer* buf) {
     return Bytes(content.begin() + begin, content.begin() + end);
   };
   auto old_chunk_of = [&](uint32_t idx) -> std::optional<Bytes> {
-    auto cached =
-        cache_.Get<Bytes>("d|" + std::to_string(inode) + "|" +
-                          std::to_string(idx));
+    auto cached = cache_.Get<Bytes>(DataCacheKey(inode, idx));
     if (cached == nullptr) return std::nullopt;
     if (idx == 0) {
       BinaryReader r(*cached);
@@ -1108,13 +1170,20 @@ Status SharoesClient::FlushBuffer(const std::string& path, WriteBuffer* buf) {
 
   desc.block_gens.assign(desc.block_count, desc.write_gen);
   std::vector<bool> changed(desc.block_count, true);
+  std::vector<Bytes> tail_tags(desc.block_count - 1);
   if (diff) {
     for (uint32_t i = 1; i < desc.block_count; ++i) {
       if (i >= old_desc.block_count) continue;  // Appended block: new.
       auto old_chunk = old_chunk_of(i);
-      if (old_chunk.has_value() && *old_chunk == chunk_of(i)) {
+      // Keeping a block also requires its cached AEAD tag: the new
+      // descriptor's root must commit to every tail block, kept or
+      // rewritten, and an uncached tag would force a read to learn it.
+      auto old_tag = cache_.Get<Bytes>(TagCacheKey(inode, i));
+      if (old_chunk.has_value() && old_tag != nullptr &&
+          *old_chunk == chunk_of(i)) {
         changed[i] = false;
         desc.block_gens[i] = old_desc.GenOfBlock(i);
+        tail_tags[i - 1] = *old_tag;
       }
     }
   }
@@ -1125,7 +1194,23 @@ Status SharoesClient::FlushBuffer(const std::string& path, WriteBuffer* buf) {
     // shrinking; growth needs no delete.
     if (!diff) puts.push_back(ssp::Request::DeleteInodeData(inode));
   }
-  // Block 0 always changes: it carries the descriptor.
+  // Tail blocks encode first: their AEAD tags are the Merkle leaves the
+  // descriptor inside block 0 must commit to.
+  std::vector<Bytes> tail_wires(desc.block_count);
+  for (uint32_t idx = 1; idx < desc.block_count; ++idx) {
+    if (!changed[idx]) continue;
+    Bytes chunk = chunk_of(idx);
+    ObjectCodec::DataBlockHeader header{key_gen, desc.write_gen};
+    Bytes tag;
+    tail_wires[idx] = codec_.EncodeDataBlock(inode, idx, header, chunk, dek,
+                                             *node.view.dsk, &tag);
+    cache_.Put(DataCacheKey(inode, idx), chunk, tail_wires[idx].size());
+    cache_.Put(TagCacheKey(inode, idx), tag, tag.size());
+    tail_tags[idx - 1] = std::move(tag);
+  }
+  desc.tag_root = crypto::MerkleRoot(tail_tags);
+  // Block 0 encodes last: it carries the descriptor, whose root now
+  // covers the tail tags above.
   BinaryWriter w0;
   desc.AppendTo(&w0);
   w0.PutRaw(content.data(), chunk0);
@@ -1133,27 +1218,22 @@ Status SharoesClient::FlushBuffer(const std::string& path, WriteBuffer* buf) {
   ObjectCodec::DataBlockHeader header0{key_gen, desc.write_gen};
   Bytes wire0 = codec_.EncodeDataBlock(inode, 0, header0, plain0, dek,
                                        *node.view.dsk);
-  cache_.Put("d|" + std::to_string(inode) + "|0", plain0, wire0.size());
+  cache_.Put(DataCacheKey(inode, 0), plain0, wire0.size());
   puts.push_back(ssp::Request::PutData(inode, 0, std::move(wire0)));
   for (uint32_t idx = 1; idx < desc.block_count; ++idx) {
-    Bytes chunk = chunk_of(idx);
     if (changed[idx]) {
-      ObjectCodec::DataBlockHeader header{key_gen, desc.write_gen};
-      Bytes wire = codec_.EncodeDataBlock(inode, idx, header, chunk, dek,
-                                          *node.view.dsk);
-      cache_.Put("d|" + std::to_string(inode) + "|" + std::to_string(idx),
-                 chunk, wire.size());
-      puts.push_back(ssp::Request::PutData(inode, idx, std::move(wire)));
+      puts.push_back(
+          ssp::Request::PutData(inode, idx, std::move(tail_wires[idx])));
     }
   }
   SHAROES_RETURN_IF_ERROR(ExecuteBatch(std::move(puts)));
-  freshness_[inode] = desc.write_gen;
+  freshness_[inode] = FreshnessRecord{desc.write_gen, desc.tag_root};
   return Status::OK();
 }
 
 Result<uint64_t> SharoesClient::NextWriteGen(fs::InodeNum inode) {
   auto it = freshness_.find(inode);
-  if (it != freshness_.end()) return it->second + 1;
+  if (it != freshness_.end()) return it->second.write_gen + 1;
   // Unknown history (overwrite of a never-read file): peek the stored
   // header so generations stay monotonic for other clients.
   SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,
@@ -1265,7 +1345,22 @@ Status SharoesClient::Chmod(const std::string& path, fs::Mode mode) {
       SHAROES_ASSIGN_OR_RETURN(desc.write_gen, NextWriteGen(attrs.inode));
       desc.block_gens.assign(desc.block_count, desc.write_gen);
       ObjectCodec::DataBlockHeader header{dek_gen, desc.write_gen};
-      freshness_[attrs.inode] = desc.write_gen;
+      // Tail blocks encode first so their AEAD tags can root the
+      // descriptor that block 0 carries.
+      std::vector<Bytes> tail_wires;
+      std::vector<Bytes> tail_tags;
+      for (size_t pos = chunk0; pos < content.size(); pos += bs) {
+        size_t n = std::min(bs, content.size() - pos);
+        Bytes chunk(content.begin() + pos, content.begin() + pos + n);
+        Bytes tag;
+        tail_wires.push_back(codec_.EncodeDataBlock(
+            attrs.inode, static_cast<uint32_t>(tail_wires.size()) + 1,
+            header, chunk, bundle.dek, bundle.data.sign, &tag));
+        tail_tags.push_back(std::move(tag));
+      }
+      desc.tag_root = crypto::MerkleRoot(tail_tags);
+      freshness_[attrs.inode] =
+          FreshnessRecord{desc.write_gen, desc.tag_root};
       batch.push_back(ssp::Request::DeleteInodeData(attrs.inode));
       BinaryWriter w0;
       desc.AppendTo(&w0);
@@ -1274,14 +1369,10 @@ Status SharoesClient::Chmod(const std::string& path, fs::Mode mode) {
           attrs.inode, 0,
           codec_.EncodeDataBlock(attrs.inode, 0, header, w0.Take(),
                                  bundle.dek, bundle.data.sign)));
-      uint32_t idx = 1;
-      for (size_t pos = chunk0; pos < content.size(); pos += bs, ++idx) {
-        size_t n = std::min(bs, content.size() - pos);
-        Bytes chunk(content.begin() + pos, content.begin() + pos + n);
+      for (size_t i = 0; i < tail_wires.size(); ++i) {
         batch.push_back(ssp::Request::PutData(
-            attrs.inode, idx,
-            codec_.EncodeDataBlock(attrs.inode, idx, header, chunk,
-                                   bundle.dek, bundle.data.sign)));
+            attrs.inode, static_cast<uint32_t>(i) + 1,
+            std::move(tail_wires[i])));
       }
     } else if (!dek_next.has_value()) {
       // Lazy: record the next key; the next writer rotates.

@@ -265,6 +265,27 @@ class SharoesClient : public FsClient {
   std::string ViewCacheKey(fs::InodeNum inode, Selector sel) const;
   void InvalidateInode(fs::InodeNum inode);
 
+  // --- Cache-key chokepoint ---
+  // Every cache key is built here (and only here) so keying bugs — like
+  // an unnormalized path aliasing "/shared//x" and "/shared/x" into
+  // distinct negative dentries — cannot creep back in per call site.
+  // Prefixes: "d|" block plaintext, "e|" block AEAD tag, "t|" table
+  // copy, "M|" master table, "u|"/"g|" split blocks, "n|" negative
+  // dentry ("m|" view keys live in ViewCacheKey, which needs Scheme
+  // state). Data/tag keys share the "<inode>|<block>" suffix so a block
+  // and its tag invalidate together.
+  static std::string DataCacheKey(fs::InodeNum inode, uint32_t block);
+  static std::string TagCacheKey(fs::InodeNum inode, uint32_t block);
+  static std::string TableCacheKey(fs::InodeNum inode, Selector sel);
+  static std::string MasterCacheKey(fs::InodeNum inode);
+  static std::string UserSplitCacheKey(fs::InodeNum inode, fs::UserId uid);
+  static std::string GroupSplitCacheKey(fs::InodeNum inode, uint32_t id);
+  /// `name` must be a single path component (no '/'); the directory
+  /// identity comes from the already-resolved inode, so alias spellings
+  /// of the directory path collapse to one key.
+  static std::string NegDentryCacheKey(fs::InodeNum dir_inode,
+                                       const std::string& name);
+
   /// Every SSP exchange funnels through here: one Call = one round trip,
   /// counted per-instance and into "client.rpc.round_trips".
   Result<ssp::Response> Rpc(const ssp::Request& req);
@@ -313,9 +334,17 @@ class SharoesClient : public FsClient {
   /// True while FlushPendingWrites is on the wire: its own kBatch (and
   /// any read the flush path issues) must not re-enter the barrier.
   bool flushing_pending_ = false;
-  /// Highest write generation observed per inode (freshness memory;
-  /// deliberately survives DropCaches).
-  std::map<fs::InodeNum, uint64_t> freshness_;
+  /// Freshness memory per inode (deliberately survives DropCaches):
+  /// the highest write generation this client has observed plus the
+  /// tag Merkle root it observed at that generation. A later read that
+  /// regresses the generation is a rollback; one that keeps the
+  /// generation but presents a different root is SSP equivocation —
+  /// both fail closed as Corruption.
+  struct FreshnessRecord {
+    uint64_t write_gen = 0;
+    Bytes tag_root;
+  };
+  std::map<fs::InodeNum, FreshnessRecord> freshness_;
   uint64_t inode_counter_;
 };
 

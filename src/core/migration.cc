@@ -1,5 +1,7 @@
 #include "core/migration.h"
 
+#include "crypto/merkle.h"
+
 namespace sharoes::core {
 
 Provisioner::Provisioner(IdentityDirectory* identity, ssp::SspServer* server,
@@ -233,6 +235,20 @@ Result<Provisioner::MigratedObject> Provisioner::MigrateNode(
     desc.write_gen = 1;  // Migration is the first write.
     desc.block_gens.assign(desc.block_count, 1);
     ObjectCodec::DataBlockHeader header{0, desc.write_gen};
+    // Tail blocks encode first: their AEAD tags root the descriptor
+    // that block 0 carries.
+    std::vector<Bytes> tail_wires;
+    std::vector<Bytes> tail_tags;
+    for (size_t pos = chunk0; pos < content.size(); pos += bs) {
+      size_t n = std::min(bs, content.size() - pos);
+      Bytes chunk(content.begin() + pos, content.begin() + pos + n);
+      Bytes tag;
+      tail_wires.push_back(codec_.EncodeDataBlock(
+          inode, static_cast<uint32_t>(tail_wires.size()) + 1, header,
+          chunk, obj.bundle.dek, obj.bundle.data.sign, &tag));
+      tail_tags.push_back(std::move(tag));
+    }
+    desc.tag_root = crypto::MerkleRoot(tail_tags);
     BinaryWriter w0;
     desc.AppendTo(&w0);
     w0.PutRaw(content.data(), chunk0);
@@ -243,16 +259,10 @@ Result<Provisioner::MigratedObject> Provisioner::MigrateNode(
     SHAROES_RETURN_IF_ERROR(
         Put(ssp::Request::PutData(inode, 0, std::move(wire0))));
     ++stats->data_blocks;
-    uint32_t idx = 1;
-    for (size_t pos = chunk0; pos < content.size(); pos += bs, ++idx) {
-      size_t n = std::min(bs, content.size() - pos);
-      Bytes chunk(content.begin() + pos, content.begin() + pos + n);
-      Bytes wire = codec_.EncodeDataBlock(inode, idx, header, chunk,
-                                          obj.bundle.dek,
-                                          obj.bundle.data.sign);
-      Store(wire.size(), stats);
-      SHAROES_RETURN_IF_ERROR(
-          Put(ssp::Request::PutData(inode, idx, std::move(wire))));
+    for (size_t i = 0; i < tail_wires.size(); ++i) {
+      Store(tail_wires[i].size(), stats);
+      SHAROES_RETURN_IF_ERROR(Put(ssp::Request::PutData(
+          inode, static_cast<uint32_t>(i) + 1, std::move(tail_wires[i]))));
       ++stats->data_blocks;
     }
   }

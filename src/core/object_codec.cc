@@ -1,5 +1,6 @@
 #include "core/object_codec.h"
 
+#include "crypto/aead.h"
 #include "crypto/kdf.h"
 
 namespace sharoes::core {
@@ -336,7 +337,9 @@ Result<RowRef> ObjectCodec::ExecOnlyLookup(const DecodedTable& table,
   crypto::SymmetricKey row_id_key =
       crypto::kdf::DeriveLabeled(table_key, "sharoes-rowid:" + name);
   for (const auto& [row_id, enc_row] : table.exec_rows) {
-    if (row_id != row_id_key.key) continue;
+    // Row ids are KDF outputs of the secret table key: compare in
+    // constant time like any other secret-derived digest.
+    if (!ConstantTimeEquals(row_id, row_id_key.key)) continue;
     crypto::SymmetricKey row_key = engine_->DeriveNameKey(table_key, name);
     SHAROES_ASSIGN_OR_RETURN(Bytes plain,
                              engine_->SymDecrypt(row_key, enc_row));
@@ -348,27 +351,49 @@ Result<RowRef> ObjectCodec::ExecOnlyLookup(const DecodedTable& table,
   return Status::NotFound("no entry named '" + name + "'");
 }
 
+namespace {
+/// The associated data of a data block's AEAD seal: object identity plus
+/// the cleartext header, so a valid tag pins (inode, block, key_gen,
+/// write_gen) — a block replayed at another location or generation fails
+/// authentication before any plaintext is produced.
+Bytes DataBlockAad(fs::InodeNum inode, uint32_t block,
+                   const ObjectCodec::DataBlockHeader& header) {
+  BinaryWriter w;
+  w.PutRaw(SigContext("data", inode, block));
+  w.PutU32(header.key_gen);
+  w.PutU64(header.write_gen);
+  return w.Take();
+}
+}  // namespace
+
 Bytes ObjectCodec::EncodeDataBlock(fs::InodeNum inode, uint32_t block,
                                    const DataBlockHeader& header,
                                    const Bytes& plaintext,
                                    const crypto::SymmetricKey& dek,
-                                   const crypto::SigningKey& dsk) {
-  // Wire = header || envelope(sealed, sig); the signing context covers
-  // the header so the SSP can neither replay blocks across key rotations
-  // nor mix blocks across write generations.
-  BinaryWriter cw;
-  cw.PutRaw(SigContext("data", inode, block));
-  cw.PutU32(header.key_gen);
-  cw.PutU64(header.write_gen);
-  Bytes envelope_context = cw.Take();
-  Bytes sealed = engine_->SymEncrypt(dek, plaintext);
-  Bytes to_sign = envelope_context;
-  Append(to_sign, sealed);
-  Bytes sig = engine_->Sign(dsk, to_sign);
+                                   const crypto::SigningKey& dsk,
+                                   Bytes* tag_out) {
+  Bytes aad = DataBlockAad(inode, block, header);
+  crypto::CryptoEngine::AeadSealed sealed =
+      engine_->AeadSeal(dek, aad, plaintext);
+  Bytes sig;
+  if (block == 0) {
+    // Only block 0 is signed: its plaintext carries the DataDescriptor
+    // whose tag_root commits to every tail block's tag, so one signature
+    // (unforgeable even by readers, who hold the DEK and could mint
+    // valid AEAD tags) anchors the whole file.
+    Bytes to_sign = aad;
+    Append(to_sign, sealed.nonce);
+    Append(to_sign, sealed.ciphertext);
+    Append(to_sign, sealed.tag);
+    sig = engine_->Sign(dsk, to_sign);
+  }
+  if (tag_out != nullptr) *tag_out = sealed.tag;
   BinaryWriter w;
   w.PutU32(header.key_gen);
   w.PutU64(header.write_gen);
-  w.PutBytes(sealed);
+  w.PutRaw(sealed.nonce);
+  w.PutBytes(sealed.ciphertext);
+  w.PutRaw(sealed.tag);
   w.PutBytes(sig);
   return w.Take();
 }
@@ -381,19 +406,27 @@ Result<Bytes> ObjectCodec::DecodeDataBlock(fs::InodeNum inode, uint32_t block,
   DataBlockHeader header;
   header.key_gen = r.GetU32();
   header.write_gen = r.GetU64();
-  Bytes sealed = r.GetBytes();
+  Bytes nonce = r.GetRaw(crypto::kAeadNonceSize);
+  Bytes ct = r.GetBytes();
+  Bytes tag = r.GetRaw(crypto::kAeadTagSize);
   Bytes sig = r.GetBytes();
   SHAROES_RETURN_IF_ERROR(r.Finish("data block envelope"));
-  BinaryWriter cw;
-  cw.PutRaw(SigContext("data", inode, block));
-  cw.PutU32(header.key_gen);
-  cw.PutU64(header.write_gen);
-  Bytes to_verify = cw.Take();
-  Append(to_verify, sealed);
-  if (!engine_->Verify(dvk, to_verify, sig)) {
-    return Status::IntegrityError("data block signature verification failed");
+  Bytes aad = DataBlockAad(inode, block, header);
+  if (block == 0) {
+    Bytes to_verify = aad;
+    Append(to_verify, nonce);
+    Append(to_verify, ct);
+    Append(to_verify, tag);
+    if (!engine_->Verify(dvk, to_verify, sig)) {
+      return Status::Corruption(
+          "data block 0 signature verification failed");
+    }
+  } else if (!sig.empty()) {
+    // Tail blocks are never signed; a signature here is something the
+    // codec did not produce.
+    return Status::Corruption("unexpected signature on tail data block");
   }
-  return engine_->SymDecrypt(dek, sealed);
+  return engine_->AeadOpen(dek, aad, nonce, ct, tag);
 }
 
 Result<ObjectCodec::DataBlockHeader> ObjectCodec::PeekDataHeader(
@@ -404,6 +437,17 @@ Result<ObjectCodec::DataBlockHeader> ObjectCodec::PeekDataHeader(
   header.write_gen = r.GetU64();
   if (!r.ok()) return Status::Corruption("truncated data block");
   return header;
+}
+
+Result<Bytes> ObjectCodec::PeekDataTag(const Bytes& wire) {
+  BinaryReader r(wire);
+  r.GetU32();
+  r.GetU64();
+  r.GetRaw(crypto::kAeadNonceSize);
+  r.GetBytes();  // Ciphertext.
+  Bytes tag = r.GetRaw(crypto::kAeadTagSize);
+  if (!r.ok()) return Status::Corruption("truncated data block");
+  return tag;
 }
 
 Result<Bytes> ObjectCodec::EncodeUserRefBlock(

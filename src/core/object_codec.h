@@ -120,28 +120,43 @@ class ObjectCodec {
 
   // ----- File data -----
 
-  /// Cleartext (but signature-covered) per-block header: `key_gen` lets
+  /// Cleartext (but AEAD-covered) per-block header: `key_gen` lets
   /// readers pick dek vs. dek_next (lazy revocation) before decrypting;
   /// `write_gen` is the file's write generation for freshness/rollback
-  /// detection (SUNDR-style, the paper's §VIII future work). Because the
-  /// signature covers both, a malicious SSP can neither roll a block back
-  /// silently nor mix blocks across generations.
+  /// detection (SUNDR-style, the paper's §VIII future work). Both are
+  /// associated data of the block's AEAD seal, so a block cannot be
+  /// replayed across key rotations or write generations.
   struct DataBlockHeader {
     uint32_t key_gen = 0;
     uint64_t write_gen = 0;
   };
 
-  /// Seals and signs one data block.
+  /// Seals one data block (DESIGN.md §13):
+  ///   wire = key_gen | write_gen | nonce | GCM ciphertext | tag | sig
+  ///   AAD  = SigContext("data", inode, block) | key_gen | write_gen
+  /// Block 0 (which carries the signed DataDescriptor, including the
+  /// Merkle root over the tail blocks' tags) additionally gets a DSK
+  /// signature over AAD || nonce || ciphertext || tag; tail blocks carry
+  /// an empty signature field — their integrity anchors through the root.
+  /// `tag_out`, when non-null, receives the block's AEAD tag (the Merkle
+  /// leaf for tail blocks).
   Bytes EncodeDataBlock(fs::InodeNum inode, uint32_t block,
                         const DataBlockHeader& header, const Bytes& plaintext,
                         const crypto::SymmetricKey& dek,
-                        const crypto::SigningKey& dsk);
+                        const crypto::SigningKey& dsk,
+                        Bytes* tag_out = nullptr);
+  /// Every integrity failure — bad framing, bad tag, bad/unexpected
+  /// signature — is Status::Corruption; no plaintext is ever returned on
+  /// failure.
   Result<Bytes> DecodeDataBlock(fs::InodeNum inode, uint32_t block,
                                 const Bytes& wire,
                                 const crypto::SymmetricKey& dek,
                                 const crypto::VerifyKey& dvk);
   /// Reads the cleartext header of an encoded data block.
   static Result<DataBlockHeader> PeekDataHeader(const Bytes& wire);
+  /// Reads the AEAD tag of an encoded data block without decrypting (the
+  /// Merkle leaf; readers collect these to check the descriptor's root).
+  static Result<Bytes> PeekDataTag(const Bytes& wire);
 
   // ----- RSA-wrapped bootstrap blocks -----
 

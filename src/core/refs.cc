@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/merkle.h"
+
 namespace sharoes::core {
 
 namespace {
@@ -324,6 +326,7 @@ void DataDescriptor::AppendTo(BinaryWriter* w) const {
   w->PutU64(write_gen);
   w->PutU32(static_cast<uint32_t>(block_gens.size()));
   for (uint64_t g : block_gens) w->PutU64(g);
+  w->PutBytes(tag_root);
 }
 
 Result<DataDescriptor> DataDescriptor::ReadFrom(BinaryReader* r) {
@@ -337,7 +340,10 @@ Result<DataDescriptor> DataDescriptor::ReadFrom(BinaryReader* r) {
   }
   d.block_gens.reserve(n);
   for (uint32_t i = 0; i < n; ++i) d.block_gens.push_back(r->GetU64());
-  if (!r->ok()) return Status::Corruption("truncated data descriptor");
+  d.tag_root = r->GetBytes();
+  if (!r->ok() || d.tag_root.size() != crypto::kMerkleRootSize) {
+    return Status::Corruption("truncated data descriptor");
+  }
   return d;
 }
 

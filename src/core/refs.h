@@ -152,11 +152,19 @@ struct GroupSecret {
 /// was last rewritten: the paper's block division exists so writers
 /// "avoid re-encrypting entire files after a write", and the vector lets
 /// readers verify exactly which mix of block versions is current.
+/// `tag_root` is the Merkle root (crypto/merkle.h) over the AEAD tags of
+/// the tail blocks 1..block_count-1, in block order (the all-zero root
+/// for a single-block file). It rides inside the DSK-signed block 0 — not
+/// the metadata object, for the same reason as `size`: plain writers hold
+/// no MSK — so the one signature a reader verifies also commits to every
+/// tail block, and a cross-block splice or a stale-but-consistent tail
+/// set fails closed as Corruption.
 struct DataDescriptor {
   uint64_t size = 0;
   uint32_t block_count = 0;
   uint64_t write_gen = 0;
   std::vector<uint64_t> block_gens;
+  Bytes tag_root;
 
   /// The expected generation of block `idx` (block 0 always carries the
   /// descriptor itself and therefore the current write_gen).

@@ -1,0 +1,191 @@
+#include "crypto/aead.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/aes_accel.h"
+
+namespace sharoes::crypto {
+
+namespace {
+
+// -1 = runtime CPUID dispatch; otherwise a forced AeadImpl. Atomic so
+// tests/benches may flip it while TSan watches other threads seal.
+std::atomic<int> g_forced_impl{-1};
+
+/// Increments the low 32 bits of a big-endian GCM counter (inc32).
+void Inc32(uint8_t counter[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+/// GF(2^128) multiply y := y * h, bit strings MSB-first, reduction
+/// polynomial x^128 + x^7 + x^2 + x + 1 (NIST SP 800-38D, Algorithm 1).
+void GhashMulPortable(uint8_t y[16], const uint8_t h[16]) {
+  uint8_t z[16] = {0};
+  uint8_t v[16];
+  std::memcpy(v, h, 16);
+  for (int i = 0; i < 16; ++i) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((y[i] >> bit) & 1) {
+        for (int k = 0; k < 16; ++k) z[k] ^= v[k];
+      }
+      bool lsb = v[15] & 1;
+      for (int k = 15; k > 0; --k) {
+        v[k] = static_cast<uint8_t>((v[k] >> 1) | (v[k - 1] << 7));
+      }
+      v[0] >>= 1;
+      if (lsb) v[0] ^= 0xE1;  // The reflected reduction polynomial.
+    }
+  }
+  std::memcpy(y, z, 16);
+}
+
+/// Absorbs one zero-padded region into the GHASH state.
+void GhashPortable(const uint8_t h[16], uint8_t y[16], const uint8_t* data,
+                   size_t len) {
+  size_t pos = 0;
+  while (pos < len) {
+    uint8_t block[16] = {0};
+    size_t take = len - pos < 16 ? len - pos : 16;
+    std::memcpy(block, data + pos, take);
+    for (int k = 0; k < 16; ++k) y[k] ^= block[k];
+    GhashMulPortable(y, h);
+    pos += 16;
+  }
+}
+
+void PutU64BE(uint8_t* out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out[i] = static_cast<uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+}
+
+/// The full GCM transform shared by seal and open: CTR the payload and
+/// compute the tag over (aad, ct). `ct` must already hold the ciphertext
+/// when opening (the tag is always over ciphertext).
+struct GcmParts {
+  Bytes output;         // CTR transform of the input payload.
+  uint8_t tag[16];
+};
+
+GcmParts GcmCore(AeadImpl impl, const Bytes& key, const Bytes& nonce,
+                 const Bytes& aad, const Bytes& payload,
+                 const Bytes* ct_for_tag) {
+  GcmParts parts;
+  parts.output.resize(payload.size());
+  uint8_t h[16] = {0};
+  uint8_t j0[16] = {0};
+  std::memcpy(j0, nonce.data(), kAeadNonceSize);
+  j0[15] = 1;
+  uint8_t ek_j0[16];
+  uint8_t y[16] = {0};
+  if (impl == AeadImpl::kAccelerated) {
+    AesAccelSchedule sched;
+    ExpandKeyAccel(key.data(), &sched);
+    EncryptBlockAccel(sched, h, h);  // H = E_K(0^128).
+    EncryptBlockAccel(sched, j0, ek_j0);
+    uint8_t ctr[16];
+    std::memcpy(ctr, j0, 16);
+    Inc32(ctr);
+    if (!payload.empty()) {
+      CtrXorAccel(sched, ctr, 4, payload.data(), parts.output.data(),
+                  payload.size());
+    }
+    const Bytes& ct = ct_for_tag != nullptr ? *ct_for_tag : parts.output;
+    GhashAccel(h, y, aad.data(), aad.size());
+    GhashAccel(h, y, ct.data(), ct.size());
+    uint8_t len_block[16];
+    PutU64BE(len_block, static_cast<uint64_t>(aad.size()) * 8);
+    PutU64BE(len_block + 8, static_cast<uint64_t>(ct.size()) * 8);
+    GhashAccel(h, y, len_block, 16);
+  } else {
+    Aes128 aes(key);
+    aes.EncryptBlock(h, h);
+    aes.EncryptBlock(j0, ek_j0);
+    uint8_t ctr[16];
+    std::memcpy(ctr, j0, 16);
+    uint8_t ks[16];
+    size_t pos = 0;
+    while (pos < payload.size()) {
+      Inc32(ctr);
+      aes.EncryptBlock(ctr, ks);
+      size_t take = payload.size() - pos < 16 ? payload.size() - pos : 16;
+      for (size_t i = 0; i < take; ++i) {
+        parts.output[pos + i] = payload[pos + i] ^ ks[i];
+      }
+      pos += take;
+    }
+    const Bytes& ct = ct_for_tag != nullptr ? *ct_for_tag : parts.output;
+    GhashPortable(h, y, aad.data(), aad.size());
+    GhashPortable(h, y, ct.data(), ct.size());
+    uint8_t len_block[16];
+    PutU64BE(len_block, static_cast<uint64_t>(aad.size()) * 8);
+    PutU64BE(len_block + 8, static_cast<uint64_t>(ct.size()) * 8);
+    GhashPortable(h, y, len_block, 16);
+  }
+  for (int i = 0; i < 16; ++i) parts.tag[i] = y[i] ^ ek_j0[i];
+  return parts;
+}
+
+}  // namespace
+
+const char* AeadImplName(AeadImpl impl) {
+  return impl == AeadImpl::kAccelerated ? "accelerated" : "portable";
+}
+
+bool AesAccelAvailable() { return CpuHasAesClmul(); }
+
+AeadImpl ActiveAeadImpl() {
+  int forced = g_forced_impl.load(std::memory_order_relaxed);
+  if (forced == static_cast<int>(AeadImpl::kPortable)) {
+    return AeadImpl::kPortable;
+  }
+  if (forced == static_cast<int>(AeadImpl::kAccelerated) &&
+      AesAccelAvailable()) {
+    return AeadImpl::kAccelerated;
+  }
+  return AesAccelAvailable() ? AeadImpl::kAccelerated : AeadImpl::kPortable;
+}
+
+void ForceAeadImpl(AeadImpl impl) {
+  g_forced_impl.store(static_cast<int>(impl), std::memory_order_relaxed);
+}
+
+void ResetAeadImpl() {
+  g_forced_impl.store(-1, std::memory_order_relaxed);
+}
+
+Bytes GcmSeal(const Bytes& key, const Bytes& nonce, const Bytes& aad,
+              const Bytes& plaintext, Bytes* tag) {
+  assert(nonce.size() == kAeadNonceSize);
+  GcmParts parts =
+      GcmCore(ActiveAeadImpl(), key, nonce, aad, plaintext, nullptr);
+  tag->assign(parts.tag, parts.tag + kAeadTagSize);
+  return std::move(parts.output);
+}
+
+Result<Bytes> GcmOpen(const Bytes& key, const Bytes& nonce, const Bytes& aad,
+                      const Bytes& ciphertext, const Bytes& tag) {
+  if (nonce.size() != kAeadNonceSize) {
+    return Status::CryptoError("AEAD nonce must be 12 bytes");
+  }
+  if (tag.size() != kAeadTagSize) {
+    return Status::CryptoError("AEAD tag must be 16 bytes");
+  }
+  GcmParts parts =
+      GcmCore(ActiveAeadImpl(), key, nonce, aad, ciphertext, &ciphertext);
+  Bytes expected(parts.tag, parts.tag + kAeadTagSize);
+  if (!ConstantTimeEquals(expected, tag)) {
+    return Status::Corruption("AEAD tag does not authenticate the block");
+  }
+  return std::move(parts.output);
+}
+
+Bytes FreshNonce(Rng& rng) { return rng.NextBytes(kAeadNonceSize); }
+
+}  // namespace sharoes::crypto

@@ -1,0 +1,66 @@
+// AES-128-GCM AEAD: the per-block seal for file data.
+//
+// Each 4 KiB data block is sealed as nonce || CTR ciphertext || tag,
+// where the tag authenticates the ciphertext AND the block's signed
+// header context (kind/inode/block/key_gen/write_gen) as associated
+// data. Confidentiality and integrity land in one primitive, so a
+// flipped bit anywhere in a block — or a block served under the wrong
+// identity — fails closed before any plaintext escapes.
+//
+// Two byte-identical implementations sit behind one entry point: a
+// portable from-scratch path (table-free GF(2^128) GHASH, FIPS 197 AES
+// from crypto/aes.h) and an AES-NI/PCLMUL path (crypto/aes_accel.h)
+// picked at runtime by CPUID. ForceAeadImpl() pins one for tests and
+// benchmarks.
+
+#ifndef SHAROES_CRYPTO_AEAD_H_
+#define SHAROES_CRYPTO_AEAD_H_
+
+#include "util/bytes.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace sharoes::crypto {
+
+constexpr size_t kAeadNonceSize = 12;  // GCM 96-bit fast-path nonce.
+constexpr size_t kAeadTagSize = 16;
+
+enum class AeadImpl {
+  kPortable,     // From-scratch AES + bitwise GHASH; runs anywhere.
+  kAccelerated,  // AES-NI + PCLMULQDQ; requires CPUID support.
+};
+
+const char* AeadImplName(AeadImpl impl);
+
+/// True iff the accelerated path can run on this CPU.
+bool AesAccelAvailable();
+
+/// The implementation GcmSeal/GcmOpen will use right now: the forced
+/// override if set, else accelerated when available, else portable.
+AeadImpl ActiveAeadImpl();
+
+/// Pins the implementation (tests / cross-checks / benchmarks). Forcing
+/// kAccelerated on a CPU without support is ignored. Thread-safe.
+void ForceAeadImpl(AeadImpl impl);
+/// Back to runtime CPUID dispatch.
+void ResetAeadImpl();
+
+/// Seals `plaintext` under `key` (16 bytes) with the given 12-byte
+/// nonce, authenticating `aad` alongside. Returns the ciphertext
+/// (same length as the plaintext) and writes the 16-byte tag.
+/// The nonce must be unique per (key, message); callers use FreshNonce().
+Bytes GcmSeal(const Bytes& key, const Bytes& nonce, const Bytes& aad,
+              const Bytes& plaintext, Bytes* tag);
+
+/// Opens a sealed block: Status::Corruption when the tag does not
+/// authenticate (ciphertext, aad, nonce) — no plaintext is returned on
+/// failure; CryptoError on malformed nonce/tag sizes.
+Result<Bytes> GcmOpen(const Bytes& key, const Bytes& nonce, const Bytes& aad,
+                      const Bytes& ciphertext, const Bytes& tag);
+
+/// Random 12-byte nonce.
+Bytes FreshNonce(Rng& rng);
+
+}  // namespace sharoes::crypto
+
+#endif  // SHAROES_CRYPTO_AEAD_H_

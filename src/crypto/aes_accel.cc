@@ -1,0 +1,225 @@
+#include "crypto/aes_accel.h"
+
+#include <cassert>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SHAROES_AES_ACCEL_X86 1
+#include <immintrin.h>
+#endif
+
+namespace sharoes::crypto {
+
+#if SHAROES_AES_ACCEL_X86
+
+bool CpuHasAesClmul() {
+  static const bool has = __builtin_cpu_supports("aes") &&
+                          __builtin_cpu_supports("pclmul") &&
+                          __builtin_cpu_supports("ssse3");
+  return has;
+}
+
+namespace {
+
+#define SHAROES_TARGET_AES __attribute__((target("aes,pclmul,ssse3")))
+
+SHAROES_TARGET_AES inline __m128i ExpandAssist(__m128i temp1, __m128i temp2) {
+  __m128i temp3;
+  temp2 = _mm_shuffle_epi32(temp2, 0xff);
+  temp3 = _mm_slli_si128(temp1, 0x4);
+  temp1 = _mm_xor_si128(temp1, temp3);
+  temp3 = _mm_slli_si128(temp3, 0x4);
+  temp1 = _mm_xor_si128(temp1, temp3);
+  temp3 = _mm_slli_si128(temp3, 0x4);
+  temp1 = _mm_xor_si128(temp1, temp3);
+  return _mm_xor_si128(temp1, temp2);
+}
+
+SHAROES_TARGET_AES inline __m128i EncryptOne(const __m128i* rk, __m128i b) {
+  b = _mm_xor_si128(b, rk[0]);
+  for (int r = 1; r < 10; ++r) b = _mm_aesenc_si128(b, rk[r]);
+  return _mm_aesenclast_si128(b, rk[10]);
+}
+
+/// Increments the low `ctr_bytes` bytes of a big-endian counter, carry
+/// confined to those bytes (matches the portable loops exactly).
+inline void IncCounter(uint8_t counter[16], size_t ctr_bytes) {
+  for (size_t i = 16; i-- > 16 - ctr_bytes;) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+/// Carry-less GF(2^128) multiply in the bit-reflected domain (Intel
+/// CLMUL white paper, Algorithm 5: Karatsuba then a shift-left-by-one
+/// and reduction modulo x^128 + x^7 + x^2 + x + 1).
+SHAROES_TARGET_AES inline __m128i Gf128Mul(__m128i a, __m128i b) {
+  __m128i tmp3 = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i tmp4 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i tmp5 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i tmp6 = _mm_clmulepi64_si128(a, b, 0x11);
+  tmp4 = _mm_xor_si128(tmp4, tmp5);
+  tmp5 = _mm_slli_si128(tmp4, 8);
+  tmp4 = _mm_srli_si128(tmp4, 8);
+  tmp3 = _mm_xor_si128(tmp3, tmp5);
+  tmp6 = _mm_xor_si128(tmp6, tmp4);
+  __m128i tmp7 = _mm_srli_epi32(tmp3, 31);
+  __m128i tmp8 = _mm_srli_epi32(tmp6, 31);
+  tmp3 = _mm_slli_epi32(tmp3, 1);
+  tmp6 = _mm_slli_epi32(tmp6, 1);
+  __m128i tmp9 = _mm_srli_si128(tmp7, 12);
+  tmp8 = _mm_slli_si128(tmp8, 4);
+  tmp7 = _mm_slli_si128(tmp7, 4);
+  tmp3 = _mm_or_si128(tmp3, tmp7);
+  tmp6 = _mm_or_si128(tmp6, tmp8);
+  tmp6 = _mm_or_si128(tmp6, tmp9);
+  tmp7 = _mm_slli_epi32(tmp3, 31);
+  tmp8 = _mm_slli_epi32(tmp3, 30);
+  tmp9 = _mm_slli_epi32(tmp3, 25);
+  tmp7 = _mm_xor_si128(tmp7, tmp8);
+  tmp7 = _mm_xor_si128(tmp7, tmp9);
+  tmp8 = _mm_srli_si128(tmp7, 4);
+  tmp7 = _mm_slli_si128(tmp7, 12);
+  tmp3 = _mm_xor_si128(tmp3, tmp7);
+  __m128i tmp2 = _mm_srli_epi32(tmp3, 1);
+  tmp4 = _mm_srli_epi32(tmp3, 2);
+  tmp5 = _mm_srli_epi32(tmp3, 7);
+  tmp2 = _mm_xor_si128(tmp2, tmp4);
+  tmp2 = _mm_xor_si128(tmp2, tmp5);
+  tmp2 = _mm_xor_si128(tmp2, tmp8);
+  tmp3 = _mm_xor_si128(tmp3, tmp2);
+  return _mm_xor_si128(tmp6, tmp3);
+}
+
+SHAROES_TARGET_AES inline __m128i ByteSwap(__m128i x) {
+  const __m128i mask = _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                    13, 14, 15);
+  return _mm_shuffle_epi8(x, mask);
+}
+
+}  // namespace
+
+SHAROES_TARGET_AES void ExpandKeyAccel(const uint8_t key[16],
+                                       AesAccelSchedule* sched) {
+  __m128i* rk = reinterpret_cast<__m128i*>(sched->rk);
+  __m128i t = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key));
+  _mm_store_si128(rk + 0, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x01));
+  _mm_store_si128(rk + 1, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x02));
+  _mm_store_si128(rk + 2, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x04));
+  _mm_store_si128(rk + 3, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x08));
+  _mm_store_si128(rk + 4, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x10));
+  _mm_store_si128(rk + 5, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x20));
+  _mm_store_si128(rk + 6, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x40));
+  _mm_store_si128(rk + 7, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x80));
+  _mm_store_si128(rk + 8, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x1b));
+  _mm_store_si128(rk + 9, t);
+  t = ExpandAssist(t, _mm_aeskeygenassist_si128(t, 0x36));
+  _mm_store_si128(rk + 10, t);
+}
+
+SHAROES_TARGET_AES void EncryptBlockAccel(const AesAccelSchedule& sched,
+                                          const uint8_t in[16],
+                                          uint8_t out[16]) {
+  const __m128i* rk = reinterpret_cast<const __m128i*>(sched.rk);
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  b = EncryptOne(rk, b);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+}
+
+SHAROES_TARGET_AES void CtrXorAccel(const AesAccelSchedule& sched,
+                                    uint8_t counter[16], size_t ctr_bytes,
+                                    const uint8_t* in, uint8_t* out,
+                                    size_t n) {
+  const __m128i* rk = reinterpret_cast<const __m128i*>(sched.rk);
+  size_t pos = 0;
+  // Four independent blocks per iteration keep the AES units pipelined.
+  while (n - pos >= 64) {
+    __m128i c[4];
+    for (int j = 0; j < 4; ++j) {
+      c[j] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter));
+      IncCounter(counter, ctr_bytes);
+    }
+    for (int j = 0; j < 4; ++j) c[j] = _mm_xor_si128(c[j], rk[0]);
+    for (int r = 1; r < 10; ++r) {
+      for (int j = 0; j < 4; ++j) c[j] = _mm_aesenc_si128(c[j], rk[r]);
+    }
+    for (int j = 0; j < 4; ++j) {
+      c[j] = _mm_aesenclast_si128(c[j], rk[10]);
+      __m128i d = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in + pos + 16 * j));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + pos + 16 * j),
+                       _mm_xor_si128(c[j], d));
+    }
+    pos += 64;
+  }
+  while (pos < n) {
+    __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter));
+    IncCounter(counter, ctr_bytes);
+    c = EncryptOne(rk, c);
+    alignas(16) uint8_t ks[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ks), c);
+    size_t take = n - pos < 16 ? n - pos : 16;
+    for (size_t i = 0; i < take; ++i) out[pos + i] = in[pos + i] ^ ks[i];
+    pos += take;
+  }
+}
+
+SHAROES_TARGET_AES void GhashAccel(const uint8_t h[16], uint8_t y[16],
+                                   const uint8_t* data, size_t len) {
+  __m128i hv = ByteSwap(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(h)));
+  __m128i yv = ByteSwap(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(y)));
+  size_t pos = 0;
+  while (pos < len) {
+    __m128i x;
+    if (len - pos >= 16) {
+      x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    } else {
+      alignas(16) uint8_t padded[16] = {0};
+      std::memcpy(padded, data + pos, len - pos);
+      x = _mm_load_si128(reinterpret_cast<const __m128i*>(padded));
+    }
+    yv = Gf128Mul(_mm_xor_si128(yv, ByteSwap(x)), hv);
+    pos += 16;
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(y), ByteSwap(yv));
+}
+
+#undef SHAROES_TARGET_AES
+
+#else  // !SHAROES_AES_ACCEL_X86
+
+// Non-x86 builds: the probe reports false, so the dispatchers in
+// crypto/aead.cc and crypto/ctr.cc never reach these stubs.
+
+bool CpuHasAesClmul() { return false; }
+
+void ExpandKeyAccel(const uint8_t[16], AesAccelSchedule*) { assert(false); }
+
+void EncryptBlockAccel(const AesAccelSchedule&, const uint8_t[16],
+                       uint8_t[16]) {
+  assert(false);
+}
+
+void CtrXorAccel(const AesAccelSchedule&, uint8_t[16], size_t,
+                 const uint8_t*, uint8_t*, size_t) {
+  assert(false);
+}
+
+void GhashAccel(const uint8_t[16], uint8_t[16], const uint8_t*, size_t) {
+  assert(false);
+}
+
+#endif  // SHAROES_AES_ACCEL_X86
+
+}  // namespace sharoes::crypto

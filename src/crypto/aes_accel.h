@@ -1,0 +1,58 @@
+// Runtime-dispatched AES-NI / PCLMUL fast paths for the from-scratch
+// AES-128 and GHASH implementations.
+//
+// This header is intrinsics-free: the .cc file compiles the hot
+// functions with per-function target attributes ("aes,pclmul,ssse3"), so
+// the rest of the build needs no global -maes flags and the binary still
+// runs on CPUs without the extensions (callers must check
+// CpuHasAesClmul() first — crypto/aead.h and crypto/ctr.cc do the
+// dispatch). On non-x86-64 builds every entry point compiles to an
+// unreachable stub and CpuHasAesClmul() returns false.
+//
+// All fast paths are cross-checked byte-for-byte against the portable
+// implementations (tests/crypto/aead_test.cc and
+// `bench_crypto --self-check` in CI).
+
+#ifndef SHAROES_CRYPTO_AES_ACCEL_H_
+#define SHAROES_CRYPTO_AES_ACCEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sharoes::crypto {
+
+/// True iff the CPU supports AES-NI, PCLMULQDQ and SSSE3 (the byte
+/// shuffle the GHASH path uses). Probed once, cached.
+bool CpuHasAesClmul();
+
+/// Expanded AES-128 encryption key schedule (11 round keys).
+struct AesAccelSchedule {
+  alignas(16) uint8_t rk[176];
+};
+
+/// Expands `key` (16 bytes) with AESKEYGENASSIST.
+void ExpandKeyAccel(const uint8_t key[16], AesAccelSchedule* sched);
+
+/// Encrypts one 16-byte block (out may alias in).
+void EncryptBlockAccel(const AesAccelSchedule& sched, const uint8_t in[16],
+                       uint8_t out[16]);
+
+/// CTR transform: XORs the AES-CTR keystream of `counter` into `in`
+/// producing `out` (n bytes; out may alias in). The counter's low
+/// `ctr_bytes` bytes increment big-endian per block with the carry
+/// confined to those bytes — byte-identical to the portable loops in
+/// ctr.cc (ctr_bytes=8) and aead.cc (ctr_bytes=4, GCM inc32). `counter`
+/// is left at the value following the last block consumed.
+void CtrXorAccel(const AesAccelSchedule& sched, uint8_t counter[16],
+                 size_t ctr_bytes, const uint8_t* in, uint8_t* out, size_t n);
+
+/// GHASH over one zero-padded region: absorbs `len` bytes of `data`
+/// (padded with zeros to a 16-byte boundary) into the running state `y`,
+/// multiplying by `h` per block. `y` and `h` are in the byte order GHASH
+/// specifies (big-endian bit strings), same as the portable path.
+void GhashAccel(const uint8_t h[16], uint8_t y[16], const uint8_t* data,
+                size_t len);
+
+}  // namespace sharoes::crypto
+
+#endif  // SHAROES_CRYPTO_AES_ACCEL_H_

@@ -3,12 +3,25 @@
 #include <cassert>
 #include <cstring>
 
+#include "crypto/aes_accel.h"
+
 namespace sharoes::crypto {
 
 namespace {
-// Applies the CTR keystream of (key, iv) to `input`.
+// Applies the CTR keystream of (key, iv) to `input`. Dispatches to the
+// AES-NI pipeline when the CPU has it; both paths are byte-identical
+// (same keystream, same low-8-byte big-endian counter carry).
 Bytes CtrTransform(const Bytes& key, const Bytes& iv, const Bytes& input) {
   assert(iv.size() == kCtrIvSize);
+  if (CpuHasAesClmul()) {
+    AesAccelSchedule sched;
+    ExpandKeyAccel(key.data(), &sched);
+    uint8_t counter[kAesBlockSize];
+    std::memcpy(counter, iv.data(), kAesBlockSize);
+    Bytes out(input.size());
+    CtrXorAccel(sched, counter, 8, input.data(), out.data(), input.size());
+    return out;
+  }
   Aes128 aes(key);
   Bytes out(input.size());
   uint8_t counter[kAesBlockSize];
@@ -49,12 +62,10 @@ Bytes CtrSeal(const Bytes& key, const Bytes& plaintext, Rng& rng) {
   return out;
 }
 
-Bytes CtrOpen(const Bytes& key, const Bytes& sealed, bool* ok) {
+Result<Bytes> CtrOpen(const Bytes& key, const Bytes& sealed) {
   if (sealed.size() < kCtrIvSize) {
-    if (ok != nullptr) *ok = false;
-    return {};
+    return Status::CryptoError("sealed envelope too short");
   }
-  if (ok != nullptr) *ok = true;
   Bytes iv(sealed.begin(), sealed.begin() + kCtrIvSize);
   Bytes ct(sealed.begin() + kCtrIvSize, sealed.end());
   return CtrDecrypt(key, iv, ct);

@@ -12,6 +12,7 @@
 #include "crypto/aes.h"
 #include "util/bytes.h"
 #include "util/random.h"
+#include "util/result.h"
 
 namespace sharoes::crypto {
 
@@ -24,10 +25,11 @@ Bytes CtrEncrypt(const Bytes& key, const Bytes& iv, const Bytes& plaintext);
 /// CTR decryption (identical keystream XOR).
 Bytes CtrDecrypt(const Bytes& key, const Bytes& iv, const Bytes& ciphertext);
 
-/// Convenience envelope: [iv || ciphertext]. Decryption returns empty and
-/// `ok=false` if the envelope is shorter than an IV.
+/// Convenience envelope: [iv || ciphertext]. Opening a sealed envelope
+/// shorter than an IV is CryptoError — a Result, so callers can never
+/// mistake a truncated envelope for a legitimately empty plaintext.
 Bytes CtrSeal(const Bytes& key, const Bytes& plaintext, Rng& rng);
-Bytes CtrOpen(const Bytes& key, const Bytes& sealed, bool* ok);
+Result<Bytes> CtrOpen(const Bytes& key, const Bytes& sealed);
 
 /// Random 16-byte IV.
 Bytes FreshIv(Rng& rng);

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "crypto/aead.h"
 #include "crypto/ctr.h"
 #include "crypto/kdf.h"
 #include "crypto/sha256.h"
@@ -98,16 +99,44 @@ Result<Bytes> CryptoEngine::SymDecrypt(const SymmetricKey& key,
                                        const Bytes& sealed) {
   ++counts_.sym_decrypt;
   const auto& m = options_.cost_model;
-  bool ok = false;
-  Bytes out;
   if (options_.charge_policy == ChargePolicy::kMeasured) {
-    out = Measured(0, [&] { return CtrOpen(key.key, sealed, &ok); });
-  } else {
-    ChargeBulk(sealed.size(), m.aes_mb_per_s, m.sym_setup_ms);
-    out = CtrOpen(key.key, sealed, &ok);
+    return Measured(0, [&] { return CtrOpen(key.key, sealed); });
   }
-  if (!ok) return Status::CryptoError("sealed envelope too short");
+  ChargeBulk(sealed.size(), m.aes_mb_per_s, m.sym_setup_ms);
+  return CtrOpen(key.key, sealed);
+}
+
+CryptoEngine::AeadSealed CryptoEngine::AeadSeal(const SymmetricKey& key,
+                                                const Bytes& aad,
+                                                const Bytes& plaintext) {
+  ++counts_.sym_encrypt;
+  const auto& m = options_.cost_model;
+  AeadSealed out;
+  out.nonce = FreshNonce(rng_);
+  if (options_.charge_policy == ChargePolicy::kMeasured) {
+    out.ciphertext = Measured(
+        0, [&] { return GcmSeal(key.key, out.nonce, aad, plaintext,
+                                &out.tag); });
+  } else {
+    ChargeBulk(plaintext.size(), m.aes_mb_per_s, m.sym_setup_ms);
+    out.ciphertext = GcmSeal(key.key, out.nonce, aad, plaintext, &out.tag);
+  }
   return out;
+}
+
+Result<Bytes> CryptoEngine::AeadOpen(const SymmetricKey& key,
+                                     const Bytes& aad, const Bytes& nonce,
+                                     const Bytes& ciphertext,
+                                     const Bytes& tag) {
+  ++counts_.sym_decrypt;
+  const auto& m = options_.cost_model;
+  if (options_.charge_policy == ChargePolicy::kMeasured) {
+    return Measured(0,
+                    [&] { return GcmOpen(key.key, nonce, aad, ciphertext,
+                                         tag); });
+  }
+  ChargeBulk(ciphertext.size(), m.aes_mb_per_s, m.sym_setup_ms);
+  return GcmOpen(key.key, nonce, aad, ciphertext, tag);
 }
 
 Bytes CryptoEngine::Hash(const Bytes& data) {

@@ -119,6 +119,25 @@ class CryptoEngine {
   /// Opens a seal; Status::CryptoError on malformed envelope.
   Result<Bytes> SymDecrypt(const SymmetricKey& key, const Bytes& sealed);
 
+  // --- AEAD (AES-128-GCM, data blocks) ---
+  /// A sealed block: fresh nonce, same-length ciphertext, 16-byte tag
+  /// authenticating ciphertext + the caller's associated data.
+  struct AeadSealed {
+    Bytes nonce;
+    Bytes ciphertext;
+    Bytes tag;
+  };
+  /// Counts/charges as a symmetric encryption (identical bulk cost to
+  /// SymEncrypt, so the paper-calibrated Figure-8/13 numbers are
+  /// unchanged — the tag math rides within the same charge).
+  AeadSealed AeadSeal(const SymmetricKey& key, const Bytes& aad,
+                      const Bytes& plaintext);
+  /// Counts/charges as a symmetric decryption. Status::Corruption when
+  /// the tag does not authenticate (ciphertext, aad, nonce).
+  Result<Bytes> AeadOpen(const SymmetricKey& key, const Bytes& aad,
+                         const Bytes& nonce, const Bytes& ciphertext,
+                         const Bytes& tag);
+
   // --- Hashing & derivation ---
   Bytes Hash(const Bytes& data);
   /// H_DEK(name): derives the per-row key for exec-only directory tables

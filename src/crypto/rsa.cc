@@ -228,7 +228,7 @@ bool RsaVerify(const RsaPublicKey& pub, const Bytes& msg, const Bytes& sig) {
   expected[1] = 0x01;
   expected[k - info.size() - 1] = 0x00;
   std::copy(info.begin(), info.end(), expected.end() - info.size());
-  return ConstantTimeEqual(eb, expected);
+  return ConstantTimeEquals(eb, expected);
 }
 
 }  // namespace sharoes::crypto

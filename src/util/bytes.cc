@@ -55,7 +55,7 @@ Bytes HexDecode(std::string_view hex, bool* ok) {
   return out;
 }
 
-bool ConstantTimeEqual(const Bytes& a, const Bytes& b) {
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b) {
   if (a.size() != b.size()) return false;
   uint8_t diff = 0;
   for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];

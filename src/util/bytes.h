@@ -28,8 +28,10 @@ std::string HexEncode(const Bytes& b);
 Bytes HexDecode(std::string_view hex, bool* ok = nullptr);
 
 /// Constant-time equality for secrets (avoids timing side channels; also
-/// simply correct for comparing MACs/signatures).
-bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+/// simply correct for comparing MACs/signatures). Every comparison of a
+/// secret-derived digest — HMAC, AEAD tag, signature block, derived row
+/// id — must go through here, never Bytes::operator==.
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
 
 /// XORs `src` into `dst` (dst[i] ^= src[i]); buffers must be equal length.
 void XorInto(Bytes& dst, const Bytes& src);

@@ -111,6 +111,8 @@ class Status {
   bool IsIntegrityError() const {
     return code() == StatusCode::kIntegrityError;
   }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsCryptoError() const { return code() == StatusCode::kCryptoError; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsDeadlineExceeded() const {

@@ -1,0 +1,87 @@
+// Cache-key aliasing regression tests: every client cache key is built
+// by one chokepoint (SharoesClient::*CacheKey) from resolved identities
+// (inode, block, selector, name) — never from the user-supplied path
+// string. Two spellings of the same path ("/shared//x" vs "/shared/x")
+// therefore hit the same cache entries, and invalidation cannot miss an
+// alias.
+
+#include <gtest/gtest.h>
+
+#include "testing/world.h"
+
+namespace sharoes {
+namespace {
+
+using core::CreateOptions;
+using testing::kAlice;
+using testing::kBob;
+using testing::kEng;
+using testing::World;
+
+class CacheAliasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<World>();
+    ASSERT_TRUE(world_->MigrateAndMountAll(World::DefaultTree()).ok());
+  }
+  std::unique_ptr<World> world_;
+};
+
+TEST_F(CacheAliasTest, WriteAndReadAcrossSpellings) {
+  auto& alice = world_->client(kAlice);
+  CreateOptions opts;
+  opts.mode = World::ParseMode("rw-rw----");
+  ASSERT_TRUE(alice.Create("/shared//x.txt", opts).ok());
+  ASSERT_TRUE(alice.WriteFile("/shared//x.txt", ToBytes("via alias")).ok());
+  auto read = alice.Read("/shared/x.txt");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(ToString(*read), "via alias");
+
+  // Overwrite through the canonical spelling; the aliased read must see
+  // the new content, not a stale data-cache entry keyed by path string.
+  ASSERT_TRUE(alice.WriteFile("/shared/x.txt", ToBytes("updated")).ok());
+  auto again = alice.Read("//shared///x.txt");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(ToString(*again), "updated");
+}
+
+TEST_F(CacheAliasTest, WarmGetattrIsSharedAcrossSpellings) {
+  auto& alice = world_->client(kAlice);
+  ASSERT_TRUE(alice.Getattr("/shared/plan.md").ok());
+  // The second stat resolves the same inodes; with the cache keyed by
+  // identity rather than spelling it needs no further round trips.
+  uint64_t before = world_->transport(kAlice).counters().round_trips;
+  auto aliased = alice.Getattr("/shared//plan.md");
+  ASSERT_TRUE(aliased.ok()) << aliased.status();
+  EXPECT_EQ(world_->transport(kAlice).counters().round_trips, before);
+  auto canonical = alice.Getattr("/shared/plan.md");
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_EQ(aliased->inode, canonical->inode);
+}
+
+TEST_F(CacheAliasTest, NegativeDentryInvalidatedAcrossSpellings) {
+  auto& alice = world_->client(kAlice);
+  // Miss through one spelling: caches a negative dentry keyed by
+  // (directory inode, name).
+  EXPECT_TRUE(alice.Getattr("/shared/new.txt").status().IsNotFound());
+  // Create through another spelling; the creation must invalidate the
+  // same negative entry, so the original spelling resolves immediately.
+  CreateOptions opts;
+  opts.mode = World::ParseMode("rw-rw----");
+  ASSERT_TRUE(alice.Create("/shared//new.txt", opts).ok());
+  auto attrs = alice.Getattr("/shared/new.txt");
+  EXPECT_TRUE(attrs.ok()) << attrs.status();
+}
+
+TEST_F(CacheAliasTest, NegativeDentryServedAcrossSpellings) {
+  auto& bob = world_->client(kBob);
+  EXPECT_TRUE(bob.Getattr("/shared/ghost.txt").status().IsNotFound());
+  // A differently spelled lookup of the same (dir, name) is answered by
+  // the cached negative dentry without another round trip.
+  uint64_t before = world_->transport(kBob).counters().round_trips;
+  EXPECT_TRUE(bob.Getattr("/shared//ghost.txt").status().IsNotFound());
+  EXPECT_EQ(world_->transport(kBob).counters().round_trips, before);
+}
+
+}  // namespace
+}  // namespace sharoes

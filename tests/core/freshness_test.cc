@@ -91,7 +91,7 @@ TEST_F(FreshnessTest, RollbackDetectedByClientWithHistory) {
   bob.DropCaches();
   auto rolled = bob.Read("/log.txt");
   EXPECT_FALSE(rolled.ok());
-  EXPECT_TRUE(rolled.status().IsIntegrityError()) << rolled.status();
+  EXPECT_TRUE(rolled.status().IsCorruption()) << rolled.status();
   EXPECT_NE(rolled.status().message().find("rollback"), std::string::npos);
 }
 
@@ -121,7 +121,7 @@ TEST_F(FreshnessTest, MixedGenerationBlocksDetected) {
   world_->client(kBob).DropCaches();
   auto read = world_->client(kBob).Read("/log.txt");
   EXPECT_FALSE(read.ok());
-  EXPECT_TRUE(read.status().IsIntegrityError()) << read.status();
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status();
 }
 
 TEST_F(FreshnessTest, WriterWithoutHistoryContinuesSequence) {

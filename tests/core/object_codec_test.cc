@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/object_codec.h"
+#include "crypto/aead.h"
 
 namespace sharoes::core {
 namespace {
@@ -359,6 +360,70 @@ TEST_F(ObjectCodecTest, DataBlockSwapAndTamperDetected) {
   bad = wire;
   bad[16] ^= 1;
   EXPECT_FALSE(codec_.DecodeDataBlock(7, 3, bad, dek, dsk.verify).ok());
+}
+
+TEST_F(ObjectCodecTest, DataBlockZeroSignatureRequired) {
+  // Block 0 carries the descriptor (and the Merkle root over the tail
+  // tags), so it alone is DSK-signed; a valid AEAD seal under a wrong
+  // signing key must not pass.
+  crypto::SymmetricKey dek = engine_.NewSymmetricKey();
+  crypto::SigningKeyPair dsk = engine_.NewSigningKeyPair();
+  crypto::SigningKeyPair other = engine_.NewSigningKeyPair();
+  Bytes pt = ToBytes("descriptor + first chunk");
+  Bytes wire = codec_.EncodeDataBlock(7, 0, {0, 1}, pt, dek, dsk.sign);
+  ASSERT_TRUE(codec_.DecodeDataBlock(7, 0, wire, dek, dsk.verify).ok());
+
+  // Sealed by a DEK-holder without the real DSK.
+  Bytes forged = codec_.EncodeDataBlock(7, 0, {0, 1}, pt, dek, other.sign);
+  auto r = codec_.DecodeDataBlock(7, 0, forged, dek, dsk.verify);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().message().find("signature"), std::string::npos);
+}
+
+TEST_F(ObjectCodecTest, TailBlockRejectsUnexpectedSignature) {
+  // Tail blocks are unsigned by construction; a signature field the
+  // codec did not produce is rejected rather than ignored.
+  crypto::SymmetricKey dek = engine_.NewSymmetricKey();
+  crypto::SigningKeyPair dsk = engine_.NewSigningKeyPair();
+  Bytes wire = codec_.EncodeDataBlock(7, 3, {0, 1}, ToBytes("tail"), dek,
+                                      dsk.sign);
+  BinaryReader r(wire);
+  uint32_t key_gen = r.GetU32();
+  uint64_t write_gen = r.GetU64();
+  Bytes nonce = r.GetRaw(crypto::kAeadNonceSize);
+  Bytes ct = r.GetBytes();
+  Bytes tag = r.GetRaw(crypto::kAeadTagSize);
+  Bytes sig = r.GetBytes();
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(sig.empty());
+  BinaryWriter w;
+  w.PutU32(key_gen);
+  w.PutU64(write_gen);
+  w.PutRaw(nonce);
+  w.PutBytes(ct);
+  w.PutRaw(tag);
+  w.PutBytes(ToBytes("spurious signature"));
+  auto rejected = codec_.DecodeDataBlock(7, 3, w.Take(), dek, dsk.verify);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsCorruption());
+  EXPECT_NE(rejected.status().message().find("unexpected signature"),
+            std::string::npos);
+}
+
+TEST_F(ObjectCodecTest, PeekDataTagMatchesSealTag) {
+  crypto::SymmetricKey dek = engine_.NewSymmetricKey();
+  crypto::SigningKeyPair dsk = engine_.NewSigningKeyPair();
+  Bytes tag_out;
+  Bytes wire = codec_.EncodeDataBlock(7, 2, {0, 1}, ToBytes("leaf"), dek,
+                                      dsk.sign, &tag_out);
+  ASSERT_EQ(tag_out.size(), crypto::kAeadTagSize);
+  auto peeked = ObjectCodec::PeekDataTag(wire);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, tag_out);
+  // Truncated wires fail cleanly.
+  Bytes tiny(wire.begin(), wire.begin() + 10);
+  EXPECT_TRUE(ObjectCodec::PeekDataTag(tiny).status().IsCorruption());
 }
 
 TEST_F(ObjectCodecTest, SuperblockRoundTrip) {

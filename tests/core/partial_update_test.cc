@@ -138,7 +138,7 @@ TEST_F(PartialUpdateTest, StaleBlockFromOldGenerationDetected) {
   world_->client(kBob).DropCaches();
   auto read = world_->client(kBob).Read("/big.bin");
   EXPECT_FALSE(read.ok());
-  EXPECT_TRUE(read.status().IsIntegrityError()) << read.status();
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status();
 }
 
 TEST_F(PartialUpdateTest, PartialUpdateShipsFewerBytes) {

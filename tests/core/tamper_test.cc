@@ -39,7 +39,7 @@ TEST_F(TamperTest, CorruptedDataBlockDetected) {
   world_->client(kBob).DropCaches();
   auto read = world_->client(kBob).Read("/doc.txt");
   EXPECT_FALSE(read.ok());
-  EXPECT_TRUE(read.status().IsIntegrityError()) << read.status();
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status();
 }
 
 TEST_F(TamperTest, CorruptedMetadataDetected) {
@@ -83,7 +83,7 @@ TEST_F(TamperTest, CrossFileBlockSwapDetected) {
   world_->client(kBob).DropCaches();
   auto read = world_->client(kBob).Read("/doc.txt");
   EXPECT_FALSE(read.ok());
-  EXPECT_TRUE(read.status().IsIntegrityError()) << read.status();
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status();
 }
 
 TEST_F(TamperTest, ForgedWriteByReaderDetected) {

@@ -1,0 +1,198 @@
+// AES-128-GCM tests: NIST GCM known-answer vectors, seal/open round
+// trips, tamper detection, and byte-for-byte agreement between the
+// portable implementation and the AES-NI/CLMUL fast path.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "crypto/aead.h"
+#include "util/random.h"
+
+namespace sharoes::crypto {
+namespace {
+
+Bytes Hex(const std::string& s) {
+  bool ok = false;
+  Bytes b = HexDecode(s, &ok);
+  EXPECT_TRUE(ok) << s;
+  return b;
+}
+
+/// Runs `fn` once per implementation available on this machine, pinning
+/// the dispatcher each time (at least the portable one always runs).
+void ForEachImpl(const std::function<void(AeadImpl)>& fn) {
+  std::vector<AeadImpl> impls = {AeadImpl::kPortable};
+  if (AesAccelAvailable()) impls.push_back(AeadImpl::kAccelerated);
+  for (AeadImpl impl : impls) {
+    ForceAeadImpl(impl);
+    ASSERT_EQ(ActiveAeadImpl(), impl);
+    fn(impl);
+  }
+  ResetAeadImpl();
+}
+
+// NIST GCM spec test cases 1-4 (AES-128).
+struct Kat {
+  const char* key;
+  const char* iv;
+  const char* aad;
+  const char* pt;
+  const char* ct;
+  const char* tag;
+};
+const Kat kNistKats[] = {
+    // Test Case 1: empty plaintext, empty AAD.
+    {"00000000000000000000000000000000", "000000000000000000000000", "", "",
+     "", "58e2fccefa7e3061367f1d57a4e7455a"},
+    // Test Case 2: one zero block.
+    {"00000000000000000000000000000000", "000000000000000000000000", "",
+     "00000000000000000000000000000000", "0388dace60b6a392f328c2b971b2fe78",
+     "ab6e47d42cec13bdf53a67b21257bddf"},
+    // Test Case 3: four blocks.
+    {"feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888", "",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+     "4d5c2af327cd64a62cf35abd2ba6fab4"},
+    // Test Case 4: 60-byte plaintext + 20-byte AAD (unaligned tails).
+    {"feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888",
+     "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+     "5bc94fbc3221a5db94fae95ae7121a47"},
+};
+
+TEST(AeadTest, NistKnownAnswerVectors) {
+  ForEachImpl([&](AeadImpl impl) {
+    for (const Kat& kat : kNistKats) {
+      Bytes key = Hex(kat.key), iv = Hex(kat.iv), aad = Hex(kat.aad);
+      Bytes pt = Hex(kat.pt);
+      Bytes tag;
+      Bytes ct = GcmSeal(key, iv, aad, pt, &tag);
+      EXPECT_EQ(ct, Hex(kat.ct)) << AeadImplName(impl);
+      EXPECT_EQ(tag, Hex(kat.tag)) << AeadImplName(impl);
+      Result<Bytes> back = GcmOpen(key, iv, aad, ct, tag);
+      ASSERT_TRUE(back.ok()) << AeadImplName(impl);
+      EXPECT_EQ(*back, pt);
+    }
+  });
+}
+
+TEST(AeadTest, RoundTripAcrossSizes) {
+  ForEachImpl([&](AeadImpl impl) {
+    Rng rng(0xA0 + static_cast<int>(impl));
+    for (size_t len : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 65u, 255u, 4096u,
+                       4097u}) {
+      Bytes key = rng.NextBytes(16);
+      Bytes nonce = rng.NextBytes(kAeadNonceSize);
+      Bytes aad = rng.NextBytes(len % 37);
+      Bytes pt = rng.NextBytes(len);
+      Bytes tag;
+      Bytes ct = GcmSeal(key, nonce, aad, pt, &tag);
+      EXPECT_EQ(ct.size(), pt.size());
+      EXPECT_EQ(tag.size(), kAeadTagSize);
+      Result<Bytes> back = GcmOpen(key, nonce, aad, ct, tag);
+      ASSERT_TRUE(back.ok()) << AeadImplName(impl) << " len " << len;
+      EXPECT_EQ(*back, pt);
+    }
+  });
+}
+
+TEST(AeadTest, TamperAnywhereFailsClosed) {
+  ForEachImpl([&](AeadImpl impl) {
+    Rng rng(0xB0 + static_cast<int>(impl));
+    Bytes key = rng.NextBytes(16);
+    Bytes nonce = rng.NextBytes(kAeadNonceSize);
+    Bytes aad = rng.NextBytes(13);
+    Bytes pt = rng.NextBytes(100);
+    Bytes tag;
+    Bytes ct = GcmSeal(key, nonce, aad, pt, &tag);
+    for (size_t i = 0; i < ct.size(); ++i) {
+      Bytes bad = ct;
+      bad[i] ^= 1;
+      EXPECT_TRUE(GcmOpen(key, nonce, aad, bad, tag).status().IsCorruption())
+          << "ct byte " << i;
+    }
+    for (size_t i = 0; i < tag.size(); ++i) {
+      Bytes bad = tag;
+      bad[i] ^= 1;
+      EXPECT_TRUE(GcmOpen(key, nonce, aad, ct, bad).status().IsCorruption())
+          << "tag byte " << i;
+    }
+    for (size_t i = 0; i < aad.size(); ++i) {
+      Bytes bad = aad;
+      bad[i] ^= 1;
+      EXPECT_TRUE(GcmOpen(key, nonce, bad, ct, tag).status().IsCorruption())
+          << "aad byte " << i;
+    }
+    for (size_t i = 0; i < nonce.size(); ++i) {
+      Bytes bad = nonce;
+      bad[i] ^= 1;
+      EXPECT_TRUE(GcmOpen(key, bad, aad, ct, tag).status().IsCorruption())
+          << "nonce byte " << i;
+    }
+  });
+}
+
+TEST(AeadTest, MalformedNonceOrTagIsCryptoError) {
+  Bytes key(16, 1);
+  Bytes nonce(kAeadNonceSize, 2);
+  Bytes tag;
+  Bytes ct = GcmSeal(key, nonce, {}, Bytes(8, 3), &tag);
+  EXPECT_TRUE(GcmOpen(key, Bytes(11, 2), {}, ct, tag)
+                  .status()
+                  .IsCryptoError());
+  EXPECT_TRUE(
+      GcmOpen(key, nonce, {}, ct, Bytes(15, 0)).status().IsCryptoError());
+}
+
+TEST(AeadTest, PortableAndAcceleratedAgreeByteForByte) {
+  if (!AesAccelAvailable()) {
+    GTEST_SKIP() << "CPU lacks AES-NI/PCLMUL; cross-check not possible";
+  }
+  Rng rng(0xC3);
+  for (int i = 0; i < 200; ++i) {
+    Bytes key = rng.NextBytes(16);
+    Bytes nonce = rng.NextBytes(kAeadNonceSize);
+    Bytes aad = rng.NextBytes(rng.NextU64() % 64);
+    Bytes pt = rng.NextBytes(rng.NextU64() % 8192);
+    ForceAeadImpl(AeadImpl::kPortable);
+    Bytes tag_p;
+    Bytes ct_p = GcmSeal(key, nonce, aad, pt, &tag_p);
+    ForceAeadImpl(AeadImpl::kAccelerated);
+    Bytes tag_a;
+    Bytes ct_a = GcmSeal(key, nonce, aad, pt, &tag_a);
+    ASSERT_EQ(ct_p, ct_a) << "iteration " << i;
+    ASSERT_EQ(tag_p, tag_a) << "iteration " << i;
+    // Cross-open: sealed by one implementation, opened by the other.
+    ForceAeadImpl(AeadImpl::kPortable);
+    auto back_p = GcmOpen(key, nonce, aad, ct_a, tag_a);
+    ForceAeadImpl(AeadImpl::kAccelerated);
+    auto back_a = GcmOpen(key, nonce, aad, ct_p, tag_p);
+    ASSERT_TRUE(back_p.ok() && back_a.ok());
+    EXPECT_EQ(*back_p, pt);
+    EXPECT_EQ(*back_a, pt);
+  }
+  ResetAeadImpl();
+}
+
+TEST(AeadTest, ForceRespectsHardwareLimits) {
+  ResetAeadImpl();
+  AeadImpl native = ActiveAeadImpl();
+  ForceAeadImpl(AeadImpl::kPortable);
+  EXPECT_EQ(ActiveAeadImpl(), AeadImpl::kPortable);
+  ForceAeadImpl(AeadImpl::kAccelerated);
+  // Granted only when the CPU can actually run it.
+  EXPECT_EQ(ActiveAeadImpl(), AesAccelAvailable() ? AeadImpl::kAccelerated
+                                                  : AeadImpl::kPortable);
+  ResetAeadImpl();
+  EXPECT_EQ(ActiveAeadImpl(), native);
+}
+
+}  // namespace
+}  // namespace sharoes::crypto

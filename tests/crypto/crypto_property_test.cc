@@ -23,10 +23,9 @@ TEST_P(CtrSizeSweep, SealOpenIsIdentity) {
   Bytes key = rng.NextBytes(kAes128KeySize);
   Bytes pt = rng.NextBytes(GetParam());
   Bytes sealed = CtrSeal(key, pt, rng);
-  bool ok = false;
-  Bytes back = CtrOpen(key, sealed, &ok);
-  ASSERT_TRUE(ok);
-  EXPECT_EQ(back, pt);
+  Result<Bytes> back = CtrOpen(key, sealed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, pt);
   // Ciphertext differs from plaintext for nonempty inputs.
   if (!pt.empty()) {
     Bytes body(sealed.begin() + kCtrIvSize, sealed.end());

@@ -48,17 +48,17 @@ TEST(CtrTest, SealOpenRoundTrip) {
   Bytes pt = ToBytes("metadata object payload");
   Bytes sealed = CtrSeal(key, pt, rng);
   EXPECT_EQ(sealed.size(), pt.size() + kCtrIvSize);
-  bool ok = false;
-  EXPECT_EQ(CtrOpen(key, sealed, &ok), pt);
-  EXPECT_TRUE(ok);
+  Result<Bytes> opened = CtrOpen(key, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
 }
 
 TEST(CtrTest, OpenRejectsTruncatedEnvelope) {
   Bytes key(16, 1);
   Bytes tiny(kCtrIvSize - 1, 0);
-  bool ok = true;
-  CtrOpen(key, tiny, &ok);
-  EXPECT_FALSE(ok);
+  Result<Bytes> opened = CtrOpen(key, tiny);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCryptoError()) << opened.status().ToString();
 }
 
 TEST(CtrTest, WrongKeyYieldsGarbage) {
@@ -66,9 +66,10 @@ TEST(CtrTest, WrongKeyYieldsGarbage) {
   Bytes k1 = rng.NextBytes(16), k2 = rng.NextBytes(16);
   Bytes pt = ToBytes("sensitive contents of a data block");
   Bytes sealed = CtrSeal(k1, pt, rng);
-  bool ok = false;
-  EXPECT_NE(CtrOpen(k2, sealed, &ok), pt);
-  EXPECT_TRUE(ok);  // CTR has no integrity; garbage decrypts "successfully".
+  Result<Bytes> opened = CtrOpen(k2, sealed);
+  // CTR has no integrity; garbage decrypts "successfully".
+  ASSERT_TRUE(opened.ok());
+  EXPECT_NE(*opened, pt);
 }
 
 TEST(CtrTest, FreshIvsDiffer) {

@@ -82,10 +82,25 @@ TEST(BytesTest, HexDecodeRejectsMalformed) {
   EXPECT_FALSE(ok);
 }
 
-TEST(BytesTest, ConstantTimeEqual) {
-  EXPECT_TRUE(ConstantTimeEqual({1, 2, 3}, {1, 2, 3}));
-  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2, 4}));
-  EXPECT_FALSE(ConstantTimeEqual({1, 2}, {1, 2, 3}));
+TEST(BytesTest, ConstantTimeEquals) {
+  EXPECT_TRUE(ConstantTimeEquals({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEquals({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEquals({1, 2}, {1, 2, 3}));
+}
+
+TEST(BytesTest, ConstantTimeEqualsAgreesWithOperatorEq) {
+  // Every secret-derived comparison routes through ConstantTimeEquals;
+  // it must be a drop-in for operator== in both argument orders.
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    Bytes a = rng.NextBytes(rng.NextU64() % 48);
+    Bytes b = a;
+    if (i % 3 == 0 && !b.empty()) b[rng.NextU64() % b.size()] ^= 1;
+    if (i % 5 == 0) b = rng.NextBytes(rng.NextU64() % 48);
+    EXPECT_EQ(ConstantTimeEquals(a, b), a == b);
+    EXPECT_EQ(ConstantTimeEquals(b, a), b == a);
+    EXPECT_EQ(ConstantTimeEquals(a, b), ConstantTimeEquals(b, a));
+  }
 }
 
 TEST(BytesTest, StringConversions) {
