@@ -1,0 +1,604 @@
+// Open-loop SLO load harness (DESIGN.md §14): N client threads drive a
+// live TcpSspDaemon over loopback with Poisson arrivals at a fixed
+// offered rate, a Zipf-popular shared read set, and private per-thread
+// write sets — then report p50/p99/p999 per op from the obs histograms
+// and pull the daemon's own view of the run through the admin RPCs
+// (kGetStats with a prefix, kGetTraces for slow-request timelines).
+//
+// Open-loop means arrivals are scheduled ahead of time and latency is
+// measured from the *scheduled* arrival, not from when the client got
+// around to sending: a stalled server inflates the tail instead of
+// silently thinning the offered load (no coordinated omission).
+//
+// Two latency views per op:
+//   latency_us  = completion - scheduled Poisson arrival (queueing incl.)
+//   service_us  = completion - request start (the op itself)
+//
+// The harness double-checks the span layer's core invariant on its own
+// captured slow requests: each timeline's per-phase durations must sum
+// to within 10% of the measured end-to-end time (attribution_ok in
+// BENCH_load.json).
+//
+// Defaults are sized for a 1-CPU CI container (see DESIGN.md §14: the
+// absolute numbers are not the point; zero errors, achieved≈offered,
+// and trustworthy attribution are).
+//
+// Usage:
+//   bench_load [--seconds N] [--rate OPS_PER_S] [--clients N]
+//              [--write-pct P] [--zipf S] [--shared-files K]
+//              [--slow-us N] [--port P] [--json]
+//
+// --port P drives an already-running external daemon instead of the
+// in-process one (provisioning included — point it at an empty store).
+// --json writes BENCH_load.json for the CI SLO gate.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/client.h"
+#include "core/identity.h"
+#include "core/migration.h"
+#include "core/retrying_connection.h"
+#include "crypto/keys.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "ssp/tcp_service.h"
+#include "util/sim_clock.h"
+
+namespace sharoes {
+namespace {
+
+constexpr fs::UserId kAlice = 100;
+constexpr fs::GroupId kStaff = 500;
+constexpr size_t kPrivateFiles = 8;   // Write targets per client thread.
+constexpr size_t kFileBytes = 4096;   // One data block per file.
+
+struct Options {
+  double seconds = 4.0;
+  double rate = 150.0;  // Total offered ops/s across all clients.
+  int clients = 4;
+  int write_pct = 30;
+  double zipf_s = 1.1;
+  int shared_files = 32;
+  uint64_t slow_us = 2000;  // Low threshold: the harness *wants* captures.
+  uint16_t port = 0;        // 0 = start an in-process daemon.
+  bool json = false;
+};
+
+Bytes PatternBytes(size_t n, uint32_t salt) {
+  Bytes b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<uint8_t>((i * 131 + salt * 17) & 0xFF);
+  }
+  return b;
+}
+
+/// Zipf(s) sampler over [0, n): precomputed CDF + binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) : cdf_(static_cast<size_t>(n)) {
+    double acc = 0;
+    for (int i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<size_t>(i)] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+  int Sample(std::mt19937_64& rng) const {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+std::unique_ptr<crypto::CryptoEngine> MakeEngine(SimClock* clock,
+                                                 uint64_t seed) {
+  crypto::CryptoEngineOptions opts;
+  opts.cost_model = crypto::CryptoCostModel::Zero();
+  opts.signing_key_bits = 512;
+  opts.rng_seed = seed;
+  return std::make_unique<crypto::CryptoEngine>(clock, opts);
+}
+
+core::RetryingConnection::ChannelFactory TcpFactory(uint16_t port) {
+  return [port]() -> Result<std::unique_ptr<ssp::SspChannel>> {
+    net::TcpTimeouts timeouts{/*connect_ms=*/2000, /*send_ms=*/5000,
+                              /*recv_ms=*/5000};
+    auto channel = ssp::TcpSspChannel::Connect("127.0.0.1", port, timeouts);
+    if (!channel.ok()) return channel.status();
+    return std::unique_ptr<ssp::SspChannel>(std::move(*channel));
+  };
+}
+
+/// The enterprise side, provisioned over the wire into the daemon.
+struct Enterprise {
+  SimClock clock;
+  std::unique_ptr<crypto::CryptoEngine> engine;
+  core::IdentityDirectory identity;
+  crypto::RsaPrivateKey alice_key;
+};
+
+std::unique_ptr<Enterprise> Provision(uint16_t port) {
+  auto ent = std::make_unique<Enterprise>();
+  ent->engine = MakeEngine(&ent->clock, 4242);
+  core::Provisioner::Options popts;
+  popts.user_key_bits = 512;
+  core::Provisioner prov(&ent->identity, /*server=*/nullptr,
+                         ent->engine.get(), popts);
+  auto admin = ssp::TcpSspChannel::Connect("127.0.0.1", port);
+  if (!admin.ok()) {
+    std::fprintf(stderr, "bench_load: connect: %s\n",
+                 admin.status().ToString().c_str());
+    return nullptr;
+  }
+  prov.set_remote_channel(admin->get());
+  auto alice = prov.CreateUser(kAlice, "alice");
+  if (!alice.ok()) return nullptr;
+  ent->alice_key = alice->priv;
+  if (!prov.CreateGroup(kStaff, "staff", {kAlice}).ok()) return nullptr;
+  core::LocalNode root = core::LocalNode::Dir("", kAlice, kStaff,
+                                              fs::Mode::FromOctal(0755));
+  if (!prov.Migrate(root).ok()) return nullptr;
+  return ent;
+}
+
+std::unique_ptr<core::SharoesClient> MakeClient(Enterprise* ent,
+                                                ssp::SspChannel* channel,
+                                                crypto::CryptoEngine* engine) {
+  core::ClientOptions copts;
+  copts.default_group = kStaff;
+  return std::make_unique<core::SharoesClient>(
+      kAlice, ent->alice_key, &ent->identity, channel, engine, copts);
+}
+
+/// Per-thread tallies; percentiles come from the shared obs histograms.
+struct ThreadResult {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t errors = 0;
+  uint64_t max_latency_us = 0;
+};
+
+struct LoadMetrics {
+  obs::Histogram* read_latency;
+  obs::Histogram* read_service;
+  obs::Histogram* write_latency;
+  obs::Histogram* write_service;
+};
+
+LoadMetrics RegisterLoadMetrics() {
+  auto& reg = obs::MetricsRegistry::Global();
+  return {reg.histogram("bench.load.latency_us.read"),
+          reg.histogram("bench.load.service_us.read"),
+          reg.histogram("bench.load.latency_us.write"),
+          reg.histogram("bench.load.service_us.write")};
+}
+
+/// Start-line barrier: every thread provisions its private files, checks
+/// in, and blocks until the main thread fires the gun — so the measured
+/// window contains load, not setup.
+class StartGate {
+ public:
+  explicit StartGate(int n) : waiting_for_(n) {}
+  void CheckIn() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--waiting_for_ == 0) ready_.notify_all();
+    go_.wait(lock, [&] { return started_; });
+  }
+  void WaitReady() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return waiting_for_ == 0; });
+  }
+  void Fire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    go_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::condition_variable go_;
+  int waiting_for_;
+  bool started_ = false;
+};
+
+void RunClientThread(int t, const Options& opt, uint16_t port,
+                     Enterprise* ent, const ZipfSampler* zipf,
+                     const LoadMetrics* metrics, StartGate* gate,
+                     std::chrono::steady_clock::time_point* start_out,
+                     ThreadResult* out) {
+  SimClock clock;
+  auto engine = MakeEngine(&clock, 1000 + static_cast<uint64_t>(t));
+  core::RetryOptions retry;
+  retry.seed = 9000 + static_cast<uint64_t>(t);
+  core::RetryingConnection conn(TcpFactory(port), retry);
+  auto client = MakeClient(ent, &conn, engine.get());
+  if (!client->Mount().ok()) {
+    out->errors += 1;
+    gate->CheckIn();
+    return;
+  }
+  // Private write set: /p<t>/f0..f7, one block each.
+  std::string dir = "/p" + std::to_string(t);
+  core::CreateOptions dopts;
+  dopts.mode = fs::Mode::FromOctal(0755);
+  core::CreateOptions fopts;
+  fopts.mode = fs::Mode::FromOctal(0644);
+  bool setup_ok = client->Mkdir(dir, dopts).ok();
+  for (size_t j = 0; setup_ok && j < kPrivateFiles; ++j) {
+    std::string path = dir + "/f" + std::to_string(j);
+    setup_ok = client->Create(path, fopts).ok() &&
+               client->WriteFile(
+                         path, PatternBytes(kFileBytes,
+                                            static_cast<uint32_t>(t * 100 +
+                                                                  j)))
+                   .ok();
+  }
+  gate->CheckIn();
+  if (!setup_ok) {
+    out->errors += 1;
+    return;
+  }
+
+  const auto start = *start_out;
+  const auto deadline =
+      start + std::chrono::microseconds(
+                  static_cast<int64_t>(opt.seconds * 1e6));
+  std::mt19937_64 rng(77 + static_cast<uint64_t>(t));
+  const double per_thread_rate = opt.rate / opt.clients;
+  std::exponential_distribution<double> gap(per_thread_rate);
+  std::uniform_int_distribution<int> mix(0, 99);
+  auto arrival = start;
+  uint64_t iter = 0;
+  while (true) {
+    arrival += std::chrono::microseconds(
+        static_cast<int64_t>(gap(rng) * 1e6));
+    if (arrival >= deadline) break;
+    std::this_thread::sleep_until(arrival);
+    const bool is_write = mix(rng) < opt.write_pct;
+    const auto op_start = std::chrono::steady_clock::now();
+    Status s = Status::OK();
+    if (is_write) {
+      std::string path =
+          dir + "/f" + std::to_string(iter % kPrivateFiles);
+      s = client->WriteFile(
+          path, PatternBytes(kFileBytes,
+                             static_cast<uint32_t>(t * 100 + iter)));
+    } else {
+      std::string path =
+          "/shared/f" + std::to_string(zipf->Sample(rng));
+      // Evict the object (keep the dcache warm) so every read refetches
+      // metadata + data from the daemon instead of the client cache.
+      (void)client->EvictPath(path);
+      auto content = client->Read(path);
+      s = content.status();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    ++iter;
+    if (!s.ok()) {
+      out->errors += 1;
+      continue;
+    }
+    const uint64_t latency_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - arrival)
+            .count());
+    const uint64_t service_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - op_start)
+            .count());
+    out->max_latency_us = std::max(out->max_latency_us, latency_us);
+    if (is_write) {
+      out->writes += 1;
+      metrics->write_latency->Record(latency_us);
+      metrics->write_service->Record(service_us);
+    } else {
+      out->reads += 1;
+      metrics->read_latency->Record(latency_us);
+      metrics->read_service->Record(service_us);
+    }
+  }
+}
+
+/// Periodic kGetStats/kGetTraces scraper — the operator loop the admin
+/// RPCs exist for, run against the live daemon while it serves load.
+void RunScraper(uint16_t port, std::atomic<bool>* stop, uint64_t* scrapes,
+                std::string* last_stats, std::string* last_traces) {
+  auto channel = ssp::TcpSspChannel::Connect("127.0.0.1", port);
+  if (!channel.ok()) return;
+  while (!stop->load(std::memory_order_acquire)) {
+    auto stats = (*channel)->Call(ssp::Request::GetStats("ssp."));
+    auto traces = (*channel)->Call(ssp::Request::GetTraces());
+    if (stats.ok() && stats->ok() && traces.ok() && traces->ok()) {
+      ++*scrapes;
+      last_stats->assign(stats->payload.begin(), stats->payload.end());
+      last_traces->assign(traces->payload.begin(), traces->payload.end());
+    }
+    for (int i = 0; i < 5 && !stop->load(std::memory_order_acquire); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+struct Attribution {
+  uint64_t checked = 0;
+  uint64_t ok = 0;
+  double worst_off_pct = 0;  // Largest |phase_sum - total| / total seen.
+};
+
+/// The acceptance check: every captured timeline's phase durations must
+/// sum to within 10% of its measured end-to-end time. Exclusive-time
+/// attribution makes this hold by construction (only µs truncation per
+/// phase leaks); the harness verifies it on live data anyway.
+Attribution CheckAttribution(const obs::SpanCollector::Snapshot& snap) {
+  Attribution a;
+  auto check = [&](const obs::SpanRecord& r) {
+    if (r.total_us == 0) return;
+    a.checked += 1;
+    const double off =
+        std::abs(static_cast<double>(r.PhaseSumUs()) -
+                 static_cast<double>(r.total_us)) /
+        static_cast<double>(r.total_us);
+    a.worst_off_pct = std::max(a.worst_off_pct, off * 100.0);
+    if (off <= 0.10) a.ok += 1;
+  };
+  for (const auto& r : snap.slow) check(r);
+  for (const auto& r : snap.slowest) check(r);
+  return a;
+}
+
+void EmitOp(obs::JsonObjectWriter* w, const char* key, uint64_t count,
+            const obs::HistogramSnapshot& latency,
+            const obs::HistogramSnapshot& service) {
+  w->BeginObject(key);
+  w->Field("count", count);
+  w->BeginObject("latency_us");
+  w->Field("p50", latency.Percentile(0.50));
+  w->Field("p99", latency.Percentile(0.99));
+  w->Field("p999", latency.Percentile(0.999));
+  w->Field("mean", latency.Mean());
+  w->Field("max", latency.max);
+  w->EndObject();
+  w->BeginObject("service_us");
+  w->Field("p50", service.Percentile(0.50));
+  w->Field("p99", service.Percentile(0.99));
+  w->Field("p999", service.Percentile(0.999));
+  w->Field("mean", service.Mean());
+  w->Field("max", service.max);
+  w->EndObject();
+  w->EndObject();
+}
+
+int Run(const Options& opt) {
+  // 1. A live daemon: in-process by default (shares our process's
+  // metrics registry and span collector), external via --port.
+  ssp::SspServer server;
+  std::unique_ptr<ssp::TcpSspDaemon> daemon;
+  uint16_t port = opt.port;
+  if (port == 0) {
+    auto started = ssp::TcpSspDaemon::Start(&server, 0);
+    if (!started.ok()) {
+      std::fprintf(stderr, "bench_load: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    daemon = std::move(*started);
+    port = daemon->port();
+  }
+
+  // 2. Provision the enterprise and the shared read tree.
+  auto ent = Provision(port);
+  if (ent == nullptr) {
+    std::fprintf(stderr, "bench_load: provisioning failed\n");
+    return 1;
+  }
+  {
+    SimClock clock;
+    auto engine = MakeEngine(&clock, 7);
+    core::RetryingConnection conn(TcpFactory(port), core::RetryOptions{});
+    auto setup = MakeClient(ent.get(), &conn, engine.get());
+    if (!setup->Mount().ok()) {
+      std::fprintf(stderr, "bench_load: mount failed\n");
+      return 1;
+    }
+    core::CreateOptions dopts;
+    dopts.mode = fs::Mode::FromOctal(0755);
+    core::CreateOptions fopts;
+    fopts.mode = fs::Mode::FromOctal(0644);
+    if (!setup->Mkdir("/shared", dopts).ok()) {
+      std::fprintf(stderr, "bench_load: setup failed\n");
+      return 1;
+    }
+    for (int i = 0; i < opt.shared_files; ++i) {
+      std::string path = "/shared/f" + std::to_string(i);
+      if (!setup->Create(path, fopts).ok() ||
+          !setup->WriteFile(path,
+                            PatternBytes(kFileBytes,
+                                         static_cast<uint32_t>(i)))
+               .ok()) {
+        std::fprintf(stderr, "bench_load: setup failed at %s\n",
+                     path.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // 3. Launch the clients; drop setup-phase spans and arm a low slow
+  // threshold so the run captures real timelines.
+  ZipfSampler zipf(opt.shared_files, opt.zipf_s);
+  LoadMetrics metrics = RegisterLoadMetrics();
+  StartGate gate(opt.clients);
+  std::vector<ThreadResult> results(static_cast<size_t>(opt.clients));
+  std::chrono::steady_clock::time_point start_time;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(opt.clients));
+  for (int t = 0; t < opt.clients; ++t) {
+    threads.emplace_back(RunClientThread, t, std::cref(opt), port, ent.get(),
+                         &zipf, &metrics, &gate, &start_time,
+                         &results[static_cast<size_t>(t)]);
+  }
+  gate.WaitReady();
+  obs::SpanCollector::Global().Reset();
+  const uint64_t prev_threshold = obs::SlowRequestThresholdUs();
+  obs::SetSlowRequestThresholdUs(opt.slow_us);
+  start_time = std::chrono::steady_clock::now();
+  gate.Fire();
+
+  std::atomic<bool> stop_scraper{false};
+  uint64_t scrapes = 0;
+  std::string last_stats, last_traces;
+  std::thread scraper(RunScraper, port, &stop_scraper, &scrapes, &last_stats,
+                      &last_traces);
+
+  for (auto& th : threads) th.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+  stop_scraper.store(true, std::memory_order_release);
+  scraper.join();
+  obs::SetSlowRequestThresholdUs(prev_threshold);
+
+  // 4. Tally, check attribution, report.
+  const double wall_s =
+      std::chrono::duration<double>(wall_end - start_time).count();
+  uint64_t reads = 0, writes = 0, errors = 0;
+  for (const auto& r : results) {
+    reads += r.reads;
+    writes += r.writes;
+    errors += r.errors;
+  }
+  const double achieved = (reads + writes) / wall_s;
+  auto read_latency = metrics.read_latency->Snapshot();
+  auto read_service = metrics.read_service->Snapshot();
+  auto write_latency = metrics.write_latency->Snapshot();
+  auto write_service = metrics.write_service->Snapshot();
+  auto snap = obs::SpanCollector::Global().Snap();
+  Attribution attr = CheckAttribution(snap);
+  const bool attribution_ok = attr.checked > 0 && attr.ok == attr.checked;
+
+  std::printf(
+      "bench_load: %.1fs at %d clients, offered %.0f op/s "
+      "(%d%% writes, zipf %.2f over %d shared files)\n",
+      wall_s, opt.clients, opt.rate, opt.write_pct, opt.zipf_s,
+      opt.shared_files);
+  std::printf("  achieved %.1f op/s (%llu reads, %llu writes, %llu errors)\n",
+              achieved, static_cast<unsigned long long>(reads),
+              static_cast<unsigned long long>(writes),
+              static_cast<unsigned long long>(errors));
+  auto print_op = [](const char* name, const obs::HistogramSnapshot& lat,
+                     const obs::HistogramSnapshot& svc) {
+    std::printf(
+        "  %-5s latency p50 %6llu  p99 %6llu  p999 %6llu µs"
+        "   service p50 %6llu  p99 %6llu  p999 %6llu µs\n",
+        name, static_cast<unsigned long long>(lat.Percentile(0.50)),
+        static_cast<unsigned long long>(lat.Percentile(0.99)),
+        static_cast<unsigned long long>(lat.Percentile(0.999)),
+        static_cast<unsigned long long>(svc.Percentile(0.50)),
+        static_cast<unsigned long long>(svc.Percentile(0.99)),
+        static_cast<unsigned long long>(svc.Percentile(0.999)));
+  };
+  print_op("read", read_latency, read_service);
+  print_op("write", write_latency, write_service);
+  std::printf(
+      "  spans: %zu slow (threshold %llu µs), %zu slowest-ever; "
+      "attribution %llu/%llu within 10%% (worst off %.2f%%)\n",
+      snap.slow.size(), static_cast<unsigned long long>(opt.slow_us),
+      snap.slowest.size(), static_cast<unsigned long long>(attr.ok),
+      static_cast<unsigned long long>(attr.checked), attr.worst_off_pct);
+  std::printf("  %llu live kGetStats/kGetTraces scrapes during the run\n",
+              static_cast<unsigned long long>(scrapes));
+  if (!attribution_ok) {
+    std::printf("ERROR: span attribution check failed\n");
+  }
+
+  if (opt.json) {
+    obs::JsonObjectWriter w;
+    w.Field("bench", "load");
+    w.Field("mode", daemon != nullptr ? "inprocess" : "external");
+    w.Field("duration_s", wall_s);
+    w.Field("offered_rate", opt.rate);
+    w.Field("achieved_rate", achieved);
+    w.Field("clients", static_cast<uint64_t>(opt.clients));
+    w.Field("write_pct", static_cast<uint64_t>(opt.write_pct));
+    w.Field("zipf_s", opt.zipf_s);
+    w.Field("shared_files", static_cast<uint64_t>(opt.shared_files));
+    w.Field("slow_threshold_us", opt.slow_us);
+    w.Field("errors", errors);
+    w.BeginObject("ops");
+    EmitOp(&w, "read", reads, read_latency, read_service);
+    EmitOp(&w, "write", writes, write_latency, write_service);
+    w.EndObject();
+    w.Field("scrapes", scrapes);
+    w.Field("slow_spans_captured", static_cast<uint64_t>(snap.slow.size()));
+    w.Field("slowest_spans", static_cast<uint64_t>(snap.slowest.size()));
+    w.Field("attribution_checked", attr.checked);
+    w.Field("attribution_within_10pct", attr.ok);
+    w.Field("attribution_worst_off_pct", attr.worst_off_pct);
+    w.Field("attribution_ok", attribution_ok);
+    if (!last_traces.empty()) {
+      w.RawField("traces", last_traces);
+    }
+    if (!last_stats.empty()) {
+      w.RawField("server_stats", last_stats);
+    }
+    std::string json = w.Take();
+    const char* path = "BENCH_load.json";
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+      std::printf("  wrote %s\n", path);
+    } else {
+      std::printf("  could not write %s\n", path);
+      return 1;
+    }
+  }
+  if (daemon != nullptr) daemon->Shutdown();
+  return attribution_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sharoes
+
+int main(int argc, char** argv) {
+  sharoes::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() { return argv[++i]; };
+    if (arg == "--seconds" && i + 1 < argc) {
+      opt.seconds = std::atof(next());
+    } else if (arg == "--rate" && i + 1 < argc) {
+      opt.rate = std::atof(next());
+    } else if (arg == "--clients" && i + 1 < argc) {
+      opt.clients = std::max(1, std::atoi(next()));
+    } else if (arg == "--write-pct" && i + 1 < argc) {
+      opt.write_pct = std::atoi(next());
+    } else if (arg == "--zipf" && i + 1 < argc) {
+      opt.zipf_s = std::atof(next());
+    } else if (arg == "--shared-files" && i + 1 < argc) {
+      opt.shared_files = std::max(1, std::atoi(next()));
+    } else if (arg == "--slow-us" && i + 1 < argc) {
+      opt.slow_us = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--port" && i + 1 < argc) {
+      opt.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else {
+      std::fprintf(stderr, "bench_load: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return sharoes::Run(opt);
+}

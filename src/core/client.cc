@@ -4,6 +4,7 @@
 
 #include "crypto/merkle.h"
 #include "fs/path.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace sharoes::core {
@@ -103,6 +104,10 @@ Result<ssp::Response> SharoesClient::Rpc(const ssp::Request& req) {
   }
   ++rpc_round_trips_;
   rpc_trips_counter_->Increment();
+  // Everything inside Call — serialization onto the socket, the server,
+  // the network, transport retries/backoff — is "waiting on the wire"
+  // from this op's point of view.
+  obs::PhaseScope wire_phase(obs::Phase::kWireWait);
   return conn_->Call(req);
 }
 
@@ -683,6 +688,7 @@ Status SharoesClient::ExecuteBatchNow(
 
 Status SharoesClient::FlushPendingWrites() {
   if (pending_writes_.empty()) return Status::OK();
+  obs::PhaseScope flush_phase(obs::Phase::kStageFlush);
   flushing_pending_ = true;
   Status shipped = ExecuteBatchNow(pending_writes_);
   flushing_pending_ = false;

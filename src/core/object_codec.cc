@@ -2,6 +2,7 @@
 
 #include "crypto/aead.h"
 #include "crypto/kdf.h"
+#include "obs/span.h"
 
 namespace sharoes::core {
 
@@ -36,6 +37,7 @@ Bytes SigContext(std::string_view kind, fs::InodeNum inode, uint64_t id) {
 Bytes ObjectCodec::SealAndSign(const Bytes& context, const Bytes& payload,
                                const crypto::SymmetricKey& key,
                                const crypto::SigningKey& signer) {
+  obs::PhaseScope crypto_phase(obs::Phase::kRenderEncrypt);
   Bytes sealed = engine_->SymEncrypt(key, payload);
   Bytes to_sign = context;
   Append(to_sign, sealed);
@@ -48,6 +50,7 @@ Result<Bytes> ObjectCodec::VerifyAndOpen(const Bytes& context,
                                          const crypto::SymmetricKey& key,
                                          const crypto::VerifyKey& verifier,
                                          const std::string& what) {
+  obs::PhaseScope crypto_phase(obs::Phase::kDecryptVerify);
   Bytes sealed, sig;
   SHAROES_RETURN_IF_ERROR(UnpackEnvelope(wire, &sealed, &sig, what));
   Bytes to_verify = context;
@@ -372,6 +375,7 @@ Bytes ObjectCodec::EncodeDataBlock(fs::InodeNum inode, uint32_t block,
                                    const crypto::SymmetricKey& dek,
                                    const crypto::SigningKey& dsk,
                                    Bytes* tag_out) {
+  obs::PhaseScope crypto_phase(obs::Phase::kRenderEncrypt);
   Bytes aad = DataBlockAad(inode, block, header);
   crypto::CryptoEngine::AeadSealed sealed =
       engine_->AeadSeal(dek, aad, plaintext);
@@ -402,6 +406,7 @@ Result<Bytes> ObjectCodec::DecodeDataBlock(fs::InodeNum inode, uint32_t block,
                                            const Bytes& wire,
                                            const crypto::SymmetricKey& dek,
                                            const crypto::VerifyKey& dvk) {
+  obs::PhaseScope crypto_phase(obs::Phase::kDecryptVerify);
   BinaryReader r(wire);
   DataBlockHeader header;
   header.key_gen = r.GetU32();
@@ -452,44 +457,52 @@ Result<Bytes> ObjectCodec::PeekDataTag(const Bytes& wire) {
 
 Result<Bytes> ObjectCodec::EncodeUserRefBlock(
     const crypto::RsaPublicKey& user_pub, const PlainRef& ref) {
+  obs::PhaseScope crypto_phase(obs::Phase::kRenderEncrypt);
   return engine_->PkEncrypt(user_pub, ref.Serialize());
 }
 
 Result<PlainRef> ObjectCodec::DecodeUserRefBlock(
     const crypto::RsaPrivateKey& user_priv, const Bytes& wire) {
+  obs::PhaseScope crypto_phase(obs::Phase::kDecryptVerify);
   SHAROES_ASSIGN_OR_RETURN(Bytes plain, engine_->PkDecrypt(user_priv, wire));
   return PlainRef::Deserialize(plain);
 }
 
 Result<Bytes> ObjectCodec::EncodeGroupRefBlock(
     const crypto::RsaPublicKey& group_pub, const PlainRef& ref) {
+  obs::PhaseScope crypto_phase(obs::Phase::kRenderEncrypt);
   return engine_->PkEncrypt(group_pub, ref.Serialize());
 }
 
 Result<PlainRef> ObjectCodec::DecodeGroupRefBlock(
     const crypto::RsaPrivateKey& group_priv, const Bytes& wire) {
+  obs::PhaseScope crypto_phase(obs::Phase::kDecryptVerify);
   SHAROES_ASSIGN_OR_RETURN(Bytes plain, engine_->PkDecrypt(group_priv, wire));
   return PlainRef::Deserialize(plain);
 }
 
 Result<Bytes> ObjectCodec::EncodeSuperblock(
     const crypto::RsaPublicKey& user_pub, const SuperblockPayload& payload) {
+  obs::PhaseScope crypto_phase(obs::Phase::kRenderEncrypt);
   return engine_->PkEncrypt(user_pub, payload.Serialize());
 }
 
 Result<SuperblockPayload> ObjectCodec::DecodeSuperblock(
     const crypto::RsaPrivateKey& user_priv, const Bytes& wire) {
+  obs::PhaseScope crypto_phase(obs::Phase::kDecryptVerify);
   SHAROES_ASSIGN_OR_RETURN(Bytes plain, engine_->PkDecrypt(user_priv, wire));
   return SuperblockPayload::Deserialize(plain);
 }
 
 Result<Bytes> ObjectCodec::EncodeGroupKeyBlock(
     const crypto::RsaPublicKey& member_pub, const GroupSecret& secret) {
+  obs::PhaseScope crypto_phase(obs::Phase::kRenderEncrypt);
   return engine_->PkEncrypt(member_pub, secret.Serialize());
 }
 
 Result<GroupSecret> ObjectCodec::DecodeGroupKeyBlock(
     const crypto::RsaPrivateKey& member_priv, const Bytes& wire) {
+  obs::PhaseScope crypto_phase(obs::Phase::kDecryptVerify);
   SHAROES_ASSIGN_OR_RETURN(Bytes plain,
                            engine_->PkDecrypt(member_priv, wire));
   return GroupSecret::Deserialize(plain);

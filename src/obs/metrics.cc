@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/json.h"
+#include "obs/trace.h"
 
 namespace sharoes::obs {
 
@@ -84,7 +85,17 @@ void Histogram::Record(uint64_t value) {
   // No separate count cell: Snapshot derives the count from the buckets
   // (which also keeps racing snapshots self-consistent), so maintaining
   // one here would be a pure extra RMW per sample.
-  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  size_t bucket = BucketIndex(value);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  uint64_t trace = CurrentTrace().trace_id;
+  if (trace != 0) {
+    // Exemplar: latest traced sample in this bucket wins (races between
+    // concurrent writers just pick one of the contemporaries).
+    exemplars_[bucket].store(trace, std::memory_order_relaxed);
+    if (!has_exemplars_.load(std::memory_order_relaxed)) {
+      has_exemplars_.store(true, std::memory_order_relaxed);
+    }
+  }
   sum_.fetch_add(value, std::memory_order_relaxed);
   uint64_t seen = min_.load(std::memory_order_relaxed);
   while (value < seen &&
@@ -111,6 +122,12 @@ HistogramSnapshot Histogram::Snapshot() const {
   uint64_t min = min_.load(std::memory_order_relaxed);
   snap.min = (count == 0 || min == ~0ull) ? 0 : min;
   snap.max = max_.load(std::memory_order_relaxed);
+  if (has_exemplars_.load(std::memory_order_relaxed)) {
+    snap.exemplars.resize(kNumBuckets);
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snap.exemplars[i] = exemplars_[i].load(std::memory_order_relaxed);
+    }
+  }
   return snap;
 }
 
@@ -147,6 +164,43 @@ uint64_t HistogramSnapshot::Percentile(double q) const {
   return max;
 }
 
+size_t HistogramSnapshot::PercentileBucket(double q) const {
+  if (count == 0 || buckets.empty()) return ~size_t{0};
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cum = 0;
+  size_t last = ~size_t{0};
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    last = i;
+    cum += buckets[i];
+    if (rank <= cum) return i;
+  }
+  return last;
+}
+
+uint64_t HistogramSnapshot::ExemplarNear(double q) const {
+  if (exemplars.empty()) return 0;
+  size_t center = PercentileBucket(q);
+  if (center == ~size_t{0}) return 0;
+  // Walk outward from the quantile's bucket; the nearest occupied
+  // bucket with a traced sample exemplifies the neighborhood.
+  for (size_t d = 0; d < exemplars.size(); ++d) {
+    if (center + d < exemplars.size()) {
+      size_t i = center + d;
+      if (buckets[i] != 0 && exemplars[i] != 0) return exemplars[i];
+    }
+    if (d != 0 && center >= d) {
+      size_t i = center - d;
+      if (buckets[i] != 0 && exemplars[i] != 0) return exemplars[i];
+    }
+  }
+  return 0;
+}
+
 void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   if (other.count == 0) return;
   if (buckets.size() < other.buckets.size()) {
@@ -154,6 +208,14 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   }
   for (size_t i = 0; i < other.buckets.size(); ++i) {
     buckets[i] += other.buckets[i];
+  }
+  if (!other.exemplars.empty()) {
+    if (exemplars.size() < other.exemplars.size()) {
+      exemplars.resize(other.exemplars.size());
+    }
+    for (size_t i = 0; i < other.exemplars.size(); ++i) {
+      if (other.exemplars[i] != 0) exemplars[i] = other.exemplars[i];
+    }
   }
   if (count == 0) {
     min = other.min;
@@ -166,6 +228,24 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   sum += other.sum;
 }
 
+std::string HistogramSnapshot::ToJson() const {
+  JsonObjectWriter w;
+  w.Field("count", count);
+  w.Field("sum", sum);
+  w.Field("min", min);
+  w.Field("max", max);
+  w.Field("mean", Mean());
+  w.Field("p50", Percentile(0.50));
+  w.Field("p90", Percentile(0.90));
+  w.Field("p99", Percentile(0.99));
+  w.Field("p999", Percentile(0.999));
+  uint64_t p99_trace = ExemplarNear(0.99);
+  if (p99_trace != 0) w.Field("p99_trace", TraceIdHex(p99_trace));
+  uint64_t max_trace = ExemplarNear(1.0);
+  if (max_trace != 0) w.Field("max_trace", TraceIdHex(max_trace));
+  return w.Take();
+}
+
 std::string RegistrySnapshot::ToJson() const {
   JsonObjectWriter w;
   w.BeginObject("counters");
@@ -176,17 +256,7 @@ std::string RegistrySnapshot::ToJson() const {
   w.EndObject();
   w.BeginObject("histograms");
   for (const auto& [name, h] : histograms) {
-    w.BeginObject(name);
-    w.Field("count", h.count);
-    w.Field("sum", h.sum);
-    w.Field("min", h.min);
-    w.Field("max", h.max);
-    w.Field("mean", h.Mean());
-    w.Field("p50", h.Percentile(0.50));
-    w.Field("p90", h.Percentile(0.90));
-    w.Field("p99", h.Percentile(0.99));
-    w.Field("p999", h.Percentile(0.999));
-    w.EndObject();
+    w.RawField(name, h.ToJson());
   }
   w.EndObject();
   return w.Take();
@@ -244,15 +314,21 @@ MetricsRegistry::GaugeHandle::~GaugeHandle() {
   if (reg_ != nullptr) reg_->RemoveGauge(id_);
 }
 
-RegistrySnapshot MetricsRegistry::Snapshot() const {
+RegistrySnapshot MetricsRegistry::Snapshot(std::string_view prefix) const {
   RegistrySnapshot snap;
+  auto matches = [prefix](const std::string& name) {
+    return prefix.empty() ||
+           std::string_view(name).substr(0, prefix.size()) == prefix;
+  };
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, c] : counters_) {
+    if (matches(name)) snap.counters[name] = c->Value();
+  }
   for (const auto& [name, h] : histograms_) {
-    snap.histograms[name] = h->Snapshot();
+    if (matches(name)) snap.histograms[name] = h->Snapshot();
   }
   for (const auto& [id, gauge] : gauges_) {
-    snap.gauges[gauge.name] += gauge.fn();
+    if (matches(gauge.name)) snap.gauges[gauge.name] += gauge.fn();
   }
   return snap;
 }

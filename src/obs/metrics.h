@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sharoes::obs {
@@ -59,6 +60,9 @@ class Counter {
 /// Point-in-time copy of a Histogram, safe to merge / query offline.
 struct HistogramSnapshot {
   std::vector<uint64_t> buckets;
+  /// Per-bucket exemplars: last trace id recorded into the bucket (0 =
+  /// none). Empty when the histogram never saw a traced sample.
+  std::vector<uint64_t> exemplars;
   uint64_t count = 0;
   uint64_t sum = 0;
   uint64_t min = 0;  // Meaningful only when count > 0.
@@ -69,11 +73,23 @@ struct HistogramSnapshot {
   /// error is bounded by the bucket width (<= 1/kSubBuckets above the
   /// exact range). Returns 0 when empty.
   uint64_t Percentile(double q) const;
+  /// Index of the occupied bucket containing quantile q; SIZE_MAX when
+  /// the snapshot is empty.
+  size_t PercentileBucket(double q) const;
+  /// Trace id exemplifying quantile q: the exemplar of the bucket
+  /// containing q, or the nearest occupied bucket that has one. 0 when
+  /// no traced sample landed anywhere near q.
+  uint64_t ExemplarNear(double q) const;
   double Mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
 
   /// Pointwise accumulation; associative and commutative, so shards of
   /// a distributed histogram can be merged in any grouping.
   void Merge(const HistogramSnapshot& other);
+
+  /// One JSON object: {count,sum,min,max,mean,p50,...}; adds
+  /// "p99_trace"/"max_trace" hex fields when exemplars link those
+  /// quantiles to captured spans (the sharoes_cli stats -> slow join).
+  std::string ToJson() const;
 };
 
 /// Lock-free log-bucketed histogram of uint64 samples (latencies in
@@ -101,9 +117,14 @@ class Histogram {
 
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  // Last trace id recorded per bucket (histogram exemplars). Written
+  // only for samples recorded under an active trace, so untraced fast
+  // paths pay one thread-local read and a predictable branch.
+  std::array<std::atomic<uint64_t>, kNumBuckets> exemplars_{};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{~0ull};
   std::atomic<uint64_t> max_{0};
+  std::atomic<bool> has_exemplars_{false};
 };
 
 /// Everything the registry knows, frozen. Gauges are sampled at snapshot
@@ -160,9 +181,15 @@ class MetricsRegistry {
   };
   [[nodiscard]] GaugeHandle AddGauge(std::string name, GaugeFn fn);
 
-  RegistrySnapshot Snapshot() const;
-  /// Shorthand for Snapshot().ToJson() (the kGetStats payload).
-  std::string SnapshotJson() const { return Snapshot().ToJson(); }
+  /// Freezes every metric whose name starts with `prefix` (empty =
+  /// everything). The prefix filter is what lets a load harness scrape
+  /// one subsystem ("ssp.wal") every second without shipping the full
+  /// registry JSON (kGetStats carries the prefix in its payload).
+  RegistrySnapshot Snapshot(std::string_view prefix = {}) const;
+  /// Shorthand for Snapshot(prefix).ToJson() (the kGetStats payload).
+  std::string SnapshotJson(std::string_view prefix = {}) const {
+    return Snapshot(prefix).ToJson();
+  }
 
  private:
   struct GaugeEntry {

@@ -6,12 +6,18 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sharoes::obs {
 
 namespace {
 
 thread_local TraceContext t_current_trace;
+
+/// Storage for the outermost ClientSpan's timeline. One per thread is
+/// enough: only the outermost op on a thread owns a timeline (nested
+/// ops and in-process server handling charge phases into it instead).
+thread_local SpanTimeline t_client_timeline;
 
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
@@ -55,6 +61,10 @@ ClientSpan::ClientSpan(const char* op) : prev_(t_current_trace) {
   if (MetricsEnabled()) {
     latency_ = MetricsRegistry::Global().histogram(
         std::string("client.op_latency_us.") + op);
+    if (!TimelineActive()) {
+      t_client_timeline.Start(trace_id_, op, 0, 'C');
+      owns_timeline_ = true;
+    }
     start_ = std::chrono::steady_clock::now();
   }
 }
@@ -66,6 +76,7 @@ ClientSpan::~ClientSpan() {
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
             .count()));
   }
+  if (owns_timeline_) t_client_timeline.Finish();
   t_current_trace = prev_;
 }
 

@@ -43,9 +43,12 @@ uint64_t NextTraceId();
 std::string TraceIdHex(uint64_t trace_id);
 
 /// RAII span around one logical client operation: ensures an ambient
-/// trace id exists (restoring the previous context on destruction) and
+/// trace id exists (restoring the previous context on destruction),
 /// records the op's wall-clock latency into the histogram
-/// "client.op_latency_us.<op>" of the global registry.
+/// "client.op_latency_us.<op>" of the global registry, and — when this
+/// is the outermost op on the thread — installs a span timeline so
+/// PhaseScopes along the op attribute its time (obs/span.h). `op` must
+/// be a string literal (the timeline stores the pointer).
 class ClientSpan {
  public:
   explicit ClientSpan(const char* op);
@@ -59,6 +62,7 @@ class ClientSpan {
   TraceContext prev_;
   uint64_t trace_id_ = 0;
   Histogram* latency_ = nullptr;  // Null when metrics are disabled.
+  bool owns_timeline_ = false;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -49,6 +49,7 @@ const char* OpCodeName(OpCode op) {
     case OpCode::kDeleteGroupKey: return "DeleteGroupKey";
     case OpCode::kBatch: return "Batch";
     case OpCode::kGetStats: return "GetStats";
+    case OpCode::kGetTraces: return "GetTraces";
   }
   return "Unknown";
 }
@@ -95,6 +96,7 @@ bool IsIdempotentOp(OpCode op) {
     case OpCode::kGetData:
     case OpCode::kGetGroupKey:
     case OpCode::kGetStats:
+    case OpCode::kGetTraces:
     // Puts and deletes are absolute assignments to fixed coordinates
     // (inode, selector, user, group, block) — no appends, counters, or
     // compare-and-swaps — so a replay reproduces the same final state.
@@ -341,9 +343,16 @@ Request Request::Batch(std::vector<Request> requests) {
   return r;
 }
 
-Request Request::GetStats() {
+Request Request::GetStats(std::string prefix) {
   Request r;
   r.op = OpCode::kGetStats;
+  r.payload.assign(prefix.begin(), prefix.end());
+  return r;
+}
+
+Request Request::GetTraces() {
+  Request r;
+  r.op = OpCode::kGetTraces;
   return r;
 }
 

@@ -11,6 +11,7 @@
 #ifndef SHAROES_SSP_MESSAGE_H_
 #define SHAROES_SSP_MESSAGE_H_
 
+#include <string>
 #include <vector>
 
 #include "fs/types.h"
@@ -37,12 +38,15 @@ enum class OpCode : uint8_t {
   kPutGroupKey = 14,
   kDeleteGroupKey = 15,
   kBatch = 16,
-  kGetStats = 17,  // Admin: serialized metrics-registry snapshot (JSON).
+  kGetStats = 17,   // Admin: metrics-registry snapshot (JSON). An optional
+                    // payload is a metric-name prefix filter ("ssp.wal").
+  kGetTraces = 18,  // Admin: captured slow-request span timelines (JSON,
+                    // see obs/span.h). Read-only, like kGetStats.
 };
 
 /// One past the largest valid OpCode (array sizing, validity checks).
 inline constexpr size_t kNumOpCodes =
-    static_cast<size_t>(OpCode::kGetStats) + 1;
+    static_cast<size_t>(OpCode::kGetTraces) + 1;
 
 /// Stable metric-label name for an opcode ("GetData", "Batch", ...).
 const char* OpCodeName(OpCode op);
@@ -125,7 +129,10 @@ struct Request {
   static Request PutGroupKey(uint32_t group, uint32_t user, Bytes payload);
   static Request DeleteGroupKey(uint32_t group, uint32_t user);
   static Request Batch(std::vector<Request> requests);
-  static Request GetStats();
+  /// `prefix` filters the snapshot to metrics whose name starts with it
+  /// (empty = full registry); it rides in the payload.
+  static Request GetStats(std::string prefix = {});
+  static Request GetTraces();
 
  private:
   void AppendTo(BinaryWriter* w) const;

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace sharoes::ssp {
 
 namespace {
@@ -49,6 +51,21 @@ std::optional<Bytes> Find(const Map& m, const Key& k) {
   return it->second;
 }
 
+// Shard lock helpers: time blocked acquiring the shard lock is charged
+// to the kLockWait span phase (no-op without an active timeline); time
+// spent *holding* it accrues to the enclosing phase, normally kStore.
+// The PhaseScope outlives the return-value construction, so the scope
+// brackets exactly the mutex acquisition.
+std::unique_lock<std::shared_mutex> AcquireUnique(std::shared_mutex& mu) {
+  obs::PhaseScope wait(obs::Phase::kLockWait);
+  return std::unique_lock<std::shared_mutex>(mu);
+}
+
+std::shared_lock<std::shared_mutex> AcquireShared(std::shared_mutex& mu) {
+  obs::PhaseScope wait(obs::Phase::kLockWait);
+  return std::shared_lock<std::shared_mutex>(mu);
+}
+
 }  // namespace
 
 ObjectStore::ObjectStore(size_t num_shards) {
@@ -65,27 +82,27 @@ ObjectStore::Shard& ObjectStore::ShardFor(uint64_t key) const {
 
 void ObjectStore::PutSuperblock(uint32_t user, Bytes blob) {
   Shard& s = ShardFor(user);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   PutCounted(s.superblocks, user, std::move(blob), s.stats.superblock_bytes,
              s.stats.object_count);
 }
 
 std::optional<Bytes> ObjectStore::GetSuperblock(uint32_t user) const {
   Shard& s = ShardFor(user);
-  std::shared_lock lock(s.mu);
+  auto lock = AcquireShared(s.mu);
   return Find(s.superblocks, user);
 }
 
 void ObjectStore::DeleteSuperblock(uint32_t user) {
   Shard& s = ShardFor(user);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   EraseCounted(s.superblocks, user, s.stats.superblock_bytes,
                s.stats.object_count);
 }
 
 void ObjectStore::PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   PutCounted(s.metadata, std::make_pair(inode, sel), std::move(blob),
              s.stats.metadata_bytes, s.stats.object_count);
 }
@@ -93,13 +110,13 @@ void ObjectStore::PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob) {
 std::optional<Bytes> ObjectStore::GetMetadata(fs::InodeNum inode,
                                               Selector sel) const {
   Shard& s = ShardFor(inode);
-  std::shared_lock lock(s.mu);
+  auto lock = AcquireShared(s.mu);
   return Find(s.metadata, std::make_pair(inode, sel));
 }
 
 void ObjectStore::DeleteMetadata(fs::InodeNum inode, Selector sel) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   EraseCounted(s.metadata, std::make_pair(inode, sel),
                s.stats.metadata_bytes, s.stats.object_count);
 }
@@ -108,7 +125,7 @@ void ObjectStore::DeleteInodeMetadata(fs::InodeNum inode) {
   // All of an inode's replicas hash to the same shard, so the ranged
   // delete is a single-shard operation.
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   auto it = s.metadata.lower_bound({inode, 0});
   while (it != s.metadata.end() && it->first.first == inode) {
     s.stats.metadata_bytes -= it->second.size();
@@ -119,7 +136,7 @@ void ObjectStore::DeleteInodeMetadata(fs::InodeNum inode) {
 
 size_t ObjectStore::MetadataReplicaCount(fs::InodeNum inode) const {
   Shard& s = ShardFor(inode);
-  std::shared_lock lock(s.mu);
+  auto lock = AcquireShared(s.mu);
   size_t n = 0;
   for (auto it = s.metadata.lower_bound({inode, 0});
        it != s.metadata.end() && it->first.first == inode; ++it) {
@@ -131,7 +148,7 @@ size_t ObjectStore::MetadataReplicaCount(fs::InodeNum inode) const {
 void ObjectStore::PutUserMetadata(fs::InodeNum inode, uint32_t user,
                                   Bytes blob) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   PutCounted(s.user_metadata, std::make_pair(inode, user), std::move(blob),
              s.stats.user_metadata_bytes, s.stats.object_count);
 }
@@ -139,20 +156,20 @@ void ObjectStore::PutUserMetadata(fs::InodeNum inode, uint32_t user,
 std::optional<Bytes> ObjectStore::GetUserMetadata(fs::InodeNum inode,
                                                   uint32_t user) const {
   Shard& s = ShardFor(inode);
-  std::shared_lock lock(s.mu);
+  auto lock = AcquireShared(s.mu);
   return Find(s.user_metadata, std::make_pair(inode, user));
 }
 
 void ObjectStore::DeleteUserMetadata(fs::InodeNum inode, uint32_t user) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   EraseCounted(s.user_metadata, std::make_pair(inode, user),
                s.stats.user_metadata_bytes, s.stats.object_count);
 }
 
 void ObjectStore::PutData(fs::InodeNum inode, uint32_t block, Bytes blob) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   PutCounted(s.data, std::make_pair(inode, block), std::move(blob),
              s.stats.data_bytes, s.stats.object_count);
 }
@@ -160,13 +177,13 @@ void ObjectStore::PutData(fs::InodeNum inode, uint32_t block, Bytes blob) {
 std::optional<Bytes> ObjectStore::GetData(fs::InodeNum inode,
                                           uint32_t block) const {
   Shard& s = ShardFor(inode);
-  std::shared_lock lock(s.mu);
+  auto lock = AcquireShared(s.mu);
   return Find(s.data, std::make_pair(inode, block));
 }
 
 void ObjectStore::DeleteInodeData(fs::InodeNum inode) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   auto it = s.data.lower_bound({inode, 0});
   while (it != s.data.end() && it->first.first == inode) {
     s.stats.data_bytes -= it->second.size();
@@ -177,7 +194,7 @@ void ObjectStore::DeleteInodeData(fs::InodeNum inode) {
 
 void ObjectStore::PutGroupKey(uint32_t group, uint32_t user, Bytes blob) {
   Shard& s = ShardFor(group);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   PutCounted(s.group_keys, std::make_pair(group, user), std::move(blob),
              s.stats.group_key_bytes, s.stats.object_count);
 }
@@ -185,13 +202,13 @@ void ObjectStore::PutGroupKey(uint32_t group, uint32_t user, Bytes blob) {
 std::optional<Bytes> ObjectStore::GetGroupKey(uint32_t group,
                                               uint32_t user) const {
   Shard& s = ShardFor(group);
-  std::shared_lock lock(s.mu);
+  auto lock = AcquireShared(s.mu);
   return Find(s.group_keys, std::make_pair(group, user));
 }
 
 void ObjectStore::DeleteGroupKey(uint32_t group, uint32_t user) {
   Shard& s = ShardFor(group);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   EraseCounted(s.group_keys, std::make_pair(group, user),
                s.stats.group_key_bytes, s.stats.object_count);
 }
@@ -199,7 +216,7 @@ void ObjectStore::DeleteGroupKey(uint32_t group, uint32_t user) {
 StorageStats ObjectStore::Stats() const {
   StorageStats total;
   for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mu);
+    auto lock = AcquireShared(shard->mu);
     const StorageStats& s = shard->stats;
     total.superblock_bytes += s.superblock_bytes;
     total.metadata_bytes += s.metadata_bytes;
@@ -250,7 +267,7 @@ Bytes ObjectStore::Serialize() const {
   std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> data;
   std::map<std::pair<uint32_t, uint32_t>, Bytes> group_keys;
   for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mu);
+    auto lock = AcquireShared(shard->mu);
     superblocks.insert(shard->superblocks.begin(), shard->superblocks.end());
     metadata.insert(shard->metadata.begin(), shard->metadata.end());
     user_metadata.insert(shard->user_metadata.begin(),
@@ -328,7 +345,7 @@ Result<ObjectStore> ObjectStore::LoadFromFile(const std::string& path) {
 bool ObjectStore::CorruptMetadata(fs::InodeNum inode, Selector sel,
                                   size_t offset, uint8_t mask) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   auto it = s.metadata.find({inode, sel});
   if (it == s.metadata.end() || it->second.empty()) return false;
   it->second[offset % it->second.size()] ^= mask;
@@ -338,7 +355,7 @@ bool ObjectStore::CorruptMetadata(fs::InodeNum inode, Selector sel,
 bool ObjectStore::CorruptData(fs::InodeNum inode, uint32_t block,
                               size_t offset, uint8_t mask) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   auto it = s.data.find({inode, block});
   if (it == s.data.end() || it->second.empty()) return false;
   it->second[offset % it->second.size()] ^= mask;
@@ -347,7 +364,7 @@ bool ObjectStore::CorruptData(fs::InodeNum inode, uint32_t block,
 
 bool ObjectStore::ReplaceData(fs::InodeNum inode, uint32_t block, Bytes blob) {
   Shard& s = ShardFor(inode);
-  std::unique_lock lock(s.mu);
+  auto lock = AcquireUnique(s.mu);
   auto it = s.data.find({inode, block});
   if (it == s.data.end()) return false;
   s.stats.data_bytes -= it->second.size();

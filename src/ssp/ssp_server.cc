@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/log.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "ssp/wal.h"
 
@@ -104,6 +105,13 @@ Bytes SspServer::HandleWire(const Bytes& request_bytes) {
     m.bytes_out->Add(wire.size());
     return wire;
   }
+  // Frame-parse phase: the trace id lives inside the frame, so the span
+  // can only start after Deserialize; measure the parse when a transport
+  // armed a span frame and back-charge it. In-process callers (no armed
+  // frame) skip even the clock read.
+  const bool span_armed = obs::ServerSpanArmed();
+  std::chrono::steady_clock::time_point parse_start;
+  if (span_armed) parse_start = std::chrono::steady_clock::now();
   auto req = Request::Deserialize(request_bytes);
   if (!req.ok()) {
     m.bad_frames->Increment();
@@ -115,6 +123,16 @@ Bytes SspServer::HandleWire(const Bytes& request_bytes) {
     m.bytes_out->Add(wire.size());
     return wire;
   }
+  if (span_armed) {
+    uint64_t parse_ns = static_cast<uint64_t>(
+        (std::chrono::steady_clock::now() - parse_start).count());
+    obs::BeginServerSpan(req->trace_id, OpCodeName(req->op), req->attempt,
+                         parse_ns);
+  }
+  // Everything emitted while handling this request — log lines,
+  // histogram exemplars, span phases, including kBatch sub-op work —
+  // joins the envelope's trace.
+  obs::ScopedTraceContext trace_scope(req->trace_id, req->attempt);
   auto start = std::chrono::steady_clock::now();
   Response resp = Handle(*req);
   auto elapsed = std::chrono::steady_clock::now() - start;
@@ -131,7 +149,11 @@ Bytes SspServer::HandleWire(const Bytes& request_bytes) {
               {"trace", obs::TraceIdHex(req->trace_id)},
               {"attempt", req->attempt}});
   }
-  Bytes wire = resp.Serialize();
+  Bytes wire;
+  {
+    obs::PhaseScope serialize_phase(obs::Phase::kRespSerialize);
+    wire = resp.Serialize();
+  }
   m.bytes_out->Add(wire.size());
   if (fault.kind == FaultAction::Kind::kDelayResponse) {
     LogRequestEvent(obs::Severity::kWarn, "ssp.fault_injected",
@@ -167,6 +189,10 @@ Response SspServer::Handle(const Request& req) {
       // so the WAL's "sub-ops are individually loggable" invariant holds
       // for every opcode, present and future.
       if (!IsBatchableOp(sub.op)) {
+        obs::Log(obs::Severity::kWarn, "ssp.batch_subop_rejected",
+                 {{"op", OpCodeName(sub.op)},
+                  {"trace", obs::TraceIdHex(obs::CurrentTrace().trace_id)},
+                  {"attempt", obs::CurrentTrace().attempt}});
         resp.batch.push_back(Response::BadRequest());
         continue;
       }
@@ -210,14 +236,31 @@ Response SspServer::HandleOne(const Request& req, uint64_t* max_wal_seq) {
       if (!appended.ok()) {
         obs::Log(obs::Severity::kError, "ssp.wal_append_failed",
                  {{"op", OpCodeName(req.op)},
+                  {"trace", obs::TraceIdHex(obs::CurrentTrace().trace_id)},
                   {"detail", appended.ToString()}});
         return Response::Error();
       }
     }
+    obs::PhaseScope store_phase(obs::Phase::kStore);
     Status applied = ApplyWalOp(req, &store_);
     if (!applied.ok()) return Response::BadRequest();
     return Response::Ok();
   }
+  if (req.op == OpCode::kGetStats) {
+    // Admin RPC: one JSON document with every counter, gauge, and
+    // latency histogram in the process (optionally restricted to names
+    // starting with the payload's prefix). Read-only — it never touches
+    // the store, so it is safe to issue against a serving daemon.
+    std::string prefix(req.payload.begin(), req.payload.end());
+    return Response::Ok(
+        ToBytes(obs::MetricsRegistry::Global().SnapshotJson(prefix)));
+  }
+  if (req.op == OpCode::kGetTraces) {
+    // Admin RPC: captured slow-request span timelines. Read-only like
+    // kGetStats (the collector snapshot never blocks publishers).
+    return Response::Ok(ToBytes(obs::SpanCollector::Global().ToJson()));
+  }
+  obs::PhaseScope store_phase(obs::Phase::kStore);
   switch (req.op) {
     case OpCode::kGetSuperblock:
       return FromOptional(store_.GetSuperblock(req.user));
@@ -229,12 +272,6 @@ Response SspServer::HandleOne(const Request& req, uint64_t* max_wal_seq) {
       return FromOptional(store_.GetData(req.inode, req.block));
     case OpCode::kGetGroupKey:
       return FromOptional(store_.GetGroupKey(req.group, req.user));
-    case OpCode::kGetStats:
-      // Admin RPC: one JSON document with every counter, gauge, and
-      // latency histogram in the process. Read-only — it never touches
-      // the store, so it is safe to issue against a serving daemon.
-      return Response::Ok(
-          ToBytes(obs::MetricsRegistry::Global().SnapshotJson()));
     case OpCode::kBatch:
       return Response::BadRequest();  // Handled by Handle().
     default:

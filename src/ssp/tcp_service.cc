@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/log.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace sharoes::ssp {
@@ -191,6 +192,11 @@ void TcpSspDaemon::ServeConnection(Connection* conn) {
       // mutating requests from different connections meet inside
       // Wal::CommitThrough and share one fsync, which is where the
       // sublinear ssp.wal.fsyncs growth comes from.
+      // Arm a span frame for this request: HandleWire starts the
+      // timeline once the frame is parsed (traced requests only), and
+      // the frame destructor publishes it after the response bytes hit
+      // the socket — so the span covers parse through socket write.
+      obs::ServerSpanFrame span_frame;
       Bytes response = server_->HandleWire(*request);
       if (fault.kind == FaultAction::Kind::kDelayResponse) {
         std::this_thread::sleep_for(
@@ -198,7 +204,12 @@ void TcpSspDaemon::ServeConnection(Connection* conn) {
       } else if (fault.kind == FaultAction::Kind::kCorruptResponse) {
         CorruptResponsePayload(&response, fault.corrupt_mask);
       }
-      if (!stream.SendFrame(response).ok()) break;
+      bool sent;
+      {
+        obs::PhaseScope write_phase(obs::Phase::kSocketWrite);
+        sent = stream.SendFrame(response).ok();
+      }
+      if (!sent) break;
     }
     // Publish done before the stream destructor closes the fd, so a
     // concurrent Shutdown() skips this (about-to-be-recycled) descriptor.

@@ -15,6 +15,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/binary_io.h"
 
 namespace sharoes::ssp {
@@ -569,6 +570,7 @@ Status Wal::Append(const Request& op, uint64_t* seq_out) {
   if (!IsMutatingOp(op.op)) {
     return Status::InvalidArgument("only mutating ops are logged");
   }
+  obs::PhaseScope append_phase(obs::Phase::kWalAppend);
   auto start = std::chrono::steady_clock::now();
   Bytes payload = op.Serialize();
   uint64_t appended_bytes = 0;
@@ -601,6 +603,9 @@ Status Wal::Append(const Request& op, uint64_t* seq_out) {
 
 Status Wal::CommitThrough(uint64_t seq) {
   if (opts_.sync != WalSyncPolicy::kAlways) return Status::OK();
+  // One phase for the whole durability point: leader fsync and follower
+  // wait both read as "waiting for the group commit" in a span.
+  obs::PhaseScope fsync_phase(obs::Phase::kFsyncWait);
   std::unique_lock<std::mutex> lock(commit_mu_);
   bool led = false;
   while (durable_seq_ < seq) {

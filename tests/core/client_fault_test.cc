@@ -155,10 +155,11 @@ TEST_F(ClientFaultTest, AndrewSequenceSurvivesFaultsAndRestarts) {
 }
 
 TEST_F(ClientFaultTest, StatsPollingNeverPerturbsTheWorkload) {
-  // kGetStats is the one opcode an operator fires at a *live* production
-  // daemon, so it must be observably read-only: an Andrew run with a
-  // concurrent stats poller hammering the same daemon must produce the
-  // same transcript and the same final store as an unpolled run.
+  // kGetStats and kGetTraces are the opcodes an operator fires at a
+  // *live* production daemon, so they must be observably read-only: an
+  // Andrew run with a concurrent poller hammering both on the same
+  // daemon must produce the same transcript and the same final store as
+  // an unpolled run.
   Bytes reference;
   Bytes reference_store;
   {
@@ -197,7 +198,9 @@ TEST_F(ClientFaultTest, StatsPollingNeverPerturbsTheWorkload) {
     if (!channel.ok()) return;
     while (!done.load()) {
       auto stats = (*channel)->Call(ssp::Request::GetStats());
-      if (stats.ok() && stats->ok() && !stats->payload.empty()) {
+      auto traces = (*channel)->Call(ssp::Request::GetTraces());
+      if (stats.ok() && stats->ok() && !stats->payload.empty() &&
+          traces.ok() && traces->ok() && !traces->payload.empty()) {
         polls.fetch_add(1);
       }
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace sharoes::obs {
@@ -187,6 +188,88 @@ TEST(HistogramTest, DisabledHistogramDoesNotRecord) {
   EXPECT_EQ(h.Snapshot().count, 0u);
 }
 
+TEST(HistogramTest, UntracedSamplesLeaveNoExemplars) {
+  Histogram h;
+  h.Record(100);
+  h.Record(5000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_TRUE(snap.exemplars.empty());
+  EXPECT_EQ(snap.ExemplarNear(0.99), 0u);
+  EXPECT_EQ(snap.ToJson().find("p99_trace"), std::string::npos);
+}
+
+TEST(HistogramTest, TracedSampleLeavesAnExemplar) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(10);  // Untraced low filler.
+  SetCurrentTrace(TraceContext{0xBEEF, 0});
+  for (int i = 0; i < 90; ++i) h.Record(5000);  // The traced tail.
+  SetCurrentTrace(TraceContext{});
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_FALSE(snap.exemplars.empty());
+  // The bucket holding the traced sample carries its trace id...
+  EXPECT_EQ(snap.exemplars[Histogram::BucketIndex(5000)], 0xBEEFu);
+  // ...and quantile lookups near the tail resolve to it.
+  EXPECT_EQ(snap.ExemplarNear(0.99), 0xBEEFu);
+  EXPECT_EQ(snap.PercentileBucket(0.99), Histogram::BucketIndex(5000));
+  // The untraced bucket stays exemplar-free.
+  EXPECT_EQ(snap.exemplars[Histogram::BucketIndex(10)], 0u);
+}
+
+TEST(HistogramTest, ExemplarNearWalksToTheNearestTracedBucket) {
+  // p50 lands in an untraced bucket; the lookup must fall back to the
+  // closest occupied bucket that does have an exemplar.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(100);
+  SetCurrentTrace(TraceContext{0xF00D, 0});
+  h.Record(90000);
+  SetCurrentTrace(TraceContext{});
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.ExemplarNear(0.5), 0xF00Du);
+}
+
+TEST(HistogramTest, LastTracedSampleWinsTheBucket) {
+  Histogram h;
+  SetCurrentTrace(TraceContext{0x1, 0});
+  h.Record(777);
+  SetCurrentTrace(TraceContext{0x2, 0});
+  h.Record(777);  // Same bucket, newer trace.
+  SetCurrentTrace(TraceContext{});
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.exemplars[Histogram::BucketIndex(777)], 0x2u);
+}
+
+TEST(HistogramTest, MergePropagatesExemplars) {
+  Histogram ha, hb;
+  ha.Record(50);
+  SetCurrentTrace(TraceContext{0xCAFE, 0});
+  hb.Record(3000);
+  SetCurrentTrace(TraceContext{});
+  HistogramSnapshot merged = ha.Snapshot();
+  merged.Merge(hb.Snapshot());
+  EXPECT_EQ(merged.exemplars[Histogram::BucketIndex(3000)], 0xCAFEu);
+}
+
+TEST(HistogramTest, ToJsonHasExactMinMaxSumAndTraceJoins) {
+  // The snapshot JSON reports *exact* min/max/sum/count (not bucket
+  // estimates) plus the p99/max exemplar joins when traces exist.
+  Histogram h;
+  h.Record(17);
+  SetCurrentTrace(TraceContext{0xAB, 0});
+  h.Record(9001);
+  SetCurrentTrace(TraceContext{});
+  std::string json = h.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":9018"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":17"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":9001"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_trace\":\"00000000000000ab\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"max_trace\":\"00000000000000ab\""),
+            std::string::npos)
+      << json;
+}
+
 TEST(RegistryTest, SameNameReturnsSameMetric) {
   MetricsRegistry reg;
   EXPECT_EQ(reg.counter("a"), reg.counter("a"));
@@ -203,6 +286,36 @@ TEST(RegistryTest, SnapshotCollectsEverything) {
   EXPECT_EQ(snap.counters.at("x"), 3u);
   EXPECT_EQ(snap.histograms.at("lat").count, 1u);
   EXPECT_EQ(snap.gauges.at("g"), 99u);
+}
+
+TEST(RegistryTest, SnapshotPrefixFiltersEveryKind) {
+  MetricsRegistry reg;
+  reg.counter("ssp.wal.appends")->Add(3);
+  reg.counter("ssp.requests.GetData")->Add(9);
+  reg.histogram("ssp.wal.fsync_us")->Record(120);
+  reg.histogram("client.op_latency_us.read")->Record(7);
+  auto g1 = reg.AddGauge("ssp.wal.segment_bytes", [] { return 11ull; });
+  auto g2 = reg.AddGauge("ssp.store.objects", [] { return 5ull; });
+
+  RegistrySnapshot snap = reg.Snapshot("ssp.wal");
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters.at("ssp.wal.appends"), 3u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms.count("ssp.wal.fsync_us"), 1u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges.at("ssp.wal.segment_bytes"), 11u);
+  // The empty prefix stays the full snapshot.
+  RegistrySnapshot all = reg.Snapshot();
+  EXPECT_EQ(all.counters.size(), 2u);
+  EXPECT_EQ(all.histograms.size(), 2u);
+  EXPECT_EQ(all.gauges.size(), 2u);
+  // A prefix matching nothing yields an empty (but valid) document.
+  RegistrySnapshot none = reg.Snapshot("nope.");
+  EXPECT_TRUE(none.counters.empty());
+  EXPECT_TRUE(none.histograms.empty());
+  EXPECT_TRUE(none.gauges.empty());
+  EXPECT_EQ(none.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
 }
 
 TEST(RegistryTest, SameNamedGaugesSum) {

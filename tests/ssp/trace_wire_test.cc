@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "core/retrying_connection.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "ssp/fault_injection.h"
 #include "ssp/message.h"
@@ -164,6 +167,143 @@ TEST(GetStatsTest, DoesNotTouchTheStore) {
   auto after = server.store().Stats();
   EXPECT_EQ(before.object_count, after.object_count);
   EXPECT_EQ(before.total_bytes(), after.total_bytes());
+}
+
+TEST(GetStatsTest, PrefixFilterRestrictsTheSnapshot) {
+  // kGetStats carries an optional prefix in its payload: the returned
+  // document is restricted to metrics whose name starts with it (the
+  // cheap periodic-scrape path: `sharoes_cli stats --prefix ssp.wal`).
+  SspServer server;
+  server.HandleWire(Request::PutData(1, 0, ToBytes("d")).Serialize());
+  Response resp = server.Handle(Request::GetStats("ssp.requests"));
+  ASSERT_TRUE(resp.ok());
+  std::string json(resp.payload.begin(), resp.payload.end());
+  EXPECT_NE(json.find("\"ssp.requests.PutData\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ssp.store.objects\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ssp.service_us.PutData\""), std::string::npos)
+      << json;
+  // An unmatched prefix still yields a valid (empty) document.
+  Response none = server.Handle(Request::GetStats("no.such.prefix"));
+  ASSERT_TRUE(none.ok());
+  std::string empty_json(none.payload.begin(), none.payload.end());
+  EXPECT_EQ(empty_json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(GetTracesTest, DoesNotTouchTheStore) {
+  // kGetTraces joins kGetStats as an opcode operators fire at a live
+  // production daemon, so it must be observably read-only too.
+  SspServer server;
+  server.HandleWire(Request::PutData(1, 0, ToBytes("d")).Serialize());
+  auto before = server.store().Stats();
+  Response resp = server.Handle(Request::GetTraces());
+  ASSERT_TRUE(resp.ok());
+  auto after = server.store().Stats();
+  EXPECT_EQ(before.object_count, after.object_count);
+  EXPECT_EQ(before.total_bytes(), after.total_bytes());
+}
+
+TEST(GetTracesTest, ReturnsTheSpanCollectorJson) {
+  SspServer server;
+  obs::SpanCollector::Global().Reset();
+  uint64_t prev = obs::SlowRequestThresholdUs();
+  obs::SetSlowRequestThresholdUs(1);
+  obs::SpanRecord rec;
+  rec.trace_id = 0x5151;
+  rec.op = "GetData";
+  rec.kind = 'S';
+  rec.total_us = 1234;
+  obs::SpanCollector::Global().Publish(rec);
+  Response resp = server.Handle(Request::GetTraces());
+  obs::SetSlowRequestThresholdUs(prev);
+  obs::SpanCollector::Global().Reset();
+  ASSERT_TRUE(resp.ok());
+  std::string json(resp.payload.begin(), resp.payload.end());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"slow_threshold_us\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"GetData\""), std::string::npos);
+  EXPECT_NE(json.find(obs::TraceIdHex(0x5151)), std::string::npos);
+}
+
+TEST(GetTracesTest, IsIdempotentButNotBatchable) {
+  EXPECT_TRUE(IsIdempotentOp(OpCode::kGetTraces));  // Safe to retry...
+  EXPECT_FALSE(IsMutatingOp(OpCode::kGetTraces));   // ...never WAL-logged...
+  EXPECT_FALSE(IsBatchableOp(OpCode::kGetTraces));  // ...and no batch rides.
+}
+
+TEST(GetTracesTest, BatchRejectionLogJoinsTheEnvelopeTrace) {
+  // Satellite of the trace-propagation contract: a kBatch sub-op
+  // rejection must log under the *envelope's* trace id, so the server
+  // log line joins the client op that sent the bad batch.
+  SspServer server;
+  std::vector<std::string> lines;
+  obs::SetLogSinkForTest([&](const std::string& line) {
+    lines.push_back(line);
+  });
+  uint64_t trace = obs::NextTraceId();
+  Request batch = Request::Batch({Request::GetTraces()});
+  auto resp = Response::Deserialize(
+      server.HandleWire(batch.SerializeWithTrace(trace, 4)));
+  obs::SetLogSinkForTest(nullptr);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->batch.size(), 1u);
+  EXPECT_FALSE(resp->batch[0].ok());  // Admin ops never ride in batches.
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (line.find("ssp.batch_subop_rejected") != std::string::npos &&
+        line.find(obs::TraceIdHex(trace)) != std::string::npos &&
+        line.find("\"op\":\"GetTraces\"") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "rejection line missing the envelope trace id";
+}
+
+TEST(SlowRequestCaptureTest, LiveOverTcpEndToEnd) {
+  // The full slow-path loop: a traced request served by a real TCP
+  // daemon crosses a (floor-level) threshold, the transport-owned
+  // ServerSpanFrame publishes its timeline, and a later kGetTraces on
+  // the same connection drains it — phases attributed, trace id intact.
+  obs::SpanCollector::Global().Reset();
+  uint64_t prev = obs::SlowRequestThresholdUs();
+  obs::SetSlowRequestThresholdUs(1);
+
+  SspServer server;
+  auto daemon = TcpSspDaemon::Start(&server, 0);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  auto channel = TcpSspChannel::Connect("127.0.0.1", (*daemon)->port());
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+
+  uint64_t trace = obs::NextTraceId();
+  obs::SetCurrentTrace(obs::TraceContext{trace, 0});
+  auto put = (*channel)->Call(Request::PutData(77, 0, ToBytes("payload")));
+  obs::SetCurrentTrace(obs::TraceContext{});
+  ASSERT_TRUE(put.ok()) << put.status().ToString();
+  ASSERT_TRUE(put->ok());
+
+  auto traces = (*channel)->Call(Request::GetTraces());
+  ASSERT_TRUE(traces.ok()) << traces.status().ToString();
+  ASSERT_TRUE(traces->ok());
+  std::string json(traces->payload.begin(), traces->payload.end());
+  EXPECT_NE(json.find(obs::TraceIdHex(trace)), std::string::npos) << json;
+  EXPECT_NE(json.find("\"op\":\"PutData\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"server\""), std::string::npos) << json;
+
+  // The same record, decoded: attribution must add up (the acceptance
+  // bound is 10%; the structural bound is µs truncation per phase).
+  bool checked = false;
+  for (const obs::SpanRecord& rec : obs::SpanCollector::Global().Snap().slow) {
+    if (rec.trace_id != trace) continue;
+    checked = true;
+    EXPECT_EQ(rec.kind, 'S');
+    EXPECT_LE(rec.PhaseSumUs(), rec.total_us + 1);
+    EXPECT_GE(rec.PhaseSumUs() + obs::kNumPhases, rec.total_us);
+  }
+  EXPECT_TRUE(checked) << "server span for the traced put never captured";
+
+  obs::SetSlowRequestThresholdUs(prev);
+  obs::SpanCollector::Global().Reset();
+  (*daemon)->Shutdown();
 }
 
 TEST(GetStatsTest, LiveOverTcpWithFaultCountersMoving) {

@@ -17,6 +17,14 @@
 // `sharoes_cli stats` needs no state or user: it sends the admin
 // kGetStats RPC and prints the daemon's metrics snapshot (one JSON
 // document: counters, gauges, latency histograms with percentiles).
+// `--prefix ssp.wal` restricts the snapshot to metrics whose name
+// starts with the prefix (cheap periodic scraping).
+//
+// `sharoes_cli slow` (also stateless) sends kGetTraces and prints the
+// daemon's captured slow-request span timelines: every request that
+// exceeded --slow-request-us recently, plus the slowest ever, each
+// broken down into phases (lock wait, WAL append, fsync wait, ...).
+// Histogram p99_trace/max_trace fields in `stats` name timelines here.
 //
 // Flags: --host (default 127.0.0.1; names resolve via DNS), --port
 //        (7070), --state (required), --user (name registered at
@@ -71,6 +79,8 @@ struct Args {
   size_t write_batch = 16;
   /// Print the client's RPC round-trip count to stderr after the command.
   bool rpc_stats = false;
+  /// Metric-name prefix filter for `stats` (empty = full registry).
+  std::string stats_prefix;
   std::vector<std::string> command;
 };
 
@@ -121,13 +131,16 @@ Args ParseArgs(int argc, char** argv) {
       args.write_batch = static_cast<size_t>(std::atoi(next().c_str()));
     } else if (a == "--rpc-stats") {
       args.rpc_stats = true;
+    } else if (a == "--prefix") {
+      args.stats_prefix = next();
     } else {
       args.command.push_back(a);
     }
   }
   if (args.command.empty()) Die("no command given");
-  // `stats` talks the admin RPC only — no enterprise state involved.
-  if (args.state.empty() && args.command[0] != "stats") {
+  // `stats` and `slow` talk admin RPCs only — no enterprise state.
+  if (args.state.empty() && args.command[0] != "stats" &&
+      args.command[0] != "slow") {
     Die("--state <dir> is required");
   }
   return args;
@@ -216,13 +229,26 @@ void Provision(const Args& args) {
       args.state.c_str());
 }
 
-/// `sharoes_cli stats`: fetch and print the daemon's metrics snapshot.
+/// `sharoes_cli stats`: fetch and print the daemon's metrics snapshot
+/// (optionally restricted to names starting with --prefix).
 int Stats(const Args& args) {
   auto channel =
       MakeConnection(args.host, args.port, args.timeouts, args.retry);
-  auto resp = channel->Call(ssp::Request::GetStats());
+  auto resp = channel->Call(ssp::Request::GetStats(args.stats_prefix));
   CheckOk(resp.status());
   if (!resp->ok()) Die("SSP rejected kGetStats");
+  std::printf("%.*s\n", static_cast<int>(resp->payload.size()),
+              reinterpret_cast<const char*>(resp->payload.data()));
+  return 0;
+}
+
+/// `sharoes_cli slow`: fetch and print captured slow-request timelines.
+int Slow(const Args& args) {
+  auto channel =
+      MakeConnection(args.host, args.port, args.timeouts, args.retry);
+  auto resp = channel->Call(ssp::Request::GetTraces());
+  CheckOk(resp.status());
+  if (!resp->ok()) Die("SSP rejected kGetTraces");
   std::printf("%.*s\n", static_cast<int>(resp->payload.size()),
               reinterpret_cast<const char*>(resp->payload.data()));
   return 0;
@@ -312,7 +338,7 @@ int RunCommand(const Args& args) {
     CheckOk(client.Rmdir(arg_at(1)));
   } else {
     Die("unknown command '" + cmd +
-        "' (try: ls cat put stat mkdir chmod rm rmdir stats)");
+        "' (try: ls cat put stat mkdir chmod rm rmdir stats slow)");
   }
   // Drain the write-behind stage before exit: a one-shot CLI process must
   // not drop staged mutations (mkdir/chmod/rm have no Close of their own).
@@ -333,5 +359,6 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.command[0] == "stats") return Stats(args);
+  if (args.command[0] == "slow") return Slow(args);
   return RunCommand(args);
 }

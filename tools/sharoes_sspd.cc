@@ -29,6 +29,12 @@
 // JSON that OpCode::kGetStats returns) to stdout every N seconds — a
 // poor man's scrape endpoint for watching a daemon under load.
 //
+// --slow-request-us N captures the span timeline of any traced request
+// whose service time exceeds N µs into the slow-request ring (drained
+// by kGetTraces / `sharoes_cli slow`; default 10000, 0 disables ring
+// capture while the slowest-ever table keeps updating). The SHAROES_SLOW_US
+// env var sets the same threshold; the flag wins.
+//
 // Fault flags turn the daemon into its own chaos monkey (percentages of
 // requests, evaluated in this order; 0 disables each):
 //   --fault-fail-pct P      reply kError without executing
@@ -48,6 +54,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "ssp/fault_injection.h"
 #include "ssp/tcp_service.h"
 #include "ssp/wal.h"
@@ -86,6 +93,9 @@ int main(int argc, char** argv) {
       wal_opts.group_commit_us = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--stats-interval-s" && i + 1 < argc) {
       stats_interval_s = std::atoi(argv[++i]);
+    } else if (arg == "--slow-request-us" && i + 1 < argc) {
+      sharoes::obs::SetSlowRequestThresholdUs(
+          static_cast<uint64_t>(std::atoll(argv[++i])));
     } else if (arg == "--fault-fail-pct" && i + 1 < argc) {
       fault_opts.fail_prob = pct();
     } else if (arg == "--fault-delay-pct" && i + 1 < argc) {
