@@ -26,10 +26,17 @@
 // Usage:
 //   bench_load [--seconds N] [--rate OPS_PER_S] [--clients N]
 //              [--write-pct P] [--zipf S] [--shared-files K]
-//              [--slow-us N] [--port P] [--json]
+//              [--slow-us N] [--port P] [--cluster N] [--replicas K]
+//              [--json]
 //
 // --port P drives an already-running external daemon instead of the
 // in-process one (provisioning included — point it at an empty store).
+// --cluster N starts N in-process daemons behind a placement ring
+// (DESIGN.md §15) and drives them through per-thread ShardedChannels;
+// --replicas K adds K-way replication with majority quorums (W = R =
+// K/2+1). Cluster runs additionally report per-shard latency
+// percentiles and the store-object imbalance ratio (max/min objects
+// across daemons) under a "cluster" key in the JSON.
 // --json writes BENCH_load.json for the CI SLO gate.
 
 #include <algorithm>
@@ -51,10 +58,12 @@
 #include "core/identity.h"
 #include "core/migration.h"
 #include "core/retrying_connection.h"
+#include "core/sharded_channel.h"
 #include "crypto/keys.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "ssp/placement.h"
 #include "ssp/tcp_service.h"
 #include "util/sim_clock.h"
 
@@ -75,6 +84,8 @@ struct Options {
   int shared_files = 32;
   uint64_t slow_us = 2000;  // Low threshold: the harness *wants* captures.
   uint16_t port = 0;        // 0 = start an in-process daemon.
+  int cluster = 0;          // >0 = start that many sharded daemons.
+  int replicas = 1;         // K; quorums are majority (W = R = K/2+1).
   bool json = false;
 };
 
@@ -126,6 +137,58 @@ core::RetryingConnection::ChannelFactory TcpFactory(uint16_t port) {
   };
 }
 
+/// `--cluster N`: N in-process daemons behind one placement ring. The
+/// ring must outlive the servers (each serving thread checks ownership
+/// against it per request), so the harness owns both.
+struct ClusterHarness {
+  ssp::ClusterConfig config;
+  std::unique_ptr<ssp::PlacementRing> ring;
+  std::vector<std::unique_ptr<ssp::SspServer>> servers;
+  std::vector<std::unique_ptr<ssp::TcpSspDaemon>> daemons;
+};
+
+Result<std::unique_ptr<ClusterHarness>> StartCluster(int nodes,
+                                                     int replicas) {
+  auto h = std::make_unique<ClusterHarness>();
+  uint32_t k = static_cast<uint32_t>(
+      std::min(replicas, nodes) < 1 ? 1 : std::min(replicas, nodes));
+  h->config.replication = k;
+  h->config.write_quorum = k / 2 + 1;  // Majority quorums: R + W > K
+  h->config.read_quorum = k / 2 + 1;   // for every K.
+  for (int i = 0; i < nodes; ++i) {
+    h->servers.push_back(std::make_unique<ssp::SspServer>());
+    auto daemon = ssp::TcpSspDaemon::Start(h->servers.back().get(), 0);
+    if (!daemon.ok()) return daemon.status();
+    h->config.nodes.push_back(ssp::ClusterNode{
+        static_cast<uint32_t>(i), "127.0.0.1", (*daemon)->port()});
+    h->daemons.push_back(std::move(*daemon));
+  }
+  auto ring = ssp::PlacementRing::Build(h->config);
+  if (!ring.ok()) return ring.status();
+  h->ring = std::make_unique<ssp::PlacementRing>(std::move(*ring));
+  for (int i = 0; i < nodes; ++i) {
+    h->servers[static_cast<size_t>(i)]->set_placement(
+        h->ring.get(), static_cast<uint32_t>(i));
+  }
+  return h;
+}
+
+std::unique_ptr<ssp::SspChannel> MakeShardedChannel(
+    const ClusterHarness& cluster, uint64_t seed) {
+  core::ShardedChannelOptions sopts;
+  sopts.seed = seed;
+  auto channel = core::ShardedChannel::Create(
+      cluster.config,
+      [](const ssp::ClusterNode& node) { return TcpFactory(node.port); },
+      sopts);
+  if (!channel.ok()) {
+    std::fprintf(stderr, "bench_load: sharded channel: %s\n",
+                 channel.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(*channel);
+}
+
 /// The enterprise side, provisioned over the wire into the daemon.
 struct Enterprise {
   SimClock clock;
@@ -134,20 +197,14 @@ struct Enterprise {
   crypto::RsaPrivateKey alice_key;
 };
 
-std::unique_ptr<Enterprise> Provision(uint16_t port) {
+std::unique_ptr<Enterprise> Provision(ssp::SspChannel* admin) {
   auto ent = std::make_unique<Enterprise>();
   ent->engine = MakeEngine(&ent->clock, 4242);
   core::Provisioner::Options popts;
   popts.user_key_bits = 512;
   core::Provisioner prov(&ent->identity, /*server=*/nullptr,
                          ent->engine.get(), popts);
-  auto admin = ssp::TcpSspChannel::Connect("127.0.0.1", port);
-  if (!admin.ok()) {
-    std::fprintf(stderr, "bench_load: connect: %s\n",
-                 admin.status().ToString().c_str());
-    return nullptr;
-  }
-  prov.set_remote_channel(admin->get());
+  prov.set_remote_channel(admin);
   auto alice = prov.CreateUser(kAlice, "alice");
   if (!alice.ok()) return nullptr;
   ent->alice_key = alice->priv;
@@ -180,14 +237,23 @@ struct LoadMetrics {
   obs::Histogram* read_service;
   obs::Histogram* write_latency;
   obs::Histogram* write_service;
+  /// Cluster runs: end-to-end latency per primary shard (both ops).
+  std::vector<obs::Histogram*> shard_latency;
 };
 
-LoadMetrics RegisterLoadMetrics() {
+LoadMetrics RegisterLoadMetrics(int shards) {
   auto& reg = obs::MetricsRegistry::Global();
-  return {reg.histogram("bench.load.latency_us.read"),
-          reg.histogram("bench.load.service_us.read"),
-          reg.histogram("bench.load.latency_us.write"),
-          reg.histogram("bench.load.service_us.write")};
+  LoadMetrics m{reg.histogram("bench.load.latency_us.read"),
+                reg.histogram("bench.load.service_us.read"),
+                reg.histogram("bench.load.latency_us.write"),
+                reg.histogram("bench.load.service_us.write"),
+                {}};
+  for (int k = 0; k < shards; ++k) {
+    m.shard_latency.push_back(
+        reg.histogram("bench.load.shard" + std::to_string(k) +
+                      ".latency_us"));
+  }
+  return m;
 }
 
 /// Start-line barrier: every thread provisions its private files, checks
@@ -220,16 +286,29 @@ class StartGate {
 };
 
 void RunClientThread(int t, const Options& opt, uint16_t port,
+                     const ClusterHarness* cluster,
+                     const std::vector<int>* shard_of_shared,
                      Enterprise* ent, const ZipfSampler* zipf,
                      const LoadMetrics* metrics, StartGate* gate,
                      std::chrono::steady_clock::time_point* start_out,
                      ThreadResult* out) {
   SimClock clock;
   auto engine = MakeEngine(&clock, 1000 + static_cast<uint64_t>(t));
-  core::RetryOptions retry;
-  retry.seed = 9000 + static_cast<uint64_t>(t);
-  core::RetryingConnection conn(TcpFactory(port), retry);
-  auto client = MakeClient(ent, &conn, engine.get());
+  std::unique_ptr<ssp::SspChannel> channel;
+  if (cluster != nullptr) {
+    channel = MakeShardedChannel(*cluster, 9000 + static_cast<uint64_t>(t));
+  } else {
+    core::RetryOptions retry;
+    retry.seed = 9000 + static_cast<uint64_t>(t);
+    channel = std::make_unique<core::RetryingConnection>(TcpFactory(port),
+                                                         retry);
+  }
+  if (channel == nullptr) {
+    out->errors += 1;
+    gate->CheckIn();
+    return;
+  }
+  auto client = MakeClient(ent, channel.get(), engine.get());
   if (!client->Mount().ok()) {
     out->errors += 1;
     gate->CheckIn();
@@ -242,6 +321,7 @@ void RunClientThread(int t, const Options& opt, uint16_t port,
   core::CreateOptions fopts;
   fopts.mode = fs::Mode::FromOctal(0644);
   bool setup_ok = client->Mkdir(dir, dopts).ok();
+  std::vector<int> shard_of_private(kPrivateFiles, -1);
   for (size_t j = 0; setup_ok && j < kPrivateFiles; ++j) {
     std::string path = dir + "/f" + std::to_string(j);
     setup_ok = client->Create(path, fopts).ok() &&
@@ -250,6 +330,15 @@ void RunClientThread(int t, const Options& opt, uint16_t port,
                                             static_cast<uint32_t>(t * 100 +
                                                                   j)))
                    .ok();
+    if (setup_ok && cluster != nullptr) {
+      // Write latency is attributed to the file's primary shard (the
+      // write itself fans out to all K replicas).
+      auto attrs = client->Getattr(path);
+      if (attrs.ok()) {
+        shard_of_private[j] = static_cast<int>(
+            cluster->ring->PrimaryIndexFor(attrs->inode));
+      }
+    }
   }
   gate->CheckIn();
   if (!setup_ok) {
@@ -275,20 +364,25 @@ void RunClientThread(int t, const Options& opt, uint16_t port,
     const bool is_write = mix(rng) < opt.write_pct;
     const auto op_start = std::chrono::steady_clock::now();
     Status s = Status::OK();
+    int shard = -1;
     if (is_write) {
-      std::string path =
-          dir + "/f" + std::to_string(iter % kPrivateFiles);
+      const size_t slot = iter % kPrivateFiles;
+      std::string path = dir + "/f" + std::to_string(slot);
       s = client->WriteFile(
           path, PatternBytes(kFileBytes,
                              static_cast<uint32_t>(t * 100 + iter)));
+      shard = shard_of_private[slot];
     } else {
-      std::string path =
-          "/shared/f" + std::to_string(zipf->Sample(rng));
+      const int pick = zipf->Sample(rng);
+      std::string path = "/shared/f" + std::to_string(pick);
       // Evict the object (keep the dcache warm) so every read refetches
       // metadata + data from the daemon instead of the client cache.
       (void)client->EvictPath(path);
       auto content = client->Read(path);
       s = content.status();
+      if (shard_of_shared != nullptr) {
+        shard = (*shard_of_shared)[static_cast<size_t>(pick)];
+      }
     }
     const auto end = std::chrono::steady_clock::now();
     ++iter;
@@ -303,6 +397,10 @@ void RunClientThread(int t, const Options& opt, uint16_t port,
         std::chrono::duration_cast<std::chrono::microseconds>(end - op_start)
             .count());
     out->max_latency_us = std::max(out->max_latency_us, latency_us);
+    if (shard >= 0 &&
+        shard < static_cast<int>(metrics->shard_latency.size())) {
+      metrics->shard_latency[static_cast<size_t>(shard)]->Record(latency_us);
+    }
     if (is_write) {
       out->writes += 1;
       metrics->write_latency->Record(latency_us);
@@ -385,12 +483,25 @@ void EmitOp(obs::JsonObjectWriter* w, const char* key, uint64_t count,
 }
 
 int Run(const Options& opt) {
-  // 1. A live daemon: in-process by default (shares our process's
-  // metrics registry and span collector), external via --port.
+  // 1. Live daemons: one in-process by default, N sharded ones behind a
+  // placement ring via --cluster, an external one via --port. All the
+  // in-process modes share our process's metrics registry and span
+  // collector.
   ssp::SspServer server;
   std::unique_ptr<ssp::TcpSspDaemon> daemon;
+  std::unique_ptr<ClusterHarness> cluster;
   uint16_t port = opt.port;
-  if (port == 0) {
+  if (opt.cluster > 0) {
+    auto started = StartCluster(opt.cluster, opt.replicas);
+    if (!started.ok()) {
+      std::fprintf(stderr, "bench_load: cluster: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    cluster = std::move(*started);
+    // Admin ops are pinned to node 0; the scraper talks to it directly.
+    port = cluster->config.nodes[0].port;
+  } else if (port == 0) {
     auto started = ssp::TcpSspDaemon::Start(&server, 0);
     if (!started.ok()) {
       std::fprintf(stderr, "bench_load: %s\n",
@@ -400,18 +511,32 @@ int Run(const Options& opt) {
     daemon = std::move(*started);
     port = daemon->port();
   }
+  auto make_channel = [&]() -> std::unique_ptr<ssp::SspChannel> {
+    if (cluster != nullptr) return MakeShardedChannel(*cluster, 7);
+    return std::make_unique<core::RetryingConnection>(TcpFactory(port),
+                                                      core::RetryOptions{});
+  };
 
-  // 2. Provision the enterprise and the shared read tree.
-  auto ent = Provision(port);
+  // 2. Provision the enterprise and the shared read tree — in cluster
+  // mode through a sharded channel, so every object lands on (all of)
+  // its owning replicas and nothing trips kWrongShard later.
+  std::unique_ptr<Enterprise> ent;
+  {
+    auto admin = make_channel();
+    if (admin == nullptr) return 1;
+    ent = Provision(admin.get());
+  }
   if (ent == nullptr) {
     std::fprintf(stderr, "bench_load: provisioning failed\n");
     return 1;
   }
+  std::vector<int> shard_of_shared;
   {
     SimClock clock;
     auto engine = MakeEngine(&clock, 7);
-    core::RetryingConnection conn(TcpFactory(port), core::RetryOptions{});
-    auto setup = MakeClient(ent.get(), &conn, engine.get());
+    auto setup_channel = make_channel();
+    if (setup_channel == nullptr) return 1;
+    auto setup = MakeClient(ent.get(), setup_channel.get(), engine.get());
     if (!setup->Mount().ok()) {
       std::fprintf(stderr, "bench_load: mount failed\n");
       return 1;
@@ -435,21 +560,33 @@ int Run(const Options& opt) {
                      path.c_str());
         return 1;
       }
+      if (cluster != nullptr) {
+        auto attrs = setup->Getattr(path);
+        if (!attrs.ok()) {
+          std::fprintf(stderr, "bench_load: getattr failed at %s\n",
+                       path.c_str());
+          return 1;
+        }
+        shard_of_shared.push_back(static_cast<int>(
+            cluster->ring->PrimaryIndexFor(attrs->inode)));
+      }
     }
   }
 
   // 3. Launch the clients; drop setup-phase spans and arm a low slow
   // threshold so the run captures real timelines.
   ZipfSampler zipf(opt.shared_files, opt.zipf_s);
-  LoadMetrics metrics = RegisterLoadMetrics();
+  LoadMetrics metrics = RegisterLoadMetrics(opt.cluster);
   StartGate gate(opt.clients);
   std::vector<ThreadResult> results(static_cast<size_t>(opt.clients));
   std::chrono::steady_clock::time_point start_time;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(opt.clients));
   for (int t = 0; t < opt.clients; ++t) {
-    threads.emplace_back(RunClientThread, t, std::cref(opt), port, ent.get(),
-                         &zipf, &metrics, &gate, &start_time,
+    threads.emplace_back(RunClientThread, t, std::cref(opt), port,
+                         cluster.get(),
+                         cluster != nullptr ? &shard_of_shared : nullptr,
+                         ent.get(), &zipf, &metrics, &gate, &start_time,
                          &results[static_cast<size_t>(t)]);
   }
   gate.WaitReady();
@@ -512,6 +649,37 @@ int Run(const Options& opt) {
   };
   print_op("read", read_latency, read_service);
   print_op("write", write_latency, write_service);
+  std::vector<obs::HistogramSnapshot> shard_snaps;
+  std::vector<uint64_t> shard_objects;
+  double imbalance = 0;
+  if (cluster != nullptr) {
+    uint64_t min_objects = 0, max_objects = 0;
+    for (size_t k = 0; k < cluster->servers.size(); ++k) {
+      shard_snaps.push_back(metrics.shard_latency[k]->Snapshot());
+      const uint64_t objects = cluster->servers[k]->store().Stats().object_count;
+      shard_objects.push_back(objects);
+      min_objects = k == 0 ? objects : std::min(min_objects, objects);
+      max_objects = std::max(max_objects, objects);
+    }
+    imbalance = min_objects > 0
+                    ? static_cast<double>(max_objects) /
+                          static_cast<double>(min_objects)
+                    : static_cast<double>(max_objects);
+    std::printf(
+        "  cluster: %d nodes, K=%u W=%u R=%u, object imbalance %.2fx\n",
+        opt.cluster, cluster->config.replication,
+        cluster->config.write_quorum, cluster->config.read_quorum,
+        imbalance);
+    for (size_t k = 0; k < shard_snaps.size(); ++k) {
+      std::printf(
+          "    shard %zu: %6llu objects, %6llu ops, latency p50 %6llu "
+          "p99 %6llu µs\n",
+          k, static_cast<unsigned long long>(shard_objects[k]),
+          static_cast<unsigned long long>(shard_snaps[k].count),
+          static_cast<unsigned long long>(shard_snaps[k].Percentile(0.50)),
+          static_cast<unsigned long long>(shard_snaps[k].Percentile(0.99)));
+    }
+  }
   std::printf(
       "  spans: %zu slow (threshold %llu µs), %zu slowest-ever; "
       "attribution %llu/%llu within 10%% (worst off %.2f%%)\n",
@@ -527,7 +695,9 @@ int Run(const Options& opt) {
   if (opt.json) {
     obs::JsonObjectWriter w;
     w.Field("bench", "load");
-    w.Field("mode", daemon != nullptr ? "inprocess" : "external");
+    w.Field("mode", cluster != nullptr
+                        ? "cluster"
+                        : (daemon != nullptr ? "inprocess" : "external"));
     w.Field("duration_s", wall_s);
     w.Field("offered_rate", opt.rate);
     w.Field("achieved_rate", achieved);
@@ -541,6 +711,26 @@ int Run(const Options& opt) {
     EmitOp(&w, "read", reads, read_latency, read_service);
     EmitOp(&w, "write", writes, write_latency, write_service);
     w.EndObject();
+    if (cluster != nullptr) {
+      w.BeginObject("cluster");
+      w.Field("nodes", static_cast<uint64_t>(opt.cluster));
+      w.Field("replication",
+              static_cast<uint64_t>(cluster->config.replication));
+      w.Field("write_quorum",
+              static_cast<uint64_t>(cluster->config.write_quorum));
+      w.Field("read_quorum",
+              static_cast<uint64_t>(cluster->config.read_quorum));
+      w.Field("imbalance_ratio", imbalance);
+      for (size_t k = 0; k < shard_snaps.size(); ++k) {
+        w.BeginObject("shard" + std::to_string(k));
+        w.Field("objects", shard_objects[k]);
+        w.Field("ops", shard_snaps[k].count);
+        w.Field("latency_p50_us", shard_snaps[k].Percentile(0.50));
+        w.Field("latency_p99_us", shard_snaps[k].Percentile(0.99));
+        w.EndObject();
+      }
+      w.EndObject();
+    }
     w.Field("scrapes", scrapes);
     w.Field("slow_spans_captured", static_cast<uint64_t>(snap.slow.size()));
     w.Field("slowest_spans", static_cast<uint64_t>(snap.slowest.size()));
@@ -566,6 +756,9 @@ int Run(const Options& opt) {
     }
   }
   if (daemon != nullptr) daemon->Shutdown();
+  if (cluster != nullptr) {
+    for (auto& d : cluster->daemons) d->Shutdown();
+  }
   return attribution_ok ? 0 : 1;
 }
 
@@ -593,6 +786,10 @@ int main(int argc, char** argv) {
       opt.slow_us = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--port" && i + 1 < argc) {
       opt.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--cluster" && i + 1 < argc) {
+      opt.cluster = std::max(0, std::atoi(next()));
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      opt.replicas = std::max(1, std::atoi(next()));
     } else if (arg == "--json") {
       opt.json = true;
     } else {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/sharded_channel.h"
 #include "crypto/merkle.h"
 #include "fs/path.h"
 #include "obs/span.h"
@@ -204,6 +205,22 @@ fs::InodeNum SharoesClient::AllocateInode() {
 
 Status SharoesClient::Mount() {
   OpScope span(this, "Mount");
+  if (conn_ == nullptr) {
+    // Cluster deployment: the channel comes from the config file, not
+    // the constructor. Built here (not in the constructor) because
+    // loading the config and dialing daemons can fail, and Mount is the
+    // client's canonical can-fail entry point.
+    if (options_.cluster.empty()) {
+      return Status::InvalidArgument(
+          "no SSP channel and no ClientOptions::cluster config");
+    }
+    ShardedChannelOptions sopts;
+    sopts.node_retry = options_.transport_retry;
+    sopts.timeouts = options_.transport_timeouts;
+    SHAROES_ASSIGN_OR_RETURN(owned_conn_,
+                             ShardedChannel::Open(options_.cluster, sopts));
+    conn_ = owned_conn_.get();
+  }
   principal_ = identity_->PrincipalOf(uid_);
   ChargeClientOverhead();
   SHAROES_ASSIGN_OR_RETURN(ssp::Response resp,

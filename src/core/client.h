@@ -87,11 +87,21 @@ struct ClientOptions {
   /// simulated channel never fails, so benchmarks ignore them.
   RetryOptions transport_retry;
   net::TcpTimeouts transport_timeouts;
+  /// Path of a cluster config file (ssp/placement.h). Non-empty makes
+  /// the client build and own a core::ShardedChannel over the listed
+  /// daemons at Mount() — consistent-hash routing, K-way replicated
+  /// quorum writes/reads, placement refresh on kWrongShard — instead of
+  /// using the single `conn` passed to the constructor (which may then
+  /// be null). transport_retry/transport_timeouts configure the
+  /// per-node connections; maps from `--cluster` in the tools.
+  std::string cluster;
 };
 
 class SharoesClient : public FsClient {
  public:
-  /// `engine`, `identity`, `conn` must outlive the client.
+  /// `engine`, `identity`, `conn` must outlive the client. `conn` may be
+  /// null when options.cluster names a cluster config — Mount() then
+  /// builds and owns a sharded channel over the configured daemons.
   SharoesClient(fs::UserId uid, crypto::RsaPrivateKey user_private_key,
                 const IdentityDirectory* identity, ssp::SspChannel* conn,
                 crypto::CryptoEngine* engine, const ClientOptions& options);
@@ -137,7 +147,11 @@ class SharoesClient : public FsClient {
   /// SSP round trips this client has issued (every Call on the channel,
   /// batched or not). Also counted process-wide as
   /// "client.rpc.round_trips" with per-op histograms
-  /// "client.rpc.round_trips.<Op>" in the global registry.
+  /// "client.rpc.round_trips.<Op>" in the global registry. Against a
+  /// cluster this counts LOGICAL round trips — a batch fanned out to
+  /// several shards in parallel inside one Call is one round trip (the
+  /// op's WAN cost is the max per shard, not the sum); the fan-out
+  /// width is its own histogram, "client.rpc.shard_fanout".
   uint64_t rpc_round_trips() const { return rpc_round_trips_; }
 
   LruCache& cache() { return cache_; }
@@ -308,6 +322,9 @@ class SharoesClient : public FsClient {
   crypto::RsaPrivateKey user_priv_;
   const IdentityDirectory* identity_;
   ssp::SspChannel* conn_;
+  /// The cluster channel Mount() builds when options_.cluster is set
+  /// (conn_ then points at it); null in single-daemon deployments.
+  std::unique_ptr<ssp::SspChannel> owned_conn_;
   crypto::CryptoEngine* engine_;
   ObjectCodec codec_;
   ClientOptions options_;

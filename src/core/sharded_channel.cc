@@ -1,0 +1,605 @@
+#include "core/sharded_channel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "core/object_codec.h"
+#include "crypto/sha256.h"
+#include "obs/log.h"
+#include "ssp/tcp_service.h"
+
+namespace sharoes::core {
+
+namespace {
+
+using ssp::OpCode;
+using ssp::Request;
+using ssp::RespStatus;
+using ssp::Response;
+
+bool IsAdminOp(OpCode op) {
+  return op == OpCode::kGetStats || op == OpCode::kGetTraces;
+}
+
+/// The put that rewrites one object from a get's winning payload — the
+/// read-repair verb per object family.
+Request MakeRepairPut(const Request& get, Bytes payload) {
+  switch (get.op) {
+    case OpCode::kGetSuperblock:
+      return Request::PutSuperblock(get.user, std::move(payload));
+    case OpCode::kGetMetadata:
+      return Request::PutMetadata(get.inode, get.selector,
+                                  std::move(payload));
+    case OpCode::kGetUserMetadata:
+      return Request::PutUserMetadata(get.inode, get.user,
+                                      std::move(payload));
+    case OpCode::kGetData:
+      return Request::PutData(get.inode, get.block, std::move(payload));
+    case OpCode::kGetGroupKey:
+      return Request::PutGroupKey(get.group, get.user, std::move(payload));
+    default:
+      return Request{};  // Unreachable: only gets reach RepairStale.
+  }
+}
+
+}  // namespace
+
+/// Per-sub-op quorum progress across rounds. Replica positions index
+/// into `replicas` (preference order from the ring).
+struct ShardedChannel::SubState {
+  const Request* req = nullptr;
+  bool mutating = false;
+  std::vector<uint32_t> replicas;  // Node indices, preferred first.
+  uint32_t need_acks = 1;          // W for writes.
+  uint32_t need_replies = 1;       // R for reads.
+  std::vector<uint8_t> acked;      // Per position: write acknowledged.
+  std::vector<uint8_t> targeted;   // Per position: ever asked (reads).
+  /// Reads: usable replies (kOk/kNotFound), one per position at most.
+  std::vector<std::pair<uint32_t, Response>> usable;
+  uint32_t acks = 0;
+  bool wrong_shard = false;
+  bool done = false;
+  Response final;
+
+  bool HasUsable(uint32_t pos) const {
+    for (const auto& u : usable) {
+      if (u.first == pos) return true;
+    }
+    return false;
+  }
+};
+
+Result<std::unique_ptr<ShardedChannel>> ShardedChannel::Open(
+    const std::string& config_path, const ShardedChannelOptions& options) {
+  SHAROES_ASSIGN_OR_RETURN(ssp::ClusterConfig config,
+                           ssp::ClusterConfig::LoadFromFile(config_path));
+  net::TcpTimeouts timeouts = options.timeouts;
+  NodeFactory factory =
+      [timeouts](const ssp::ClusterNode& node)
+      -> RetryingConnection::ChannelFactory {
+    std::string host = node.host;
+    uint16_t port = node.port;
+    return [host, port,
+            timeouts]() -> Result<std::unique_ptr<ssp::SspChannel>> {
+      auto channel = ssp::TcpSspChannel::Connect(host, port, timeouts);
+      if (!channel.ok()) return channel.status();
+      return std::unique_ptr<ssp::SspChannel>(std::move(*channel));
+    };
+  };
+  ConfigSource refresh = [config_path]() {
+    return ssp::ClusterConfig::LoadFromFile(config_path);
+  };
+  return Create(std::move(config), std::move(factory), options,
+                std::move(refresh));
+}
+
+Result<std::unique_ptr<ShardedChannel>> ShardedChannel::Create(
+    ssp::ClusterConfig config, NodeFactory factory,
+    const ShardedChannelOptions& options, ConfigSource refresh) {
+  SHAROES_ASSIGN_OR_RETURN(ssp::PlacementRing ring,
+                           ssp::PlacementRing::Build(std::move(config)));
+  return std::unique_ptr<ShardedChannel>(
+      new ShardedChannel(std::move(ring), std::move(factory), options,
+                         std::move(refresh)));
+}
+
+ShardedChannel::ShardedChannel(ssp::PlacementRing ring, NodeFactory factory,
+                               const ShardedChannelOptions& options,
+                               ConfigSource refresh)
+    : ring_(std::move(ring)),
+      factory_(std::move(factory)),
+      options_(options),
+      refresh_(std::move(refresh)),
+      rng_(options.seed != 0 ? Rng(options.seed) : Rng()),
+      fanout_hist_(
+          obs::MetricsRegistry::Global().histogram("client.rpc.shard_fanout")) {
+}
+
+RetryingConnection* ShardedChannel::NodeConn(uint32_t node_index) {
+  const ssp::ClusterNode& node = ring_.config().nodes[node_index];
+  auto it = conns_.find(node.id);
+  if (it == conns_.end()) {
+    it = conns_
+             .emplace(node.id, std::make_unique<RetryingConnection>(
+                                   factory_(node), options_.node_retry))
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<Response> ShardedChannel::CallNode(uint32_t node_index,
+                                          const Request& req) {
+  return NodeConn(node_index)->Call(req);
+}
+
+void ShardedChannel::RebuildRing(ssp::ClusterConfig config) {
+  auto rebuilt = ssp::PlacementRing::Build(std::move(config));
+  if (!rebuilt.ok()) {
+    obs::Log(obs::Severity::kWarn, "client.shard.refresh_rejected",
+             {{"detail", rebuilt.status().ToString()}});
+    return;
+  }
+  ring_ = std::move(*rebuilt);
+  // Keep live sockets for surviving node ids, drop the departed.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (ring_.config().FindNode(it->first) == nullptr) {
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ShardedChannel::BackoffRound(int round) {
+  uint64_t base = options_.round_backoff_ms;
+  for (int i = 1; i < round && base < options_.max_round_backoff_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min<uint64_t>(base, options_.max_round_backoff_ms);
+  // ±20% jitter so a fleet of clients re-quorums out of lockstep.
+  double factor = 0.8 + 0.4 * rng_.NextDouble();
+  base = static_cast<uint64_t>(static_cast<double>(base) * factor);
+  if (base > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(base));
+  }
+}
+
+bool ShardedChannel::MakeObjectKey(const Request& req, ObjectKey* key) {
+  switch (req.op) {
+    case OpCode::kGetSuperblock:
+    case OpCode::kPutSuperblock:
+    case OpCode::kDeleteSuperblock:
+      *key = {static_cast<uint8_t>(OpCode::kGetSuperblock), req.user, 0};
+      return true;
+    case OpCode::kGetMetadata:
+    case OpCode::kPutMetadata:
+    case OpCode::kDeleteMetadata:
+      *key = {static_cast<uint8_t>(OpCode::kGetMetadata), req.inode,
+              req.selector};
+      return true;
+    case OpCode::kGetUserMetadata:
+    case OpCode::kPutUserMetadata:
+    case OpCode::kDeleteUserMetadata:
+      *key = {static_cast<uint8_t>(OpCode::kGetUserMetadata), req.inode,
+              req.user};
+      return true;
+    case OpCode::kGetData:
+    case OpCode::kPutData:
+      *key = {static_cast<uint8_t>(OpCode::kGetData), req.inode, req.block};
+      return true;
+    case OpCode::kGetGroupKey:
+    case OpCode::kPutGroupKey:
+    case OpCode::kDeleteGroupKey:
+      *key = {static_cast<uint8_t>(OpCode::kGetGroupKey), req.group,
+              req.user};
+      return true;
+    default:
+      return false;  // Range deletes and non-store ops.
+  }
+}
+
+void ShardedChannel::NoteWrite(const Request& req) {
+  ObjectKey key;
+  switch (req.op) {
+    case OpCode::kPutSuperblock:
+    case OpCode::kPutMetadata:
+    case OpCode::kPutUserMetadata:
+    case OpCode::kPutData:
+    case OpCode::kPutGroupKey:
+      if (MakeObjectKey(req, &key)) {
+        fingerprints_[key] = crypto::Sha256Digest(req.payload);
+      }
+      return;
+    case OpCode::kDeleteSuperblock:
+    case OpCode::kDeleteMetadata:
+    case OpCode::kDeleteUserMetadata:
+    case OpCode::kDeleteGroupKey:
+      if (MakeObjectKey(req, &key)) fingerprints_.erase(key);
+      return;
+    case OpCode::kDeleteInodeMetadata:
+    case OpCode::kDeleteInodeData: {
+      // Range: every fingerprint of the inode's family goes.
+      uint8_t family = static_cast<uint8_t>(
+          req.op == OpCode::kDeleteInodeData ? OpCode::kGetData
+                                             : OpCode::kGetMetadata);
+      fingerprints_.erase(
+          fingerprints_.lower_bound(ObjectKey{family, req.inode, 0}),
+          fingerprints_.upper_bound(
+              ObjectKey{family, req.inode, ~uint64_t{0}}));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+Result<Response> ShardedChannel::Call(const Request& req) {
+  // Admin ops are per-daemon diagnostics with no routing key; pin them
+  // to the first configured node (tools that want one specific daemon's
+  // stats talk to it directly).
+  if (IsAdminOp(req.op)) {
+    fanout_hist_->Record(1);
+    return CallNode(0, req);
+  }
+
+  const bool is_batch = req.op == OpCode::kBatch;
+  std::vector<const Request*> subs;
+  if (is_batch) {
+    subs.reserve(req.batch.size());
+    for (const Request& sub : req.batch) subs.push_back(&sub);
+  } else {
+    subs.push_back(&req);
+  }
+  if (subs.empty()) return Response::Ok();
+
+  std::vector<Response> finals;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    finals.clear();
+    bool wrong_shard = ExecuteSubOps(subs, &finals);
+    if (wrong_shard && refresh_ != nullptr && attempt == 0) {
+      // Some daemon refused a routing key: our ring is stale. Refresh
+      // placement and retry the whole sub-op set exactly once — every
+      // sub-op is idempotent, so re-running acked ones is safe, and a
+      // second kWrongShard means daemons and config genuinely disagree,
+      // which must surface instead of looping.
+      ++placement_refreshes_;
+      auto fresh = refresh_();
+      if (fresh.ok()) RebuildRing(std::move(*fresh));
+      continue;
+    }
+    break;
+  }
+  if (!is_batch) return finals.at(0);
+  Response top;
+  top.status = RespStatus::kOk;
+  top.batch = std::move(finals);
+  return top;
+}
+
+bool ShardedChannel::ExecuteSubOps(const std::vector<const Request*>& subs,
+                                   std::vector<ssp::Response>* finals) {
+  const ssp::ClusterConfig& config = ring_.config();
+  std::vector<SubState> states(subs.size());
+  for (size_t i = 0; i < subs.size(); ++i) {
+    SubState& s = states[i];
+    s.req = subs[i];
+    s.mutating = ssp::IsMutatingOp(s.req->op);
+    s.replicas = ring_.ReplicaIndicesFor(ssp::RoutingKeyOf(*s.req));
+    const uint32_t k = static_cast<uint32_t>(s.replicas.size());
+    s.need_acks = std::min(config.write_quorum, k);
+    s.need_replies = std::min(config.read_quorum, k);
+    s.acked.assign(k, 0);
+    s.targeted.assign(k, 0);
+  }
+
+  // One node's work for one round: the sub-ops (in submission order)
+  // plus each one's replica position, shipped as a single request.
+  struct NodeTask {
+    uint32_t node = 0;
+    RetryingConnection* conn = nullptr;
+    std::vector<std::pair<size_t, uint32_t>> items;  // (sub idx, position).
+    Request wire;
+    bool wrapped = false;
+    std::optional<Result<Response>> result;
+  };
+
+  std::vector<uint32_t> fanout_nodes;
+  bool any_wrong_shard = false;
+  for (int round = 0; round < std::max(1, options_.quorum_rounds); ++round) {
+    if (round > 0) {
+      BackoffRound(round);
+      ++quorum_retry_rounds_;
+    }
+    // Plan the round. Writes: every replica that has not acked the sub
+    // yet — even for subs whose quorum is already met — so each node
+    // receives the sub-ops it is missing in submission order (a node
+    // must never apply a key's older write after its newer one because
+    // the older sub straggled). Reads: enough untried replicas to
+    // complete the R quorum, preferring the ring order and failing
+    // over to further replicas only when earlier ones went unusable.
+    std::vector<NodeTask> tasks;
+    auto task_for = [&](uint32_t node) -> NodeTask& {
+      for (NodeTask& t : tasks) {
+        if (t.node == node) return t;
+      }
+      tasks.push_back(NodeTask{});
+      tasks.back().node = node;
+      return tasks.back();
+    };
+    bool all_done = true;
+    for (size_t i = 0; i < states.size(); ++i) {
+      SubState& s = states[i];
+      if (s.done) continue;
+      all_done = false;
+      if (s.mutating) {
+        for (uint32_t pos = 0; pos < s.replicas.size(); ++pos) {
+          if (!s.acked[pos]) {
+            task_for(s.replicas[pos]).items.emplace_back(i, pos);
+          }
+        }
+      } else {
+        uint32_t want = s.need_replies - static_cast<uint32_t>(
+                                             s.usable.size());
+        // Untried replicas first (ring preference order), then re-asks
+        // of replicas that failed earlier rounds (they may be back).
+        for (int pass = 0; pass < 2 && want > 0; ++pass) {
+          for (uint32_t pos = 0; pos < s.replicas.size() && want > 0;
+               ++pos) {
+            if (s.HasUsable(pos)) continue;
+            const bool untried = !s.targeted[pos];
+            if ((pass == 0) != untried) continue;
+            if (untried && pos >= s.need_replies) ++read_failovers_;
+            s.targeted[pos] = 1;
+            task_for(s.replicas[pos]).items.emplace_back(i, pos);
+            --want;
+          }
+        }
+      }
+    }
+    if (all_done) break;
+
+    // Mutating subs whose quorum is met keep replicating above, but a
+    // round that is ONLY backfill must not hold the call: stop when no
+    // unfinished sub has work planned.
+    bool planned_unfinished = false;
+    for (NodeTask& t : tasks) {
+      for (auto& [sub_idx, pos] : t.items) {
+        (void)pos;
+        if (!states[sub_idx].done) planned_unfinished = true;
+      }
+    }
+    if (!planned_unfinished) break;
+
+    // Materialize wires + connections on this thread, then fan out.
+    for (NodeTask& t : tasks) {
+      t.conn = NodeConn(t.node);
+      if (std::find(fanout_nodes.begin(), fanout_nodes.end(), t.node) ==
+          fanout_nodes.end()) {
+        fanout_nodes.push_back(t.node);
+      }
+      if (t.items.size() == 1) {
+        t.wire = *states[t.items[0].first].req;
+      } else {
+        std::vector<Request> batch;
+        batch.reserve(t.items.size());
+        for (auto& [sub_idx, pos] : t.items) {
+          (void)pos;
+          batch.push_back(*states[sub_idx].req);
+        }
+        t.wire = Request::Batch(std::move(batch));
+        t.wrapped = true;
+      }
+    }
+    if (tasks.size() == 1) {
+      tasks[0].result = tasks[0].conn->Call(tasks[0].wire);
+    } else {
+      std::vector<std::thread> pack;
+      pack.reserve(tasks.size());
+      for (NodeTask& t : tasks) {
+        pack.emplace_back([&t] { t.result = t.conn->Call(t.wire); });
+      }
+      for (std::thread& th : pack) th.join();
+    }
+
+    // Absorb replies.
+    for (NodeTask& t : tasks) {
+      const Result<Response>& result = *t.result;
+      for (size_t item = 0; item < t.items.size(); ++item) {
+        auto [sub_idx, pos] = t.items[item];
+        SubState& s = states[sub_idx];
+        if (s.done) continue;
+        RespStatus status;
+        const Response* sub_resp = nullptr;
+        if (!result.ok()) {
+          continue;  // Transport failure: no ack, no reply.
+        } else if (t.wrapped) {
+          if (result->status != RespStatus::kOk ||
+              result->batch.size() != t.items.size()) {
+            // Envelope-level kError (e.g. WAL ack failure) or a
+            // malformed stitch: nothing in this frame counts.
+            continue;
+          }
+          sub_resp = &result->batch[item];
+          status = sub_resp->status;
+        } else {
+          sub_resp = &*result;
+          status = sub_resp->status;
+        }
+        if (status == RespStatus::kWrongShard) {
+          s.wrong_shard = true;
+          any_wrong_shard = true;
+          continue;
+        }
+        if (status == RespStatus::kBadRequest) {
+          s.final = Response::BadRequest();
+          s.done = true;
+          continue;
+        }
+        if (s.mutating) {
+          if (status == RespStatus::kOk || status == RespStatus::kNotFound) {
+            if (!s.acked[pos]) {
+              s.acked[pos] = 1;
+              ++s.acks;
+            }
+          }
+        } else {
+          if (status == RespStatus::kOk ||
+              status == RespStatus::kNotFound) {
+            if (!s.HasUsable(pos)) s.usable.emplace_back(pos, *sub_resp);
+          }
+        }
+      }
+    }
+
+    // Settle quorums.
+    for (SubState& s : states) {
+      if (s.done) continue;
+      if (s.mutating) {
+        if (s.acks >= s.need_acks) {
+          s.final = Response::Ok();
+          s.done = true;
+        }
+      } else if (s.usable.size() >= s.need_replies) {
+        SettleRead(&s);
+      }
+    }
+    if (any_wrong_shard && refresh_ != nullptr) break;  // Refresh first.
+  }
+
+  // Session fingerprints, in submission order so the newest write to a
+  // key is what later quorum reads recognize as freshest.
+  for (const SubState& s : states) {
+    if (s.mutating && s.done && s.final.status == RespStatus::kOk) {
+      NoteWrite(*s.req);
+    }
+  }
+
+  fanout_hist_->Record(fanout_nodes.size());
+  finals->reserve(states.size());
+  for (SubState& s : states) {
+    if (!s.done) {
+      // Quorum not assembled inside the round budget: transient by
+      // construction (every definitive verdict settles a sub), so the
+      // reply layers above already handle — kError — fits exactly.
+      s.final = s.wrong_shard ? Response::WrongShard() : Response::Error();
+    }
+    finals->push_back(std::move(s.final));
+  }
+  return any_wrong_shard;
+}
+
+void ShardedChannel::SettleRead(SubState* sub) {
+  // Preference order = replica position order.
+  std::sort(sub->usable.begin(), sub->usable.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<const std::pair<uint32_t, Response>*> oks;
+  for (const auto& u : sub->usable) {
+    if (u.second.status == RespStatus::kOk) oks.push_back(&u);
+  }
+  if (oks.empty()) {
+    // Unanimous absence (there are no tombstones to repair toward; see
+    // the delete caveat in DESIGN.md §15).
+    sub->final = Response::NotFound();
+    sub->done = true;
+    return;
+  }
+  const Response* winner = nullptr;
+  // Read repair re-puts the winner over the losers, so a wrong winner
+  // does not just return stale bytes — it DESTROYS the fresh copies.
+  // Only verdicts with real freshness evidence may repair; a mere
+  // preference-order tiebreak never does.
+  bool strong_winner = false;
+  // 1. This channel's own quorum-acked write wins outright.
+  ObjectKey key;
+  if (MakeObjectKey(*sub->req, &key)) {
+    auto fp = fingerprints_.find(key);
+    if (fp != fingerprints_.end()) {
+      for (const auto* u : oks) {
+        if (crypto::Sha256Digest(u->second.payload) == fp->second) {
+          winner = &u->second;
+          strong_winner = true;
+          break;
+        }
+      }
+    }
+  }
+  // 2. Data blocks carry a plaintext-peekable write generation in their
+  //    AEAD header: highest generation wins. PeekDataHeader alone
+  //    "parses" any 12 bytes, so the gen is only evidence when EVERY
+  //    candidate structurally parses as a codec data block (header plus
+  //    AEAD tag framing) — one raw blob in the set and the comparison
+  //    would be garbage against garbage, promoting whatever noise
+  //    decodes largest. Mixed or raw payloads fall through to majority.
+  if (winner == nullptr && sub->req->op == OpCode::kGetData) {
+    bool all_codec = true;
+    for (const auto* u : oks) {
+      if (!ObjectCodec::PeekDataHeader(u->second.payload).ok() ||
+          !ObjectCodec::PeekDataTag(u->second.payload).ok()) {
+        all_codec = false;
+        break;
+      }
+    }
+    if (all_codec) {
+      uint64_t best_gen = 0;
+      for (const auto* u : oks) {
+        uint64_t gen = ObjectCodec::PeekDataHeader(u->second.payload)
+                           ->write_gen;
+        if (winner == nullptr || gen > best_gen) {
+          winner = &u->second;
+          best_gen = gen;
+        }
+      }
+      strong_winner = true;
+    }
+  }
+  // 3. Majority payload, ring preference breaking ties — replicas only
+  //    diverge here for objects some replica missed while down, and the
+  //    client-side integrity layer (AEAD, Merkle root, freshness map)
+  //    still rejects anything stale-and-harmful that slips through.
+  //    Only a STRICT majority is freshness evidence (with W > K/2 two
+  //    identical copies cannot both predate an acked write); a tie is
+  //    answered by ring preference but never repaired from.
+  if (winner == nullptr) {
+    size_t best_votes = 0;
+    for (const auto* u : oks) {
+      size_t votes = 0;
+      for (const auto* v : oks) {
+        if (v->second.payload == u->second.payload) ++votes;
+      }
+      if (votes > best_votes) {
+        best_votes = votes;
+        winner = &u->second;
+      }
+    }
+    strong_winner = best_votes * 2 > oks.size();
+  }
+  sub->final = Response::Ok(winner->payload);
+  sub->done = true;
+  if (strong_winner) RepairStale(*sub, *winner);
+}
+
+void ShardedChannel::RepairStale(const SubState& sub,
+                                 const Response& winner) {
+  if (!options_.read_repair) return;
+  for (const auto& [pos, resp] : sub.usable) {
+    if (resp.status == winner.status && resp.payload == winner.payload) {
+      continue;
+    }
+    // This replica answered with a missing or stale copy: re-put the
+    // winning payload (idempotent, client-authenticated bytes — the
+    // same blob any writer would store). Best-effort: a failed repair
+    // just leaves the divergence for the next read to heal.
+    Request put = MakeRepairPut(*sub.req, winner.payload);
+    auto repaired = CallNode(sub.replicas[pos], put);
+    ++read_repairs_;
+    if (!repaired.ok() || repaired->status != RespStatus::kOk) {
+      obs::Log(obs::Severity::kWarn, "client.shard.repair_failed",
+               {{"op", ssp::OpCodeName(sub.req->op)},
+                {"inode", sub.req->inode}});
+    }
+  }
+}
+
+}  // namespace sharoes::core

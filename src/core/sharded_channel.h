@@ -1,0 +1,179 @@
+// ShardedChannel: client-side routing for a multi-daemon SSP cluster.
+//
+// An SspChannel over N daemons instead of one. Every Call is split by
+// the placement ring (ssp/placement.h): sub-ops of a kBatch — and the
+// single op of a plain request — are grouped by owning replica set,
+// issued in parallel over per-node RetryingConnections, and the
+// per-sub-op responses are re-stitched in submission order, so
+// SharoesClient's whole batching machinery (MultiGet, the write-behind
+// stage, readahead) works against a cluster unchanged. Because the
+// fan-out happens inside one Call, the client's one-Call-one-round-trip
+// accounting (`client.rpc.round_trips`) naturally counts a parallel
+// per-shard fan-out as ONE logical round trip — max-per-shard, not the
+// sum — which keeps the PR-5/PR-6 RTT gates meaningful; the fan-out
+// width itself is observable as `client.rpc.shard_fanout`.
+//
+// Replication (DESIGN.md §15):
+//   - A write goes to all K replicas of its key and needs W acks; a
+//     kBadRequest from any replica is definitive; fewer than W acks
+//     after the round budget is a transient kError (the layers above
+//     already treat kError as retry-me).
+//   - A read asks the R preferred replicas, failing over to further
+//     replicas when one is down, and needs R usable replies. Among
+//     them the freshest copy wins: a payload matching this channel's
+//     remembered fingerprint of its own last quorum-acked write, else
+//     the highest AEAD header write_gen for data blocks, else the
+//     majority payload. Detected-stale replicas are healed by
+//     re-putting the winning copy (read repair).
+//   - With R + W > K (enforced by ClusterConfig::Validate) every read
+//     quorum overlaps every acknowledged write quorum, so the freshest
+//     acked copy is always among the R replies.
+//
+// What this gives — and honestly does not give: one client observes
+// its own writes across replica failures (session consistency, enough
+// for the cluster failover suite to demand byte-identical Andrew
+// results through a SIGKILLed replica). Cross-client freshness is NOT
+// decided here; it never was the transport's job. The Sharoes trust
+// model pins integrity client-side — per-block AEAD, Merkle roots, the
+// client freshness map that fails a rolled-back write_gen closed as
+// Corruption — which is exactly why the byte store could be sharded
+// without touching the security argument.
+//
+// Threading: like RetryingConnection, a ShardedChannel is used by one
+// client thread at a time; internally each Call spawns one short-lived
+// thread per contacted node (the per-node connections are touched only
+// by their node's thread within a Call).
+
+#ifndef SHAROES_CORE_SHARDED_CHANNEL_H_
+#define SHAROES_CORE_SHARDED_CHANNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/retrying_connection.h"
+#include "net/tcp_stream.h"
+#include "ssp/placement.h"
+
+namespace sharoes::core {
+
+struct ShardedChannelOptions {
+  /// Per-node transport retry. Deliberately shorter-fused than the
+  /// single-daemon default: a dead replica should fail fast so the
+  /// quorum layer can make progress with the live ones, instead of
+  /// riding one node's full reconnect budget.
+  RetryOptions node_retry = [] {
+    RetryOptions r;
+    r.max_attempts = 3;
+    r.initial_backoff_ms = 5;
+    r.max_backoff_ms = 100;
+    return r;
+  }();
+  /// Stream deadlines for the TCP factories Open() builds.
+  net::TcpTimeouts timeouts{/*connect_ms=*/2000, /*send_ms=*/5000,
+                            /*recv_ms=*/5000};
+  /// Cluster-level retry: how many rounds a Call may take to assemble
+  /// its quorums, re-asking unacked/unanswered replicas with capped
+  /// backoff between rounds (all sub-ops are idempotent, the same
+  /// property RetryingConnection's replay rests on). 1 = no quorum
+  /// retry: a round that misses its quorum fails the sub-op.
+  int quorum_rounds = 6;
+  uint32_t round_backoff_ms = 20;
+  uint32_t max_round_backoff_ms = 500;
+  /// Heal replicas that answered a read with a stale or missing copy by
+  /// re-putting the winning payload.
+  bool read_repair = true;
+  /// Jitter seed for round backoff; 0 draws nondeterministically.
+  uint64_t seed = 0;
+};
+
+class ShardedChannel : public ssp::SspChannel {
+ public:
+  /// Builds the RetryingConnection factory for one cluster node (tests
+  /// route this at RestartableDaemons; Open() at host:port sockets).
+  using NodeFactory = std::function<RetryingConnection::ChannelFactory(
+      const ssp::ClusterNode&)>;
+  /// Re-reads the cluster config after a kWrongShard told us ours is
+  /// stale. May return an error (refresh failed: keep the old ring).
+  using ConfigSource = std::function<Result<ssp::ClusterConfig>()>;
+
+  /// The production path: load `config_path`, connect over TCP, and
+  /// refresh placement by re-reading the same file.
+  static Result<std::unique_ptr<ShardedChannel>> Open(
+      const std::string& config_path, const ShardedChannelOptions& options);
+
+  /// The assembled form (tests, benchmarks). `refresh` may be null: a
+  /// kWrongShard then surfaces in the stitched response instead of
+  /// triggering a reload.
+  static Result<std::unique_ptr<ShardedChannel>> Create(
+      ssp::ClusterConfig config, NodeFactory factory,
+      const ShardedChannelOptions& options, ConfigSource refresh = nullptr);
+
+  Result<ssp::Response> Call(const ssp::Request& req) override;
+
+  const ssp::ClusterConfig& config() const { return ring_.config(); }
+
+  // Observability for tests and verbose tools (not thread-safe, like
+  // the channel itself).
+  uint64_t placement_refreshes() const { return placement_refreshes_; }
+  uint64_t read_failovers() const { return read_failovers_; }
+  uint64_t read_repairs() const { return read_repairs_; }
+  uint64_t quorum_retry_rounds() const { return quorum_retry_rounds_; }
+
+ private:
+  /// Canonical object coordinate for the session-fingerprint map: the
+  /// get/put/delete spellings of one object collapse to one key.
+  struct ObjectKey {
+    uint8_t family;  // The kGet* opcode of the object's family.
+    uint64_t a;      // inode | user | group.
+    uint64_t b;      // selector | user | block | 0.
+    bool operator<(const ObjectKey& o) const {
+      if (family != o.family) return family < o.family;
+      if (a != o.a) return a < o.a;
+      return b < o.b;
+    }
+  };
+  struct SubState;
+
+  ShardedChannel(ssp::PlacementRing ring, NodeFactory factory,
+                 const ShardedChannelOptions& options, ConfigSource refresh);
+
+  /// One full quorum execution of the sub-op list; returns true if any
+  /// replica answered kWrongShard (the caller refreshes and re-runs).
+  bool ExecuteSubOps(const std::vector<const ssp::Request*>& subs,
+                     std::vector<ssp::Response>* finals);
+  void SettleRead(SubState* sub);
+  void RepairStale(const SubState& sub, const ssp::Response& winner);
+  RetryingConnection* NodeConn(uint32_t node_index);
+  Result<ssp::Response> CallNode(uint32_t node_index,
+                                 const ssp::Request& req);
+  void RebuildRing(ssp::ClusterConfig config);
+  void BackoffRound(int round);
+
+  static bool MakeObjectKey(const ssp::Request& req, ObjectKey* key);
+  void NoteWrite(const ssp::Request& req);
+
+  ssp::PlacementRing ring_;
+  NodeFactory factory_;
+  ShardedChannelOptions options_;
+  ConfigSource refresh_;
+  Rng rng_;
+  /// Per-node connections, keyed by node id so a refresh that reorders
+  /// the config keeps live sockets.
+  std::map<uint32_t, std::unique_ptr<RetryingConnection>> conns_;
+  /// SHA-256 of the payload of every object this channel quorum-acked a
+  /// put for (erased on delete): the session memory quorum reads use to
+  /// recognize their own freshest copy regardless of blob family.
+  std::map<ObjectKey, Bytes> fingerprints_;
+  obs::Histogram* fanout_hist_;
+  uint64_t placement_refreshes_ = 0;
+  uint64_t read_failovers_ = 0;
+  uint64_t read_repairs_ = 0;
+  uint64_t quorum_retry_rounds_ = 0;
+};
+
+}  // namespace sharoes::core
+
+#endif  // SHAROES_CORE_SHARDED_CHANNEL_H_

@@ -126,6 +126,7 @@ const char* RespStatusName(RespStatus status) {
     case RespStatus::kNotFound: return "kNotFound";
     case RespStatus::kBadRequest: return "kBadRequest";
     case RespStatus::kError: return "kError";
+    case RespStatus::kWrongShard: return "kWrongShard";
   }
   return "kUnknown";
 }
@@ -375,7 +376,7 @@ Result<Response> Response::ReadFrom(BinaryReader* r, int depth) {
   }
   Response resp;
   uint8_t status = r->GetU8();
-  if (r->ok() && status > static_cast<uint8_t>(RespStatus::kError)) {
+  if (r->ok() && status > static_cast<uint8_t>(RespStatus::kWrongShard)) {
     return Status::Corruption("unknown response status");
   }
   resp.status = static_cast<RespStatus>(status);

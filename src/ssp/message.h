@@ -144,14 +144,21 @@ enum class RespStatus : uint8_t {
   kOk = 0,
   kNotFound = 1,
   kBadRequest = 2,
-  kError = 3,  // Transient server-side failure (fault injection, overload).
-               // Unlike kBadRequest the request was well-formed and was
-               // *not* executed; retrying it is the expected reaction.
+  kError = 3,       // Transient server-side failure (fault injection,
+                    // overload). Unlike kBadRequest the request was
+                    // well-formed and was *not* executed; retrying it is
+                    // the expected reaction.
+  kWrongShard = 4,  // This daemon is not a placement replica for the
+                    // op's routing key (ssp/placement.h): the client's
+                    // cluster config is stale. Not executed. The sharded
+                    // channel refreshes placement and retries once;
+                    // anything else treats it as a definitive routing
+                    // error, never a blind-retry target.
 };
 
 /// One past the largest valid RespStatus (array sizing, metric labels).
 inline constexpr size_t kNumRespStatuses =
-    static_cast<size_t>(RespStatus::kError) + 1;
+    static_cast<size_t>(RespStatus::kWrongShard) + 1;
 
 /// Stable metric-label name for a response status ("kNotFound", ...).
 const char* RespStatusName(RespStatus status);
@@ -174,6 +181,9 @@ struct Response {
     return Response{RespStatus::kBadRequest, {}, {}};
   }
   static Response Error() { return Response{RespStatus::kError, {}, {}}; }
+  static Response WrongShard() {
+    return Response{RespStatus::kWrongShard, {}, {}};
+  }
 
  private:
   void AppendTo(BinaryWriter* w) const;

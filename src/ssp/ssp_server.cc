@@ -8,6 +8,7 @@
 #include "obs/log.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "ssp/placement.h"
 #include "ssp/wal.h"
 
 namespace sharoes::ssp {
@@ -29,6 +30,7 @@ struct ServingMetrics {
   obs::Counter* bytes_out;
   obs::Counter* batch_subops;
   obs::Counter* bad_frames;
+  obs::Counter* wrong_shard;
 
   ServingMetrics() {
     auto& reg = obs::MetricsRegistry::Global();
@@ -45,6 +47,7 @@ struct ServingMetrics {
     bytes_out = reg.counter("ssp.bytes_out");
     batch_subops = reg.counter("ssp.batch_subops");
     bad_frames = reg.counter("ssp.bad_frames");
+    wrong_shard = reg.counter("ssp.wrong_shard");
   }
 };
 
@@ -223,6 +226,25 @@ Response SspServer::Handle(const Request& req) {
 }
 
 Response SspServer::HandleOne(const Request& req, uint64_t* max_wal_seq) {
+  // Shard-ownership gate (placement.h): a store-scoped op for a routing
+  // key this daemon does not replicate is refused before it can touch
+  // the WAL or the store — the reply tells the client its cluster
+  // config is stale. Admin ops (kGetStats/kGetTraces) are per-daemon by
+  // design and always pass. Checked here, not in Handle, so batch
+  // sub-ops get the same gate individually: one misrouted sub-op must
+  // not poison its siblings.
+  if (const PlacementRing* ring =
+          placement_.load(std::memory_order_acquire)) {
+    if (IsBatchableOp(req.op) &&
+        !ring->Owns(placement_node_, RoutingKeyOf(req))) {
+      Metrics().wrong_shard->Increment();
+      obs::Log(obs::Severity::kWarn, "ssp.wrong_shard",
+               {{"op", OpCodeName(req.op)},
+                {"inode", req.inode},
+                {"trace", obs::TraceIdHex(obs::CurrentTrace().trace_id)}});
+      return Response::WrongShard();
+    }
+  }
   // Mutations funnel through the same ApplyWalOp the recovery path
   // replays, so a recovered store is byte-identical by construction.
   // Log-before-apply: an op that reaches the store is always in the log

@@ -20,6 +20,7 @@
 
 namespace sharoes::ssp {
 
+class PlacementRing;
 class Wal;
 
 /// Server side: request execution against the store.
@@ -63,6 +64,18 @@ class SspServer {
   /// request without further synchronization against in-flight ops.
   void set_wal(Wal* wal) { wal_.store(wal, std::memory_order_release); }
 
+  /// Arms the shard-ownership check (ssp/placement.h): every store-scoped
+  /// op — top-level or batch sub-op — whose routing key this daemon does
+  /// not replicate is answered kWrongShard without executing or logging
+  /// it, so a client holding a stale cluster config can never scatter
+  /// writes onto non-owners. nullptr disarms (the single-daemon default:
+  /// no config, own everything). `ring` must outlive the server; install
+  /// before serving begins, like set_wal.
+  void set_placement(const PlacementRing* ring, uint32_t node_id) {
+    placement_node_ = node_id;
+    placement_.store(ring, std::memory_order_release);
+  }
+
  private:
   /// Executes one non-batch op. When the op mutates under a WAL,
   /// `*max_wal_seq` is raised to the sequence its log append was
@@ -76,6 +89,8 @@ class SspServer {
   ObjectStore store_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
   std::atomic<Wal*> wal_{nullptr};
+  std::atomic<const PlacementRing*> placement_{nullptr};
+  uint32_t placement_node_ = 0;
   // Declared after store_ so the gauges (which read store_) unregister
   // before the store dies.
   std::vector<obs::MetricsRegistry::GaugeHandle> store_gauges_;

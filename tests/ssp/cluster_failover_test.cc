@@ -1,0 +1,224 @@
+// The cluster proof harness (tentpole of the multi-daemon SSP PR):
+// a 3-daemon, K=3/W=2/R=2 WAL-backed cluster runs the Andrew workload
+// while one replica is SIGKILLed and recovered under it, and the
+// client-visible results must be byte-identical to a clean run — the
+// quorum machinery, not luck, carries the session through. A scrub
+// pass (R = K) then proves read repair converges the survivors' and
+// the flapped replica's stores, and the negative leg proves the proof:
+// the same kill against an unreplicated cluster with retries off fails
+// deterministically.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/sharded_channel.h"
+#include "ssp/placement.h"
+#include "testing/andrew_client.h"
+#include "testing/cluster.h"
+#include "testing/stress.h"
+
+namespace sharoes::ssp {
+namespace {
+
+using core::ShardedChannelOptions;
+using testing::ReplicaFlapper;
+using testing::TestCluster;
+
+TestCluster::Options ReplicatedWal(const std::string& tag) {
+  TestCluster::Options opts;  // 3 nodes, K=3, W=2, R=2 by default.
+  opts.tag = tag;
+  return opts;
+}
+
+Bytes RunCleanBaseline() {
+  TestCluster cluster(ReplicatedWal("failover_baseline"));
+  cluster.Start();
+  auto ent = testing::ProvisionOverCluster(&cluster);
+  auto engine = testing::MakeEngine(&ent->clock, 7);
+  auto channel = cluster.MakeChannel();
+  auto client = testing::MakeClient(ent.get(), channel.get(), engine.get());
+  EXPECT_TRUE(client->Mount().ok());
+  auto transcript = testing::RunAndrewSequence(client.get());
+  EXPECT_TRUE(transcript.ok()) << transcript.status();
+  return transcript.ok() ? *transcript : Bytes{};
+}
+
+TEST(ClusterFailover, AndrewIsByteIdenticalThroughReplicaSigkill) {
+  Bytes baseline = RunCleanBaseline();
+  ASSERT_FALSE(baseline.empty());
+
+  TestCluster cluster(ReplicatedWal("failover_chaos"));
+  cluster.Start();
+  auto ent = testing::ProvisionOverCluster(&cluster);
+  auto engine = testing::MakeEngine(&ent->clock, 7);
+  auto channel = cluster.MakeChannel();
+  auto client = testing::MakeClient(ent.get(), channel.get(), engine.get());
+  ASSERT_TRUE(client->Mount().ok());
+
+  Bytes transcript;
+  {
+    // SIGKILL node 1 immediately (the Andrew run starts against a
+    // 2/3 cluster), recover it from its WAL after 60ms, serve 50ms,
+    // kill again — until the workload is done AND at least two full
+    // kill/recover cycles genuinely interleaved with live traffic.
+    ReplicaFlapper flapper(cluster.node(1), /*down_ms=*/60, /*up_ms=*/50);
+    auto result = testing::RunAndrewSequence(client.get());
+    ASSERT_TRUE(result.ok()) << result.status();
+    transcript = std::move(*result);
+    for (int round = 0; flapper.flaps() < 2 && round < 2000; ++round) {
+      client->DropCaches();
+      for (int i = 0; i < testing::kSourceFiles; ++i) {
+        auto content =
+            client->Read("/proj/src/f" + std::to_string(i) + ".c");
+        ASSERT_TRUE(content.ok()) << content.status();
+        ASSERT_EQ(*content, testing::SourceContent(i));
+      }
+    }
+    EXPECT_GE(flapper.flaps(), 2);
+  }  // Flapper stops; node 1 is up (recovered from its WAL).
+
+  // The headline: a client cannot tell this cluster lost a replica.
+  EXPECT_EQ(transcript, baseline);
+
+  // Anti-entropy scrub: a fresh session reading with R = K quorum-reads
+  // every object a full traversal touches, and read repair re-puts the
+  // winning copy to whichever replica missed it while dead. Afterwards
+  // all three stores must agree byte-for-byte on every file's data.
+  ClusterConfig scrub_config = cluster.config();
+  scrub_config.read_quorum = scrub_config.replication;
+  auto scrub_channel = cluster.MakeChannelWithConfig(scrub_config);
+  ASSERT_NE(scrub_channel, nullptr);
+  auto scrub_engine = testing::MakeEngine(&ent->clock, 11);
+  auto scrub_client =
+      testing::MakeClient(ent.get(), scrub_channel.get(),
+                          scrub_engine.get());
+  ASSERT_TRUE(scrub_client->Mount().ok());
+  std::vector<std::pair<std::string, fs::InodeNum>> files;
+  for (int i = 0; i < testing::kSourceFiles; ++i) {
+    for (std::string path : {"/proj/src/f" + std::to_string(i) + ".c",
+                             "/proj/obj/f" + std::to_string(i) + ".o"}) {
+      auto content = scrub_client->Read(path);
+      ASSERT_TRUE(content.ok()) << path << ": " << content.status();
+      auto attrs = scrub_client->Getattr(path);
+      ASSERT_TRUE(attrs.ok());
+      files.emplace_back(path, attrs->inode);
+    }
+  }
+  for (const auto& [path, inode] : files) {
+    for (uint32_t block = 0; block < 8; ++block) {
+      auto copy0 = cluster.node(0)->server()->store().GetData(inode, block);
+      auto copy1 = cluster.node(1)->server()->store().GetData(inode, block);
+      auto copy2 = cluster.node(2)->server()->store().GetData(inode, block);
+      ASSERT_EQ(copy0.has_value(), copy1.has_value())
+          << path << " block " << block;
+      ASSERT_EQ(copy0.has_value(), copy2.has_value())
+          << path << " block " << block;
+      if (copy0.has_value()) {
+        EXPECT_EQ(*copy0, *copy1) << path << " block " << block;
+        EXPECT_EQ(*copy0, *copy2) << path << " block " << block;
+      }
+    }
+  }
+}
+
+TEST(ClusterFailover, QuorumReadRepairsAReplicaThatMissedAWrite) {
+  // Deterministic divergence, no timing: kill node 2, write while it is
+  // down (W=2 acks from the survivors), bring it back empty (no WAL),
+  // and read the key whose PREFERRED replica is the amnesiac — the R=2
+  // quorum then provably contains one stale and one fresh reply.
+  TestCluster::Options opts = ReplicatedWal("failover_repair");
+  opts.wal = false;  // A restarted node comes back with nothing.
+  TestCluster cluster(opts);
+  cluster.Start();
+
+  uint64_t inode = 0;
+  for (uint64_t candidate = 1; candidate < 1000; ++candidate) {
+    if (cluster.ring().PrimaryIndexFor(candidate) == 2) {
+      inode = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(inode, 0u) << "no key prefers node 2 below 1000";
+  Bytes v2{0xCA, 0xFE, 0xBA, 0xBE, 0x02};
+
+  auto writer = cluster.MakeChannel();
+  ASSERT_NE(writer, nullptr);
+  cluster.node(2)->KillHard();
+  auto put = writer->Call(Request::PutData(inode, 0, v2));
+  ASSERT_TRUE(put.ok()) << put.status();
+  ASSERT_EQ(put->status, RespStatus::kOk) << "W=2 must ack without node 2";
+  cluster.node(2)->Restart();
+  ASSERT_FALSE(
+      cluster.node(2)->server()->store().GetData(inode, 0).has_value())
+      << "node 2 must start amnesiac for the divergence to be real";
+
+  // A FRESH channel (no session fingerprint of the write) must still
+  // return the quorum-fresh copy: the preferred replica answers
+  // kNotFound, the overlap replica answers v2, and the winner repairs
+  // the amnesiac inline.
+  auto reader = cluster.MakeChannel();
+  ASSERT_NE(reader, nullptr);
+  auto got = reader->Call(Request::GetData(inode, 0));
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->status, RespStatus::kOk);
+  EXPECT_EQ(got->payload, v2);
+  EXPECT_GE(reader->read_repairs(), 1u);
+  auto healed = cluster.node(2)->server()->store().GetData(inode, 0);
+  ASSERT_TRUE(healed.has_value()) << "read repair did not re-put";
+  EXPECT_EQ(*healed, v2);
+
+  // And the writing channel recognizes its own write by fingerprint.
+  auto own = writer->Call(Request::GetData(inode, 0));
+  ASSERT_TRUE(own.ok());
+  ASSERT_EQ(own->status, RespStatus::kOk);
+  EXPECT_EQ(own->payload, v2);
+}
+
+TEST(ClusterFailover, WithoutReplicationAndRetriesTheSameKillIsFatal) {
+  // The control experiment: replication off (K=1), transport retry and
+  // quorum rounds cut to one attempt. Kill the daemon that owns the
+  // file and the read MUST fail — if it ever passes, the positive legs
+  // above are passing for the wrong reason (some hidden retry or cache
+  // is doing the work instead of the quorum machinery).
+  TestCluster::Options opts;
+  opts.replication = 1;
+  opts.write_quorum = 1;
+  opts.read_quorum = 1;
+  opts.wal = false;
+  opts.tag = "failover_negative";
+  TestCluster cluster(opts);
+  cluster.Start();
+  auto ent = testing::ProvisionOverCluster(&cluster);
+  auto engine = testing::MakeEngine(&ent->clock, 7);
+
+  ShardedChannelOptions fragile;
+  fragile.node_retry.max_attempts = 1;
+  fragile.quorum_rounds = 1;
+  auto channel = cluster.MakeChannel(fragile);
+  ASSERT_NE(channel, nullptr);
+  auto client = testing::MakeClient(ent.get(), channel.get(), engine.get());
+  ASSERT_TRUE(client->Mount().ok());
+
+  core::CreateOptions copts;
+  copts.mode = fs::Mode::FromOctal(0644);
+  ASSERT_TRUE(client->Create("/doomed", copts).ok());
+  Bytes content{1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(client->WriteFile("/doomed", content).ok());
+  auto attrs = client->Getattr("/doomed");
+  ASSERT_TRUE(attrs.ok());
+
+  uint32_t owner = cluster.ring().PrimaryIndexFor(attrs->inode);
+  cluster.node(static_cast<int>(owner))->KillHard();
+  client->DropCaches();
+  auto read = client->Read("/doomed");
+  EXPECT_FALSE(read.ok())
+      << "unreplicated read of a dead shard succeeded — the failover "
+         "suite would be proving nothing";
+}
+
+}  // namespace
+}  // namespace sharoes::ssp

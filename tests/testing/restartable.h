@@ -53,6 +53,18 @@ class RestartableDaemon {
 
   void set_injector(ssp::FaultInjector* injector) { injector_ = injector; }
 
+  /// Arm shard ownership (ssp/placement.h): every (re)started server
+  /// refuses ops the ring does not place on `node_id` with kWrongShard,
+  /// like a real `sharoes_sspd --cluster F --node-id N`. Survives
+  /// Restart()/RestartHard() — StartLocked re-creates the SspServer, so
+  /// the ring is re-applied there, same as the fault injector.
+  void set_placement(const ssp::PlacementRing* ring, uint32_t node_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    placement_ = ring;
+    placement_node_ = node_id;
+    if (server_ != nullptr) server_->set_placement(ring, node_id);
+  }
+
   void Start() {
     std::lock_guard<std::mutex> lock(mu_);
     StartLocked();
@@ -138,6 +150,7 @@ class RestartableDaemon {
     ASSERT_NE(daemon_, nullptr) << "could not rebind port " << port_;
     port_ = daemon_->port();
     if (injector_ != nullptr) daemon_->set_fault_injector(injector_);
+    if (placement_ != nullptr) server_->set_placement(placement_, placement_node_);
   }
 
   void KillLocked(bool graceful) {
@@ -165,6 +178,8 @@ class RestartableDaemon {
   ssp::WalRecoveryInfo last_recovery_;
   uint16_t port_ = 0;  // 0 until the first Start picks an ephemeral port.
   ssp::FaultInjector* injector_ = nullptr;
+  const ssp::PlacementRing* placement_ = nullptr;
+  uint32_t placement_node_ = 0;
 };
 
 }  // namespace sharoes::testing

@@ -9,12 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <barrier>
+#include <chrono>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "testing/restartable.h"
 #include "util/status.h"
 
 namespace sharoes::testing {
@@ -53,6 +56,55 @@ inline void StressThreads(int threads,
                           const std::function<Status(int)>& body) {
   ExpectAllOk(RunThreads(threads, body));
 }
+
+/// Background chaos for cluster suites: SIGKILLs one replica, lets it
+/// sit dead for `down_ms`, recovers it from its WAL, lets it serve for
+/// `up_ms`, repeat — until Stop(). The workload threads meanwhile must
+/// keep succeeding through quorum failover. Stop() always leaves the
+/// daemon running (a final Restart if the flap left it down), so the
+/// test can scrub the store afterwards.
+class ReplicaFlapper {
+ public:
+  ReplicaFlapper(RestartableDaemon* daemon, int down_ms, int up_ms)
+      : daemon_(daemon), down_ms_(down_ms), up_ms_(up_ms) {
+    thread_ = std::thread([this] { Run(); });
+  }
+  ~ReplicaFlapper() { Stop(); }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    stop_.store(true);
+    thread_.join();
+    if (!daemon_->running()) daemon_->Restart();
+  }
+
+  int flaps() const { return flaps_.load(); }
+
+ private:
+  void Run() {
+    while (!stop_.load()) {
+      daemon_->KillHard();
+      Nap(down_ms_);
+      if (stop_.load()) break;
+      daemon_->Restart();
+      flaps_.fetch_add(1);
+      Nap(up_ms_);
+    }
+  }
+  void Nap(int ms) {
+    // Sliced so Stop() is prompt even with long phases.
+    for (int slept = 0; slept < ms && !stop_.load(); slept += 5) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  RestartableDaemon* daemon_;
+  int down_ms_;
+  int up_ms_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> flaps_{0};
+  std::thread thread_;
+};
 
 }  // namespace sharoes::testing
 

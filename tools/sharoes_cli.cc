@@ -29,6 +29,12 @@
 // Flags: --host (default 127.0.0.1; names resolve via DNS), --port
 //        (7070), --state (required), --user (name registered at
 //        provision time).
+//        --cluster FILE  talk to a replicated daemon fleet instead of
+//                        one --host/--port daemon: FILE is the
+//                        placement config (ssp/placement.h text format)
+//                        that every sharoes_sspd was started with; ops
+//                        are sharded by consistent hashing and written
+//                        to / read from quorums (DESIGN.md §15).
 // Transport fault tolerance (every SSP op is an idempotent put/get/
 // delete, so blanket retry is safe — see core/retrying_connection.h):
 //        --retries N            attempts per op incl. the first (8;
@@ -56,6 +62,7 @@
 #include "core/client.h"
 #include "core/migration.h"
 #include "core/retrying_connection.h"
+#include "core/sharded_channel.h"
 #include "ssp/message.h"
 #include "ssp/tcp_service.h"
 
@@ -66,6 +73,9 @@ namespace {
 struct Args {
   std::string host = "127.0.0.1";
   uint16_t port = 7070;
+  /// Cluster config file (ssp/placement.h): talk to a sharded,
+  /// replicated daemon fleet instead of one --host/--port daemon.
+  std::string cluster;
   std::string state;
   std::string user;
   core::RetryOptions retry;
@@ -103,6 +113,8 @@ Args ParseArgs(int argc, char** argv) {
     };
     if (a == "--host") {
       args.host = next();
+    } else if (a == "--cluster") {
+      args.cluster = next();
     } else if (a == "--port") {
       args.port = static_cast<uint16_t>(std::atoi(next().c_str()));
     } else if (a == "--state") {
@@ -180,6 +192,21 @@ std::unique_ptr<core::RetryingConnection> MakeConnection(
   return std::make_unique<core::RetryingConnection>(std::move(factory), retry);
 }
 
+/// The channel every command talks through: with --cluster, a sharded
+/// quorum channel over the configured daemon fleet; otherwise the
+/// single-daemon retrying connection.
+std::unique_ptr<ssp::SspChannel> MakeChannel(const Args& args) {
+  if (args.cluster.empty()) {
+    return MakeConnection(args.host, args.port, args.timeouts, args.retry);
+  }
+  core::ShardedChannelOptions sopts;
+  sopts.node_retry = args.retry;
+  sopts.timeouts = args.timeouts;
+  auto channel = core::ShardedChannel::Open(args.cluster, sopts);
+  if (!channel.ok()) Die("cluster config: " + channel.status().ToString());
+  return std::move(*channel);
+}
+
 void Provision(const Args& args) {
   SimClock clock;
   crypto::CryptoEngineOptions eng_opts;
@@ -189,16 +216,18 @@ void Provision(const Args& args) {
   popts.user_key_bits = 1024;
   core::Provisioner prov(&identity, /*server=*/nullptr, &engine, popts);
   // Probe once without retry for a crisp diagnosis, then provision
-  // through the fault-tolerant channel.
-  auto probe = ssp::TcpSspChannel::Connect(args.host, args.port,
-                                           args.timeouts);
-  if (!probe.ok()) {
-    Die("cannot reach sharoes_sspd at " + args.host + ":" +
-        std::to_string(args.port) + " (" + probe.status().ToString() +
-        ") — start it first");
+  // through the fault-tolerant channel. (Cluster mode skips the probe:
+  // quorum provisioning tolerates a minority of daemons being down.)
+  if (args.cluster.empty()) {
+    auto probe = ssp::TcpSspChannel::Connect(args.host, args.port,
+                                             args.timeouts);
+    if (!probe.ok()) {
+      Die("cannot reach sharoes_sspd at " + args.host + ":" +
+          std::to_string(args.port) + " (" + probe.status().ToString() +
+          ") — start it first");
+    }
   }
-  auto channel =
-      MakeConnection(args.host, args.port, args.timeouts, args.retry);
+  auto channel = MakeChannel(args);
   prov.set_remote_channel(channel.get());
 
   auto alice = prov.CreateUser(kAliceUid, "alice");
@@ -232,8 +261,7 @@ void Provision(const Args& args) {
 /// `sharoes_cli stats`: fetch and print the daemon's metrics snapshot
 /// (optionally restricted to names starting with --prefix).
 int Stats(const Args& args) {
-  auto channel =
-      MakeConnection(args.host, args.port, args.timeouts, args.retry);
+  auto channel = MakeChannel(args);
   auto resp = channel->Call(ssp::Request::GetStats(args.stats_prefix));
   CheckOk(resp.status());
   if (!resp->ok()) Die("SSP rejected kGetStats");
@@ -244,8 +272,7 @@ int Stats(const Args& args) {
 
 /// `sharoes_cli slow`: fetch and print captured slow-request timelines.
 int Slow(const Args& args) {
-  auto channel =
-      MakeConnection(args.host, args.port, args.timeouts, args.retry);
+  auto channel = MakeChannel(args);
   auto resp = channel->Call(ssp::Request::GetTraces());
   CheckOk(resp.status());
   if (!resp->ok()) Die("SSP rejected kGetTraces");
@@ -287,9 +314,14 @@ int RunCommand(const Args& args) {
     copts.readahead_blocks = args.readahead_blocks;
   }
   copts.write_batch_ops = args.write_batch;
-  auto channel = MakeConnection(args.host, args.port,
-                                copts.transport_timeouts,
-                                copts.transport_retry);
+  // Cluster mode exercises the library path: the client builds and owns
+  // its sharded channel from ClientOptions::cluster at Mount().
+  copts.cluster = args.cluster;
+  std::unique_ptr<ssp::SspChannel> channel;
+  if (args.cluster.empty()) {
+    channel = MakeConnection(args.host, args.port, copts.transport_timeouts,
+                             copts.transport_retry);
+  }
   core::SharoesClient client(uid, *priv, &*identity, channel.get(), &engine,
                              copts);
   CheckOk(client.Mount());

@@ -2,9 +2,20 @@
 // (paper §IV, component 2). Serves the client <-> SSP protocol over TCP.
 //
 // Usage:
-//   sharoes_sspd [port] [--wal DIR [wal flags] | --store FILE] [fault flags]
+//   sharoes_sspd [port] [--cluster FILE --node-id N]
+//                [--wal DIR [wal flags] | --store FILE] [fault flags]
 //
 // Default port 7070 (0 picks an ephemeral port).
+//
+// --cluster FILE --node-id N make the daemon one shard of a replicated
+// fleet (DESIGN.md §15): FILE is a placement config (ssp/placement.h
+// text format, the same file every daemon and client loads) and N is
+// this daemon's node id in it. The daemon then refuses ops whose
+// routing key the ring does not place on node N with kWrongShard —
+// before touching the WAL — so a client with a stale ring can never
+// scribble on the wrong shard. Without an explicit positional port, the
+// port of node N's config entry is used, so a fleet can be started as
+// `sharoes_sspd --cluster c.conf --node-id 0` / `... --node-id 1` / ….
 //
 // --wal DIR makes the store durable: every mutating op is appended to a
 // write-ahead log in DIR before it is acknowledged, and startup recovers
@@ -56,6 +67,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "ssp/fault_injection.h"
+#include "ssp/placement.h"
 #include "ssp/tcp_service.h"
 #include "ssp/wal.h"
 
@@ -66,8 +78,11 @@ void HandleSignal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   uint16_t port = 7070;
+  bool explicit_port = false;
   std::string store_path;
   std::string wal_dir;
+  std::string cluster_path;
+  int node_id = -1;
   sharoes::ssp::WalOptions wal_opts;
   int stats_interval_s = 0;
   sharoes::ssp::FaultPolicy::Options fault_opts;
@@ -76,6 +91,10 @@ int main(int argc, char** argv) {
     auto pct = [&]() { return std::atof(argv[++i]) / 100.0; };
     if (arg == "--store" && i + 1 < argc) {
       store_path = argv[++i];
+    } else if (arg == "--cluster" && i + 1 < argc) {
+      cluster_path = argv[++i];
+    } else if (arg == "--node-id" && i + 1 < argc) {
+      node_id = std::atoi(argv[++i]);
     } else if (arg == "--wal" && i + 1 < argc) {
       wal_dir = argv[++i];
     } else if (arg == "--wal-sync" && i + 1 < argc) {
@@ -110,7 +129,41 @@ int main(int argc, char** argv) {
       fault_opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else {
       port = static_cast<uint16_t>(std::atoi(arg.c_str()));
+      explicit_port = true;
     }
+  }
+
+  if (cluster_path.empty() != (node_id < 0)) {
+    std::fprintf(stderr,
+                 "sharoes_sspd: --cluster and --node-id go together\n");
+    return 1;
+  }
+  std::unique_ptr<sharoes::ssp::PlacementRing> ring;
+  if (!cluster_path.empty()) {
+    auto config = sharoes::ssp::ClusterConfig::LoadFromFile(cluster_path);
+    if (!config.ok()) {
+      std::fprintf(stderr, "sharoes_sspd: cannot load %s: %s\n",
+                   cluster_path.c_str(),
+                   config.status().ToString().c_str());
+      return 1;
+    }
+    const sharoes::ssp::ClusterNode* self = nullptr;
+    for (const auto& node : config->nodes) {
+      if (node.id == static_cast<uint32_t>(node_id)) self = &node;
+    }
+    if (self == nullptr) {
+      std::fprintf(stderr, "sharoes_sspd: node id %d is not in %s\n",
+                   node_id, cluster_path.c_str());
+      return 1;
+    }
+    if (!explicit_port) port = self->port;
+    auto built = sharoes::ssp::PlacementRing::Build(std::move(*config));
+    if (!built.ok()) {
+      std::fprintf(stderr, "sharoes_sspd: bad cluster config: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    ring = std::make_unique<sharoes::ssp::PlacementRing>(std::move(*built));
   }
 
   if (!wal_dir.empty() && !store_path.empty()) {
@@ -121,6 +174,11 @@ int main(int argc, char** argv) {
   }
 
   sharoes::ssp::SspServer server;
+  if (ring != nullptr) {
+    server.set_placement(ring.get(), static_cast<uint32_t>(node_id));
+    std::printf("sharoes_sspd: shard node %d of a %zu-node cluster (%s)\n",
+                node_id, ring->config().nodes.size(), cluster_path.c_str());
+  }
   std::unique_ptr<sharoes::ssp::Wal> wal;
   if (!wal_dir.empty()) {
     auto opened =
