@@ -36,7 +36,12 @@
 // --replicas K adds K-way replication with majority quorums (W = R =
 // K/2+1). Cluster runs additionally report per-shard latency
 // percentiles and the store-object imbalance ratio (max/min objects
-// across daemons) under a "cluster" key in the JSON.
+// across daemons) under a "cluster" key in the JSON. After the timed
+// run a cluster harness also executes a delete probe (quorum
+// put+delete over a raw-key range) followed by one anti-entropy scrub
+// pass per node, and reports the tombstone count the deletes left,
+// what the scrubbers repaired and GC'd, and the post-scrub tombstone
+// count (must be 0 on a healthy cluster) under the same "cluster" key.
 // --json writes BENCH_load.json for the CI SLO gate.
 
 #include <algorithm>
@@ -64,6 +69,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "ssp/placement.h"
+#include "ssp/scrub.h"
 #include "ssp/tcp_service.h"
 #include "util/sim_clock.h"
 
@@ -157,6 +163,9 @@ Result<std::unique_ptr<ClusterHarness>> StartCluster(int nodes,
   h->config.read_quorum = k / 2 + 1;   // for every K.
   for (int i = 0; i < nodes; ++i) {
     h->servers.push_back(std::make_unique<ssp::SspServer>());
+    // Cluster mode always runs with delete tombstones, exactly like
+    // `sharoes_sspd --cluster` (quorum deletes need them to stick).
+    h->servers.back()->store().set_tombstones_enabled(true);
     auto daemon = ssp::TcpSspDaemon::Start(h->servers.back().get(), 0);
     if (!daemon.ok()) return daemon.status();
     h->config.nodes.push_back(ssp::ClusterNode{
@@ -608,7 +617,66 @@ int Run(const Options& opt) {
   scraper.join();
   obs::SetSlowRequestThresholdUs(prev_threshold);
 
-  // 4. Tally, check attribution, report.
+  // 4. Cluster runs: delete probe + anti-entropy pass. The timed
+  // workload never deletes, so this exercises the tombstone path on
+  // its own raw-key range: quorum put+delete leaves one tombstone per
+  // replica, then one scrub pass per node (what each daemon's
+  // `--scrub-interval-s` thread does) must GC them all — every replica
+  // is healthy, so a full-quorum pass sees tombstone-or-missing
+  // everywhere.
+  constexpr uint64_t kDeleteProbeBase = 1ull << 30;  // Clear of real inodes.
+  constexpr uint64_t kDeleteProbeKeys = 16;
+  uint64_t probe_errors = 0;
+  uint64_t tombstones_after_deletes = 0, tombstones_after_scrub = 0;
+  uint64_t scrub_repaired = 0, scrub_tombstones_gc = 0;
+  uint64_t scrub_unreachable = 0;
+  if (cluster != nullptr) {
+    auto probe = MakeShardedChannel(*cluster, 4242);
+    if (probe == nullptr) {
+      probe_errors += kDeleteProbeKeys;
+    } else {
+      for (uint64_t k = 0; k < kDeleteProbeKeys; ++k) {
+        const uint64_t inode = kDeleteProbeBase + k;
+        auto put = probe->Call(ssp::Request::PutData(
+            inode, 0, PatternBytes(64, static_cast<uint32_t>(k))));
+        if (!put.ok() || put->status != ssp::RespStatus::kOk) {
+          probe_errors += 1;
+          continue;
+        }
+        auto del = probe->Call(ssp::Request::DeleteData(inode, 0));
+        if (!del.ok() || del->status != ssp::RespStatus::kOk) {
+          probe_errors += 1;
+        }
+      }
+    }
+    for (auto& s : cluster->servers) {
+      tombstones_after_deletes += s->store().Stats().tombstone_count;
+    }
+    // Two rounds: if a quorum delete left one replica behind, round one
+    // repairs the straggler (blocking that node's GC), round two
+    // collects the repaired tombstone. Totals stay deterministic — each
+    // tombstone is GC'd exactly once.
+    for (int round = 0; round < 2; ++round) {
+      for (size_t k = 0; k < cluster->servers.size(); ++k) {
+        ssp::Scrubber scrubber(
+            cluster->servers[k].get(), cluster->ring.get(),
+            static_cast<uint32_t>(k),
+            [](const ssp::ClusterNode& node)
+                -> Result<std::unique_ptr<ssp::SspChannel>> {
+              return TcpFactory(node.port)();
+            });
+        ssp::ScrubPass pass = scrubber.RunOnce();
+        scrub_repaired += pass.repaired;
+        scrub_tombstones_gc += pass.tombstones_gc;
+        scrub_unreachable += pass.unreachable;
+      }
+    }
+    for (auto& s : cluster->servers) {
+      tombstones_after_scrub += s->store().Stats().tombstone_count;
+    }
+  }
+
+  // 5. Tally, check attribution, report.
   const double wall_s =
       std::chrono::duration<double>(wall_end - start_time).count();
   uint64_t reads = 0, writes = 0, errors = 0;
@@ -617,6 +685,7 @@ int Run(const Options& opt) {
     writes += r.writes;
     errors += r.errors;
   }
+  errors += probe_errors;  // A failed quorum delete is a run failure too.
   const double achieved = (reads + writes) / wall_s;
   auto read_latency = metrics.read_latency->Snapshot();
   auto read_service = metrics.read_service->Snapshot();
@@ -679,6 +748,15 @@ int Run(const Options& opt) {
           static_cast<unsigned long long>(shard_snaps[k].Percentile(0.50)),
           static_cast<unsigned long long>(shard_snaps[k].Percentile(0.99)));
     }
+    std::printf(
+        "    delete probe: %llu keys -> %llu tombstones; scrub repaired "
+        "%llu, GC'd %llu, %llu left (%llu unreachable)\n",
+        static_cast<unsigned long long>(kDeleteProbeKeys),
+        static_cast<unsigned long long>(tombstones_after_deletes),
+        static_cast<unsigned long long>(scrub_repaired),
+        static_cast<unsigned long long>(scrub_tombstones_gc),
+        static_cast<unsigned long long>(tombstones_after_scrub),
+        static_cast<unsigned long long>(scrub_unreachable));
   }
   std::printf(
       "  spans: %zu slow (threshold %llu µs), %zu slowest-ever; "
@@ -721,6 +799,12 @@ int Run(const Options& opt) {
       w.Field("read_quorum",
               static_cast<uint64_t>(cluster->config.read_quorum));
       w.Field("imbalance_ratio", imbalance);
+      w.Field("delete_probe_keys", kDeleteProbeKeys);
+      w.Field("tombstones_after_deletes", tombstones_after_deletes);
+      w.Field("scrub_repaired", scrub_repaired);
+      w.Field("scrub_tombstones_gc", scrub_tombstones_gc);
+      w.Field("scrub_unreachable", scrub_unreachable);
+      w.Field("tombstones_after_scrub", tombstones_after_scrub);
       for (size_t k = 0; k < shard_snaps.size(); ++k) {
         w.BeginObject("shard" + std::to_string(k));
         w.Field("objects", shard_objects[k]);

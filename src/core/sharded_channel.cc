@@ -7,8 +7,10 @@
 
 #include "core/object_codec.h"
 #include "crypto/sha256.h"
+#include "obs/json.h"
 #include "obs/log.h"
 #include "ssp/tcp_service.h"
+#include "util/binary_io.h"
 
 namespace sharoes::core {
 
@@ -44,11 +46,52 @@ Request MakeRepairPut(const Request& get, Bytes payload) {
   }
 }
 
+/// The delete that propagates one object's tombstone from a get — the
+/// delete-repair verb per object family (kDeleteData exists exactly so
+/// a single data block's tombstone can be repaired without touching the
+/// rest of the inode).
+Request MakeRepairDelete(const Request& get) {
+  switch (get.op) {
+    case OpCode::kGetSuperblock:
+      return Request::DeleteSuperblock(get.user);
+    case OpCode::kGetMetadata:
+      return Request::DeleteMetadata(get.inode, get.selector);
+    case OpCode::kGetUserMetadata:
+      return Request::DeleteUserMetadata(get.inode, get.user);
+    case OpCode::kGetData:
+      return Request::DeleteData(get.inode, get.block);
+    case OpCode::kGetGroupKey:
+      return Request::DeleteGroupKey(get.group, get.user);
+    default:
+      return Request{};  // Unreachable: only gets reach RepairStale.
+  }
+}
+
+/// Reads the little-endian u64 trailing `payload` (the versioned-read
+/// generation suffix / the kDeleted generation payload). 0 when absent.
+uint64_t TrailingGen(const Bytes& payload) {
+  if (payload.size() < 8) return 0;
+  BinaryReader r(payload.data() + payload.size() - 8, 8);
+  uint64_t gen = r.GetU64();
+  return r.ok() ? gen : 0;
+}
+
 }  // namespace
 
 /// Per-sub-op quorum progress across rounds. Replica positions index
 /// into `replicas` (preference order from the ring).
 struct ShardedChannel::SubState {
+  /// One usable read reply, decoded from the versioned wire shape: the
+  /// generation suffix is stripped off kOk payloads and a kDeleted
+  /// reply keeps its tombstone generation, so SettleRead compares clean
+  /// object bytes and raw generations.
+  struct Reply {
+    uint32_t pos = 0;           // Replica position (preference order).
+    RespStatus status = RespStatus::kNotFound;  // kOk/kNotFound/kDeleted.
+    Bytes payload;              // Object bytes (kOk only), suffix-free.
+    uint64_t gen = 0;           // Replica's per-key store generation.
+  };
+
   const Request* req = nullptr;
   bool mutating = false;
   std::vector<uint32_t> replicas;  // Node indices, preferred first.
@@ -56,8 +99,9 @@ struct ShardedChannel::SubState {
   uint32_t need_replies = 1;       // R for reads.
   std::vector<uint8_t> acked;      // Per position: write acknowledged.
   std::vector<uint8_t> targeted;   // Per position: ever asked (reads).
-  /// Reads: usable replies (kOk/kNotFound), one per position at most.
-  std::vector<std::pair<uint32_t, Response>> usable;
+  /// Reads: usable replies (kOk/kNotFound/kDeleted), at most one per
+  /// position.
+  std::vector<Reply> usable;
   uint32_t acks = 0;
   bool wrong_shard = false;
   bool done = false;
@@ -65,7 +109,7 @@ struct ShardedChannel::SubState {
 
   bool HasUsable(uint32_t pos) const {
     for (const auto& u : usable) {
-      if (u.first == pos) return true;
+      if (u.pos == pos) return true;
     }
     return false;
   }
@@ -121,17 +165,29 @@ RetryingConnection* ShardedChannel::NodeConn(uint32_t node_index) {
   const ssp::ClusterNode& node = ring_.config().nodes[node_index];
   auto it = conns_.find(node.id);
   if (it == conns_.end()) {
-    it = conns_
-             .emplace(node.id, std::make_unique<RetryingConnection>(
-                                   factory_(node), options_.node_retry))
-             .first;
+    NodeConnSlot slot;
+    slot.host = node.host;
+    slot.port = node.port;
+    slot.conn = std::make_unique<RetryingConnection>(factory_(node),
+                                                     options_.node_retry);
+    it = conns_.emplace(node.id, std::move(slot)).first;
   }
-  return it->second.get();
+  return it->second.conn.get();
 }
 
 Result<Response> ShardedChannel::CallNode(uint32_t node_index,
                                           const Request& req) {
   return NodeConn(node_index)->Call(req);
+}
+
+Result<Response> ShardedChannel::CallOnNode(uint32_t node_id,
+                                            const Request& req) {
+  const ssp::ClusterConfig& config = ring_.config();
+  for (uint32_t i = 0; i < config.nodes.size(); ++i) {
+    if (config.nodes[i].id == node_id) return CallNode(i, req);
+  }
+  return Status::NotFound("no cluster node with id " +
+                          std::to_string(node_id));
 }
 
 void ShardedChannel::RebuildRing(ssp::ClusterConfig config) {
@@ -142,9 +198,15 @@ void ShardedChannel::RebuildRing(ssp::ClusterConfig config) {
     return;
   }
   ring_ = std::move(*rebuilt);
-  // Keep live sockets for surviving node ids, drop the departed.
+  // Keep live sockets only for node ids that survived the refresh AT
+  // THEIR OLD ENDPOINT. A connection whose node id moved to a new
+  // host:port must go too: its factory captured the old address at
+  // creation, so keeping it would mean reconnect-looping against a dead
+  // endpoint (and leaking one stale fd per refresh) forever.
   for (auto it = conns_.begin(); it != conns_.end();) {
-    if (ring_.config().FindNode(it->first) == nullptr) {
+    const ssp::ClusterNode* node = ring_.config().FindNode(it->first);
+    if (node == nullptr || node->host != it->second.host ||
+        node->port != it->second.port) {
       it = conns_.erase(it);
     } else {
       ++it;
@@ -187,6 +249,7 @@ bool ShardedChannel::MakeObjectKey(const Request& req, ObjectKey* key) {
       return true;
     case OpCode::kGetData:
     case OpCode::kPutData:
+    case OpCode::kDeleteData:
       *key = {static_cast<uint8_t>(OpCode::kGetData), req.inode, req.block};
       return true;
     case OpCode::kGetGroupKey:
@@ -209,25 +272,30 @@ void ShardedChannel::NoteWrite(const Request& req) {
     case OpCode::kPutData:
     case OpCode::kPutGroupKey:
       if (MakeObjectKey(req, &key)) {
-        fingerprints_[key] = crypto::Sha256Digest(req.payload);
+        session_marks_[key] = {false, crypto::Sha256Digest(req.payload)};
       }
       return;
     case OpCode::kDeleteSuperblock:
     case OpCode::kDeleteMetadata:
     case OpCode::kDeleteUserMetadata:
+    case OpCode::kDeleteData:
     case OpCode::kDeleteGroupKey:
-      if (MakeObjectKey(req, &key)) fingerprints_.erase(key);
+      // Flip to a deleted mark, never erase: erasing would let a stale
+      // live reply match the pre-delete digest on a later read and win
+      // the settle — this session resurrecting its own delete.
+      if (MakeObjectKey(req, &key)) session_marks_[key] = {true, {}};
       return;
     case OpCode::kDeleteInodeMetadata:
     case OpCode::kDeleteInodeData: {
-      // Range: every fingerprint of the inode's family goes.
+      // Range: every mark of the inode's family flips to deleted.
       uint8_t family = static_cast<uint8_t>(
           req.op == OpCode::kDeleteInodeData ? OpCode::kGetData
                                              : OpCode::kGetMetadata);
-      fingerprints_.erase(
-          fingerprints_.lower_bound(ObjectKey{family, req.inode, 0}),
-          fingerprints_.upper_bound(
-              ObjectKey{family, req.inode, ~uint64_t{0}}));
+      auto it = session_marks_.lower_bound(ObjectKey{family, req.inode, 0});
+      auto end =
+          session_marks_.upper_bound(ObjectKey{family, req.inode,
+                                               ~uint64_t{0}});
+      for (; it != end; ++it) it->second = {true, {}};
       return;
     }
     default:
@@ -236,13 +304,11 @@ void ShardedChannel::NoteWrite(const Request& req) {
 }
 
 Result<Response> ShardedChannel::Call(const Request& req) {
-  // Admin ops are per-daemon diagnostics with no routing key; pin them
-  // to the first configured node (tools that want one specific daemon's
-  // stats talk to it directly).
-  if (IsAdminOp(req.op)) {
-    fanout_hist_->Record(1);
-    return CallNode(0, req);
-  }
+  // Admin ops have no routing key: fan them out to every configured
+  // node and merge, so `sharoes_cli stats` against a cluster reports
+  // the fleet, not whichever daemon happens to be listed first. Tools
+  // that want one specific daemon use CallOnNode.
+  if (IsAdminOp(req.op)) return CallAdmin(req);
 
   const bool is_batch = req.op == OpCode::kBatch;
   std::vector<const Request*> subs;
@@ -276,6 +342,82 @@ Result<Response> ShardedChannel::Call(const Request& req) {
   top.status = RespStatus::kOk;
   top.batch = std::move(finals);
   return top;
+}
+
+Result<Response> ShardedChannel::CallAdmin(const Request& req) {
+  const ssp::ClusterConfig& config = ring_.config();
+  const size_t n = config.nodes.size();
+  Request wire = req;
+  // Stats merge needs the binary mergeable snapshot form; each daemon
+  // still applies the payload's prefix filter itself.
+  if (req.op == OpCode::kGetStats) wire.binary_stats = true;
+
+  // Same short-lived thread-per-node fan-out as ExecuteSubOps; the
+  // connections are materialized on this thread first.
+  std::vector<RetryingConnection*> conns(n);
+  for (size_t i = 0; i < n; ++i) {
+    conns[i] = NodeConn(static_cast<uint32_t>(i));
+  }
+  std::vector<std::optional<Result<Response>>> results(n);
+  if (n == 1) {
+    results[0] = conns[0]->Call(wire);
+  } else {
+    std::vector<std::thread> pack;
+    pack.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      pack.emplace_back(
+          [&, i] { results[i] = conns[i]->Call(wire); });
+    }
+    for (std::thread& th : pack) th.join();
+  }
+  fanout_hist_->Record(n);
+
+  if (req.op == OpCode::kGetStats) {
+    // Fold the per-daemon snapshots into one fleet view and render the
+    // same JSON document a single daemon would have returned (counters
+    // and gauges sum, histograms merge pointwise — so the percentiles
+    // are computed over the union of all samples, not averaged).
+    obs::RegistrySnapshot merged;
+    uint64_t reporting = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto& r = *results[i];
+      if (!r.ok() || r->status != RespStatus::kOk) continue;
+      auto snap = obs::RegistrySnapshot::DeserializeBinary(r->payload);
+      if (!snap.ok()) {
+        obs::Log(obs::Severity::kWarn, "client.shard.stats_undecodable",
+                 {{"node", config.nodes[i].id},
+                  {"detail", snap.status().ToString()}});
+        continue;
+      }
+      merged.Merge(*snap);
+      ++reporting;
+    }
+    if (reporting == 0) {
+      return Status::Unavailable("no cluster node answered kGetStats");
+    }
+    // How much of the fleet this document covers — a partial merge must
+    // be visible, not silently presented as the whole cluster.
+    merged.gauges["cluster.nodes_reporting"] = reporting;
+    merged.gauges["cluster.nodes_total"] = n;
+    return Response::Ok(ToBytes(merged.ToJson()));
+  }
+
+  // kGetTraces: span timelines are per-daemon documents with no
+  // meaningful cross-node merge, so return one object keyed by node id
+  // with each daemon's document embedded verbatim.
+  obs::JsonObjectWriter w;
+  uint64_t reporting = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& r = *results[i];
+    if (!r.ok() || r->status != RespStatus::kOk) continue;
+    std::string doc(r->payload.begin(), r->payload.end());
+    w.RawField("node_" + std::to_string(config.nodes[i].id), doc);
+    ++reporting;
+  }
+  if (reporting == 0) {
+    return Status::Unavailable("no cluster node answered kGetTraces");
+  }
+  return Response::Ok(ToBytes(w.Take()));
 }
 
 bool ShardedChannel::ExecuteSubOps(const std::vector<const Request*>& subs,
@@ -391,6 +533,12 @@ bool ShardedChannel::ExecuteSubOps(const std::vector<const Request*>& subs,
         t.wire = Request::Batch(std::move(batch));
         t.wrapped = true;
       }
+      // Every cluster read is versioned: replies carry their replica's
+      // store generation and tombstones answer kDeleted, the raw
+      // material of delete-aware freshness. The flag rides the
+      // top-level frame (a batch envelope's flag covers its sub-reads)
+      // and is a no-op for mutating ops.
+      t.wire.want_version = true;
     }
     if (tasks.size() == 1) {
       tasks[0].result = tasks[0].conn->Call(tasks[0].wire);
@@ -445,9 +593,26 @@ bool ShardedChannel::ExecuteSubOps(const std::vector<const Request*>& subs,
             }
           }
         } else {
-          if (status == RespStatus::kOk ||
-              status == RespStatus::kNotFound) {
-            if (!s.HasUsable(pos)) s.usable.emplace_back(pos, *sub_resp);
+          if ((status == RespStatus::kOk ||
+               status == RespStatus::kNotFound ||
+               status == RespStatus::kDeleted) &&
+              !s.HasUsable(pos)) {
+            // Decode the versioned wire shape once, here: kOk payloads
+            // end in an 8-byte generation suffix, kDeleted payloads ARE
+            // the tombstone's generation, kNotFound has no version.
+            SubState::Reply reply;
+            reply.pos = pos;
+            reply.status = status;
+            if (status == RespStatus::kOk) {
+              reply.gen = TrailingGen(sub_resp->payload);
+              reply.payload = sub_resp->payload;
+              if (reply.payload.size() >= 8) {
+                reply.payload.resize(reply.payload.size() - 8);
+              }
+            } else if (status == RespStatus::kDeleted) {
+              reply.gen = TrailingGen(sub_resp->payload);
+            }
+            s.usable.push_back(std::move(reply));
           }
         }
       }
@@ -493,32 +658,91 @@ bool ShardedChannel::ExecuteSubOps(const std::vector<const Request*>& subs,
 void ShardedChannel::SettleRead(SubState* sub) {
   // Preference order = replica position order.
   std::sort(sub->usable.begin(), sub->usable.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<const std::pair<uint32_t, Response>*> oks;
+            [](const auto& a, const auto& b) { return a.pos < b.pos; });
+  std::vector<const SubState::Reply*> oks;
+  bool any_versioned = false;
   for (const auto& u : sub->usable) {
-    if (u.second.status == RespStatus::kOk) oks.push_back(&u);
+    if (u.status == RespStatus::kOk) oks.push_back(&u);
+    if (u.status == RespStatus::kDeleted || u.gen != 0) any_versioned = true;
+  }
+  // 0. Generation-first freshness. Each replica's per-key generation
+  //    counts the gen-gated ops it has applied to that key, so with
+  //    quorum writes the highest generation among R >= K-W+1 replies is
+  //    the freshest acknowledged state — live OR deleted. A tombstone
+  //    wins ties against a live value at the same generation: equal
+  //    counters with different final states only arise from rare
+  //    double-failure interleavings where either order is defensible,
+  //    and a revocation-oriented store errs toward staying deleted
+  //    (DESIGN.md §16; the R=K scrub heals a wrong suppression from the
+  //    replica holding the strictly higher generation).
+  uint64_t max_gen = 0;
+  for (const auto& u : sub->usable) {
+    if (u.status != RespStatus::kNotFound && u.gen > max_gen) {
+      max_gen = u.gen;
+    }
+  }
+  bool deleted_wins = false;
+  for (const auto& u : sub->usable) {
+    if (u.status == RespStatus::kDeleted && u.gen == max_gen) {
+      deleted_wins = true;
+      break;
+    }
+  }
+  if (deleted_wins) {
+    // The freshest acknowledged state of this key is "deleted". Answer
+    // absence and propagate the tombstone onto live stale repliers —
+    // never onto kNotFound ones (missing already agrees with deleted;
+    // re-creating the tombstone there would fight the scrubber's GC).
+    sub->final = Response::NotFound();
+    sub->done = true;
+    RepairStale(*sub, /*deleted=*/true, Bytes{}, max_gen);
+    return;
   }
   if (oks.empty()) {
-    // Unanimous absence (there are no tombstones to repair toward; see
-    // the delete caveat in DESIGN.md §15).
+    // Unanimous absence (kNotFound, possibly with lower-gen tombstones
+    // that just lost to nothing live — still absence).
     sub->final = Response::NotFound();
     sub->done = true;
     return;
   }
-  const Response* winner = nullptr;
+  const SubState::Reply* winner = nullptr;
   // Read repair re-puts the winner over the losers, so a wrong winner
   // does not just return stale bytes — it DESTROYS the fresh copies.
   // Only verdicts with real freshness evidence may repair; a mere
   // preference-order tiebreak never does.
   bool strong_winner = false;
-  // 1. This channel's own quorum-acked write wins outright.
+  // A live reply at the strictly highest generation — or several that
+  // agree byte-for-byte — IS the freshest acknowledged copy. Ambiguous
+  // ties (same generation, different bytes: diverged replicas that
+  // each missed a different op) fall through to the legacy evidence
+  // chain below.
+  if (any_versioned) {
+    const SubState::Reply* top = nullptr;
+    bool agree = true;
+    for (const auto* u : oks) {
+      if (u->gen != max_gen) continue;
+      if (top == nullptr) {
+        top = u;
+      } else if (u->payload != top->payload) {
+        agree = false;
+      }
+    }
+    if (top != nullptr && agree) {
+      winner = top;
+      strong_winner = true;
+    }
+  }
+  // 1. This channel's own quorum-acked write wins outright. A deleted
+  //    session mark never matches anything here (its digest is empty
+  //    on purpose), so a stale live copy of a key this session deleted
+  //    cannot ride the fingerprint path back to life.
   ObjectKey key;
-  if (MakeObjectKey(*sub->req, &key)) {
-    auto fp = fingerprints_.find(key);
-    if (fp != fingerprints_.end()) {
+  if (winner == nullptr && MakeObjectKey(*sub->req, &key)) {
+    auto mark = session_marks_.find(key);
+    if (mark != session_marks_.end() && !mark->second.deleted) {
       for (const auto* u : oks) {
-        if (crypto::Sha256Digest(u->second.payload) == fp->second) {
-          winner = &u->second;
+        if (crypto::Sha256Digest(u->payload) == mark->second.digest) {
+          winner = u;
           strong_winner = true;
           break;
         }
@@ -535,8 +759,8 @@ void ShardedChannel::SettleRead(SubState* sub) {
   if (winner == nullptr && sub->req->op == OpCode::kGetData) {
     bool all_codec = true;
     for (const auto* u : oks) {
-      if (!ObjectCodec::PeekDataHeader(u->second.payload).ok() ||
-          !ObjectCodec::PeekDataTag(u->second.payload).ok()) {
+      if (!ObjectCodec::PeekDataHeader(u->payload).ok() ||
+          !ObjectCodec::PeekDataTag(u->payload).ok()) {
         all_codec = false;
         break;
       }
@@ -544,10 +768,9 @@ void ShardedChannel::SettleRead(SubState* sub) {
     if (all_codec) {
       uint64_t best_gen = 0;
       for (const auto* u : oks) {
-        uint64_t gen = ObjectCodec::PeekDataHeader(u->second.payload)
-                           ->write_gen;
+        uint64_t gen = ObjectCodec::PeekDataHeader(u->payload)->write_gen;
         if (winner == nullptr || gen > best_gen) {
-          winner = &u->second;
+          winner = u;
           best_gen = gen;
         }
       }
@@ -566,35 +789,50 @@ void ShardedChannel::SettleRead(SubState* sub) {
     for (const auto* u : oks) {
       size_t votes = 0;
       for (const auto* v : oks) {
-        if (v->second.payload == u->second.payload) ++votes;
+        if (v->payload == u->payload) ++votes;
       }
       if (votes > best_votes) {
         best_votes = votes;
-        winner = &u->second;
+        winner = u;
       }
     }
     strong_winner = best_votes * 2 > oks.size();
   }
   sub->final = Response::Ok(winner->payload);
   sub->done = true;
-  if (strong_winner) RepairStale(*sub, *winner);
+  if (strong_winner) {
+    RepairStale(*sub, /*deleted=*/false, winner->payload, winner->gen);
+  }
 }
 
-void ShardedChannel::RepairStale(const SubState& sub,
-                                 const Response& winner) {
+void ShardedChannel::RepairStale(const SubState& sub, bool deleted,
+                                 const Bytes& payload, uint64_t gen) {
   if (!options_.read_repair) return;
-  for (const auto& [pos, resp] : sub.usable) {
-    if (resp.status == winner.status && resp.payload == winner.payload) {
-      continue;
+  for (const auto& u : sub.usable) {
+    if (deleted) {
+      // Only live stale repliers get the tombstone. kNotFound already
+      // agrees with deleted; kDeleted repliers (any generation) are
+      // already dead.
+      if (u.status != RespStatus::kOk) continue;
+    } else {
+      if (u.status == RespStatus::kOk && u.payload == payload) continue;
     }
-    // This replica answered with a missing or stale copy: re-put the
-    // winning payload (idempotent, client-authenticated bytes — the
-    // same blob any writer would store). Best-effort: a failed repair
-    // just leaves the divergence for the next read to heal.
-    Request put = MakeRepairPut(*sub.req, winner.payload);
-    auto repaired = CallNode(sub.replicas[pos], put);
+    // Re-put the winning payload — or re-delete, when a tombstone won —
+    // stamped with the winner's generation so the receiving store
+    // applies the repair at that version and gen-gating guarantees
+    // nothing fresher is ever clobbered (idempotent either way).
+    // Best-effort: a failed repair just leaves the divergence for the
+    // next read or the anti-entropy scrubber to heal.
+    Request fix = deleted ? MakeRepairDelete(*sub.req)
+                          : MakeRepairPut(*sub.req, payload);
+    if (gen != 0) {
+      fix.has_store_gen = true;
+      fix.store_gen = gen;
+    }
+    auto repaired = CallNode(sub.replicas[u.pos], fix);
     ++read_repairs_;
-    if (!repaired.ok() || repaired->status != RespStatus::kOk) {
+    if (!repaired.ok() || (repaired->status != RespStatus::kOk &&
+                           repaired->status != RespStatus::kNotFound)) {
       obs::Log(obs::Severity::kWarn, "client.shard.repair_failed",
                {{"op", ssp::OpCodeName(sub.req->op)},
                 {"inode", sub.req->inode}});

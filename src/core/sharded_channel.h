@@ -19,12 +19,24 @@
 //     after the round budget is a transient kError (the layers above
 //     already treat kError as retry-me).
 //   - A read asks the R preferred replicas, failing over to further
-//     replicas when one is down, and needs R usable replies. Among
-//     them the freshest copy wins: a payload matching this channel's
-//     remembered fingerprint of its own last quorum-acked write, else
-//     the highest AEAD header write_gen for data blocks, else the
-//     majority payload. Detected-stale replicas are healed by
-//     re-putting the winning copy (read repair).
+//     replicas when one is down, and needs R usable replies. Reads are
+//     issued versioned (kExtensionTagWantVersion), so every reply
+//     carries its replica's per-key store generation and deletes are
+//     visible as kDeleted tombstone replies instead of masquerading as
+//     absence. Among the replies the freshest copy wins: highest
+//     generation first — a tombstone beating any live value it ties or
+//     exceeds, so a replicated delete stays deleted — then, only when
+//     generations tie ambiguously across live replies, the legacy
+//     evidence chain (this channel's fingerprint of its own last
+//     quorum-acked write, the AEAD header write_gen for data blocks,
+//     strict payload majority). Detected-stale replicas are healed by
+//     re-putting the winning copy — or re-deleting it when a tombstone
+//     won — stamped with the winner's generation so the receiving
+//     store applies the repair *at* that version (gen-gated, never
+//     clobbering anything fresher). Tombstones are never repaired onto
+//     replicas that answered kNotFound: missing already agrees with
+//     deleted, and re-creating the tombstone would fight the
+//     scrubber's GC forever.
 //   - With R + W > K (enforced by ClusterConfig::Validate) every read
 //     quorum overlaps every acknowledged write quorum, so the freshest
 //     acked copy is always among the R replies.
@@ -113,6 +125,12 @@ class ShardedChannel : public ssp::SspChannel {
 
   Result<ssp::Response> Call(const ssp::Request& req) override;
 
+  /// Sends `req` to exactly the node with id `node_id` (admin tools
+  /// inspecting one daemon: `sharoes_cli stats --node N`). Unknown ids
+  /// are NotFound. No placement routing, no quorum.
+  Result<ssp::Response> CallOnNode(uint32_t node_id,
+                                   const ssp::Request& req);
+
   const ssp::ClusterConfig& config() const { return ring_.config(); }
 
   // Observability for tests and verbose tools (not thread-safe, like
@@ -137,6 +155,26 @@ class ShardedChannel : public ssp::SspChannel {
   };
   struct SubState;
 
+  /// What this session last quorum-acked for one object: a put's
+  /// payload digest, or the fact that it deleted the object. A delete
+  /// flips the mark instead of erasing it — an erased entry would let a
+  /// later stale live reply match the *pre-delete* digest and win, the
+  /// exact resurrection this PR kills.
+  struct SessionMark {
+    bool deleted = false;
+    Bytes digest;  // SHA-256 of the acked payload; empty when deleted.
+  };
+
+  /// One per-node connection plus the endpoint it was dialed for. The
+  /// RetryingConnection factory captures host:port at creation, so a
+  /// placement refresh that moves a node id to a new address must drop
+  /// the old connection or it reconnects to the dead endpoint forever.
+  struct NodeConnSlot {
+    std::string host;
+    uint16_t port = 0;
+    std::unique_ptr<RetryingConnection> conn;
+  };
+
   ShardedChannel(ssp::PlacementRing ring, NodeFactory factory,
                  const ShardedChannelOptions& options, ConfigSource refresh);
 
@@ -145,7 +183,16 @@ class ShardedChannel : public ssp::SspChannel {
   bool ExecuteSubOps(const std::vector<const ssp::Request*>& subs,
                      std::vector<ssp::Response>* finals);
   void SettleRead(SubState* sub);
-  void RepairStale(const SubState& sub, const ssp::Response& winner);
+  /// Heals divergent repliers toward the settled winner. A live winner
+  /// (`deleted` false) is re-put everywhere it is stale or missing; a
+  /// tombstone winner is re-deleted onto LIVE repliers only. Both are
+  /// stamped with `gen` so the receiving store gen-gates the repair.
+  void RepairStale(const SubState& sub, bool deleted, const Bytes& payload,
+                   uint64_t gen);
+  /// Admin ops (kGetStats / kGetTraces): fan out to every configured
+  /// node and merge — stats via the binary mergeable snapshot form,
+  /// traces as one JSON object keyed by node id.
+  Result<ssp::Response> CallAdmin(const ssp::Request& req);
   RetryingConnection* NodeConn(uint32_t node_index);
   Result<ssp::Response> CallNode(uint32_t node_index,
                                  const ssp::Request& req);
@@ -161,12 +208,12 @@ class ShardedChannel : public ssp::SspChannel {
   ConfigSource refresh_;
   Rng rng_;
   /// Per-node connections, keyed by node id so a refresh that reorders
-  /// the config keeps live sockets.
-  std::map<uint32_t, std::unique_ptr<RetryingConnection>> conns_;
-  /// SHA-256 of the payload of every object this channel quorum-acked a
-  /// put for (erased on delete): the session memory quorum reads use to
-  /// recognize their own freshest copy regardless of blob family.
-  std::map<ObjectKey, Bytes> fingerprints_;
+  /// the config keeps live sockets (and drops ones whose node moved to
+  /// a different endpoint — see NodeConnSlot).
+  std::map<uint32_t, NodeConnSlot> conns_;
+  /// Session memory quorum reads use to recognize this channel's own
+  /// freshest copy — or its own delete — regardless of blob family.
+  std::map<ObjectKey, SessionMark> session_marks_;
   obs::Histogram* fanout_hist_;
   uint64_t placement_refreshes_ = 0;
   uint64_t read_failovers_ = 0;

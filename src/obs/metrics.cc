@@ -7,6 +7,7 @@
 
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "util/binary_io.h"
 
 namespace sharoes::obs {
 
@@ -260,6 +261,110 @@ std::string RegistrySnapshot::ToJson() const {
   }
   w.EndObject();
   return w.Take();
+}
+
+void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, h] : other.histograms) histograms[name].Merge(h);
+}
+
+namespace {
+
+// Binary snapshot framing. Histogram bucket/exemplar arrays are almost
+// entirely zeros (kNumBuckets ~ 1900, a latency histogram occupies a few
+// dozen), so they serialize as sparse (u32 index, u64 value) pairs.
+constexpr uint32_t kSnapshotMagic = 0x4F425353;  // "OBSS"
+
+void PutSparse(BinaryWriter& w, const std::vector<uint64_t>& v) {
+  uint32_t nonzero = 0;
+  for (uint64_t x : v) {
+    if (x != 0) ++nonzero;
+  }
+  w.PutU32(static_cast<uint32_t>(v.size()));
+  w.PutU32(nonzero);
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != 0) {
+      w.PutU32(static_cast<uint32_t>(i));
+      w.PutU64(v[i]);
+    }
+  }
+}
+
+bool GetSparse(BinaryReader& r, std::vector<uint64_t>* out) {
+  uint32_t size = r.GetU32();
+  uint32_t nonzero = r.GetU32();
+  if (!r.ok() || size > 1u << 20 || nonzero > size) return false;
+  out->assign(size, 0);
+  for (uint32_t i = 0; i < nonzero; ++i) {
+    uint32_t idx = r.GetU32();
+    uint64_t val = r.GetU64();
+    if (!r.ok() || idx >= size) return false;
+    (*out)[idx] = val;
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes RegistrySnapshot::SerializeBinary() const {
+  BinaryWriter w;
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    w.PutString(name);
+    w.PutU64(value);
+  }
+  w.PutU32(static_cast<uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    w.PutString(name);
+    w.PutU64(value);
+  }
+  w.PutU32(static_cast<uint32_t>(histograms.size()));
+  for (const auto& [name, h] : histograms) {
+    w.PutString(name);
+    w.PutU64(h.count);
+    w.PutU64(h.sum);
+    w.PutU64(h.min);
+    w.PutU64(h.max);
+    PutSparse(w, h.buckets);
+    PutSparse(w, h.exemplars);
+  }
+  return w.Take();
+}
+
+Result<RegistrySnapshot> RegistrySnapshot::DeserializeBinary(
+    const Bytes& data) {
+  BinaryReader r(data);
+  if (r.GetU32() != kSnapshotMagic || !r.ok()) {
+    return Status::Corruption("metrics snapshot: bad magic");
+  }
+  RegistrySnapshot snap;
+  uint32_t n_counters = r.GetU32();
+  for (uint32_t i = 0; i < n_counters && r.ok(); ++i) {
+    std::string name = r.GetString();
+    snap.counters[name] = r.GetU64();
+  }
+  uint32_t n_gauges = r.GetU32();
+  for (uint32_t i = 0; i < n_gauges && r.ok(); ++i) {
+    std::string name = r.GetString();
+    snap.gauges[name] = r.GetU64();
+  }
+  uint32_t n_hists = r.GetU32();
+  for (uint32_t i = 0; i < n_hists && r.ok(); ++i) {
+    std::string name = r.GetString();
+    HistogramSnapshot& h = snap.histograms[name];
+    h.count = r.GetU64();
+    h.sum = r.GetU64();
+    h.min = r.GetU64();
+    h.max = r.GetU64();
+    if (!GetSparse(r, &h.buckets) || !GetSparse(r, &h.exemplars)) {
+      return Status::Corruption("metrics snapshot: bad histogram");
+    }
+  }
+  Status s = r.Finish("metrics snapshot");
+  if (!s.ok()) return s;
+  return snap;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

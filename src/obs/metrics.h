@@ -27,6 +27,9 @@
 #include <string_view>
 #include <vector>
 
+#include "util/bytes.h"
+#include "util/result.h"
+
 namespace sharoes::obs {
 
 /// Global kill switch, initialized once from the SHAROES_METRICS env var
@@ -137,6 +140,21 @@ struct RegistrySnapshot {
   /// One JSON document: {"counters":{...},"gauges":{...},
   /// "histograms":{name:{count,sum,min,max,mean,p50,p90,p99,p999}}}.
   std::string ToJson() const;
+
+  /// Accumulates another node's snapshot into this one: counters and
+  /// gauges sum by name, histograms merge pointwise. Associative and
+  /// commutative like HistogramSnapshot::Merge, so a cluster-wide view
+  /// is the fold of the per-daemon snapshots in any order (the
+  /// ShardedChannel's kGetStats fan-out).
+  void Merge(const RegistrySnapshot& other);
+
+  /// Wire form for shipping a snapshot between processes (the binary
+  /// kGetStats reply): JSON cannot be merged without a parser, this
+  /// round-trips losslessly — including raw histogram buckets and
+  /// exemplars, so percentiles computed from a merged snapshot are as
+  /// good as local ones. Sparse bucket encoding keeps it compact.
+  Bytes SerializeBinary() const;
+  static Result<RegistrySnapshot> DeserializeBinary(const Bytes& data);
 };
 
 /// Name -> metric directory. Metric objects are owned by the registry

@@ -17,15 +17,41 @@ constexpr size_t kMinResponseWire = 9;
 
 // Trace extension entry payload: trace id (8) + attempt (1).
 constexpr uint8_t kTraceEntryLen = 9;
+// Store-generation entry payload: one u64.
+constexpr uint8_t kStoreGenEntryLen = 8;
 
-void AppendTraceExtension(BinaryWriter* w, uint64_t trace_id,
-                          uint8_t attempt) {
+// Appends the extension block for whichever entries are present. A
+// request with no extensions gets no block at all, preserving the
+// byte-identical-to-legacy property the protocol promises.
+void AppendExtensions(BinaryWriter* w, uint64_t trace_id, uint8_t attempt,
+                      bool has_store_gen, uint64_t store_gen,
+                      bool want_version, bool binary_stats) {
+  uint8_t entries = static_cast<uint8_t>((trace_id != 0 ? 1 : 0) +
+                                         (has_store_gen ? 1 : 0) +
+                                         (want_version ? 1 : 0) +
+                                         (binary_stats ? 1 : 0));
+  if (entries == 0) return;
   w->PutU32(kRequestExtensionMagic);
-  w->PutU8(1);  // One entry.
-  w->PutU8(kExtensionTagTrace);
-  w->PutU8(kTraceEntryLen);
-  w->PutU64(trace_id);
-  w->PutU8(attempt);
+  w->PutU8(entries);
+  if (trace_id != 0) {
+    w->PutU8(kExtensionTagTrace);
+    w->PutU8(kTraceEntryLen);
+    w->PutU64(trace_id);
+    w->PutU8(attempt);
+  }
+  if (has_store_gen) {
+    w->PutU8(kExtensionTagStoreGen);
+    w->PutU8(kStoreGenEntryLen);
+    w->PutU64(store_gen);
+  }
+  if (want_version) {
+    w->PutU8(kExtensionTagWantVersion);
+    w->PutU8(0);  // Flag entry: presence is the value.
+  }
+  if (binary_stats) {
+    w->PutU8(kExtensionTagBinaryStats);
+    w->PutU8(0);  // Flag entry: presence is the value.
+  }
 }
 }
 
@@ -50,6 +76,7 @@ const char* OpCodeName(OpCode op) {
     case OpCode::kBatch: return "Batch";
     case OpCode::kGetStats: return "GetStats";
     case OpCode::kGetTraces: return "GetTraces";
+    case OpCode::kDeleteData: return "DeleteData";
   }
   return "Unknown";
 }
@@ -64,6 +91,7 @@ bool IsMutatingOp(OpCode op) {
     case OpCode::kPutUserMetadata:
     case OpCode::kDeleteUserMetadata:
     case OpCode::kPutData:
+    case OpCode::kDeleteData:
     case OpCode::kDeleteInodeData:
     case OpCode::kPutGroupKey:
     case OpCode::kDeleteGroupKey:
@@ -108,6 +136,7 @@ bool IsIdempotentOp(OpCode op) {
     case OpCode::kPutUserMetadata:
     case OpCode::kDeleteUserMetadata:
     case OpCode::kPutData:
+    case OpCode::kDeleteData:
     case OpCode::kDeleteInodeData:
     case OpCode::kPutGroupKey:
     case OpCode::kDeleteGroupKey:
@@ -127,6 +156,7 @@ const char* RespStatusName(RespStatus status) {
     case RespStatus::kBadRequest: return "kBadRequest";
     case RespStatus::kError: return "kError";
     case RespStatus::kWrongShard: return "kWrongShard";
+    case RespStatus::kDeleted: return "kDeleted";
   }
   return "kUnknown";
 }
@@ -146,14 +176,16 @@ void Request::AppendTo(BinaryWriter* w) const {
 Bytes Request::Serialize() const {
   BinaryWriter w;
   AppendTo(&w);
-  if (trace_id != 0) AppendTraceExtension(&w, trace_id, attempt);
+  AppendExtensions(&w, trace_id, attempt, has_store_gen, store_gen,
+                   want_version, binary_stats);
   return w.Take();
 }
 
 Bytes Request::SerializeWithTrace(uint64_t trace, uint8_t att) const {
   BinaryWriter w;
   AppendTo(&w);
-  if (trace != 0) AppendTraceExtension(&w, trace, att);
+  AppendExtensions(&w, trace, att, has_store_gen, store_gen, want_version,
+                   binary_stats);
   return w.Take();
 }
 
@@ -169,6 +201,13 @@ Status Request::ReadExtensions(BinaryReader* r, Request* req) {
     if (tag == kExtensionTagTrace && len == kTraceEntryLen) {
       req->trace_id = r->GetU64();
       req->attempt = r->GetU8();
+    } else if (tag == kExtensionTagStoreGen && len == kStoreGenEntryLen) {
+      req->store_gen = r->GetU64();
+      req->has_store_gen = true;
+    } else if (tag == kExtensionTagWantVersion && len == 0) {
+      req->want_version = true;
+    } else if (tag == kExtensionTagBinaryStats && len == 0) {
+      req->binary_stats = true;
     } else {
       // Unknown (future) extension, or a known tag with an unexpected
       // length: skip the entry wholesale. This is what lets an old
@@ -255,6 +294,13 @@ Request Request::PutMetadata(fs::InodeNum inode, Selector sel, Bytes payload) {
   return r;
 }
 
+Request Request::DeleteSuperblock(uint32_t user) {
+  Request r;
+  r.op = OpCode::kDeleteSuperblock;
+  r.user = user;
+  return r;
+}
+
 Request Request::DeleteMetadata(fs::InodeNum inode, Selector sel) {
   Request r;
   r.op = OpCode::kDeleteMetadata;
@@ -302,6 +348,22 @@ Request Request::PutData(fs::InodeNum inode, uint32_t block, Bytes payload) {
   r.inode = inode;
   r.block = block;
   r.payload = std::move(payload);
+  return r;
+}
+
+Request Request::DeleteUserMetadata(fs::InodeNum inode, uint32_t user) {
+  Request r;
+  r.op = OpCode::kDeleteUserMetadata;
+  r.inode = inode;
+  r.user = user;
+  return r;
+}
+
+Request Request::DeleteData(fs::InodeNum inode, uint32_t block) {
+  Request r;
+  r.op = OpCode::kDeleteData;
+  r.inode = inode;
+  r.block = block;
   return r;
 }
 
@@ -370,13 +432,19 @@ Bytes Response::Serialize() const {
   return w.Take();
 }
 
+Response Response::Deleted(uint64_t gen) {
+  BinaryWriter w;
+  w.PutU64(gen);
+  return Response{RespStatus::kDeleted, w.Take(), {}};
+}
+
 Result<Response> Response::ReadFrom(BinaryReader* r, int depth) {
   if (depth >= kMaxBatchDepth) {
     return Status::Corruption("nested batch in response");
   }
   Response resp;
   uint8_t status = r->GetU8();
-  if (r->ok() && status > static_cast<uint8_t>(RespStatus::kWrongShard)) {
+  if (r->ok() && status >= kNumRespStatuses) {
     return Status::Corruption("unknown response status");
   }
   resp.status = static_cast<RespStatus>(status);

@@ -42,11 +42,14 @@ enum class OpCode : uint8_t {
                     // payload is a metric-name prefix filter ("ssp.wal").
   kGetTraces = 18,  // Admin: captured slow-request span timelines (JSON,
                     // see obs/span.h). Read-only, like kGetStats.
+  kDeleteData = 19,  // One (inode, block) data replica. Exists so read
+                     // repair can propagate a *single block's* tombstone
+                     // without re-deleting the whole inode's data range.
 };
 
 /// One past the largest valid OpCode (array sizing, validity checks).
 inline constexpr size_t kNumOpCodes =
-    static_cast<size_t>(OpCode::kGetTraces) + 1;
+    static_cast<size_t>(OpCode::kDeleteData) + 1;
 
 /// Stable metric-label name for an opcode ("GetData", "Batch", ...).
 const char* OpCodeName(OpCode op);
@@ -88,6 +91,25 @@ using Selector = uint64_t;
 // extensions (the top-level frame's context covers them).
 inline constexpr uint32_t kRequestExtensionMagic = 0x4F425331;  // "OBS1".
 inline constexpr uint8_t kExtensionTagTrace = 1;  // u64 trace id, u8 attempt.
+// u64 store generation: stamped on mutating requests issued by read repair
+// and the anti-entropy scrubber, so the receiving replica applies the op
+// *at* the winner's generation (gen-gated; see the trailing `gen`
+// parameter on ObjectStore's puts/deletes) instead of blindly bumping
+// its own counter. Absent on ordinary client mutations.
+inline constexpr uint8_t kExtensionTagStoreGen = 2;
+// Zero-length flag on reads: the caller wants versioned replies. Live hits
+// come back as kOk with an 8-byte little-endian generation appended to the
+// payload; tombstones come back as kDeleted (payload = 8-byte generation)
+// instead of masquerading as kNotFound. On a kBatch the flag covers every
+// sub-read. Legacy readers never set it and see the pre-tombstone wire
+// shapes byte-for-byte.
+inline constexpr uint8_t kExtensionTagWantVersion = 3;
+// Zero-length flag on kGetStats: the caller wants the registry snapshot
+// in the mergeable binary form (obs::RegistrySnapshot::SerializeBinary)
+// instead of JSON, so a fan-out client can fold per-node snapshots into
+// one cluster-wide view before rendering. Legacy/JSON callers never set
+// it and keep the JSON payload byte-for-byte.
+inline constexpr uint8_t kExtensionTagBinaryStats = 4;
 
 struct Request {
   OpCode op = OpCode::kGetMetadata;
@@ -106,6 +128,17 @@ struct Request {
   uint64_t trace_id = 0;
   uint8_t attempt = 0;
 
+  // Tombstone extensions (also TLV-carried, so they ride the WAL via
+  // Wal::Append's op.Serialize() and survive replay): an explicit store
+  // generation for repair/scrub mutations, and the versioned-read flag.
+  uint64_t store_gen = 0;
+  bool has_store_gen = false;
+  bool want_version = false;
+
+  // Admin extension: kGetStats replies with a binary RegistrySnapshot
+  // instead of JSON (the stats fan-out's mergeable form).
+  bool binary_stats = false;
+
   Bytes Serialize() const;
   /// Serializes with the given trace stamped, regardless of the struct's
   /// own trace fields (the channel layer's ambient-trace path).
@@ -115,6 +148,7 @@ struct Request {
   // Convenience constructors for the common shapes.
   static Request GetSuperblock(uint32_t user);
   static Request PutSuperblock(uint32_t user, Bytes payload);
+  static Request DeleteSuperblock(uint32_t user);
   static Request GetMetadata(fs::InodeNum inode, Selector sel);
   static Request PutMetadata(fs::InodeNum inode, Selector sel, Bytes payload);
   static Request DeleteMetadata(fs::InodeNum inode, Selector sel);
@@ -122,8 +156,10 @@ struct Request {
   static Request GetUserMetadata(fs::InodeNum inode, uint32_t user);
   static Request PutUserMetadata(fs::InodeNum inode, uint32_t user,
                                  Bytes payload);
+  static Request DeleteUserMetadata(fs::InodeNum inode, uint32_t user);
   static Request GetData(fs::InodeNum inode, uint32_t block);
   static Request PutData(fs::InodeNum inode, uint32_t block, Bytes payload);
+  static Request DeleteData(fs::InodeNum inode, uint32_t block);
   static Request DeleteInodeData(fs::InodeNum inode);
   static Request GetGroupKey(uint32_t group, uint32_t user);
   static Request PutGroupKey(uint32_t group, uint32_t user, Bytes payload);
@@ -154,11 +190,16 @@ enum class RespStatus : uint8_t {
                     // channel refreshes placement and retries once;
                     // anything else treats it as a definitive routing
                     // error, never a blind-retry target.
+  kDeleted = 5,     // Versioned read hit a delete tombstone; the payload
+                    // is the tombstone's 8-byte generation. Only emitted
+                    // when the request carried kExtensionTagWantVersion —
+                    // legacy readers still get plain kNotFound, so this
+                    // status never reaches a pre-tombstone client.
 };
 
 /// One past the largest valid RespStatus (array sizing, metric labels).
 inline constexpr size_t kNumRespStatuses =
-    static_cast<size_t>(RespStatus::kWrongShard) + 1;
+    static_cast<size_t>(RespStatus::kDeleted) + 1;
 
 /// Stable metric-label name for a response status ("kNotFound", ...).
 const char* RespStatusName(RespStatus status);
@@ -184,6 +225,8 @@ struct Response {
   static Response WrongShard() {
     return Response{RespStatus::kWrongShard, {}, {}};
   }
+  /// Tombstone reply for a versioned read; payload is the generation.
+  static Response Deleted(uint64_t gen);
 
  private:
   void AppendTo(BinaryWriter* w) const;

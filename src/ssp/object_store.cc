@@ -19,38 +19,6 @@ uint64_t MixKey(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-// Inserts/replaces m[k] = blob, keeping `family_bytes` and the shard's
-// object count in step. Caller holds the shard's exclusive lock.
-template <typename Map, typename Key>
-void PutCounted(Map& m, const Key& k, Bytes blob, uint64_t& family_bytes,
-                uint64_t& object_count) {
-  auto [it, inserted] = m.try_emplace(k);
-  if (inserted) {
-    ++object_count;
-  } else {
-    family_bytes -= it->second.size();
-  }
-  family_bytes += blob.size();
-  it->second = std::move(blob);
-}
-
-template <typename Map, typename Key>
-void EraseCounted(Map& m, const Key& k, uint64_t& family_bytes,
-                  uint64_t& object_count) {
-  auto it = m.find(k);
-  if (it == m.end()) return;
-  family_bytes -= it->second.size();
-  --object_count;
-  m.erase(it);
-}
-
-template <typename Map, typename Key>
-std::optional<Bytes> Find(const Map& m, const Key& k) {
-  auto it = m.find(k);
-  if (it == m.end()) return std::nullopt;
-  return it->second;
-}
-
 // Shard lock helpers: time blocked acquiring the shard lock is charged
 // to the kLockWait span phase (no-op without an active timeline); time
 // spent *holding* it accrues to the enclosing phase, normally kStore.
@@ -68,6 +36,113 @@ std::shared_lock<std::shared_mutex> AcquireShared(std::shared_mutex& mu) {
 
 }  // namespace
 
+namespace {
+
+// Applies a put at `gen` (0 = bump the local generation). Returns false
+// only on a gen-gated loss: the local entry is newer, or is a tombstone
+// at the same generation (ties go to the tombstone — the property that
+// keeps repair from resurrecting a freshly-deleted key). Caller holds
+// the shard's exclusive lock.
+template <typename Map, typename Key>
+bool PutEntry(Map& m, const Key& k, Bytes blob, uint64_t gen,
+              uint64_t& family_bytes, StorageStats& st) {
+  auto [it, inserted] = m.try_emplace(k);
+  auto& e = it->second;
+  uint64_t new_gen;
+  if (inserted) {
+    new_gen = (gen == 0) ? 1 : gen;
+    ++st.object_count;
+  } else {
+    if (gen == 0) {
+      // A local-bump put that changes nothing is a no-op: replaying an
+      // already-applied op (client retry, WAL replay) must leave the
+      // store — generations included — byte-identical.
+      if (!e.tombstone && e.blob == blob) return true;
+      new_gen = e.gen + 1;
+    } else {
+      bool wins = e.tombstone ? (gen > e.gen) : (gen >= e.gen);
+      if (!wins) return false;
+      new_gen = gen;
+    }
+    if (e.tombstone) {
+      --st.tombstone_count;
+      ++st.object_count;
+    } else {
+      family_bytes -= e.blob.size();
+    }
+  }
+  family_bytes += blob.size();
+  e.blob = std::move(blob);
+  e.gen = new_gen;
+  e.tombstone = false;
+  return true;
+}
+
+// Applies a delete at `gen` (0 = bump). With tombstones off this is the
+// classic erase; with them on, the entry becomes (or stays) a tombstone
+// carrying the winning generation. Returns false only on a gen-gated
+// loss (the local entry is strictly newer — a delete wins its tie, the
+// mirror of PutEntry). Caller holds the shard's exclusive lock.
+template <typename Map, typename Key>
+bool DeleteEntry(Map& m, const Key& k, uint64_t gen, bool tombstones,
+                 uint64_t& family_bytes, StorageStats& st) {
+  auto it = m.find(k);
+  if (it == m.end()) {
+    if (tombstones) {
+      // Deleting an absent key still records the death: a gen-gated
+      // repair delete must land even on a replica that never saw the
+      // value, or the scrubber could not converge the quorum.
+      typename Map::mapped_type e;
+      e.gen = (gen == 0) ? 1 : gen;
+      e.tombstone = true;
+      m.emplace(k, std::move(e));
+      ++st.tombstone_count;
+    }
+    return true;
+  }
+  auto& e = it->second;
+  if (gen != 0 && gen < e.gen) return false;
+  if (!tombstones) {
+    if (e.tombstone) {
+      --st.tombstone_count;
+    } else {
+      family_bytes -= e.blob.size();
+      --st.object_count;
+    }
+    m.erase(it);
+    return true;
+  }
+  uint64_t new_gen = (gen == 0) ? (e.tombstone ? e.gen : e.gen + 1) : gen;
+  if (!e.tombstone) {
+    family_bytes -= e.blob.size();
+    --st.object_count;
+    ++st.tombstone_count;
+    e.blob = Bytes();
+    e.tombstone = true;
+  }
+  e.gen = new_gen;
+  return true;
+}
+
+// Legacy read: live blobs only; tombstones read as absent.
+template <typename Map, typename Key>
+std::optional<Bytes> Find(const Map& m, const Key& k) {
+  auto it = m.find(k);
+  if (it == m.end() || it->second.tombstone) return std::nullopt;
+  return it->second.blob;
+}
+
+template <typename Map, typename Key>
+std::optional<ObjectStore::Versioned> FindVersioned(const Map& m,
+                                                    const Key& k) {
+  auto it = m.find(k);
+  if (it == m.end()) return std::nullopt;
+  return ObjectStore::Versioned{it->second.blob, it->second.gen,
+                                it->second.tombstone};
+}
+
+}  // namespace
+
 ObjectStore::ObjectStore(size_t num_shards) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
@@ -80,11 +155,11 @@ ObjectStore::Shard& ObjectStore::ShardFor(uint64_t key) const {
   return *shards_[MixKey(key) % shards_.size()];
 }
 
-void ObjectStore::PutSuperblock(uint32_t user, Bytes blob) {
+bool ObjectStore::PutSuperblock(uint32_t user, Bytes blob, uint64_t gen) {
   Shard& s = ShardFor(user);
   auto lock = AcquireUnique(s.mu);
-  PutCounted(s.superblocks, user, std::move(blob), s.stats.superblock_bytes,
-             s.stats.object_count);
+  return PutEntry(s.superblocks, user, std::move(blob), gen,
+                  s.stats.superblock_bytes, s.stats);
 }
 
 std::optional<Bytes> ObjectStore::GetSuperblock(uint32_t user) const {
@@ -93,18 +168,19 @@ std::optional<Bytes> ObjectStore::GetSuperblock(uint32_t user) const {
   return Find(s.superblocks, user);
 }
 
-void ObjectStore::DeleteSuperblock(uint32_t user) {
+bool ObjectStore::DeleteSuperblock(uint32_t user, uint64_t gen) {
   Shard& s = ShardFor(user);
   auto lock = AcquireUnique(s.mu);
-  EraseCounted(s.superblocks, user, s.stats.superblock_bytes,
-               s.stats.object_count);
+  return DeleteEntry(s.superblocks, user, gen, tombstones_enabled_,
+                     s.stats.superblock_bytes, s.stats);
 }
 
-void ObjectStore::PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob) {
+bool ObjectStore::PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob,
+                              uint64_t gen) {
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
-  PutCounted(s.metadata, std::make_pair(inode, sel), std::move(blob),
-             s.stats.metadata_bytes, s.stats.object_count);
+  return PutEntry(s.metadata, std::make_pair(inode, sel), std::move(blob),
+                  gen, s.stats.metadata_bytes, s.stats);
 }
 
 std::optional<Bytes> ObjectStore::GetMetadata(fs::InodeNum inode,
@@ -114,23 +190,41 @@ std::optional<Bytes> ObjectStore::GetMetadata(fs::InodeNum inode,
   return Find(s.metadata, std::make_pair(inode, sel));
 }
 
-void ObjectStore::DeleteMetadata(fs::InodeNum inode, Selector sel) {
+bool ObjectStore::DeleteMetadata(fs::InodeNum inode, Selector sel,
+                                 uint64_t gen) {
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
-  EraseCounted(s.metadata, std::make_pair(inode, sel),
-               s.stats.metadata_bytes, s.stats.object_count);
+  return DeleteEntry(s.metadata, std::make_pair(inode, sel), gen,
+                     tombstones_enabled_, s.stats.metadata_bytes, s.stats);
 }
 
 void ObjectStore::DeleteInodeMetadata(fs::InodeNum inode) {
   // All of an inode's replicas hash to the same shard, so the ranged
-  // delete is a single-shard operation.
+  // delete is a single-shard operation. With tombstones on, every live
+  // replica in the range becomes a tombstone at its own bumped
+  // generation (existing tombstones are left untouched). A replica this
+  // node never stored gets no tombstone — quorum intersection covers
+  // that case: any quorum-acked write of the missing key shares at
+  // least one node with this delete's quorum (DESIGN.md §16).
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
   auto it = s.metadata.lower_bound({inode, 0});
   while (it != s.metadata.end() && it->first.first == inode) {
-    s.stats.metadata_bytes -= it->second.size();
-    --s.stats.object_count;
-    it = s.metadata.erase(it);
+    if (tombstones_enabled_) {
+      if (!it->second.tombstone) {
+        s.stats.metadata_bytes -= it->second.blob.size();
+        --s.stats.object_count;
+        ++s.stats.tombstone_count;
+        it->second.blob = Bytes();
+        it->second.tombstone = true;
+        ++it->second.gen;
+      }
+      ++it;
+    } else {
+      s.stats.metadata_bytes -= it->second.blob.size();
+      --s.stats.object_count;
+      it = s.metadata.erase(it);
+    }
   }
 }
 
@@ -140,17 +234,17 @@ size_t ObjectStore::MetadataReplicaCount(fs::InodeNum inode) const {
   size_t n = 0;
   for (auto it = s.metadata.lower_bound({inode, 0});
        it != s.metadata.end() && it->first.first == inode; ++it) {
-    ++n;
+    if (!it->second.tombstone) ++n;
   }
   return n;
 }
 
-void ObjectStore::PutUserMetadata(fs::InodeNum inode, uint32_t user,
-                                  Bytes blob) {
+bool ObjectStore::PutUserMetadata(fs::InodeNum inode, uint32_t user,
+                                  Bytes blob, uint64_t gen) {
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
-  PutCounted(s.user_metadata, std::make_pair(inode, user), std::move(blob),
-             s.stats.user_metadata_bytes, s.stats.object_count);
+  return PutEntry(s.user_metadata, std::make_pair(inode, user),
+                  std::move(blob), gen, s.stats.user_metadata_bytes, s.stats);
 }
 
 std::optional<Bytes> ObjectStore::GetUserMetadata(fs::InodeNum inode,
@@ -160,18 +254,21 @@ std::optional<Bytes> ObjectStore::GetUserMetadata(fs::InodeNum inode,
   return Find(s.user_metadata, std::make_pair(inode, user));
 }
 
-void ObjectStore::DeleteUserMetadata(fs::InodeNum inode, uint32_t user) {
+bool ObjectStore::DeleteUserMetadata(fs::InodeNum inode, uint32_t user,
+                                     uint64_t gen) {
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
-  EraseCounted(s.user_metadata, std::make_pair(inode, user),
-               s.stats.user_metadata_bytes, s.stats.object_count);
+  return DeleteEntry(s.user_metadata, std::make_pair(inode, user), gen,
+                     tombstones_enabled_, s.stats.user_metadata_bytes,
+                     s.stats);
 }
 
-void ObjectStore::PutData(fs::InodeNum inode, uint32_t block, Bytes blob) {
+bool ObjectStore::PutData(fs::InodeNum inode, uint32_t block, Bytes blob,
+                          uint64_t gen) {
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
-  PutCounted(s.data, std::make_pair(inode, block), std::move(blob),
-             s.stats.data_bytes, s.stats.object_count);
+  return PutEntry(s.data, std::make_pair(inode, block), std::move(blob), gen,
+                  s.stats.data_bytes, s.stats);
 }
 
 std::optional<Bytes> ObjectStore::GetData(fs::InodeNum inode,
@@ -181,22 +278,43 @@ std::optional<Bytes> ObjectStore::GetData(fs::InodeNum inode,
   return Find(s.data, std::make_pair(inode, block));
 }
 
+bool ObjectStore::DeleteData(fs::InodeNum inode, uint32_t block,
+                             uint64_t gen) {
+  Shard& s = ShardFor(inode);
+  auto lock = AcquireUnique(s.mu);
+  return DeleteEntry(s.data, std::make_pair(inode, block), gen,
+                     tombstones_enabled_, s.stats.data_bytes, s.stats);
+}
+
 void ObjectStore::DeleteInodeData(fs::InodeNum inode) {
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
   auto it = s.data.lower_bound({inode, 0});
   while (it != s.data.end() && it->first.first == inode) {
-    s.stats.data_bytes -= it->second.size();
-    --s.stats.object_count;
-    it = s.data.erase(it);
+    if (tombstones_enabled_) {
+      if (!it->second.tombstone) {
+        s.stats.data_bytes -= it->second.blob.size();
+        --s.stats.object_count;
+        ++s.stats.tombstone_count;
+        it->second.blob = Bytes();
+        it->second.tombstone = true;
+        ++it->second.gen;
+      }
+      ++it;
+    } else {
+      s.stats.data_bytes -= it->second.blob.size();
+      --s.stats.object_count;
+      it = s.data.erase(it);
+    }
   }
 }
 
-void ObjectStore::PutGroupKey(uint32_t group, uint32_t user, Bytes blob) {
+bool ObjectStore::PutGroupKey(uint32_t group, uint32_t user, Bytes blob,
+                              uint64_t gen) {
   Shard& s = ShardFor(group);
   auto lock = AcquireUnique(s.mu);
-  PutCounted(s.group_keys, std::make_pair(group, user), std::move(blob),
-             s.stats.group_key_bytes, s.stats.object_count);
+  return PutEntry(s.group_keys, std::make_pair(group, user), std::move(blob),
+                  gen, s.stats.group_key_bytes, s.stats);
 }
 
 std::optional<Bytes> ObjectStore::GetGroupKey(uint32_t group,
@@ -206,11 +324,138 @@ std::optional<Bytes> ObjectStore::GetGroupKey(uint32_t group,
   return Find(s.group_keys, std::make_pair(group, user));
 }
 
-void ObjectStore::DeleteGroupKey(uint32_t group, uint32_t user) {
+bool ObjectStore::DeleteGroupKey(uint32_t group, uint32_t user,
+                                 uint64_t gen) {
   Shard& s = ShardFor(group);
   auto lock = AcquireUnique(s.mu);
-  EraseCounted(s.group_keys, std::make_pair(group, user),
-               s.stats.group_key_bytes, s.stats.object_count);
+  return DeleteEntry(s.group_keys, std::make_pair(group, user), gen,
+                     tombstones_enabled_, s.stats.group_key_bytes, s.stats);
+}
+
+std::optional<ObjectStore::Versioned> ObjectStore::GetVersioned(
+    const Request& get) const {
+  switch (get.op) {
+    case OpCode::kGetSuperblock: {
+      Shard& s = ShardFor(get.user);
+      auto lock = AcquireShared(s.mu);
+      return FindVersioned(s.superblocks, get.user);
+    }
+    case OpCode::kGetMetadata: {
+      Shard& s = ShardFor(get.inode);
+      auto lock = AcquireShared(s.mu);
+      return FindVersioned(s.metadata, std::make_pair(get.inode, get.selector));
+    }
+    case OpCode::kGetUserMetadata: {
+      Shard& s = ShardFor(get.inode);
+      auto lock = AcquireShared(s.mu);
+      return FindVersioned(s.user_metadata,
+                           std::make_pair(get.inode, get.user));
+    }
+    case OpCode::kGetData: {
+      Shard& s = ShardFor(get.inode);
+      auto lock = AcquireShared(s.mu);
+      return FindVersioned(s.data, std::make_pair(get.inode, get.block));
+    }
+    case OpCode::kGetGroupKey: {
+      Shard& s = ShardFor(get.group);
+      auto lock = AcquireShared(s.mu);
+      return FindVersioned(s.group_keys, std::make_pair(get.group, get.user));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<ObjectVersion> ObjectStore::ListVersions() const {
+  std::vector<ObjectVersion> out;
+  for (const auto& shard : shards_) {
+    auto lock = AcquireShared(shard->mu);
+    for (const auto& [user, e] : shard->superblocks) {
+      out.push_back({{ObjectFamily::kSuperblock, user, 0}, e.gen,
+                     e.tombstone});
+    }
+    for (const auto& [key, e] : shard->metadata) {
+      out.push_back({{ObjectFamily::kMetadata, key.first, key.second}, e.gen,
+                     e.tombstone});
+    }
+    for (const auto& [key, e] : shard->user_metadata) {
+      out.push_back({{ObjectFamily::kUserMetadata, key.first, key.second},
+                     e.gen, e.tombstone});
+    }
+    for (const auto& [key, e] : shard->data) {
+      out.push_back({{ObjectFamily::kData, key.first, key.second}, e.gen,
+                     e.tombstone});
+    }
+    for (const auto& [key, e] : shard->group_keys) {
+      out.push_back({{ObjectFamily::kGroupKey, key.first, key.second}, e.gen,
+                     e.tombstone});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// GC helper: erase m[k] iff it is still a tombstone at exactly `gen`.
+template <typename Map, typename Key>
+bool EraseTombstone(Map& m, const Key& k, uint64_t gen, StorageStats& st) {
+  auto it = m.find(k);
+  if (it == m.end() || !it->second.tombstone || it->second.gen != gen) {
+    return false;
+  }
+  --st.tombstone_count;
+  m.erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool ObjectStore::RemoveTombstone(const ObjectRef& ref, uint64_t gen) {
+  switch (ref.family) {
+    case ObjectFamily::kSuperblock: {
+      Shard& s = ShardFor(ref.k1);
+      auto lock = AcquireUnique(s.mu);
+      return EraseTombstone(s.superblocks, static_cast<uint32_t>(ref.k1),
+                            gen, s.stats);
+    }
+    case ObjectFamily::kMetadata: {
+      Shard& s = ShardFor(ref.k1);
+      auto lock = AcquireUnique(s.mu);
+      return EraseTombstone(
+          s.metadata,
+          std::make_pair(static_cast<fs::InodeNum>(ref.k1),
+                         static_cast<Selector>(ref.k2)),
+          gen, s.stats);
+    }
+    case ObjectFamily::kUserMetadata: {
+      Shard& s = ShardFor(ref.k1);
+      auto lock = AcquireUnique(s.mu);
+      return EraseTombstone(
+          s.user_metadata,
+          std::make_pair(static_cast<fs::InodeNum>(ref.k1),
+                         static_cast<uint32_t>(ref.k2)),
+          gen, s.stats);
+    }
+    case ObjectFamily::kData: {
+      Shard& s = ShardFor(ref.k1);
+      auto lock = AcquireUnique(s.mu);
+      return EraseTombstone(
+          s.data,
+          std::make_pair(static_cast<fs::InodeNum>(ref.k1),
+                         static_cast<uint32_t>(ref.k2)),
+          gen, s.stats);
+    }
+    case ObjectFamily::kGroupKey: {
+      Shard& s = ShardFor(ref.k1);
+      auto lock = AcquireUnique(s.mu);
+      return EraseTombstone(
+          s.group_keys,
+          std::make_pair(static_cast<uint32_t>(ref.k1),
+                         static_cast<uint32_t>(ref.k2)),
+          gen, s.stats);
+    }
+  }
+  return false;
 }
 
 StorageStats ObjectStore::Stats() const {
@@ -224,28 +469,42 @@ StorageStats ObjectStore::Stats() const {
     total.data_bytes += s.data_bytes;
     total.group_key_bytes += s.group_key_bytes;
     total.object_count += s.object_count;
+    total.tombstone_count += s.tombstone_count;
   }
   return total;
 }
 
 namespace {
 
-constexpr uint32_t kStoreMagic = 0x53535031;  // "SSP1".
+// v1 ("SSP1") snapshots carried bare blobs; v2 ("SSP2") adds a u64
+// generation and a u8 tombstone flag per entry, so tombstones and
+// version history survive a daemon restart / WAL compaction.
+constexpr uint32_t kStoreMagicV1 = 0x53535031;  // "SSP1".
+constexpr uint32_t kStoreMagicV2 = 0x53535032;  // "SSP2".
 
-template <typename K1, typename K2>
-void PutPairMap(BinaryWriter* w, const std::map<std::pair<K1, K2>, Bytes>& m) {
+struct EntryImage {
+  Bytes blob;
+  uint64_t gen = 0;
+  bool tombstone = false;
+};
+
+template <typename K1, typename K2, typename Map>
+void PutPairMap(BinaryWriter* w, const Map& m) {
   w->PutU32(static_cast<uint32_t>(m.size()));
-  for (const auto& [key, blob] : m) {
+  for (const auto& [key, e] : m) {
     w->PutU64(static_cast<uint64_t>(key.first));
     w->PutU64(static_cast<uint64_t>(key.second));
-    w->PutBytes(blob);
+    w->PutU64(e.gen);
+    w->PutU8(e.tombstone ? 1 : 0);
+    w->PutBytes(e.blob);
   }
 }
 
 // Reads one serialized pair-map, delegating each entry to `put` so the
-// entries land in the right shard with accounting applied.
+// entries land in the right shard with accounting applied. `versioned`
+// selects the v2 per-entry framing.
 template <typename K1, typename K2, typename PutFn>
-Status GetPairMap(BinaryReader* r, PutFn put) {
+Status GetPairMap(BinaryReader* r, bool versioned, PutFn put) {
   uint32_t n = r->GetU32();
   if (!r->ok() || n > r->remaining()) {
     return Status::Corruption("truncated store map");
@@ -253,7 +512,15 @@ Status GetPairMap(BinaryReader* r, PutFn put) {
   for (uint32_t i = 0; i < n; ++i) {
     K1 k1 = static_cast<K1>(r->GetU64());
     K2 k2 = static_cast<K2>(r->GetU64());
-    put(k1, k2, r->GetBytes());
+    EntryImage e;
+    if (versioned) {
+      e.gen = r->GetU64();
+      e.tombstone = r->GetU8() != 0;
+    } else {
+      e.gen = 1;
+    }
+    e.blob = r->GetBytes();
+    put(k1, k2, std::move(e));
   }
   return r->ok() ? Status::OK() : Status::Corruption("truncated store map");
 }
@@ -261,11 +528,11 @@ Status GetPairMap(BinaryReader* r, PutFn put) {
 }  // namespace
 
 Bytes ObjectStore::Serialize() const {
-  std::map<uint32_t, Bytes> superblocks;
-  std::map<std::pair<fs::InodeNum, Selector>, Bytes> metadata;
-  std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> user_metadata;
-  std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> data;
-  std::map<std::pair<uint32_t, uint32_t>, Bytes> group_keys;
+  std::map<uint32_t, Entry> superblocks;
+  std::map<std::pair<fs::InodeNum, Selector>, Entry> metadata;
+  std::map<std::pair<fs::InodeNum, uint32_t>, Entry> user_metadata;
+  std::map<std::pair<fs::InodeNum, uint32_t>, Entry> data;
+  std::map<std::pair<uint32_t, uint32_t>, Entry> group_keys;
   for (const auto& shard : shards_) {
     auto lock = AcquireShared(shard->mu);
     superblocks.insert(shard->superblocks.begin(), shard->superblocks.end());
@@ -277,22 +544,82 @@ Bytes ObjectStore::Serialize() const {
   }
 
   BinaryWriter w;
-  w.PutU32(kStoreMagic);
+  w.PutU32(kStoreMagicV2);
   w.PutU32(static_cast<uint32_t>(superblocks.size()));
-  for (const auto& [user, blob] : superblocks) {
+  for (const auto& [user, e] : superblocks) {
     w.PutU32(user);
-    w.PutBytes(blob);
+    w.PutU64(e.gen);
+    w.PutU8(e.tombstone ? 1 : 0);
+    w.PutBytes(e.blob);
   }
-  PutPairMap(&w, metadata);
-  PutPairMap(&w, user_metadata);
-  PutPairMap(&w, data);
-  PutPairMap(&w, group_keys);
+  PutPairMap<fs::InodeNum, Selector>(&w, metadata);
+  PutPairMap<fs::InodeNum, uint32_t>(&w, user_metadata);
+  PutPairMap<fs::InodeNum, uint32_t>(&w, data);
+  PutPairMap<uint32_t, uint32_t>(&w, group_keys);
   return w.Take();
+}
+
+void ObjectStore::RestoreEntry(ObjectFamily family, uint64_t k1, uint64_t k2,
+                               Bytes blob, uint64_t gen, bool tombstone) {
+  Shard& s = ShardFor(k1);
+  auto lock = AcquireUnique(s.mu);
+  Entry e{std::move(blob), gen, tombstone};
+  uint64_t* family_bytes = nullptr;
+  switch (family) {
+    case ObjectFamily::kSuperblock:
+      family_bytes = &s.stats.superblock_bytes;
+      break;
+    case ObjectFamily::kMetadata:
+      family_bytes = &s.stats.metadata_bytes;
+      break;
+    case ObjectFamily::kUserMetadata:
+      family_bytes = &s.stats.user_metadata_bytes;
+      break;
+    case ObjectFamily::kData:
+      family_bytes = &s.stats.data_bytes;
+      break;
+    case ObjectFamily::kGroupKey:
+      family_bytes = &s.stats.group_key_bytes;
+      break;
+  }
+  if (tombstone) {
+    ++s.stats.tombstone_count;
+  } else {
+    ++s.stats.object_count;
+    *family_bytes += e.blob.size();
+  }
+  switch (family) {
+    case ObjectFamily::kSuperblock:
+      s.superblocks[static_cast<uint32_t>(k1)] = std::move(e);
+      break;
+    case ObjectFamily::kMetadata:
+      s.metadata[{static_cast<fs::InodeNum>(k1), static_cast<Selector>(k2)}] =
+          std::move(e);
+      break;
+    case ObjectFamily::kUserMetadata:
+      s.user_metadata[{static_cast<fs::InodeNum>(k1),
+                       static_cast<uint32_t>(k2)}] = std::move(e);
+      break;
+    case ObjectFamily::kData:
+      s.data[{static_cast<fs::InodeNum>(k1), static_cast<uint32_t>(k2)}] =
+          std::move(e);
+      break;
+    case ObjectFamily::kGroupKey:
+      s.group_keys[{static_cast<uint32_t>(k1), static_cast<uint32_t>(k2)}] =
+          std::move(e);
+      break;
+  }
 }
 
 Result<ObjectStore> ObjectStore::Deserialize(const Bytes& data) {
   BinaryReader r(data);
-  if (r.GetU32() != kStoreMagic) {
+  uint32_t magic = r.GetU32();
+  bool versioned;
+  if (magic == kStoreMagicV2) {
+    versioned = true;
+  } else if (magic == kStoreMagicV1) {
+    versioned = false;
+  } else {
     return Status::Corruption("not an SSP store snapshot");
   }
   ObjectStore store;
@@ -302,23 +629,37 @@ Result<ObjectStore> ObjectStore::Deserialize(const Bytes& data) {
   }
   for (uint32_t i = 0; i < n_super; ++i) {
     uint32_t user = r.GetU32();
-    store.PutSuperblock(user, r.GetBytes());
+    uint64_t gen = 1;
+    bool tombstone = false;
+    if (versioned) {
+      gen = r.GetU64();
+      tombstone = r.GetU8() != 0;
+    }
+    store.RestoreEntry(ObjectFamily::kSuperblock, user, 0, r.GetBytes(), gen,
+                       tombstone);
   }
   SHAROES_RETURN_IF_ERROR((GetPairMap<fs::InodeNum, Selector>(
-      &r, [&store](fs::InodeNum inode, Selector sel, Bytes blob) {
-        store.PutMetadata(inode, sel, std::move(blob));
+      &r, versioned,
+      [&store](fs::InodeNum inode, Selector sel, EntryImage e) {
+        store.RestoreEntry(ObjectFamily::kMetadata, inode, sel,
+                           std::move(e.blob), e.gen, e.tombstone);
       })));
   SHAROES_RETURN_IF_ERROR((GetPairMap<fs::InodeNum, uint32_t>(
-      &r, [&store](fs::InodeNum inode, uint32_t user, Bytes blob) {
-        store.PutUserMetadata(inode, user, std::move(blob));
+      &r, versioned,
+      [&store](fs::InodeNum inode, uint32_t user, EntryImage e) {
+        store.RestoreEntry(ObjectFamily::kUserMetadata, inode, user,
+                           std::move(e.blob), e.gen, e.tombstone);
       })));
   SHAROES_RETURN_IF_ERROR((GetPairMap<fs::InodeNum, uint32_t>(
-      &r, [&store](fs::InodeNum inode, uint32_t block, Bytes blob) {
-        store.PutData(inode, block, std::move(blob));
+      &r, versioned,
+      [&store](fs::InodeNum inode, uint32_t block, EntryImage e) {
+        store.RestoreEntry(ObjectFamily::kData, inode, block,
+                           std::move(e.blob), e.gen, e.tombstone);
       })));
   SHAROES_RETURN_IF_ERROR((GetPairMap<uint32_t, uint32_t>(
-      &r, [&store](uint32_t group, uint32_t user, Bytes blob) {
-        store.PutGroupKey(group, user, std::move(blob));
+      &r, versioned, [&store](uint32_t group, uint32_t user, EntryImage e) {
+        store.RestoreEntry(ObjectFamily::kGroupKey, group, user,
+                           std::move(e.blob), e.gen, e.tombstone);
       })));
   SHAROES_RETURN_IF_ERROR(r.Finish("store snapshot"));
   return store;
@@ -347,8 +688,8 @@ bool ObjectStore::CorruptMetadata(fs::InodeNum inode, Selector sel,
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
   auto it = s.metadata.find({inode, sel});
-  if (it == s.metadata.end() || it->second.empty()) return false;
-  it->second[offset % it->second.size()] ^= mask;
+  if (it == s.metadata.end() || it->second.blob.empty()) return false;
+  it->second.blob[offset % it->second.blob.size()] ^= mask;
   return true;
 }
 
@@ -357,8 +698,8 @@ bool ObjectStore::CorruptData(fs::InodeNum inode, uint32_t block,
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
   auto it = s.data.find({inode, block});
-  if (it == s.data.end() || it->second.empty()) return false;
-  it->second[offset % it->second.size()] ^= mask;
+  if (it == s.data.end() || it->second.blob.empty()) return false;
+  it->second.blob[offset % it->second.blob.size()] ^= mask;
   return true;
 }
 
@@ -366,10 +707,10 @@ bool ObjectStore::ReplaceData(fs::InodeNum inode, uint32_t block, Bytes blob) {
   Shard& s = ShardFor(inode);
   auto lock = AcquireUnique(s.mu);
   auto it = s.data.find({inode, block});
-  if (it == s.data.end()) return false;
-  s.stats.data_bytes -= it->second.size();
+  if (it == s.data.end() || it->second.tombstone) return false;
+  s.stats.data_bytes -= it->second.blob.size();
   s.stats.data_bytes += blob.size();
-  it->second = std::move(blob);
+  it->second.blob = std::move(blob);
   return true;
 }
 

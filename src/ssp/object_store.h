@@ -4,6 +4,17 @@
 // by the integrity tests and storage accounting used by the Scheme-1 /
 // Scheme-2 cost ablation.
 //
+// Versioning: every entry carries a monotone per-key generation, bumped
+// on each put or delete of that key. In cluster mode (tombstones
+// enabled) a delete does not erase — it leaves a versioned tombstone, so
+// a replica that was down through the delete can later be told, with a
+// comparable generation, that the key is dead (DESIGN.md §16). Gen-gated
+// variants of put/delete exist for read repair and the anti-entropy
+// scrubber: they apply only if the explicit generation wins against the
+// local entry (ties go to the tombstone), which is what makes repair
+// convergent and resurrection-free. Single-daemon deployments leave
+// tombstones disabled and get the classic erase semantics.
+//
 // Thread safety: the store is shard-striped. Keys are hash-partitioned
 // over N shards (default 16), each guarded by its own std::shared_mutex;
 // reads take shared locks, writes exclusive locks, and storage accounting
@@ -33,7 +44,9 @@
 
 namespace sharoes::ssp {
 
-/// Storage accounting by object family.
+/// Storage accounting by object family. Byte counters cover live blobs
+/// only; tombstones (empty blobs by construction) are counted separately
+/// so GC progress is observable.
 struct StorageStats {
   uint64_t superblock_bytes = 0;
   uint64_t metadata_bytes = 0;
@@ -41,6 +54,7 @@ struct StorageStats {
   uint64_t data_bytes = 0;
   uint64_t group_key_bytes = 0;
   uint64_t object_count = 0;
+  uint64_t tombstone_count = 0;
 
   uint64_t total_bytes() const {
     return superblock_bytes + metadata_bytes + user_metadata_bytes +
@@ -48,11 +62,41 @@ struct StorageStats {
   }
 };
 
+/// The five key spaces, for the generic enumeration / GC interface.
+enum class ObjectFamily : uint8_t {
+  kSuperblock = 0,   // k1 = user,  k2 unused.
+  kMetadata = 1,     // k1 = inode, k2 = selector.
+  kUserMetadata = 2, // k1 = inode, k2 = user.
+  kData = 3,         // k1 = inode, k2 = block.
+  kGroupKey = 4,     // k1 = group, k2 = user.
+};
+
+/// A family-qualified key, wide enough for every family.
+struct ObjectRef {
+  ObjectFamily family = ObjectFamily::kData;
+  uint64_t k1 = 0;
+  uint64_t k2 = 0;
+};
+
+/// One entry as seen by the scrubber's enumeration.
+struct ObjectVersion {
+  ObjectRef ref;
+  uint64_t gen = 0;
+  bool tombstone = false;
+};
+
 /// Pure key-value storage; no knowledge of plaintext structure.
 /// Safe for concurrent use from any number of threads.
 class ObjectStore {
  public:
   static constexpr size_t kDefaultShards = 16;
+
+  /// A versioned read result: live blob or tombstone, plus generation.
+  struct Versioned {
+    Bytes blob;  // Empty for tombstones.
+    uint64_t gen = 0;
+    bool tombstone = false;
+  };
 
   /// `num_shards` == 1 degrades to a single global lock (the baseline
   /// measured by bench_concurrent_ssp).
@@ -65,34 +109,74 @@ class ObjectStore {
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
 
+  /// Cluster mode switch: deletes leave versioned tombstones instead of
+  /// erasing. Flip before the store starts serving (plain bool, not
+  /// atomic: it is configuration, set once at daemon startup / test
+  /// setup, never mid-traffic).
+  void set_tombstones_enabled(bool on) { tombstones_enabled_ = on; }
+  bool tombstones_enabled() const { return tombstones_enabled_; }
+
+  // Puts and per-key deletes take an optional explicit generation:
+  // gen == 0 (every pre-existing call site) means "bump the local
+  // generation", the normal client path. gen != 0 is the repair/scrub
+  // path: apply *at* that generation iff it beats the local entry
+  // (put loses to a tombstone at the same gen; delete wins the tie).
+  // The bool return says whether the op applied; ordinary callers
+  // ignore it.
+
   // Superblocks, keyed by user.
-  void PutSuperblock(uint32_t user, Bytes blob);
+  bool PutSuperblock(uint32_t user, Bytes blob, uint64_t gen = 0);
   std::optional<Bytes> GetSuperblock(uint32_t user) const;
-  void DeleteSuperblock(uint32_t user);
+  bool DeleteSuperblock(uint32_t user, uint64_t gen = 0);
 
   // Metadata replicas, keyed by (inode, selector).
-  void PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob);
+  bool PutMetadata(fs::InodeNum inode, Selector sel, Bytes blob,
+                   uint64_t gen = 0);
   std::optional<Bytes> GetMetadata(fs::InodeNum inode, Selector sel) const;
-  void DeleteMetadata(fs::InodeNum inode, Selector sel);
+  bool DeleteMetadata(fs::InodeNum inode, Selector sel, uint64_t gen = 0);
   void DeleteInodeMetadata(fs::InodeNum inode);
-  /// Number of replicas currently stored for an inode.
+  /// Number of live (non-tombstone) replicas stored for an inode.
   size_t MetadataReplicaCount(fs::InodeNum inode) const;
 
   // Per-user metadata blocks (split points).
-  void PutUserMetadata(fs::InodeNum inode, uint32_t user, Bytes blob);
+  bool PutUserMetadata(fs::InodeNum inode, uint32_t user, Bytes blob,
+                       uint64_t gen = 0);
   std::optional<Bytes> GetUserMetadata(fs::InodeNum inode,
                                        uint32_t user) const;
-  void DeleteUserMetadata(fs::InodeNum inode, uint32_t user);
+  bool DeleteUserMetadata(fs::InodeNum inode, uint32_t user,
+                          uint64_t gen = 0);
 
   // Data blocks, keyed by (inode, block index).
-  void PutData(fs::InodeNum inode, uint32_t block, Bytes blob);
+  bool PutData(fs::InodeNum inode, uint32_t block, Bytes blob,
+               uint64_t gen = 0);
   std::optional<Bytes> GetData(fs::InodeNum inode, uint32_t block) const;
+  bool DeleteData(fs::InodeNum inode, uint32_t block, uint64_t gen = 0);
   void DeleteInodeData(fs::InodeNum inode);
 
   // Group key blocks, keyed by (group, user).
-  void PutGroupKey(uint32_t group, uint32_t user, Bytes blob);
+  bool PutGroupKey(uint32_t group, uint32_t user, Bytes blob,
+                   uint64_t gen = 0);
   std::optional<Bytes> GetGroupKey(uint32_t group, uint32_t user) const;
-  void DeleteGroupKey(uint32_t group, uint32_t user);
+  bool DeleteGroupKey(uint32_t group, uint32_t user, uint64_t gen = 0);
+
+  /// Versioned read for the wire's want_version path and the scrubber:
+  /// resolves the key of any get-opcode Request. Returns the entry
+  /// (tombstones included, with their generation) or nullopt if the key
+  /// is absent entirely. Non-get opcodes return nullopt.
+  std::optional<Versioned> GetVersioned(const Request& get) const;
+
+  /// Every entry in the store, tombstones included, with generations.
+  /// Snapshot-consistent per shard, not across shards — exactly what the
+  /// scrubber needs for an anti-entropy pass (it re-checks each key
+  /// against live replicas anyway).
+  std::vector<ObjectVersion> ListVersions() const;
+
+  /// Tombstone GC: removes the entry iff it is still a tombstone at
+  /// exactly `gen` (a concurrent re-create or newer delete aborts the
+  /// purge). Returns whether it was removed. Deliberately NOT WAL-logged
+  /// by callers: replay may resurrect a purged tombstone, which is
+  /// harmless — the next full-quorum scrub pass re-collects it.
+  bool RemoveTombstone(const ObjectRef& ref, uint64_t gen);
 
   /// Aggregates the per-shard counters (shared-locking one shard at a
   /// time, so the result is a consistent per-shard but not cross-shard
@@ -105,6 +189,8 @@ class ObjectStore {
   /// store only ever holds ciphertext, so the snapshot file is as opaque
   /// to its holder as the live store is to the SSP. The snapshot is
   /// byte-deterministic (globally key-sorted) regardless of shard count.
+  /// Format v2 carries per-entry generations and tombstones; v1 (gen-less)
+  /// snapshots still load, entering every blob at generation 1.
   Bytes Serialize() const;
   static Result<ObjectStore> Deserialize(const Bytes& data);
   /// File-level convenience used by sharoes_sspd --store.
@@ -122,21 +208,34 @@ class ObjectStore {
   bool ReplaceData(fs::InodeNum inode, uint32_t block, Bytes blob);
 
  private:
+  /// One stored value: blob + generation + liveness. Tombstones keep an
+  /// empty blob so the byte accounting needs no special cases.
+  struct Entry {
+    Bytes blob;
+    uint64_t gen = 0;
+    bool tombstone = false;
+  };
+
   // One stripe of the store. Every map in the shard is guarded by `mu`,
   // as are the accounting counters (no atomics needed).
   struct Shard {
     mutable std::shared_mutex mu;
-    std::map<uint32_t, Bytes> superblocks;
-    std::map<std::pair<fs::InodeNum, Selector>, Bytes> metadata;
-    std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> user_metadata;
-    std::map<std::pair<fs::InodeNum, uint32_t>, Bytes> data;
-    std::map<std::pair<uint32_t, uint32_t>, Bytes> group_keys;
+    std::map<uint32_t, Entry> superblocks;
+    std::map<std::pair<fs::InodeNum, Selector>, Entry> metadata;
+    std::map<std::pair<fs::InodeNum, uint32_t>, Entry> user_metadata;
+    std::map<std::pair<fs::InodeNum, uint32_t>, Entry> data;
+    std::map<std::pair<uint32_t, uint32_t>, Entry> group_keys;
     StorageStats stats;
   };
 
   Shard& ShardFor(uint64_t key) const;
+  /// Snapshot restore: inserts an entry with its exact generation and
+  /// liveness (no bump, no gating).
+  void RestoreEntry(ObjectFamily family, uint64_t k1, uint64_t k2,
+                    Bytes blob, uint64_t gen, bool tombstone);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  bool tombstones_enabled_ = false;
 };
 
 }  // namespace sharoes::ssp

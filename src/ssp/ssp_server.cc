@@ -89,6 +89,9 @@ void SspServer::RegisterStoreGauges() {
       [store] { return store->Stats().metadata_bytes; }));
   store_gauges_.push_back(reg.AddGauge(
       "ssp.store.data_bytes", [store] { return store->Stats().data_bytes; }));
+  store_gauges_.push_back(reg.AddGauge(
+      "ssp.store.tombstones",
+      [store] { return store->Stats().tombstone_count; }));
 }
 
 Bytes SspServer::HandleWire(const Bytes& request_bytes) {
@@ -200,11 +203,13 @@ Response SspServer::Handle(const Request& req) {
         continue;
       }
       mutated = mutated || IsMutatingOp(sub.op);
-      resp.batch.push_back(HandleOne(sub, &max_wal_seq));
+      // Sub-requests never carry extensions on the wire; the top-level
+      // frame's versioned-read flag covers every sub-read.
+      resp.batch.push_back(HandleOne(sub, req.want_version, &max_wal_seq));
     }
   } else {
     mutated = IsMutatingOp(req.op);
-    resp = HandleOne(req, &max_wal_seq);
+    resp = HandleOne(req, req.want_version, &max_wal_seq);
   }
 
   // One durability point per top-level request: under sync=always a
@@ -225,7 +230,8 @@ Response SspServer::Handle(const Request& req) {
   return resp;
 }
 
-Response SspServer::HandleOne(const Request& req, uint64_t* max_wal_seq) {
+Response SspServer::HandleOne(const Request& req, bool want_version,
+                              uint64_t* max_wal_seq) {
   // Shard-ownership gate (placement.h): a store-scoped op for a routing
   // key this daemon does not replicate is refused before it can touch
   // the WAL or the store — the reply tells the client its cluster
@@ -274,6 +280,12 @@ Response SspServer::HandleOne(const Request& req, uint64_t* max_wal_seq) {
     // starting with the payload's prefix). Read-only — it never touches
     // the store, so it is safe to issue against a serving daemon.
     std::string prefix(req.payload.begin(), req.payload.end());
+    if (req.binary_stats) {
+      // The fan-out form: a mergeable binary snapshot the sharded
+      // channel folds across nodes before rendering JSON client-side.
+      return Response::Ok(
+          obs::MetricsRegistry::Global().Snapshot(prefix).SerializeBinary());
+    }
     return Response::Ok(
         ToBytes(obs::MetricsRegistry::Global().SnapshotJson(prefix)));
   }
@@ -283,6 +295,30 @@ Response SspServer::HandleOne(const Request& req, uint64_t* max_wal_seq) {
     return Response::Ok(ToBytes(obs::SpanCollector::Global().ToJson()));
   }
   obs::PhaseScope store_phase(obs::Phase::kStore);
+  if (want_version) {
+    switch (req.op) {
+      case OpCode::kGetSuperblock:
+      case OpCode::kGetMetadata:
+      case OpCode::kGetUserMetadata:
+      case OpCode::kGetData:
+      case OpCode::kGetGroupKey: {
+        // Versioned read (quorum/repair/scrub path): expose the entry's
+        // generation, and distinguish "deleted" (tombstone, comparable)
+        // from "never heard of it" (plain kNotFound).
+        auto v = store_.GetVersioned(req);
+        if (!v.has_value()) return Response::NotFound();
+        if (v->tombstone) return Response::Deleted(v->gen);
+        Response resp = Response::Ok(std::move(v->blob));
+        BinaryWriter w;
+        w.PutU64(v->gen);
+        const Bytes& suffix = w.data();
+        resp.payload.insert(resp.payload.end(), suffix.begin(), suffix.end());
+        return resp;
+      }
+      default:
+        break;
+    }
+  }
   switch (req.op) {
     case OpCode::kGetSuperblock:
       return FromOptional(store_.GetSuperblock(req.user));

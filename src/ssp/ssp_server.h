@@ -80,8 +80,12 @@ class SspServer {
   /// Executes one non-batch op. When the op mutates under a WAL,
   /// `*max_wal_seq` is raised to the sequence its log append was
   /// assigned — Handle() commits through the highest one, so a whole
-  /// batch shares a single durability point.
-  Response HandleOne(const Request& req, uint64_t* max_wal_seq);
+  /// batch shares a single durability point. `want_version` is the
+  /// top-level frame's versioned-read flag (a kBatch's flag covers all
+  /// sub-reads): live hits gain an 8-byte generation suffix, tombstones
+  /// answer kDeleted instead of kNotFound.
+  Response HandleOne(const Request& req, bool want_version,
+                     uint64_t* max_wal_seq);
   /// Publishes this server's store accounting as registry gauges
   /// (ssp.store.*). Several live servers sum in the snapshot.
   void RegisterStoreGauges();

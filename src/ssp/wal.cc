@@ -221,39 +221,48 @@ Bytes EncodeWalRecord(uint64_t seq, const Bytes& payload) {
 }
 
 Status ApplyWalOp(const Request& op, ObjectStore* store) {
+  // Repair/scrub mutations carry an explicit store generation as a
+  // request extension; since Wal::Append logs op.Serialize(), the
+  // generation rides into the log and replay re-applies it gen-gated,
+  // exactly like the live apply. gen == 0 is the ordinary client path
+  // (bump the local generation).
+  const uint64_t gen = op.has_store_gen ? op.store_gen : 0;
   switch (op.op) {
     case OpCode::kPutSuperblock:
-      store->PutSuperblock(op.user, op.payload);
+      store->PutSuperblock(op.user, op.payload, gen);
       return Status::OK();
     case OpCode::kDeleteSuperblock:
-      store->DeleteSuperblock(op.user);
+      store->DeleteSuperblock(op.user, gen);
       return Status::OK();
     case OpCode::kPutMetadata:
-      store->PutMetadata(op.inode, op.selector, op.payload);
+      store->PutMetadata(op.inode, op.selector, op.payload, gen);
       return Status::OK();
     case OpCode::kDeleteMetadata:
-      store->DeleteMetadata(op.inode, op.selector);
+      store->DeleteMetadata(op.inode, op.selector, gen);
       return Status::OK();
     case OpCode::kDeleteInodeMetadata:
       store->DeleteInodeMetadata(op.inode);
       return Status::OK();
     case OpCode::kPutUserMetadata:
-      store->PutUserMetadata(op.inode, op.user, op.payload);
+      store->PutUserMetadata(op.inode, op.user, op.payload, gen);
       return Status::OK();
     case OpCode::kDeleteUserMetadata:
-      store->DeleteUserMetadata(op.inode, op.user);
+      store->DeleteUserMetadata(op.inode, op.user, gen);
       return Status::OK();
     case OpCode::kPutData:
-      store->PutData(op.inode, op.block, op.payload);
+      store->PutData(op.inode, op.block, op.payload, gen);
+      return Status::OK();
+    case OpCode::kDeleteData:
+      store->DeleteData(op.inode, op.block, gen);
       return Status::OK();
     case OpCode::kDeleteInodeData:
       store->DeleteInodeData(op.inode);
       return Status::OK();
     case OpCode::kPutGroupKey:
-      store->PutGroupKey(op.group, op.user, op.payload);
+      store->PutGroupKey(op.group, op.user, op.payload, gen);
       return Status::OK();
     case OpCode::kDeleteGroupKey:
-      store->DeleteGroupKey(op.group, op.user);
+      store->DeleteGroupKey(op.group, op.user, gen);
       return Status::OK();
     default:
       return Status::Corruption("non-mutating op in WAL record");
@@ -670,19 +679,24 @@ Status Wal::Compact() {
   // between its Append and its store apply, so every op <= `cut` is
   // fully in the store and every later op lands in the new segment.
   uint64_t cut;
+  Bytes store_bytes;
   {
     std::unique_lock<std::shared_mutex> exclusive(gate_);
-    std::lock_guard<std::mutex> lock(mu_);
-    cut = seq_;
-    SHAROES_RETURN_IF_ERROR(SyncLocked());
-    SHAROES_RETURN_IF_ERROR(
-        OpenSegmentLocked(cut, /*truncate_to=*/false, 0));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cut = seq_;
+      SHAROES_RETURN_IF_ERROR(SyncLocked());
+      SHAROES_RETURN_IF_ERROR(
+          OpenSegmentLocked(cut, /*truncate_to=*/false, 0));
+    }
+    // Phase 2 — the image, still under the exclusive gate so it is
+    // exactly the state at `cut`: replay of the new segment applies each
+    // later op exactly once, which keeps per-entry generations identical
+    // between the recovered and the live store. (Serving threads block
+    // only for the in-memory Serialize; the disk write below happens
+    // with serving live.)
+    store_bytes = store_->Serialize();
   }
-
-  // Phase 2 — the image, with serving live. Serialize() may observe ops
-  // later than `cut`; replay reapplies them idempotently, so the image
-  // is safe to pair with the new segment.
-  Bytes store_bytes = store_->Serialize();
   SHAROES_RETURN_IF_ERROR(WriteSnapshot(cut, store_bytes));
 
   // Phase 3 — prune. Every record in a segment based below the cut is

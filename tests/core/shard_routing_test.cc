@@ -8,10 +8,13 @@
 
 #include "core/sharded_channel.h"
 
+#include <dirent.h>
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/client.h"
@@ -204,6 +207,117 @@ TEST(ShardRouting, WrongShardWithoutRefreshSurfaces) {
   ASSERT_TRUE(put.ok()) << put.status();
   EXPECT_EQ(put->status, RespStatus::kWrongShard);
   EXPECT_EQ((*channel)->placement_refreshes(), 0u);
+}
+
+/// Forwarding channel that counts how many transport channels are alive
+/// — a leak detector for connections a placement refresh should drop.
+class CountingChannel : public ssp::SspChannel {
+ public:
+  CountingChannel(std::unique_ptr<ssp::SspChannel> inner,
+                  std::atomic<int>* live)
+      : inner_(std::move(inner)), live_(live) {
+    live_->fetch_add(1);
+  }
+  ~CountingChannel() override { live_->fetch_sub(1); }
+  Result<Response> Call(const Request& req) override {
+    return inner_->Call(req);
+  }
+
+ private:
+  std::unique_ptr<ssp::SspChannel> inner_;
+  std::atomic<int>* live_;
+};
+
+/// Open descriptors of this process (includes the enumeration dirfd —
+/// only deltas are meaningful). -1 where /proc is unavailable.
+int OpenFdCount() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count;
+}
+
+TEST(ShardRouting, EndpointChangeRefreshDropsStaleConnections) {
+  // A RetryingConnection's factory captures its endpoint at creation,
+  // so a placement refresh that moves a node id to a different address
+  // must DROP that node's old connection: a kept slot would redial the
+  // wrong endpoint forever and leak its socket. Start the channel on a
+  // config with the two nodes' addresses swapped (ring unchanged — only
+  // the dialing is wrong), let kWrongShard trigger the refresh, and
+  // count both live channels and process fds.
+  TestCluster::Options topts;
+  topts.nodes = 2;
+  topts.replication = 1;
+  topts.write_quorum = 1;
+  topts.read_quorum = 1;
+  topts.wal = false;
+  topts.tag = "routing_conns";
+  TestCluster cluster(topts);
+  cluster.Start();
+
+  ssp::ClusterConfig swapped = cluster.config();
+  std::swap(swapped.nodes[0].port, swapped.nodes[1].port);
+
+  // Endpoint-faithful factory, like the production TCP one: dial the
+  // address in the config, not the node id.
+  std::atomic<int> live{0};
+  auto factory = [&live](const ssp::ClusterNode& node)
+      -> RetryingConnection::ChannelFactory {
+    return [host = node.host, port = node.port,
+            &live]() -> Result<std::unique_ptr<ssp::SspChannel>> {
+      net::TcpTimeouts timeouts{/*connect_ms=*/2000, /*send_ms=*/5000,
+                                /*recv_ms=*/5000};
+      auto ch = ssp::TcpSspChannel::Connect(host, port, timeouts);
+      if (!ch.ok()) return ch.status();
+      return std::unique_ptr<ssp::SspChannel>(
+          new CountingChannel(std::move(*ch), &live));
+    };
+  };
+  auto channel = core::ShardedChannel::Create(
+      swapped, factory, core::ShardedChannelOptions{},
+      [&cluster]() -> Result<ssp::ClusterConfig> { return cluster.config(); });
+  ASSERT_TRUE(channel.ok()) << channel.status();
+
+  auto by_shard = InodesByShard(cluster, 64);
+  ASSERT_FALSE(by_shard[0].empty());
+  ASSERT_FALSE(by_shard[1].empty());
+  uint64_t inode0 = by_shard[0][0];
+  uint64_t inode1 = by_shard[1][0];
+
+  // Dials "node 0" at node 1's address; the ownership gate answers
+  // kWrongShard, the refresh swaps the endpoints back, and the same
+  // Call must finish against the right daemon.
+  auto put0 = (*channel)->Call(Request::PutData(inode0, 0, Payload(inode0)));
+  ASSERT_TRUE(put0.ok()) << put0.status();
+  EXPECT_EQ(put0->status, RespStatus::kOk)
+      << "the refreshed slot still dialed the stale endpoint";
+  EXPECT_EQ((*channel)->placement_refreshes(), 1u);
+  auto put1 = (*channel)->Call(Request::PutData(inode1, 0, Payload(inode1)));
+  ASSERT_TRUE(put1.ok()) << put1.status();
+  EXPECT_EQ(put1->status, RespStatus::kOk);
+
+  // One live transport channel per node — the pre-refresh connection
+  // was destroyed (closing its socket), not left behind the new slot.
+  EXPECT_EQ(live.load(), 2);
+
+  // Steady state: more traffic on the healed ring reuses the two
+  // connections; neither the channel count nor the fd table may grow.
+  int fd_baseline = OpenFdCount();
+  for (int round = 0; round < 5; ++round) {
+    auto get0 = (*channel)->Call(Request::GetData(inode0, 0));
+    ASSERT_TRUE(get0.ok());
+    EXPECT_EQ(get0->payload, Payload(inode0));
+    auto get1 = (*channel)->Call(Request::GetData(inode1, 0));
+    ASSERT_TRUE(get1.ok());
+    EXPECT_EQ(get1->payload, Payload(inode1));
+  }
+  EXPECT_EQ((*channel)->placement_refreshes(), 1u);
+  EXPECT_EQ(live.load(), 2);
+  if (fd_baseline >= 0) {
+    EXPECT_LE(OpenFdCount(), fd_baseline) << "fd growth under steady state";
+  }
 }
 
 TEST(ShardRouting, FanOutCountsAsOneLogicalRoundTrip) {

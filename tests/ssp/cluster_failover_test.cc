@@ -10,13 +10,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/client.h"
 #include "core/sharded_channel.h"
 #include "ssp/placement.h"
+#include "ssp/scrub.h"
 #include "testing/andrew_client.h"
 #include "testing/cluster.h"
 #include "testing/stress.h"
@@ -176,6 +180,183 @@ TEST(ClusterFailover, QuorumReadRepairsAReplicaThatMissedAWrite) {
   ASSERT_TRUE(own.ok());
   ASSERT_EQ(own->status, RespStatus::kOk);
   EXPECT_EQ(own->payload, v2);
+}
+
+/// Polls `cond` for up to two seconds (quorum writes ack at W; the
+/// straggler replica's copy can land a beat later).
+bool Eventually(const std::function<bool()>& cond) {
+  for (int i = 0; i < 200; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+/// Picks `count` inodes whose PREFERRED replica is `node_index`, so the
+/// default read quorum provably contains that node.
+std::vector<uint64_t> InodesPreferring(const TestCluster& cluster,
+                                       uint32_t node_index, size_t count) {
+  std::vector<uint64_t> inodes;
+  for (uint64_t candidate = 1; candidate < 5000 && inodes.size() < count;
+       ++candidate) {
+    if (cluster.ring().PrimaryIndexFor(candidate) == node_index) {
+      inodes.push_back(candidate);
+    }
+  }
+  EXPECT_EQ(inodes.size(), count) << "rebalance the test key range";
+  return inodes;
+}
+
+TEST(ClusterFailover, DeleteSurvivesAnAmnesiacReplicaRestart) {
+  // The resurrection regression (tentpole of the tombstone PR). The
+  // dangerous interleaving: a replica holds a key, sleeps through its
+  // deletion, and recovers from its WAL still offering the stale live
+  // copy. With erase-style deletes the survivors hold NOTHING to refute
+  // it, so a quorum read resurrects the key and read repair spreads it
+  // back to the healthy majority (the negative control below shows
+  // exactly that). With replicated tombstones the delete IS state: a
+  // versioned tombstone on the write quorum outranks the stale copy.
+  TestCluster cluster(ReplicatedWal("failover_tombstone"));
+  cluster.Start();
+
+  // Two keys preferring node 2 (the future amnesiac is in every default
+  // read quorum): one healed by read repair, one — never read — by the
+  // anti-entropy scrubber.
+  std::vector<uint64_t> inodes = InodesPreferring(cluster, 2, 2);
+  Bytes v{0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+
+  auto writer = cluster.MakeChannel();
+  ASSERT_NE(writer, nullptr);
+  for (uint64_t inode : inodes) {
+    auto put = writer->Call(Request::PutData(inode, 0, v));
+    ASSERT_TRUE(put.ok()) << put.status();
+    ASSERT_EQ(put->status, RespStatus::kOk);
+  }
+  // All three replicas must hold the value before the kill, or "slept
+  // through the delete" would not be what this test exercises.
+  for (int node = 0; node < 3; ++node) {
+    for (uint64_t inode : inodes) {
+      ASSERT_TRUE(Eventually([&] {
+        return cluster.node(node)
+            ->server()
+            ->store()
+            .GetData(inode, 0)
+            .has_value();
+      })) << "node " << node << " never received inode " << inode;
+    }
+  }
+
+  cluster.node(2)->KillHard();
+  for (uint64_t inode : inodes) {
+    auto del = writer->Call(Request::DeleteData(inode, 0));
+    ASSERT_TRUE(del.ok()) << del.status();
+    ASSERT_EQ(del->status, RespStatus::kOk) << "W=2 must ack without node 2";
+  }
+  cluster.node(2)->Restart();  // WAL replays the puts — not the deletes.
+  for (uint64_t inode : inodes) {
+    ASSERT_TRUE(
+        cluster.node(2)->server()->store().GetData(inode, 0).has_value())
+        << "node 2 must come back offering the stale copy for the "
+           "divergence to be real";
+  }
+
+  // Read-repair leg: a FRESH channel (no session marks — this client
+  // never saw the delete) must still see it, and push it onto the
+  // amnesiac inline.
+  auto reader = cluster.MakeChannel();
+  ASSERT_NE(reader, nullptr);
+  auto got = reader->Call(Request::GetData(inodes[0], 0));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->status, RespStatus::kNotFound) << "resurrected!";
+  EXPECT_FALSE(
+      cluster.node(2)->server()->store().GetData(inodes[0], 0).has_value())
+      << "read repair did not re-delete the stale copy";
+  // The deleting channel agrees with itself, too (its session mark was
+  // flipped by the delete, not erased).
+  auto own = writer->Call(Request::GetData(inodes[0], 0));
+  ASSERT_TRUE(own.ok()) << own.status();
+  EXPECT_EQ(own->status, RespStatus::kNotFound);
+
+  // Scrubber leg: nobody ever reads inodes[1]; a node-0 anti-entropy
+  // pass must find the divergence and re-delete the stale copy. (The
+  // same pass already sees inodes[0] all-tombstone — the read repair
+  // above healed it — so node 0's tombstone for it is GC'd here; the
+  // pass's count joins the GC tally below.)
+  auto scrub0 = cluster.MakeScrubber(0);
+  ScrubPass pass = scrub0->RunOnce();
+  EXPECT_GE(pass.examined, 2u);
+  EXPECT_GE(pass.repaired, 1u);
+  EXPECT_EQ(pass.unreachable, 0u);
+  EXPECT_FALSE(
+      cluster.node(2)->server()->store().GetData(inodes[1], 0).has_value())
+      << "the scrubber did not re-delete the stale copy";
+
+  // GC leg: once every replica agrees the keys are dead, the tombstones
+  // themselves are garbage — each node's own full-quorum pass purges
+  // them and the stores return to their (empty) baseline.
+  auto scrub1 = cluster.MakeScrubber(1);
+  auto scrub2 = cluster.MakeScrubber(2);
+  uint64_t gc_total = pass.tombstones_gc;
+  for (int round = 0; round < 2; ++round) {
+    gc_total += scrub0->RunOnce().tombstones_gc;
+    gc_total += scrub1->RunOnce().tombstones_gc;
+    gc_total += scrub2->RunOnce().tombstones_gc;
+  }
+  EXPECT_EQ(gc_total, 6u) << "one tombstone per node per key";
+  for (int node = 0; node < 3; ++node) {
+    auto versions = cluster.node(node)->server()->store().ListVersions();
+    EXPECT_TRUE(versions.empty())
+        << "node " << node << " still holds " << versions.size()
+        << " entries after full-quorum GC";
+    auto stats = cluster.node(node)->server()->store().Stats();
+    EXPECT_EQ(stats.tombstone_count, 0u) << "node " << node;
+  }
+}
+
+TEST(ClusterFailover, WithoutTombstonesTheSameRestartResurrectsTheKey) {
+  // Negative control: the identical choreography against erase-style
+  // deletes (the pre-tombstone seed semantics) MUST resurrect the key.
+  // If this leg ever starts passing as kNotFound, the positive test
+  // above is green for some hidden reason other than tombstones.
+  TestCluster::Options opts = ReplicatedWal("failover_resurrect");
+  opts.tombstones = false;
+  TestCluster cluster(opts);
+  cluster.Start();
+
+  std::vector<uint64_t> inodes = InodesPreferring(cluster, 2, 1);
+  Bytes v{0xDE, 0xAD, 0xBE, 0xEF, 0x02};
+
+  auto writer = cluster.MakeChannel();
+  ASSERT_NE(writer, nullptr);
+  auto put = writer->Call(Request::PutData(inodes[0], 0, v));
+  ASSERT_TRUE(put.ok()) << put.status();
+  ASSERT_EQ(put->status, RespStatus::kOk);
+  for (int node = 0; node < 3; ++node) {
+    ASSERT_TRUE(Eventually([&] {
+      return cluster.node(node)
+          ->server()
+          ->store()
+          .GetData(inodes[0], 0)
+          .has_value();
+    }));
+  }
+
+  cluster.node(2)->KillHard();
+  auto del = writer->Call(Request::DeleteData(inodes[0], 0));
+  ASSERT_TRUE(del.ok()) << del.status();
+  ASSERT_EQ(del->status, RespStatus::kOk);
+  cluster.node(2)->Restart();
+
+  // A fresh reader finds one stale live copy against two erased (not
+  // tombstoned — silent) replicas, and the zombie wins.
+  auto reader = cluster.MakeChannel();
+  ASSERT_NE(reader, nullptr);
+  auto got = reader->Call(Request::GetData(inodes[0], 0));
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->status, RespStatus::kOk)
+      << "erase-style delete did NOT resurrect — the positive leg above "
+         "is proving nothing";
+  EXPECT_EQ(got->payload, v);
 }
 
 TEST(ClusterFailover, WithoutReplicationAndRetriesTheSameKillIsFatal) {

@@ -24,6 +24,8 @@
 
 #include "core/sharded_channel.h"
 #include "ssp/placement.h"
+#include "ssp/scrub.h"
+#include "ssp/tcp_service.h"
 #include "testing/andrew_client.h"
 #include "testing/restartable.h"
 
@@ -41,6 +43,11 @@ class TestCluster {
     /// KillHard then loses that replica's contents, which is exactly
     /// what a quorum read must survive.
     bool wal = true;
+    /// Cluster delete semantics: versioned tombstones on every node,
+    /// like the real `sharoes_sspd --cluster`. Off reproduces the
+    /// pre-tombstone seed behaviour (deletes erase; a recovered stale
+    /// replica can resurrect them) — the negative-control knob.
+    bool tombstones = true;
     std::string tag = "cluster";
   };
 
@@ -67,6 +74,7 @@ class TestCluster {
       if (opts_.wal) {
         dopts.wal_dir = base_dir_ + "/wal" + std::to_string(i);
       }
+      dopts.tombstones = opts_.tombstones;
       daemons_.push_back(std::make_unique<RestartableDaemon>(dopts));
       daemons_.back()->Start();
     }
@@ -120,6 +128,23 @@ class TestCluster {
                                                 node_factory(), sopts);
     EXPECT_TRUE(channel.ok()) << channel.status();
     return channel.ok() ? std::move(*channel) : nullptr;
+  }
+
+  /// An anti-entropy scrubber for node i's current server incarnation,
+  /// dialing its peers over TCP like the real daemon's. Bound to the
+  /// live SspServer: create it AFTER node i's last restart and drop it
+  /// before the next one (a restart re-creates the server object).
+  std::unique_ptr<ssp::Scrubber> MakeScrubber(int i) {
+    return std::make_unique<ssp::Scrubber>(
+        node(i)->server(), ring_.get(), static_cast<uint32_t>(i),
+        [](const ssp::ClusterNode& n)
+            -> Result<std::unique_ptr<ssp::SspChannel>> {
+          net::TcpTimeouts timeouts{/*connect_ms=*/2000, /*send_ms=*/5000,
+                                    /*recv_ms=*/5000};
+          auto ch = ssp::TcpSspChannel::Connect(n.host, n.port, timeouts);
+          if (!ch.ok()) return ch.status();
+          return std::unique_ptr<ssp::SspChannel>(std::move(*ch));
+        });
   }
 
  private:

@@ -42,6 +42,10 @@ class RestartableDaemon {
     std::string store_path;  // Clean-shutdown snapshot mode.
     std::string wal_dir;     // Write-ahead-log mode.
     ssp::WalOptions wal;
+    /// Cluster-mode delete semantics: deletes leave versioned
+    /// tombstones (`sharoes_sspd --cluster`). Re-applied on every
+    /// (re)start, before WAL replay, exactly as the daemon does.
+    bool tombstones = false;
   };
 
   /// Legacy convenience: snapshot-file mode only.
@@ -124,6 +128,9 @@ class RestartableDaemon {
   void StartLocked() {
     ASSERT_EQ(daemon_, nullptr);
     server_ = std::make_unique<ssp::SspServer>();
+    // Tombstone mode must be armed before WAL replay so recovered
+    // deletes re-create their tombstones instead of erasing.
+    if (opts_.tombstones) server_->store().set_tombstones_enabled(true);
     if (!opts_.wal_dir.empty()) {
       auto wal = ssp::Wal::Open(opts_.wal_dir, opts_.wal, &server_->store());
       ASSERT_TRUE(wal.ok()) << "wal recovery: " << wal.status();
@@ -134,6 +141,7 @@ class RestartableDaemon {
       auto loaded = ssp::ObjectStore::LoadFromFile(opts_.store_path);
       if (loaded.ok()) {
         server_->store() = std::move(*loaded);
+        if (opts_.tombstones) server_->store().set_tombstones_enabled(true);
       } else {
         ASSERT_TRUE(loaded.status().IsNotFound()) << loaded.status();
       }

@@ -18,13 +18,20 @@
 // kGetStats RPC and prints the daemon's metrics snapshot (one JSON
 // document: counters, gauges, latency histograms with percentiles).
 // `--prefix ssp.wal` restricts the snapshot to metrics whose name
-// starts with the prefix (cheap periodic scraping).
+// starts with the prefix (cheap periodic scraping). With --cluster the
+// snapshot covers the whole fleet: the sharded channel fans kGetStats
+// to every daemon and merges (counters/gauges sum, histograms merge
+// pointwise, so percentiles are over the union of samples; the
+// cluster.nodes_reporting gauge says how many daemons answered).
+// `--node N` pins the RPC to the daemon with cluster node id N instead.
 //
 // `sharoes_cli slow` (also stateless) sends kGetTraces and prints the
 // daemon's captured slow-request span timelines: every request that
 // exceeded --slow-request-us recently, plus the slowest ever, each
 // broken down into phases (lock wait, WAL append, fsync wait, ...).
 // Histogram p99_trace/max_trace fields in `stats` name timelines here.
+// With --cluster it prints one JSON object keyed by node id ("node_0",
+// ...), each daemon's document embedded verbatim; --node N pins it.
 //
 // Flags: --host (default 127.0.0.1; names resolve via DNS), --port
 //        (7070), --state (required), --user (name registered at
@@ -91,6 +98,9 @@ struct Args {
   bool rpc_stats = false;
   /// Metric-name prefix filter for `stats` (empty = full registry).
   std::string stats_prefix;
+  /// Cluster node id to pin `stats`/`slow` to (-1 = fan to all nodes
+  /// and merge). Only meaningful with --cluster.
+  int admin_node = -1;
   std::vector<std::string> command;
 };
 
@@ -145,6 +155,8 @@ Args ParseArgs(int argc, char** argv) {
       args.rpc_stats = true;
     } else if (a == "--prefix") {
       args.stats_prefix = next();
+    } else if (a == "--node") {
+      args.admin_node = std::atoi(next().c_str());
     } else {
       args.command.push_back(a);
     }
@@ -258,27 +270,43 @@ void Provision(const Args& args) {
       args.state.c_str());
 }
 
-/// `sharoes_cli stats`: fetch and print the daemon's metrics snapshot
-/// (optionally restricted to names starting with --prefix).
-int Stats(const Args& args) {
-  auto channel = MakeChannel(args);
-  auto resp = channel->Call(ssp::Request::GetStats(args.stats_prefix));
+/// Issues one admin request: fan-merged over the cluster by default, or
+/// pinned to --node N's daemon, or straight at the lone --host/--port
+/// daemon. Prints the JSON payload.
+int RunAdmin(const Args& args, const ssp::Request& req, const char* what) {
+  Result<ssp::Response> resp = Status::Internal("unset");
+  if (args.admin_node >= 0) {
+    if (args.cluster.empty()) {
+      Die("--node needs --cluster (a lone daemon has only itself)");
+    }
+    core::ShardedChannelOptions sopts;
+    sopts.node_retry = args.retry;
+    sopts.timeouts = args.timeouts;
+    auto channel = core::ShardedChannel::Open(args.cluster, sopts);
+    if (!channel.ok()) Die("cluster config: " + channel.status().ToString());
+    resp = (*channel)->CallOnNode(static_cast<uint32_t>(args.admin_node),
+                                  req);
+  } else {
+    auto channel = MakeChannel(args);
+    resp = channel->Call(req);
+  }
   CheckOk(resp.status());
-  if (!resp->ok()) Die("SSP rejected kGetStats");
+  if (!resp->ok()) Die(std::string("SSP rejected ") + what);
   std::printf("%.*s\n", static_cast<int>(resp->payload.size()),
               reinterpret_cast<const char*>(resp->payload.data()));
   return 0;
 }
 
+/// `sharoes_cli stats`: fetch and print the daemon's metrics snapshot
+/// (optionally restricted to names starting with --prefix).
+int Stats(const Args& args) {
+  return RunAdmin(args, ssp::Request::GetStats(args.stats_prefix),
+                  "kGetStats");
+}
+
 /// `sharoes_cli slow`: fetch and print captured slow-request timelines.
 int Slow(const Args& args) {
-  auto channel = MakeChannel(args);
-  auto resp = channel->Call(ssp::Request::GetTraces());
-  CheckOk(resp.status());
-  if (!resp->ok()) Die("SSP rejected kGetTraces");
-  std::printf("%.*s\n", static_cast<int>(resp->payload.size()),
-              reinterpret_cast<const char*>(resp->payload.data()));
-  return 0;
+  return RunAdmin(args, ssp::Request::GetTraces(), "kGetTraces");
 }
 
 fs::UserId UidOf(const core::IdentityDirectory& identity,

@@ -16,6 +16,18 @@
 // scribble on the wrong shard. Without an explicit positional port, the
 // port of node N's config entry is used, so a fleet can be started as
 // `sharoes_sspd --cluster c.conf --node-id 0` / `... --node-id 1` / ….
+// Cluster mode also enables delete tombstones (DESIGN.md §16): deletes
+// leave versioned tombstones instead of erasing, so a replica that
+// slept through a delete is told the key is dead instead of
+// resurrecting it.
+//
+// --scrub-interval-s N (cluster mode only) runs the anti-entropy
+// scrubber every N seconds: each pass reads every owned key from all K
+// replicas, repairs stale/missing/resurrected copies toward the
+// freshest acknowledged state, and garbage-collects tombstones that a
+// full quorum agrees are redundant (ssp/scrub.h; counters
+// ssp.scrub.{runs,repaired,tombstones_gc}). 0 (default) disables the
+// background thread.
 //
 // --wal DIR makes the store durable: every mutating op is appended to a
 // write-ahead log in DIR before it is acknowledged, and startup recovers
@@ -68,6 +80,7 @@
 #include "obs/span.h"
 #include "ssp/fault_injection.h"
 #include "ssp/placement.h"
+#include "ssp/scrub.h"
 #include "ssp/tcp_service.h"
 #include "ssp/wal.h"
 
@@ -85,6 +98,7 @@ int main(int argc, char** argv) {
   int node_id = -1;
   sharoes::ssp::WalOptions wal_opts;
   int stats_interval_s = 0;
+  int scrub_interval_s = 0;
   sharoes::ssp::FaultPolicy::Options fault_opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -112,6 +126,8 @@ int main(int argc, char** argv) {
       wal_opts.group_commit_us = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--stats-interval-s" && i + 1 < argc) {
       stats_interval_s = std::atoi(argv[++i]);
+    } else if (arg == "--scrub-interval-s" && i + 1 < argc) {
+      scrub_interval_s = std::atoi(argv[++i]);
     } else if (arg == "--slow-request-us" && i + 1 < argc) {
       sharoes::obs::SetSlowRequestThresholdUs(
           static_cast<uint64_t>(std::atoll(argv[++i])));
@@ -176,6 +192,10 @@ int main(int argc, char** argv) {
   sharoes::ssp::SspServer server;
   if (ring != nullptr) {
     server.set_placement(ring.get(), static_cast<uint32_t>(node_id));
+    // Tombstones must be on BEFORE WAL recovery: the log may hold
+    // gen-gated repair deletes whose replay must leave tombstones, not
+    // erase, or a restart silently re-opens the resurrection window.
+    server.store().set_tombstones_enabled(true);
     std::printf("sharoes_sspd: shard node %d of a %zu-node cluster (%s)\n",
                 node_id, ring->config().nodes.size(), cluster_path.c_str());
   }
@@ -236,6 +256,31 @@ int main(int argc, char** argv) {
         fault_opts.corrupt_prob * 100, fault_opts.drop_prob * 100,
         static_cast<unsigned long long>(fault_opts.seed));
   }
+  std::unique_ptr<sharoes::ssp::Scrubber> scrubber;
+  if (scrub_interval_s > 0) {
+    if (ring == nullptr) {
+      std::fprintf(stderr,
+                   "sharoes_sspd: --scrub-interval-s needs --cluster "
+                   "(a lone daemon has no replicas to converge)\n");
+      return 1;
+    }
+    sharoes::net::TcpTimeouts peer_timeouts{/*connect_ms=*/2000,
+                                            /*send_ms=*/5000,
+                                            /*recv_ms=*/5000};
+    scrubber = std::make_unique<sharoes::ssp::Scrubber>(
+        &server, ring.get(), static_cast<uint32_t>(node_id),
+        [peer_timeouts](const sharoes::ssp::ClusterNode& node)
+            -> sharoes::Result<std::unique_ptr<sharoes::ssp::SspChannel>> {
+          auto channel = sharoes::ssp::TcpSspChannel::Connect(
+              node.host, node.port, peer_timeouts);
+          if (!channel.ok()) return channel.status();
+          return std::unique_ptr<sharoes::ssp::SspChannel>(
+              std::move(*channel));
+        });
+    scrubber->Start(static_cast<uint32_t>(scrub_interval_s));
+    std::printf("sharoes_sspd: anti-entropy scrubber every %ds\n",
+                scrub_interval_s);
+  }
   std::printf("sharoes_sspd: serving on 127.0.0.1:%u (ctrl-c to stop)\n",
               (*daemon)->port());
   std::fflush(stdout);
@@ -262,6 +307,9 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("sharoes_sspd: shutting down\n");
+  // Scrubber first: its repair path calls server.Handle, which must not
+  // race the WAL detach below.
+  scrubber.reset();
   (*daemon)->Shutdown();
   if (faults != nullptr) {
     auto counts = faults->counts();
